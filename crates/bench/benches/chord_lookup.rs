@@ -1,0 +1,49 @@
+//! Chord lookup latency (in-memory routing work) across ring sizes —
+//! the §IV-C `O(log Nn)` hop bound is checked by complexity_check; this
+//! measures the constant factor.
+
+use chord::Ring;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ids::Id;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::hint::black_box;
+
+fn build(n: usize) -> (Ring, Vec<Id>) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut ring = Ring::new();
+    let mut ids = Vec::new();
+    for i in 0..n {
+        let id = Id::random(&mut rng);
+        if i == 0 {
+            ring.bootstrap(id, i);
+        } else {
+            ring.join(ids[0], id, i).expect("join");
+        }
+        ids.push(id);
+    }
+    ring.stabilize_all();
+    (ring, ids)
+}
+
+fn bench_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("chord_lookup");
+    for n in [64usize, 256, 1024] {
+        let (ring, ids) = build(n);
+        let mut rng = StdRng::seed_from_u64(9);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let key = Id::from_u64(rng.gen());
+                let from = ids[rng.gen_range(0..ids.len())];
+                black_box(ring.lookup(from, key).expect("lookup"))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lookup
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! End-to-end locate/trace on a warm network — the CPU-side cost behind
+//! every Fig. 7 data point (simulated latency excluded; this is the
+//! routing + IOP traversal work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moods::SiteId;
+use peertrack::Builder;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simnet::SimTime;
+use std::hint::black_box;
+
+fn bench_queries(c: &mut Criterion) {
+    // 64 sites, 200 objects moving through 6-site routes.
+    let mut net = Builder::new().sites(64).seed(3).build();
+    let objects: Vec<_> = (0..200u64)
+        .map(|i| moods::ObjectId::from_raw(&i.to_be_bytes()))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    for (i, &o) in objects.iter().enumerate() {
+        let mut t = SimTime::from_secs(1 + i as u64);
+        for _ in 0..6 {
+            let s = SiteId(rng.gen_range(0..64));
+            net.schedule_capture(t, s, vec![o]);
+            t += SimTime::from_secs(120);
+        }
+    }
+    net.run_until_quiescent();
+
+    let mut g = c.benchmark_group("query_hot_path");
+    g.bench_function("locate", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let o = objects[i % objects.len()];
+            let from = SiteId((i % 64) as u32);
+            black_box(net.locate(from, o, SimTime::from_secs(100_000)))
+        })
+    });
+    g.bench_function("trace_lifetime", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let o = objects[i % objects.len()];
+            let from = SiteId((i % 64) as u32);
+            black_box(net.trace(from, o, SimTime::ZERO, SimTime::INFINITY))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_queries
+}
+criterion_main!(benches);

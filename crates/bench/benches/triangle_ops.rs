@@ -1,0 +1,51 @@
+//! Data-Triangle shard operations (§IV-A.2): upsert (index update) and
+//! earliest-α delegation batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moods::{ObjectId, SiteId};
+use peertrack::{IndexEntry, PrefixIndex};
+use simnet::SimTime;
+use std::hint::black_box;
+
+fn filled(n: usize) -> PrefixIndex {
+    let mut pi = PrefixIndex::new();
+    for i in 0..n {
+        pi.upsert(
+            ObjectId::from_raw(&(i as u64).to_be_bytes()),
+            IndexEntry { site: SiteId((i % 64) as u32), time: SimTime(i as u64), prev: None },
+        );
+    }
+    pi
+}
+
+fn bench_triangle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("triangle_ops");
+    for n in [1_000usize, 10_000] {
+        g.bench_with_input(BenchmarkId::new("upsert", n), &n, |b, &n| {
+            let mut pi = filled(n);
+            let mut i = n as u64;
+            b.iter(|| {
+                i += 1;
+                pi.upsert(
+                    ObjectId::from_raw(&i.to_be_bytes()),
+                    IndexEntry { site: SiteId(0), time: SimTime(i), prev: None },
+                );
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delegate_half", n), &n, |b, &n| {
+            b.iter_batched(
+                || filled(n),
+                |mut pi| black_box(pi.take_earliest(n / 2)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_triangle
+}
+criterion_main!(benches);

@@ -1,0 +1,248 @@
+//! Ablations over the design knobs §IV introduces but the paper does not
+//! sweep: the delegation fraction `α`, the window bounds `Nmax`/`Tmax`,
+//! `Lmin`, eager vs lazy split/merge, Data Triangles on/off, and latency
+//! jitter. Writes `results/ablations.csv` and prints one table per
+//! ablation.
+
+use bench::report::{gini, print_table, results_path, write_csv};
+use moods::SiteId;
+use peertrack::{Builder, GroupConfig, IndexingMode, TraceableNetwork};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simnet::time::{ms, secs};
+use simnet::{MsgClass, SimTime, UniformJitter};
+use workload::paper::PaperWorkload;
+
+fn feed(net: &mut TraceableNetwork, sites: usize, vol: usize, seed: u64) {
+    let wl = PaperWorkload {
+        sites,
+        objects_per_site: vol,
+        seed,
+        ..PaperWorkload::default()
+    };
+    for ev in wl.generate() {
+        net.schedule_capture(ev.at, ev.site, ev.objects);
+    }
+    net.run_until_quiescent();
+}
+
+fn sample_queries(net: &mut TraceableNetwork, sites: usize, vol: usize, n: usize) -> (f64, f64) {
+    let movers = (vol as f64 * 0.1).round() as usize;
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut msgs = 0u64;
+    let mut time_us = 0u64;
+    for _ in 0..n {
+        let o = workload::epc_object(rng.gen_range(0..sites) as u32, rng.gen_range(0..movers.max(1)) as u64);
+        let from = SiteId(rng.gen_range(0..sites) as u32);
+        let (_, stats) = net.trace(from, o, SimTime::ZERO, SimTime::INFINITY);
+        msgs += stats.messages;
+        time_us += stats.time.as_micros();
+    }
+    (msgs as f64 / n as f64, time_us as f64 / n as f64 / 1_000.0)
+}
+
+fn main() {
+    const SITES: usize = 48;
+    const VOL: usize = 400;
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+    let mut push_csv = |ablation: &str, setting: String, metric: &str, value: f64| {
+        csv_rows.push(vec![
+            ablation.to_string(),
+            setting,
+            metric.to_string(),
+            format!("{value:.3}"),
+        ]);
+    };
+
+    // ---- 1. Delegation fraction α -------------------------------------
+    {
+        let mut rows = Vec::new();
+        for alpha in [0.25f64, 0.5, 1.0] {
+            // Fixed Lp=4 concentrates the index on 16 gateways so the
+            // shards actually cross the delegation threshold; Scheme 2
+            // would spread the same data below it.
+            let cfg = GroupConfig {
+                alpha,
+                scheme: peertrack::PrefixScheme::Fixed(4),
+                l_min: 4,
+                delegate_threshold: Some(64),
+                n_max: 100_000,
+                ..GroupConfig::default()
+            };
+            let mut net =
+                Builder::new().sites(SITES).seed(1).mode(IndexingMode::Group(cfg)).build();
+            feed(&mut net, SITES, VOL, 1);
+            let delegate = net.metrics().messages_of(MsgClass::Delegate);
+            let refresh = net.metrics().messages_of(MsgClass::Refresh);
+            let (q_msgs, _) = sample_queries(&mut net, SITES, VOL, 60);
+            rows.push(vec![
+                format!("{alpha}"),
+                delegate.to_string(),
+                refresh.to_string(),
+                format!("{q_msgs:.2}"),
+            ]);
+            push_csv("alpha", format!("{alpha}"), "delegate_msgs", delegate as f64);
+            push_csv("alpha", format!("{alpha}"), "query_msgs", q_msgs);
+        }
+        print_table(
+            "Ablation 1 — delegation fraction α (threshold 64)",
+            &["alpha", "delegate_msgs", "refresh_msgs", "avg_query_msgs"],
+            &rows,
+        );
+    }
+
+    // ---- 2. Window bound Nmax ------------------------------------------
+    {
+        let mut rows = Vec::new();
+        for n_max in [64usize, 256, 1024, 100_000] {
+            let cfg = GroupConfig { n_max, ..GroupConfig::default() };
+            let mut net =
+                Builder::new().sites(SITES).seed(2).mode(IndexingMode::Group(cfg)).build();
+            feed(&mut net, SITES, VOL, 2);
+            let m = net.metrics();
+            rows.push(vec![
+                n_max.to_string(),
+                m.indexing_messages().to_string(),
+                m.indexing_bytes().to_string(),
+            ]);
+            push_csv("n_max", n_max.to_string(), "indexing_msgs", m.indexing_messages() as f64);
+        }
+        print_table(
+            "Ablation 2 — window bound Nmax (bigger windows, fuller groups, fewer messages)",
+            &["n_max", "indexing_msgs", "indexing_bytes"],
+            &rows,
+        );
+    }
+
+    // ---- 3. Lmin at bootstrap scale -------------------------------------
+    {
+        let mut rows = Vec::new();
+        for l_min in [0usize, 3, 6, 9] {
+            let cfg = GroupConfig { l_min, n_max: 100_000, ..GroupConfig::default() };
+            let mut net = Builder::new().sites(6).seed(3).mode(IndexingMode::Group(cfg)).build();
+            feed(&mut net, 6, VOL, 3);
+            let m = net.metrics();
+            let loads = net.load_distribution();
+            rows.push(vec![
+                l_min.to_string(),
+                net.current_lp().to_string(),
+                m.indexing_messages().to_string(),
+                format!("{:.3}", gini(&loads)),
+            ]);
+            push_csv("l_min", l_min.to_string(), "gini", gini(&loads));
+        }
+        print_table(
+            "Ablation 3 — Lmin on a 6-node bootstrap network (§IV-A.1)",
+            &["l_min", "lp", "indexing_msgs", "load_gini"],
+            &rows,
+        );
+    }
+
+    // ---- 4. Eager vs lazy split/merge under growth ----------------------
+    {
+        let mut rows = Vec::new();
+        for eager in [true, false] {
+            let cfg = GroupConfig {
+                eager_split_merge: eager,
+                n_max: 100_000,
+                ..GroupConfig::default()
+            };
+            let mut net = Builder::new().sites(24).seed(4).mode(IndexingMode::Group(cfg)).build();
+            feed(&mut net, 24, VOL, 4);
+            for _ in 0..24 {
+                net.join_site();
+            }
+            // Move a slice of objects so lazy repair has work to do.
+            let movers: Vec<_> = (0..24u32)
+                .flat_map(|s| (0..10u64).map(move |i| workload::epc_object(s, i)))
+                .collect();
+            let t = net.now() + secs(60);
+            for (i, &o) in movers.iter().enumerate() {
+                net.schedule_capture(t + secs(i as u64), SiteId((i % 24) as u32), vec![o]);
+            }
+            net.run_until_quiescent();
+            let split_merge = net.metrics().messages_of(MsgClass::SplitMerge);
+            let refresh = net.metrics().messages_of(MsgClass::Refresh);
+            let (q_msgs, _) = sample_queries(&mut net, 24, VOL, 60);
+            rows.push(vec![
+                if eager { "eager" } else { "lazy" }.to_string(),
+                split_merge.to_string(),
+                refresh.to_string(),
+                format!("{q_msgs:.2}"),
+            ]);
+            push_csv(
+                "split_merge",
+                if eager { "eager" } else { "lazy" }.into(),
+                "splitmerge_msgs",
+                split_merge as f64,
+            );
+        }
+        print_table(
+            "Ablation 4 — eager vs lazy splitting/merging (§IV-A.2)",
+            &["mode", "splitmerge_msgs", "refresh_msgs", "avg_query_msgs"],
+            &rows,
+        );
+    }
+
+    // ---- 5. Data Triangles on/off under a hot gateway -------------------
+    {
+        let mut rows = Vec::new();
+        for (label, threshold) in [("off", None), ("on (64)", Some(64usize))] {
+            let cfg = GroupConfig {
+                scheme: peertrack::PrefixScheme::Fixed(2), // few, hot gateways
+                l_min: 2,
+                delegate_threshold: threshold,
+                n_max: 100_000,
+                ..GroupConfig::default()
+            };
+            let mut net = Builder::new().sites(16).seed(5).mode(IndexingMode::Group(cfg)).build();
+            feed(&mut net, 16, VOL, 5);
+            let loads = net.load_distribution();
+            let hottest = *loads.iter().max().expect("non-empty");
+            rows.push(vec![
+                label.to_string(),
+                hottest.to_string(),
+                format!("{:.3}", gini(&loads)),
+                net.metrics().messages_of(MsgClass::Delegate).to_string(),
+            ]);
+            push_csv("triangle", label.into(), "hottest_load", hottest as f64);
+            push_csv("triangle", label.into(), "gini", gini(&loads));
+        }
+        print_table(
+            "Ablation 5 — Data Triangles off/on with Lp=2 hot gateways",
+            &["triangles", "hottest_node_load", "load_gini", "delegate_msgs"],
+            &rows,
+        );
+    }
+
+    // ---- 6. Latency jitter robustness -----------------------------------
+    {
+        let mut rows = Vec::new();
+        for (label, latency) in [
+            ("constant 5ms", None),
+            ("5ms ± 4ms jitter", Some(UniformJitter::new(ms(5), ms(4)))),
+        ] {
+            let mut b = Builder::new().sites(SITES).seed(6).mode(bench::experiment_group_mode());
+            if let Some(j) = latency {
+                b = b.latency(Box::new(j));
+            }
+            let mut net = b.build();
+            feed(&mut net, SITES, VOL, 6);
+            let (q_msgs, q_ms) = sample_queries(&mut net, SITES, VOL, 100);
+            rows.push(vec![label.to_string(), format!("{q_msgs:.2}"), format!("{q_ms:.2}")]);
+            push_csv("jitter", label.into(), "query_ms", q_ms);
+        }
+        print_table(
+            "Ablation 6 — query time under latency jitter",
+            &["latency model", "avg_query_msgs", "avg_query_ms"],
+            &rows,
+        );
+    }
+
+    write_csv(
+        results_path("ablations.csv"),
+        &["ablation", "setting", "metric", "value"],
+        &csv_rows,
+    )
+    .expect("write ablations.csv");
+    println!("\nwrote results/ablations.csv");
+}

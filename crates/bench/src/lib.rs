@@ -1,0 +1,164 @@
+//! Experiment harness: regenerates every figure of §V.
+//!
+//! | Experiment | Paper figure | Module |
+//! |---|---|---|
+//! | E1 | Fig. 6a — indexing cost vs data volume | [`fig6`] |
+//! | E2 | Fig. 6b — indexing cost vs network size | [`fig6`] |
+//! | E3 | Fig. 7a — query time vs network size | [`fig7`] |
+//! | E4 | Fig. 7b — query time vs data volume | [`fig7`] |
+//! | E5 | Fig. 8a — load balance per `Lp` scheme | [`fig8`] |
+//! | E6 | Fig. 8b — indexing cost per `Lp` scheme | [`fig8`] |
+//!
+//! Each module exposes a `run(scale)` returning typed rows plus a CSV
+//! writer; the `all_experiments` binary drives everything and prints the
+//! paper-shaped series. [`Scale`] lets CI run the same code at reduced
+//! size; the committed EXPERIMENTS.md numbers use [`Scale::Full`].
+//!
+//! Sweeps fan out across OS threads (one deterministic `Sim` per point,
+//! results joined in order) via [`parallel_sweep`] — the experiments are
+//! embarrassingly parallel and the engine is single-threaded by design.
+
+#![forbid(unsafe_code)]
+
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod report;
+
+use peertrack::{GroupConfig, IndexingMode};
+use std::str::FromStr;
+
+/// The group configuration the experiments run: the paper's §IV-C cost
+/// analysis assumes capture windows large relative to the group count
+/// ("the number of received objects No can be very large, while
+/// 2^Lp ... is relatively small"), so `Nmax` is set high enough that a
+/// site's whole inventory wave fits one indexing cycle. All other
+/// parameters are the library defaults.
+pub fn experiment_group_mode() -> IndexingMode {
+    IndexingMode::Group(GroupConfig { n_max: 100_000, ..GroupConfig::default() })
+}
+
+/// Experiment size: `Full` is the paper's setup; `Quick` divides data
+/// volume by 10 and network size by 4 for smoke tests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's parameters (512 nodes, 5 000 objects/node max).
+    Full,
+    /// Reduced parameters for fast runs.
+    Quick,
+}
+
+impl Scale {
+    /// Read from the `PEERTRACK_SCALE` environment variable
+    /// (`full`/`quick`), defaulting to `Quick`.
+    pub fn from_env() -> Scale {
+        std::env::var("PEERTRACK_SCALE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Scale::Quick)
+    }
+
+    /// Divide an object count by the scale factor.
+    pub fn objects(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 10).max(10),
+        }
+    }
+
+    /// Divide a node count by the scale factor.
+    pub fn nodes(&self, full: usize) -> usize {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => (full / 4).max(8),
+        }
+    }
+}
+
+impl FromStr for Scale {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Scale, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "full" => Ok(Scale::Full),
+            "quick" => Ok(Scale::Quick),
+            other => Err(format!("unknown scale {other:?} (want full|quick)")),
+        }
+    }
+}
+
+/// Run `f` over `inputs` on worker threads (one per input, capped at the
+/// parallelism the OS reports), returning outputs in input order.
+///
+/// Each point builds its own deterministic `Sim`, so results are
+/// identical to a sequential run — this only buys wall-clock.
+pub fn parallel_sweep<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send + Sync,
+    O: Send,
+    F: Fn(&I) -> O + Sync,
+{
+    let n = inputs.len();
+    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        let slots: Vec<_> = out.iter_mut().collect();
+        // Hand each worker an equal share of slot pointers via a channel
+        // of (index, input, slot) work items.
+        let (tx, rx) = crossbeam::channel::unbounded();
+        for (i, (input, slot)) in inputs.iter().zip(slots).enumerate() {
+            tx.send((i, input, slot)).expect("channel open");
+        }
+        drop(tx);
+        for _ in 0..workers.min(n) {
+            let rx = rx.clone();
+            let f = &f;
+            let next = &next;
+            scope.spawn(move |_| {
+                while let Ok((_i, input, slot)) = rx.recv() {
+                    *slot = Some(f(input));
+                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    out.into_iter().map(|o| o.expect("all slots filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!("full".parse::<Scale>().unwrap(), Scale::Full);
+        assert_eq!("QUICK".parse::<Scale>().unwrap(), Scale::Quick);
+        assert!("huge".parse::<Scale>().is_err());
+    }
+
+    #[test]
+    fn scale_factors() {
+        assert_eq!(Scale::Full.objects(5000), 5000);
+        assert_eq!(Scale::Quick.objects(5000), 500);
+        assert_eq!(Scale::Quick.objects(50), 10);
+        assert_eq!(Scale::Full.nodes(512), 512);
+        assert_eq!(Scale::Quick.nodes(512), 128);
+    }
+
+    #[test]
+    fn parallel_sweep_preserves_order_and_results() {
+        let inputs: Vec<u64> = (0..50).collect();
+        let out = parallel_sweep(inputs.clone(), |&x| x * x);
+        let expect: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn parallel_sweep_empty() {
+        let out: Vec<u32> = parallel_sweep(Vec::<u32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+}

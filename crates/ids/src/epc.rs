@@ -1,0 +1,256 @@
+//! SGTIN-96 Electronic Product Codes.
+//!
+//! The paper's objects are "goods attached with RFID tags" carrying EPC
+//! identifiers (§I). Raw ids are EPCs; the system hashes them with SHA-1
+//! into the ring (§III footnote 1). We implement the EPC Tag Data
+//! Standard's SGTIN-96 layout so workloads carry realistic raw ids:
+//!
+//! ```text
+//! | header 8 | filter 3 | partition 3 | company prefix 20-40 | item ref 4-24 | serial 38 |
+//! ```
+//!
+//! (96 bits total; the company-prefix/item-reference split is governed by
+//! the partition value, per TDS §14.5.1.)
+
+use crate::id::Id;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SGTIN-96 header value (TDS: `0011 0000`).
+pub const SGTIN96_HEADER: u8 = 0x30;
+
+/// Company-prefix / item-reference bit widths for each partition value.
+/// `(company_bits, item_bits)`; company digits = 12-partition.
+const PARTITION_TABLE: [(u32, u32); 7] = [
+    (40, 4), // partition 0: 12-digit company prefix
+    (37, 7),
+    (34, 10),
+    (30, 14),
+    (27, 17),
+    (24, 20),
+    (20, 24), // partition 6: 6-digit company prefix
+];
+
+/// A 96-bit SGTIN EPC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EpcCode {
+    /// Filter value (3 bits): 1 = point of sale item, 2 = full case, etc.
+    pub filter: u8,
+    /// Partition value (0..=6), selects the field widths.
+    pub partition: u8,
+    /// GS1 company prefix (fits the partition's width).
+    pub company: u64,
+    /// Item reference (fits the partition's width).
+    pub item: u32,
+    /// 38-bit serial number.
+    pub serial: u64,
+}
+
+/// Errors from EPC construction/decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpcError {
+    /// Partition must be in `0..=6`.
+    BadPartition(u8),
+    /// Field exceeds the width allowed by the partition.
+    FieldOverflow(&'static str),
+    /// Binary decoding saw the wrong header byte.
+    BadHeader(u8),
+}
+
+impl fmt::Display for EpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EpcError::BadPartition(p) => write!(f, "invalid SGTIN partition {p}"),
+            EpcError::FieldOverflow(which) => write!(f, "EPC field {which} overflows its width"),
+            EpcError::BadHeader(h) => write!(f, "not an SGTIN-96 header: {h:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for EpcError {}
+
+impl EpcCode {
+    /// Construct a validated SGTIN-96.
+    pub fn new(
+        filter: u8,
+        partition: u8,
+        company: u64,
+        item: u32,
+        serial: u64,
+    ) -> Result<EpcCode, EpcError> {
+        if partition > 6 {
+            return Err(EpcError::BadPartition(partition));
+        }
+        let (cbits, ibits) = PARTITION_TABLE[partition as usize];
+        if filter > 7 {
+            return Err(EpcError::FieldOverflow("filter"));
+        }
+        if cbits < 64 && company >= (1u64 << cbits) {
+            return Err(EpcError::FieldOverflow("company"));
+        }
+        if item as u64 >= (1u64 << ibits) {
+            return Err(EpcError::FieldOverflow("item"));
+        }
+        if serial >= (1u64 << 38) {
+            return Err(EpcError::FieldOverflow("serial"));
+        }
+        Ok(EpcCode { filter, partition, company, item, serial })
+    }
+
+    /// Pack into the canonical 12-byte binary encoding.
+    pub fn to_bytes(&self) -> [u8; 12] {
+        let (cbits, ibits) = PARTITION_TABLE[self.partition as usize];
+        let mut acc: u128 = 0;
+        let mut used = 0u32;
+        let mut push = |val: u128, bits: u32| {
+            acc = (acc << bits) | (val & ((1u128 << bits) - 1));
+            used += bits;
+        };
+        push(SGTIN96_HEADER as u128, 8);
+        push(self.filter as u128, 3);
+        push(self.partition as u128, 3);
+        push(self.company as u128, cbits);
+        push(self.item as u128, ibits);
+        push(self.serial as u128, 38);
+        debug_assert_eq!(used, 96);
+        let mut out = [0u8; 12];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = ((acc >> (88 - 8 * i)) & 0xFF) as u8;
+        }
+        out
+    }
+
+    /// Decode the canonical binary encoding.
+    pub fn from_bytes(bytes: &[u8; 12]) -> Result<EpcCode, EpcError> {
+        let mut acc: u128 = 0;
+        for &b in bytes {
+            acc = (acc << 8) | b as u128;
+        }
+        let mut pos = 96u32;
+        let mut pull = |bits: u32| -> u128 {
+            pos -= bits;
+            (acc >> pos) & ((1u128 << bits) - 1)
+        };
+        let header = pull(8) as u8;
+        if header != SGTIN96_HEADER {
+            return Err(EpcError::BadHeader(header));
+        }
+        let filter = pull(3) as u8;
+        let partition = pull(3) as u8;
+        if partition > 6 {
+            return Err(EpcError::BadPartition(partition));
+        }
+        let (cbits, ibits) = PARTITION_TABLE[partition as usize];
+        let company = pull(cbits) as u64;
+        let item = pull(ibits) as u32;
+        let serial = pull(38) as u64;
+        EpcCode::new(filter, partition, company, item, serial)
+    }
+
+    /// The EPC "pure identity" URI, e.g.
+    /// `urn:epc:id:sgtin:0614141.812345.6789`.
+    pub fn to_uri(&self) -> String {
+        format!(
+            "urn:epc:id:sgtin:{:0cw$}.{:0iw$}.{}",
+            self.company,
+            self.item,
+            self.serial,
+            cw = (12 - self.partition) as usize,
+            iw = (self.partition + 1) as usize,
+        )
+    }
+
+    /// Hash this raw id into the 160-bit ring, as §III footnote 1
+    /// prescribes ("we hash the object's raw id using the SHA-1 function").
+    pub fn object_id(&self) -> Id {
+        Id::hash(&self.to_bytes())
+    }
+}
+
+impl fmt::Debug for EpcCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EpcCode({})", self.to_uri())
+    }
+}
+
+impl fmt::Display for EpcCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_uri())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let e = EpcCode::new(1, 5, 614141, 812345, 6789).unwrap();
+        let b = e.to_bytes();
+        assert_eq!(EpcCode::from_bytes(&b).unwrap(), e);
+        assert_eq!(b[0], SGTIN96_HEADER);
+    }
+
+    #[test]
+    fn uri_format() {
+        let e = EpcCode::new(1, 5, 614141, 812345, 6789).unwrap();
+        assert_eq!(e.to_uri(), "urn:epc:id:sgtin:0614141.812345.6789");
+    }
+
+    #[test]
+    fn rejects_bad_partition() {
+        assert_eq!(
+            EpcCode::new(1, 7, 1, 1, 1).unwrap_err(),
+            EpcError::BadPartition(7)
+        );
+    }
+
+    #[test]
+    fn rejects_field_overflow() {
+        // Partition 6 allows 20 company bits.
+        assert_eq!(
+            EpcCode::new(1, 6, 1 << 20, 1, 1).unwrap_err(),
+            EpcError::FieldOverflow("company")
+        );
+        assert_eq!(
+            EpcCode::new(1, 0, 1, 1 << 4, 1).unwrap_err(),
+            EpcError::FieldOverflow("item")
+        );
+        assert_eq!(
+            EpcCode::new(1, 0, 1, 1, 1 << 38).unwrap_err(),
+            EpcError::FieldOverflow("serial")
+        );
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        let mut b = EpcCode::new(1, 5, 1, 1, 1).unwrap().to_bytes();
+        b[0] = 0x31;
+        assert_eq!(EpcCode::from_bytes(&b).unwrap_err(), EpcError::BadHeader(0x31));
+    }
+
+    #[test]
+    fn distinct_serials_distinct_object_ids() {
+        let a = EpcCode::new(1, 5, 614141, 1, 1).unwrap().object_id();
+        let b = EpcCode::new(1, 5, 614141, 1, 2).unwrap().object_id();
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            filter in 0u8..=7,
+            partition in 0u8..=6,
+            company in any::<u64>(),
+            item in any::<u32>(),
+            serial in 0u64..(1 << 38),
+        ) {
+            let (cbits, ibits) = PARTITION_TABLE[partition as usize];
+            let company = if cbits >= 64 { company } else { company & ((1u64 << cbits) - 1) };
+            let item = (item as u64 & ((1u64 << ibits) - 1)) as u32;
+            let e = EpcCode::new(filter, partition, company, item, serial).unwrap();
+            prop_assert_eq!(EpcCode::from_bytes(&e.to_bytes()).unwrap(), e);
+        }
+    }
+}

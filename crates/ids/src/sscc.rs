@@ -1,0 +1,183 @@
+//! SSCC-96 — Serial Shipping Container Codes.
+//!
+//! Pallets, cases and totes carry SSCC tags rather than item-level
+//! SGTINs; "objects often move in groups" (§III) precisely because a
+//! whole SSCC-tagged pallet crosses a dock door at once. Layout (EPC
+//! TDS §14.6.1):
+//!
+//! ```text
+//! | header 8 | filter 3 | partition 3 | company prefix 20-40 | serial ref 38-18 | reserved 24 |
+//! ```
+
+use crate::id::Id;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SSCC-96 header value (TDS: `0011 0001`).
+pub const SSCC96_HEADER: u8 = 0x31;
+
+/// `(company_bits, serial_bits)` per partition value; company digits =
+/// 12 − partition.
+const PARTITION_TABLE: [(u32, u32); 7] =
+    [(40, 18), (37, 21), (34, 24), (30, 28), (27, 31), (24, 34), (20, 38)];
+
+/// A 96-bit SSCC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SsccCode {
+    /// Filter value (3 bits); 2 = "full case", typical for pallets.
+    pub filter: u8,
+    /// Partition value (0..=6).
+    pub partition: u8,
+    /// GS1 company prefix.
+    pub company: u64,
+    /// Serial reference for the container.
+    pub serial: u64,
+}
+
+impl SsccCode {
+    /// Construct a validated SSCC-96.
+    pub fn new(filter: u8, partition: u8, company: u64, serial: u64) -> Result<SsccCode, crate::epc::EpcError> {
+        use crate::epc::EpcError;
+        if partition > 6 {
+            return Err(EpcError::BadPartition(partition));
+        }
+        let (cbits, sbits) = PARTITION_TABLE[partition as usize];
+        if filter > 7 {
+            return Err(EpcError::FieldOverflow("filter"));
+        }
+        if cbits < 64 && company >= (1u64 << cbits) {
+            return Err(EpcError::FieldOverflow("company"));
+        }
+        if serial >= (1u64 << sbits) {
+            return Err(EpcError::FieldOverflow("serial"));
+        }
+        Ok(SsccCode { filter, partition, company, serial })
+    }
+
+    /// Pack into the canonical 12-byte binary encoding.
+    pub fn to_bytes(&self) -> [u8; 12] {
+        let (cbits, sbits) = PARTITION_TABLE[self.partition as usize];
+        let mut acc: u128 = 0;
+        let mut push = |val: u128, bits: u32| {
+            acc = (acc << bits) | (val & ((1u128 << bits) - 1));
+        };
+        push(SSCC96_HEADER as u128, 8);
+        push(self.filter as u128, 3);
+        push(self.partition as u128, 3);
+        push(self.company as u128, cbits);
+        push(self.serial as u128, sbits);
+        push(0, 24); // reserved
+        let mut out = [0u8; 12];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = ((acc >> (88 - 8 * i)) & 0xFF) as u8;
+        }
+        out
+    }
+
+    /// Decode the canonical binary encoding.
+    pub fn from_bytes(bytes: &[u8; 12]) -> Result<SsccCode, crate::epc::EpcError> {
+        use crate::epc::EpcError;
+        let mut acc: u128 = 0;
+        for &b in bytes {
+            acc = (acc << 8) | b as u128;
+        }
+        let mut pos = 96u32;
+        let mut pull = |bits: u32| -> u128 {
+            pos -= bits;
+            (acc >> pos) & ((1u128 << bits) - 1)
+        };
+        let header = pull(8) as u8;
+        if header != SSCC96_HEADER {
+            return Err(EpcError::BadHeader(header));
+        }
+        let filter = pull(3) as u8;
+        let partition = pull(3) as u8;
+        if partition > 6 {
+            return Err(EpcError::BadPartition(partition));
+        }
+        let (cbits, sbits) = PARTITION_TABLE[partition as usize];
+        let company = pull(cbits) as u64;
+        let serial = pull(sbits) as u64;
+        SsccCode::new(filter, partition, company, serial)
+    }
+
+    /// Pure-identity URI, e.g. `urn:epc:id:sscc:0614141.1234567890`.
+    pub fn to_uri(&self) -> String {
+        format!(
+            "urn:epc:id:sscc:{:0cw$}.{}",
+            self.company,
+            self.serial,
+            cw = (12 - self.partition) as usize,
+        )
+    }
+
+    /// Hash into the 160-bit ring, like any other raw id.
+    pub fn object_id(&self) -> Id {
+        Id::hash(&self.to_bytes())
+    }
+}
+
+impl fmt::Debug for SsccCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SsccCode({})", self.to_uri())
+    }
+}
+
+impl fmt::Display for SsccCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_uri())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::epc::EpcError;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let c = SsccCode::new(2, 5, 614141, 987654).unwrap();
+        let b = c.to_bytes();
+        assert_eq!(b[0], SSCC96_HEADER);
+        assert_eq!(SsccCode::from_bytes(&b).unwrap(), c);
+        assert_eq!(c.to_uri(), "urn:epc:id:sscc:0614141.987654");
+    }
+
+    #[test]
+    fn rejects_invalid_fields() {
+        assert_eq!(SsccCode::new(2, 7, 1, 1).unwrap_err(), EpcError::BadPartition(7));
+        assert_eq!(
+            SsccCode::new(2, 6, 1 << 20, 1).unwrap_err(),
+            EpcError::FieldOverflow("company")
+        );
+        assert_eq!(
+            SsccCode::new(2, 0, 1, 1 << 18).unwrap_err(),
+            EpcError::FieldOverflow("serial")
+        );
+    }
+
+    #[test]
+    fn sscc_and_sgtin_ids_never_collide() {
+        // Different headers ⇒ different bytes ⇒ (SHA-1) different ids.
+        let sscc = SsccCode::new(2, 5, 614141, 42).unwrap();
+        let sgtin = crate::epc::EpcCode::new(1, 5, 614141, 42, 42).unwrap();
+        assert_ne!(sscc.object_id(), sgtin.object_id());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(
+            filter in 0u8..=7,
+            partition in 0u8..=6,
+            company in any::<u64>(),
+            serial in any::<u64>(),
+        ) {
+            let (cbits, sbits) = PARTITION_TABLE[partition as usize];
+            let company = if cbits >= 64 { company } else { company & ((1u64 << cbits) - 1) };
+            let serial = serial & ((1u64 << sbits) - 1);
+            let c = SsccCode::new(filter, partition, company, serial).unwrap();
+            prop_assert_eq!(SsccCode::from_bytes(&c.to_bytes()).unwrap(), c);
+        }
+    }
+}

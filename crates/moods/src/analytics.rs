@@ -1,0 +1,153 @@
+//! Path analytics — the historical questions §I motivates:
+//! "previous locations, transportation time between locations, and time
+//! spent in storage".
+//!
+//! Receptors in this model observe *arrivals* (§II-A), so a visit's
+//! duration spans storage plus the outbound transport to the next
+//! capture; deployments with exit readers would split the two. The
+//! functions here are pure over [`Path`] values, so they work on the
+//! output of any backend — PeerTrack traces, warehouse traces, or the
+//! oracle.
+
+use crate::model::{Path, SiteId};
+use simnet::SimTime;
+use std::collections::HashMap;
+
+/// Time spent at one stop of a path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dwell {
+    /// The site.
+    pub site: SiteId,
+    /// Time from this arrival to the next one (`None` for the final,
+    /// still-open visit).
+    pub duration: Option<SimTime>,
+}
+
+/// Per-stop dwell times of a path, in visit order.
+pub fn dwell_times(path: &Path) -> Vec<Dwell> {
+    path.iter()
+        .map(|v| Dwell { site: v.site, duration: v.departed.map(|d| d.since(v.arrived)) })
+        .collect()
+}
+
+/// Total elapsed time from the first capture to the last (`None` for
+/// empty or single-visit paths).
+pub fn journey_time(path: &Path) -> Option<SimTime> {
+    let first = path.first()?;
+    let last = path.last()?;
+    if path.len() < 2 {
+        return None;
+    }
+    Some(last.arrived.since(first.arrived))
+}
+
+/// Summary statistics of one path.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PathStats {
+    /// Number of visits.
+    pub visits: usize,
+    /// Number of *distinct* sites.
+    pub distinct_sites: usize,
+    /// Visits to a site already seen earlier in the path (cycles —
+    /// returns, rework loops).
+    pub revisits: usize,
+    /// Longest single dwell (closed visits only).
+    pub max_dwell: SimTime,
+    /// Total journey time (0 for paths shorter than 2 visits).
+    pub journey: SimTime,
+}
+
+/// Compute [`PathStats`] for a path.
+pub fn path_stats(path: &Path) -> PathStats {
+    let mut seen: HashMap<SiteId, usize> = HashMap::new();
+    let mut revisits = 0usize;
+    let mut max_dwell = SimTime::ZERO;
+    for v in path {
+        *seen.entry(v.site).or_default() += 1;
+        if seen[&v.site] > 1 {
+            revisits += 1;
+        }
+        if let Some(d) = v.departed {
+            max_dwell = max_dwell.max(d.since(v.arrived));
+        }
+    }
+    PathStats {
+        visits: path.len(),
+        distinct_sites: seen.len(),
+        revisits,
+        max_dwell,
+        journey: journey_time(path).unwrap_or(SimTime::ZERO),
+    }
+}
+
+/// Mean dwell per site across many paths — the "time spent in storage"
+/// report for a whole product line. Open visits are excluded.
+pub fn mean_dwell_by_site(paths: &[Path]) -> HashMap<SiteId, SimTime> {
+    let mut sum: HashMap<SiteId, (u64, u64)> = HashMap::new();
+    for path in paths {
+        for d in dwell_times(path) {
+            if let Some(dur) = d.duration {
+                let e = sum.entry(d.site).or_default();
+                e.0 += dur.as_micros();
+                e.1 += 1;
+            }
+        }
+    }
+    sum.into_iter()
+        .map(|(site, (total, n))| (site, SimTime::from_micros(total / n.max(1))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Visit;
+    use simnet::time::secs;
+
+    fn visit(site: u32, arrived: u64, departed: Option<u64>) -> Visit {
+        Visit { site: SiteId(site), arrived: secs(arrived), departed: departed.map(secs) }
+    }
+
+    #[test]
+    fn dwell_of_linear_path() {
+        let p = vec![visit(0, 10, Some(40)), visit(1, 40, Some(100)), visit(2, 100, None)];
+        let d = dwell_times(&p);
+        assert_eq!(d[0].duration, Some(secs(30)));
+        assert_eq!(d[1].duration, Some(secs(60)));
+        assert_eq!(d[2].duration, None);
+        assert_eq!(journey_time(&p), Some(secs(90)));
+    }
+
+    #[test]
+    fn stats_count_revisits_and_max_dwell() {
+        let p = vec![
+            visit(0, 0, Some(10)),
+            visit(1, 10, Some(100)),
+            visit(0, 100, Some(110)),
+            visit(2, 110, None),
+        ];
+        let s = path_stats(&p);
+        assert_eq!(s.visits, 4);
+        assert_eq!(s.distinct_sites, 3);
+        assert_eq!(s.revisits, 1);
+        assert_eq!(s.max_dwell, secs(90));
+        assert_eq!(s.journey, secs(110));
+    }
+
+    #[test]
+    fn degenerate_paths() {
+        assert_eq!(journey_time(&vec![]), None);
+        assert_eq!(journey_time(&vec![visit(0, 5, None)]), None);
+        assert_eq!(path_stats(&vec![]), PathStats::default());
+        assert!(dwell_times(&vec![]).is_empty());
+    }
+
+    #[test]
+    fn mean_dwell_aggregates_across_paths() {
+        let p1 = vec![visit(0, 0, Some(10)), visit(1, 10, None)];
+        let p2 = vec![visit(0, 0, Some(30)), visit(1, 30, None)];
+        let m = mean_dwell_by_site(&[p1, p2]);
+        assert_eq!(m[&SiteId(0)], secs(20));
+        assert!(!m.contains_key(&SiteId(1)), "open visits excluded");
+    }
+}

@@ -1,0 +1,306 @@
+//! Containment: items packed into SSCC-tagged containers.
+//!
+//! Real traceable networks tag at multiple levels — items (SGTIN) ride
+//! in pallets (SSCC) which ride in trucks — and dock-door receptors
+//! often read only the *outermost* tag. The temporal RFID model the
+//! baseline implements (\[31\]) dedicates a CONTAINMENT table to exactly
+//! this. [`ContainmentLog`] is that table: a time-versioned parent
+//! relation, plus the resolution logic that turns "the pallet was seen
+//! at the DC" into "so the item was too".
+//!
+//! Containment data is organization-local (packing stations know what
+//! they packed), so the log lives beside a site's repository and is
+//! *combined* with any [`Locate`]/[`Trace`] backend via
+//! [`resolve_locate`]/[`resolve_trace`] — tracking stays P2P, packing
+//! knowledge stays local.
+
+use crate::model::{Locate, ObjectId, Path, SiteId, Trace};
+use simnet::SimTime;
+use std::collections::HashMap;
+
+/// Time-versioned containment relation.
+#[derive(Clone, Debug, Default)]
+pub struct ContainmentLog {
+    /// Per object: `(time, parent)` changes, time-ordered; `None` parent
+    /// = unpacked.
+    parents: HashMap<ObjectId, Vec<(SimTime, Option<ObjectId>)>>,
+}
+
+/// Maximum containment nesting (item → case → pallet → truck → …).
+/// Resolution fails loudly past this depth — deeper chains indicate a
+/// containment cycle, which is physically impossible.
+pub const MAX_NESTING: usize = 16;
+
+impl ContainmentLog {
+    /// Empty log.
+    pub fn new() -> ContainmentLog {
+        ContainmentLog::default()
+    }
+
+    /// Record that `object` was packed into `container` at `time`.
+    ///
+    /// # Panics
+    /// If `time` precedes the object's latest containment change, or if
+    /// the pack would create a containment cycle at `time`.
+    pub fn pack(&mut self, object: ObjectId, container: ObjectId, time: SimTime) {
+        assert_ne!(object, container, "an object cannot contain itself");
+        // Cycle check: walking up from `container` must not reach
+        // `object`.
+        let mut cur = Some(container);
+        let mut depth = 0;
+        while let Some(c) = cur {
+            assert_ne!(c, object, "containment cycle: {object:?} would contain itself");
+            depth += 1;
+            assert!(depth <= MAX_NESTING, "containment nesting exceeds {MAX_NESTING}");
+            cur = self.container_of(c, time);
+        }
+        self.push(object, time, Some(container));
+    }
+
+    /// Record that `object` was unpacked at `time`.
+    pub fn unpack(&mut self, object: ObjectId, time: SimTime) {
+        self.push(object, time, None);
+    }
+
+    fn push(&mut self, object: ObjectId, time: SimTime, parent: Option<ObjectId>) {
+        let v = self.parents.entry(object).or_default();
+        if let Some(&(last, _)) = v.last() {
+            assert!(time >= last, "out-of-order containment change for {object:?}");
+        }
+        v.push((time, parent));
+    }
+
+    /// The object's direct container at `t`, if packed.
+    pub fn container_of(&self, object: ObjectId, t: SimTime) -> Option<ObjectId> {
+        let v = self.parents.get(&object)?;
+        let idx = v.partition_point(|&(at, _)| at <= t);
+        if idx == 0 {
+            None
+        } else {
+            v[idx - 1].1
+        }
+    }
+
+    /// The outermost carrier of `object` at `t` (the object itself when
+    /// unpacked). This is the tag a dock-door receptor actually reads.
+    pub fn outermost(&self, object: ObjectId, t: SimTime) -> ObjectId {
+        let mut cur = object;
+        for _ in 0..MAX_NESTING {
+            match self.container_of(cur, t) {
+                Some(parent) => cur = parent,
+                None => return cur,
+            }
+        }
+        cur
+    }
+
+    /// Everything directly packed in `container` at `t`.
+    pub fn contents(&self, container: ObjectId, t: SimTime) -> Vec<ObjectId> {
+        let mut out: Vec<ObjectId> = self
+            .parents
+            .iter()
+            .filter(|(_, v)| {
+                let idx = v.partition_point(|&(at, _)| at <= t);
+                idx > 0 && v[idx - 1].1 == Some(container)
+            })
+            .map(|(o, _)| *o)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The containment intervals of `object`: `(from, to, parent)` with
+    /// `to = None` for the open tail.
+    pub fn history(&self, object: ObjectId) -> Vec<(SimTime, Option<SimTime>, Option<ObjectId>)> {
+        let Some(v) = self.parents.get(&object) else {
+            return Vec::new();
+        };
+        v.iter()
+            .enumerate()
+            .map(|(i, &(t, p))| (t, v.get(i + 1).map(|&(t2, _)| t2), p))
+            .collect()
+    }
+}
+
+/// `L(o, t)` through containment: locate the outermost carrier at `t`
+/// with the given backend. Receptors that only read pallet tags still
+/// position every item inside.
+pub fn resolve_locate<B: Locate>(
+    log: &ContainmentLog,
+    backend: &B,
+    object: ObjectId,
+    t: SimTime,
+) -> Option<SiteId> {
+    let carrier = log.outermost(object, t);
+    backend.locate(carrier, t).or_else(|| {
+        // The carrier may itself be untracked (e.g. packed before any
+        // capture); fall back to the object's own sightings.
+        if carrier != object {
+            backend.locate(object, t)
+        } else {
+            None
+        }
+    })
+}
+
+/// `TR(o, t0, t1)` through containment: stitch together the carrier's
+/// trace for each containment interval overlapping the window, plus the
+/// object's own sightings while unpacked.
+pub fn resolve_trace<B: Trace>(
+    log: &ContainmentLog,
+    backend: &B,
+    object: ObjectId,
+    t0: SimTime,
+    t1: SimTime,
+) -> Path {
+    let mut segments: Vec<(SimTime, SimTime, ObjectId)> = Vec::new();
+    let history = log.history(object);
+    if history.is_empty() {
+        return backend.trace(object, t0, t1);
+    }
+    // Before the first containment change the object travels as itself.
+    let first_change = history.first().map(|&(t, _, _)| t).unwrap_or(t1);
+    if t0 < first_change {
+        segments.push((t0, first_change, object));
+    }
+    for (from, to, parent) in history {
+        let seg_end = to.unwrap_or(SimTime::INFINITY).min(t1);
+        let seg_start = from.max(t0);
+        if seg_start >= seg_end && !(seg_start == seg_end && seg_start == t1) {
+            continue;
+        }
+        // While packed, follow the carrier chain at the segment start.
+        let carrier = match parent {
+            Some(_) => log.outermost(object, seg_start),
+            None => object,
+        };
+        segments.push((seg_start, seg_end, carrier));
+    }
+
+    let mut path = Path::new();
+    for (i, (s, e, carrier)) in segments.into_iter().enumerate() {
+        for v in backend.trace(carrier, s, e) {
+            // A visit that began *before* this segment reflects the
+            // carrier's (or the object's own, stale) position prior to
+            // the pack/unpack boundary — physically the object inherits
+            // its position from the previous segment instead, so such
+            // visits are only meaningful for the very first segment.
+            if i > 0 && v.arrived < s {
+                continue;
+            }
+            // Avoid duplicating a visit already appended from the
+            // previous segment (boundary overlap).
+            if path.last() != Some(&v) {
+                path.push(v);
+            }
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::MovementLog;
+    use ids::Id;
+    use simnet::time::secs;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(Id::hash(&n.to_be_bytes()))
+    }
+
+    #[test]
+    fn container_of_is_time_versioned() {
+        let mut log = ContainmentLog::new();
+        let (item, pallet) = (obj(1), obj(100));
+        log.pack(item, pallet, secs(10));
+        log.unpack(item, secs(50));
+        assert_eq!(log.container_of(item, secs(5)), None);
+        assert_eq!(log.container_of(item, secs(10)), Some(pallet));
+        assert_eq!(log.container_of(item, secs(49)), Some(pallet));
+        assert_eq!(log.container_of(item, secs(50)), None);
+    }
+
+    #[test]
+    fn outermost_follows_nesting() {
+        let mut log = ContainmentLog::new();
+        let (item, case, pallet) = (obj(1), obj(2), obj(3));
+        log.pack(item, case, secs(1));
+        log.pack(case, pallet, secs(2));
+        assert_eq!(log.outermost(item, secs(1)), case);
+        assert_eq!(log.outermost(item, secs(2)), pallet);
+        assert_eq!(log.outermost(pallet, secs(2)), pallet);
+    }
+
+    #[test]
+    fn contents_lists_current_members() {
+        let mut log = ContainmentLog::new();
+        let pallet = obj(100);
+        log.pack(obj(1), pallet, secs(1));
+        log.pack(obj(2), pallet, secs(1));
+        log.unpack(obj(1), secs(10));
+        assert_eq!(log.contents(pallet, secs(5)).len(), 2);
+        assert_eq!(log.contents(pallet, secs(10)), vec![obj(2)].into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycles_rejected() {
+        let mut log = ContainmentLog::new();
+        log.pack(obj(1), obj(2), secs(1));
+        log.pack(obj(2), obj(1), secs(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_containment_rejected() {
+        let mut log = ContainmentLog::new();
+        log.pack(obj(1), obj(1), secs(1));
+    }
+
+    #[test]
+    fn resolve_locate_via_pallet() {
+        // Only the pallet is ever captured; the item inside is located
+        // through it.
+        let mut containment = ContainmentLog::new();
+        let mut movement = MovementLog::new();
+        let (item, pallet) = (obj(1), obj(100));
+        containment.pack(item, pallet, secs(0));
+        movement.record(pallet, SiteId(3), secs(10));
+        movement.record(pallet, SiteId(7), secs(100));
+
+        assert_eq!(resolve_locate(&containment, &movement, item, secs(50)), Some(SiteId(3)));
+        assert_eq!(resolve_locate(&containment, &movement, item, secs(100)), Some(SiteId(7)));
+        assert_eq!(resolve_locate(&containment, &movement, item, secs(1)), None);
+    }
+
+    #[test]
+    fn resolve_trace_stitches_packed_and_loose_segments() {
+        let mut containment = ContainmentLog::new();
+        let mut movement = MovementLog::new();
+        let (item, pallet) = (obj(1), obj(100));
+
+        // Item seen loose at site 0, packed at t=20, pallet moves to
+        // sites 1 and 2, item unpacked at t=200 and later seen at 4.
+        movement.record(item, SiteId(0), secs(5));
+        containment.pack(item, pallet, secs(20));
+        movement.record(pallet, SiteId(1), secs(30));
+        movement.record(pallet, SiteId(2), secs(90));
+        containment.unpack(item, secs(200));
+        movement.record(item, SiteId(4), secs(300));
+
+        let p = resolve_trace(&containment, &movement, item, SimTime::ZERO, SimTime::INFINITY);
+        let sites: Vec<SiteId> = p.iter().map(|v| v.site).collect();
+        assert_eq!(sites, vec![SiteId(0), SiteId(1), SiteId(2), SiteId(4)]);
+    }
+
+    #[test]
+    fn resolve_trace_without_containment_is_plain_trace() {
+        let containment = ContainmentLog::new();
+        let mut movement = MovementLog::new();
+        movement.record(obj(1), SiteId(0), secs(1));
+        movement.record(obj(1), SiteId(2), secs(2));
+        let p = resolve_trace(&containment, &movement, obj(1), SimTime::ZERO, SimTime::INFINITY);
+        assert_eq!(p.len(), 2);
+    }
+}

@@ -1,0 +1,491 @@
+//! Binary wire codec for [`Msg`].
+//!
+//! The simulator never needs real serialization — state moves through
+//! the event queue as Rust values — but the volume metric (§V-A, "total
+//! volume of messages transferred over the network") must reflect real
+//! message sizes. This codec grounds that definition: [`encode`]
+//! produces the canonical on-wire form, and tests pin the exact
+//! relationship `encode(msg).len() == msg.wire_size() + 4·(vector
+//! fields)` (the accounting model carries vector lengths in the header's
+//! reserved bytes; the standalone codec spends an explicit `u32`), so
+//! the byte counts behind the figures can never silently drift from a
+//! sendable encoding.
+//!
+//! Layout: a 16-byte header (tag, version, 6 reserved bytes, 8-byte
+//! sequence number) followed by fixed-width fields; vectors are
+//! length-prefixed with `u32`. `Option<Link>` is fixed-width (presence
+//! byte + 12 bytes, zeroed when absent) so record sizes are predictable.
+
+use crate::messages::Msg;
+use crate::store::{IndexEntry, Link};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ids::Prefix;
+use moods::{ObjectId, SiteId};
+use simnet::SimTime;
+
+/// Codec protocol version.
+pub const VERSION: u8 = 1;
+
+/// Decoding failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input shorter than its structure requires.
+    Truncated,
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Malformed prefix field.
+    BadPrefix(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "message truncated"),
+            DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
+            DecodeError::BadPrefix(e) => write!(f, "bad prefix: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const TAG_ARRIVAL: u8 = 1;
+const TAG_GROUP_INDEX: u8 = 2;
+const TAG_SET_TO: u8 = 3;
+const TAG_SET_FROM: u8 = 4;
+const TAG_DELEGATE: u8 = 5;
+const TAG_MIGRATE: u8 = 6;
+
+fn put_header(buf: &mut BytesMut, tag: u8, seq: u64) {
+    buf.put_u8(tag);
+    buf.put_u8(VERSION);
+    buf.put_bytes(0, 6); // reserved
+    buf.put_u64(seq);
+}
+
+fn put_object(buf: &mut BytesMut, o: &ObjectId) {
+    buf.put_slice(&o.0 .0);
+}
+
+fn put_time(buf: &mut BytesMut, t: SimTime) {
+    buf.put_u64(t.as_micros());
+}
+
+fn put_site(buf: &mut BytesMut, s: SiteId) {
+    buf.put_u32(s.0);
+}
+
+fn put_link(buf: &mut BytesMut, l: &Link) {
+    put_site(buf, l.site);
+    put_time(buf, l.time);
+}
+
+fn put_opt_link(buf: &mut BytesMut, l: &Option<Link>) {
+    match l {
+        Some(l) => {
+            buf.put_u8(1);
+            put_link(buf, l);
+        }
+        None => {
+            buf.put_u8(0);
+            buf.put_bytes(0, 12);
+        }
+    }
+}
+
+fn put_entry(buf: &mut BytesMut, e: &IndexEntry) {
+    put_site(buf, e.site);
+    put_time(buf, e.time);
+    put_opt_link(buf, &e.prev);
+}
+
+fn put_prefix(buf: &mut BytesMut, p: &Prefix) {
+    buf.put_slice(&p.wire_bytes());
+}
+
+fn put_opt_prefix(buf: &mut BytesMut, p: &Option<Prefix>) {
+    // Absence encoded as an over-long sentinel length (0xFF).
+    match p {
+        Some(p) => put_prefix(buf, p),
+        None => {
+            buf.put_u8(0xFF);
+            buf.put_bytes(0, 8);
+        }
+    }
+}
+
+/// Encode a message with the given header sequence number.
+pub fn encode(msg: &Msg, seq: u64) -> Bytes {
+    let mut buf = BytesMut::with_capacity(msg.wire_size() + 8);
+    match msg {
+        Msg::Arrival { object, site, time } => {
+            put_header(&mut buf, TAG_ARRIVAL, seq);
+            put_object(&mut buf, object);
+            put_site(&mut buf, *site);
+            put_time(&mut buf, *time);
+        }
+        Msg::GroupIndex { prefix, site, members } => {
+            put_header(&mut buf, TAG_GROUP_INDEX, seq);
+            put_prefix(&mut buf, prefix);
+            put_site(&mut buf, *site);
+            buf.put_u32(members.len() as u32);
+            for (o, t) in members {
+                put_object(&mut buf, o);
+                put_time(&mut buf, *t);
+            }
+        }
+        Msg::SetTo { updates } => {
+            put_header(&mut buf, TAG_SET_TO, seq);
+            buf.put_u32(updates.len() as u32);
+            for (o, arrived, link) in updates {
+                put_object(&mut buf, o);
+                put_time(&mut buf, *arrived);
+                put_link(&mut buf, link);
+            }
+        }
+        Msg::SetFrom { updates } => {
+            put_header(&mut buf, TAG_SET_FROM, seq);
+            buf.put_u32(updates.len() as u32);
+            for (o, arrived, from) in updates {
+                put_object(&mut buf, o);
+                put_time(&mut buf, *arrived);
+                put_opt_link(&mut buf, from);
+            }
+        }
+        Msg::Delegate { prefix, entries } => {
+            put_header(&mut buf, TAG_DELEGATE, seq);
+            put_prefix(&mut buf, prefix);
+            buf.put_u32(entries.len() as u32);
+            for (o, e) in entries {
+                put_object(&mut buf, o);
+                put_entry(&mut buf, e);
+            }
+        }
+        Msg::Migrate { prefix, entries } => {
+            put_header(&mut buf, TAG_MIGRATE, seq);
+            put_opt_prefix(&mut buf, prefix);
+            buf.put_u32(entries.len() as u32);
+            for (o, e) in entries {
+                put_object(&mut buf, o);
+                put_entry(&mut buf, e);
+            }
+        }
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn get_object(buf: &mut impl Buf) -> Result<ObjectId, DecodeError> {
+    need(buf, 20)?;
+    let mut raw = [0u8; 20];
+    buf.copy_to_slice(&mut raw);
+    Ok(ObjectId(ids::Id(raw)))
+}
+
+fn get_time(buf: &mut impl Buf) -> Result<SimTime, DecodeError> {
+    need(buf, 8)?;
+    Ok(SimTime::from_micros(buf.get_u64()))
+}
+
+fn get_site(buf: &mut impl Buf) -> Result<SiteId, DecodeError> {
+    need(buf, 4)?;
+    Ok(SiteId(buf.get_u32()))
+}
+
+fn get_link(buf: &mut impl Buf) -> Result<Link, DecodeError> {
+    Ok(Link { site: get_site(buf)?, time: get_time(buf)? })
+}
+
+fn get_opt_link(buf: &mut impl Buf) -> Result<Option<Link>, DecodeError> {
+    need(buf, 13)?;
+    let present = buf.get_u8() == 1;
+    let link = get_link(buf)?;
+    Ok(present.then_some(link))
+}
+
+fn get_entry(buf: &mut impl Buf) -> Result<IndexEntry, DecodeError> {
+    Ok(IndexEntry { site: get_site(buf)?, time: get_time(buf)?, prev: get_opt_link(buf)? })
+}
+
+fn get_prefix(buf: &mut impl Buf) -> Result<Prefix, DecodeError> {
+    need(buf, 9)?;
+    let mut raw = [0u8; 9];
+    buf.copy_to_slice(&mut raw);
+    Prefix::from_wire_bytes(&raw).map_err(DecodeError::BadPrefix)
+}
+
+fn get_opt_prefix(buf: &mut impl Buf) -> Result<Option<Prefix>, DecodeError> {
+    need(buf, 9)?;
+    let mut raw = [0u8; 9];
+    buf.copy_to_slice(&mut raw);
+    if raw[0] == 0xFF {
+        return Ok(None);
+    }
+    Prefix::from_wire_bytes(&raw).map(Some).map_err(DecodeError::BadPrefix)
+}
+
+fn get_len(buf: &mut impl Buf) -> Result<usize, DecodeError> {
+    need(buf, 4)?;
+    Ok(buf.get_u32() as usize)
+}
+
+/// Decode a message; returns the message and the header sequence number.
+pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
+    need(&raw, 16)?;
+    let tag = raw.get_u8();
+    let version = raw.get_u8();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    raw.advance(6);
+    let seq = raw.get_u64();
+
+    let msg = match tag {
+        TAG_ARRIVAL => Msg::Arrival {
+            object: get_object(&mut raw)?,
+            site: get_site(&mut raw)?,
+            time: get_time(&mut raw)?,
+        },
+        TAG_GROUP_INDEX => {
+            let prefix = get_prefix(&mut raw)?;
+            let site = get_site(&mut raw)?;
+            let n = get_len(&mut raw)?;
+            let mut members = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                members.push((get_object(&mut raw)?, get_time(&mut raw)?));
+            }
+            Msg::GroupIndex { prefix, site, members }
+        }
+        TAG_SET_TO => {
+            let n = get_len(&mut raw)?;
+            let mut updates = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                updates.push((get_object(&mut raw)?, get_time(&mut raw)?, get_link(&mut raw)?));
+            }
+            Msg::SetTo { updates }
+        }
+        TAG_SET_FROM => {
+            let n = get_len(&mut raw)?;
+            let mut updates = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                updates.push((
+                    get_object(&mut raw)?,
+                    get_time(&mut raw)?,
+                    get_opt_link(&mut raw)?,
+                ));
+            }
+            Msg::SetFrom { updates }
+        }
+        TAG_DELEGATE => {
+            let prefix = get_prefix(&mut raw)?;
+            let n = get_len(&mut raw)?;
+            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                entries.push((get_object(&mut raw)?, get_entry(&mut raw)?));
+            }
+            Msg::Delegate { prefix, entries }
+        }
+        TAG_MIGRATE => {
+            let prefix = get_opt_prefix(&mut raw)?;
+            let n = get_len(&mut raw)?;
+            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                entries.push((get_object(&mut raw)?, get_entry(&mut raw)?));
+            }
+            Msg::Migrate { prefix, entries }
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    Ok((msg, seq))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId::from_raw(&n.to_be_bytes())
+    }
+
+    fn link(n: u32, t: u64) -> Link {
+        Link { site: SiteId(n), time: SimTime::from_micros(t) }
+    }
+
+    fn entry(n: u32, t: u64, prev: Option<Link>) -> IndexEntry {
+        IndexEntry { site: SiteId(n), time: SimTime::from_micros(t), prev }
+    }
+
+    fn samples() -> Vec<Msg> {
+        vec![
+            Msg::Arrival { object: obj(1), site: SiteId(3), time: SimTime::from_micros(99) },
+            Msg::GroupIndex {
+                prefix: Prefix::from_bit_str("0101"),
+                site: SiteId(2),
+                members: (0..5).map(|i| (obj(i), SimTime::from_micros(i))).collect(),
+            },
+            Msg::GroupIndex {
+                prefix: Prefix::ROOT,
+                site: SiteId(0),
+                members: vec![],
+            },
+            Msg::SetTo { updates: vec![(obj(1), SimTime::from_micros(5), link(2, 9))] },
+            Msg::SetFrom {
+                updates: vec![
+                    (obj(1), SimTime::from_micros(5), Some(link(2, 9))),
+                    (obj(2), SimTime::from_micros(6), None),
+                ],
+            },
+            Msg::Delegate {
+                prefix: Prefix::from_bit_str("111"),
+                entries: vec![(obj(3), entry(1, 2, Some(link(0, 1))))],
+            },
+            Msg::Migrate { prefix: None, entries: vec![(obj(4), entry(5, 6, None))] },
+            Msg::Migrate {
+                prefix: Some(Prefix::from_bit_str("00")),
+                entries: vec![],
+            },
+        ]
+    }
+
+    fn assert_msg_eq(a: &Msg, b: &Msg) {
+        // Msg doesn't derive PartialEq (payloads are large); compare via
+        // canonical encoding.
+        assert_eq!(encode(a, 0), encode(b, 0));
+    }
+
+    #[test]
+    fn roundtrip_all_shapes() {
+        for (i, m) in samples().iter().enumerate() {
+            let raw = encode(m, i as u64);
+            let (back, seq) = decode(raw).unwrap_or_else(|e| panic!("sample {i}: {e}"));
+            assert_eq!(seq, i as u64);
+            assert_msg_eq(m, &back);
+        }
+    }
+
+    #[test]
+    fn wire_size_matters_but_codec_adds_length_prefixes() {
+        // wire_size models a codec whose vector lengths ride in the
+        // reserved header bytes; the standalone codec spends an explicit
+        // u32 per vector. Assert the exact relationship so the two can
+        // never drift silently.
+        for m in samples() {
+            let encoded = encode(&m, 0).len();
+            let vectors = match &m {
+                Msg::Arrival { .. } => 0,
+                Msg::GroupIndex { .. }
+                | Msg::SetTo { .. }
+                | Msg::SetFrom { .. }
+                | Msg::Delegate { .. }
+                | Msg::Migrate { .. } => 1,
+            };
+            assert_eq!(
+                encoded,
+                m.wire_size() + 4 * vectors,
+                "drift between codec and wire_size for {m:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(matches!(decode(Bytes::from_static(b"")), Err(DecodeError::Truncated)));
+        let mut raw = BytesMut::new();
+        put_header(&mut raw, 99, 0);
+        assert!(matches!(decode(raw.freeze()), Err(DecodeError::BadTag(99))));
+        let mut raw = BytesMut::new();
+        raw.put_u8(TAG_ARRIVAL);
+        raw.put_u8(VERSION + 1);
+        raw.put_bytes(0, 14);
+        assert!(matches!(decode(raw.freeze()), Err(DecodeError::BadVersion(v)) if v == VERSION + 1));
+    }
+
+    #[test]
+    fn decode_rejects_truncated_body() {
+        let m = Msg::SetTo { updates: vec![(obj(1), SimTime::from_micros(5), link(2, 9))] };
+        let full = encode(&m, 0);
+        for cut in [17, 20, full.len() - 1] {
+            let sliced = full.slice(..cut);
+            assert!(matches!(decode(sliced), Err(DecodeError::Truncated)), "cut at {cut}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_group_index_roundtrip(
+            seeds in prop::collection::vec((any::<u64>(), any::<u64>()), 0..64),
+            bits in "[01]{0,20}",
+            site in any::<u32>(),
+            seq in any::<u64>(),
+        ) {
+            let m = Msg::GroupIndex {
+                prefix: Prefix::from_bit_str(&bits),
+                site: SiteId(site),
+                members: seeds
+                    .iter()
+                    .map(|(s, t)| (obj(*s), SimTime::from_micros(*t)))
+                    .collect(),
+            };
+            let (back, got_seq) = decode(encode(&m, seq)).unwrap();
+            prop_assert_eq!(got_seq, seq);
+            prop_assert_eq!(encode(&back, seq), encode(&m, seq));
+        }
+
+        #[test]
+        fn prop_decode_arbitrary_bytes_never_panics(
+            raw in prop::collection::vec(any::<u8>(), 0..512),
+        ) {
+            // Hostile input must produce an error, never a panic or an
+            // unbounded allocation.
+            let _ = decode(Bytes::from(raw));
+        }
+
+        #[test]
+        fn prop_truncations_never_panic(
+            seeds in prop::collection::vec((any::<u64>(), any::<u64>()), 1..16),
+        ) {
+            let m = Msg::GroupIndex {
+                prefix: Prefix::from_bit_str("01"),
+                site: SiteId(1),
+                members: seeds
+                    .iter()
+                    .map(|(s, t)| (obj(*s), SimTime::from_micros(*t)))
+                    .collect(),
+            };
+            let full = encode(&m, 1);
+            for cut in 0..full.len() {
+                let _ = decode(full.slice(..cut));
+            }
+        }
+
+        #[test]
+        fn prop_migrate_roundtrip(
+            entries in prop::collection::vec(
+                (any::<u64>(), any::<u32>(), any::<u64>(), any::<bool>()), 0..32),
+            has_prefix in any::<bool>(),
+        ) {
+            let m = Msg::Migrate {
+                prefix: has_prefix.then(|| Prefix::from_bit_str("0110")),
+                entries: entries
+                    .iter()
+                    .map(|(o, s, t, p)| {
+                        (obj(*o), entry(*s, *t, p.then(|| link(1, 2))))
+                    })
+                    .collect(),
+            };
+            let (back, _) = decode(encode(&m, 7)).unwrap();
+            prop_assert_eq!(encode(&back, 7), encode(&m, 7));
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Configuration: indexing mode and the §IV parameters.
+
+use crate::prefix::PrefixScheme;
+use simnet::SimTime;
+
+/// How the runtime obtains `Nn` when (re)computing `Lp` (§IV-A.1:
+/// "there is no precise way to calculate this value. However, there are
+/// some algorithms available to estimate the value of Nn \[14\]").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SizeEstimation {
+    /// Use the true membership count (an idealization available to the
+    /// simulator; matches the paper's experiments, which configure `Lp`
+    /// from the known network size).
+    Exact,
+    /// Run Jelasity–Montresor push-pull averaging over the live members
+    /// for the given number of rounds and use the median estimate. The
+    /// gossip traffic is charged to the metrics under
+    /// [`simnet::MsgClass::Gossip`].
+    Gossip {
+        /// Averaging rounds per estimation epoch.
+        rounds: u32,
+    },
+}
+
+/// Parameters of the group indexing algorithm (§IV-A). Field names follow
+/// the paper's symbol table (Fig. 3).
+#[derive(Clone, Copy, Debug)]
+pub struct GroupConfig {
+    /// How `Lp` is derived from the network size (§V-C's Schemes 1–3).
+    pub scheme: PrefixScheme,
+    /// `Lmin` — lower bound on `Lp` so bootstrap-era networks do not
+    /// degenerate to near-individual indexing (§IV-A.1).
+    pub l_min: usize,
+    /// `Tmax` — maximum width of a capture window; guarantees timely
+    /// indexing when volume is low (§IV-A.1).
+    pub t_max: SimTime,
+    /// `Nmax` — maximum number of objects per window; bounds the size of
+    /// one indexing message (§IV-A.1).
+    pub n_max: usize,
+    /// `α` — fraction of a gateway's earliest records delegated to the
+    /// two triangle children when delegation triggers (Fig. 5,
+    /// `update_index`). `0 < α ≤ 1`.
+    pub alpha: f64,
+    /// Delegation triggers when a prefix's local record count exceeds
+    /// this ("whether the local storage for this prefix exceeds a certain
+    /// amount"). `None` disables Data-Triangle delegation.
+    pub delegate_threshold: Option<usize>,
+    /// Apply the splitting-merging process eagerly when `Lp` changes
+    /// (§IV-A.2). When `false`, inconsistencies are repaired lazily by
+    /// `refresh_from_ascent`/`_descent` at the next indexing cycle.
+    pub eager_split_merge: bool,
+    /// How `Nn` is obtained when recomputing `Lp`.
+    pub size_estimation: SizeEstimation,
+    /// Cache gateway addresses per prefix (§IV-A.2: "The address of the
+    /// parent and children can be cached to save the cost of DHT
+    /// lookup"): after first contact, indexing messages to a known
+    /// prefix gateway go direct (1 hop) instead of routing through the
+    /// DHT. Caches are invalidated on any membership or `Lp` change.
+    pub cache_gateway_addresses: bool,
+}
+
+impl Default for GroupConfig {
+    fn default() -> Self {
+        GroupConfig {
+            scheme: PrefixScheme::Scheme2,
+            l_min: 3,
+            t_max: SimTime::from_millis(500),
+            n_max: 1024,
+            alpha: 0.5,
+            delegate_threshold: Some(4096),
+            eager_split_merge: true,
+            size_estimation: SizeEstimation::Exact,
+            cache_gateway_addresses: false,
+        }
+    }
+}
+
+impl GroupConfig {
+    /// Validate parameter ranges; called by the network builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.alpha > 0.0 && self.alpha <= 1.0) {
+            return Err(format!("alpha must be in (0, 1], got {}", self.alpha));
+        }
+        if self.n_max == 0 {
+            return Err("n_max must be positive".into());
+        }
+        if self.t_max == SimTime::ZERO {
+            return Err("t_max must be positive".into());
+        }
+        if self.l_min > ids::prefix::MAX_PREFIX_BITS {
+            return Err(format!("l_min {} exceeds max prefix length", self.l_min));
+        }
+        Ok(())
+    }
+}
+
+/// Which of the paper's two indexing algorithms a network runs.
+#[derive(Clone, Copy, Debug)]
+pub enum IndexingMode {
+    /// §III: one index message plus two IOP updates per arrival.
+    Individual,
+    /// §IV: windowed, prefix-grouped indexing with Data Triangles.
+    Group(GroupConfig),
+}
+
+impl IndexingMode {
+    /// Shorthand for the default group configuration.
+    pub fn group_default() -> IndexingMode {
+        IndexingMode::Group(GroupConfig::default())
+    }
+
+    /// Is this the group mode?
+    pub fn is_group(&self) -> bool {
+        matches!(self, IndexingMode::Group(_))
+    }
+}
+
+/// Full network configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Indexing algorithm.
+    pub mode: IndexingMode,
+    /// RNG seed for the run (node ids, latency jitter, workload draws).
+    pub seed: u64,
+    /// Charge one extra `Lookup` message per ascent/descent *existence
+    /// check* during refresh, instead of assuming nodes track which
+    /// prefix lengths are populated from the `Lp` reconfiguration
+    /// broadcasts. Off by default (the paper's cost analysis §IV-C
+    /// charges only the actual fetches).
+    pub count_existence_checks: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            mode: IndexingMode::group_default(),
+            seed: 0x9E3779B9,
+            count_existence_checks: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_group_config_is_valid() {
+        GroupConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn alpha_bounds_enforced() {
+        let with_alpha = |alpha| GroupConfig { alpha, ..GroupConfig::default() };
+        assert!(with_alpha(0.0).validate().is_err());
+        assert!(with_alpha(1.0).validate().is_ok());
+        assert!(with_alpha(1.5).validate().is_err());
+    }
+
+    #[test]
+    fn zero_window_rejected() {
+        let c = GroupConfig { n_max: 0, ..GroupConfig::default() };
+        assert!(c.validate().is_err());
+        let c = GroupConfig { t_max: SimTime::ZERO, ..GroupConfig::default() };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn mode_predicates() {
+        assert!(IndexingMode::group_default().is_group());
+        assert!(!IndexingMode::Individual.is_group());
+    }
+}

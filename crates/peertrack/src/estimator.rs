@@ -1,0 +1,169 @@
+//! Epidemic network-size estimation (§IV-A.1, reference \[14\]).
+//!
+//! `Lp` depends on `Nn`, but "as new nodes join and existing nodes leave,
+//! `Nn` is dynamic ... there are some algorithms available to estimate
+//! the value of `Nn`. Interested readers are referred to \[14\]" — Jelasity
+//! & Montresor's push-pull epidemic averaging (ICDCS'04).
+//!
+//! The COUNT protocol: one initiator starts with value 1, everyone else
+//! with 0. Each round, every node exchanges values with one uniformly
+//! random peer and both adopt the average. The sum is invariant, so every
+//! value converges (exponentially fast) to `1/Nn`; each node estimates
+//! `Nn = 1/value`. Variance halves roughly every round (the paper's \[14\]
+//! proves the convergence factor `1/(2·sqrt(e))` per round).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Outcome of an estimation epoch.
+#[derive(Clone, Debug)]
+pub struct Estimate {
+    /// Per-node size estimates (`1/value`), indexed like the input.
+    pub per_node: Vec<f64>,
+    /// Gossip messages exchanged (2 per pairwise push-pull).
+    pub messages: u64,
+    /// Rounds executed.
+    pub rounds: u32,
+}
+
+impl Estimate {
+    /// The median node estimate — robust against stragglers.
+    pub fn median(&self) -> f64 {
+        let mut v = self.per_node.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("estimates are finite"));
+        let n = v.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            v[n / 2]
+        } else {
+            (v[n / 2 - 1] + v[n / 2]) / 2.0
+        }
+    }
+
+    /// Largest relative error across nodes vs. the true size.
+    pub fn max_relative_error(&self, truth: usize) -> f64 {
+        let t = truth as f64;
+        self.per_node
+            .iter()
+            .map(|e| ((e - t) / t).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Run `rounds` of push-pull averaging over `n` nodes and return the
+/// per-node estimates of `n`.
+///
+/// Node 0 is the initiator (value 1). The peer choice is uniform over
+/// the other nodes, drawn from `rng` — deterministic per seed.
+///
+/// # Panics
+/// If `n == 0`.
+pub fn estimate_count<R: Rng + ?Sized>(n: usize, rounds: u32, rng: &mut R) -> Estimate {
+    assert!(n > 0, "cannot estimate an empty network");
+    let mut values = vec![0.0f64; n];
+    values[0] = 1.0;
+    let mut messages = 0u64;
+
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..rounds {
+        // Random activation order each round, as in the epidemic model.
+        order.shuffle(rng);
+        for &i in &order {
+            if n == 1 {
+                break;
+            }
+            // Pick a uniform peer other than i.
+            let mut j = rng.gen_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let avg = (values[i] + values[j]) / 2.0;
+            values[i] = avg;
+            values[j] = avg;
+            messages += 2; // push + pull
+        }
+    }
+
+    let per_node = values
+        .into_iter()
+        .map(|v| if v > 0.0 { 1.0 / v } else { f64::INFINITY })
+        .collect();
+    Estimate { per_node, messages, rounds }
+}
+
+/// Rounds needed for every node to be within ~10 % of the truth with
+/// high probability: `O(log n)` with a comfortable constant.
+pub fn recommended_rounds(n: usize) -> u32 {
+    let n = n.max(2) as f64;
+    (3.0 * n.log2()).ceil() as u32 + 10
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn single_node_knows_itself() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = estimate_count(1, 5, &mut rng);
+        assert_eq!(e.per_node, vec![1.0]);
+        assert_eq!(e.messages, 0);
+    }
+
+    #[test]
+    fn converges_to_true_size() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for n in [8usize, 64, 200] {
+            let e = estimate_count(n, recommended_rounds(n), &mut rng);
+            let med = e.median();
+            let rel = ((med - n as f64) / n as f64).abs();
+            assert!(rel < 0.05, "n={n}: median estimate {med} off by {rel:.3}");
+            assert!(
+                e.max_relative_error(n) < 0.25,
+                "n={n}: worst node error {:.3}",
+                e.max_relative_error(n)
+            );
+        }
+    }
+
+    #[test]
+    fn sum_invariant_implies_estimates_bracket_truth() {
+        // With value-sum conserved at 1, some nodes estimate ≥ n and some
+        // ≤ n unless fully converged; the median is always finite.
+        let mut rng = StdRng::seed_from_u64(7);
+        let e = estimate_count(32, 3, &mut rng); // deliberately few rounds
+        assert!(e.median().is_finite());
+    }
+
+    #[test]
+    fn message_cost_is_rounds_times_n() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let e = estimate_count(50, 4, &mut rng);
+        assert_eq!(e.messages, 2 * 4 * 50);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = estimate_count(40, 20, &mut StdRng::seed_from_u64(5)).per_node;
+        let b = estimate_count(40, 20, &mut StdRng::seed_from_u64(5)).per_node;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lp_from_estimate_matches_lp_from_truth() {
+        // The point of the estimator: Scheme 2's Lp computed from the
+        // estimate equals the Lp from the true size (Lp is log-scale, so
+        // small estimation error vanishes).
+        use crate::prefix::PrefixScheme;
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [64usize, 128, 512] {
+            let e = estimate_count(n, recommended_rounds(n), &mut rng);
+            let lp_est = PrefixScheme::Scheme2.lp(e.median().round() as usize);
+            let lp_true = PrefixScheme::Scheme2.lp(n);
+            assert_eq!(lp_est, lp_true, "n={n}");
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The wire protocol and its size accounting.
+//!
+//! §V-A measures indexing cost as "the total volume of messages
+//! transferred over the network", so every message knows its serialized
+//! size ([`Msg::wire_size`]): a fixed header plus per-field costs
+//! (20-byte object ids, 8-byte timestamps, 4-byte site ids — the sizes a
+//! compact binary codec would produce).
+
+use crate::store::{IndexEntry, Link};
+use ids::Prefix;
+use moods::{ObjectId, SiteId};
+use simnet::SimTime;
+
+/// Bytes of a message header (type tag, source/destination overlay ids,
+/// sequence number — comparable to OverSim's BaseOverlay header).
+pub const HEADER_BYTES: usize = 16;
+/// Bytes of one object id (SHA-1 digest).
+pub const OBJECT_ID_BYTES: usize = 20;
+/// Bytes of one timestamp.
+pub const TIME_BYTES: usize = 8;
+/// Bytes of one site address.
+pub const SITE_BYTES: usize = 4;
+/// Bytes of one IOP link (site + timestamp).
+pub const LINK_BYTES: usize = SITE_BYTES + TIME_BYTES;
+/// Bytes of one index entry (site + time + optional link).
+pub const ENTRY_BYTES: usize = SITE_BYTES + TIME_BYTES + 1 + LINK_BYTES;
+/// Bytes of a prefix descriptor (length byte + up to 8 bits bytes).
+pub const PREFIX_BYTES: usize = 9;
+
+/// Protocol messages exchanged between sites.
+#[derive(Clone, Debug)]
+pub enum Msg {
+    /// **M1** (individual mode, §III): "object arrived at `site` at
+    /// `time`", sent from the capturing node to the object's gateway.
+    Arrival {
+        /// The captured object.
+        object: ObjectId,
+        /// The capturing site.
+        site: SiteId,
+        /// Capture time.
+        time: SimTime,
+    },
+    /// Group indexing message (§IV-A.2): "the indexing message has the
+    /// format of (group id, (objects), timestamp)".
+    GroupIndex {
+        /// The group id (`Lp`-bit prefix).
+        prefix: Prefix,
+        /// The capturing site.
+        site: SiteId,
+        /// Member objects and their capture times.
+        members: Vec<(ObjectId, SimTime)>,
+    },
+    /// **M2**: gateway → previous site. "o1 arrives at n4, so n3 updates
+    /// its IOP by setting o1.to = n4". Batched per (group, source site).
+    SetTo {
+        /// `(object, arrival time at the receiving site, new to-link)`.
+        updates: Vec<(ObjectId, SimTime, Link)>,
+    },
+    /// **M3**: gateway → new site. "o1 was from n3, so n4 updates its IOP
+    /// by setting o1.from = n3". Batched per batch of captures.
+    SetFrom {
+        /// `(object, arrival time at the receiving site, from-link)`;
+        /// `None` marks the object's first appearance.
+        updates: Vec<(ObjectId, SimTime, Option<Link>)>,
+    },
+    /// Data-Triangle delegation (Fig. 5 `update_index`): parent pushes
+    /// its earliest records to a child prefix's gateway.
+    Delegate {
+        /// The child prefix receiving the records.
+        prefix: Prefix,
+        /// The delegated records.
+        entries: Vec<(ObjectId, IndexEntry)>,
+    },
+    /// Split/merge migration when `Lp` changes (§IV-A.2), or key-range
+    /// handoff on churn.
+    Migrate {
+        /// Destination prefix shard (`None` = individual-mode entries).
+        prefix: Option<Prefix>,
+        /// The migrated records.
+        entries: Vec<(ObjectId, IndexEntry)>,
+    },
+}
+
+impl Msg {
+    /// Serialized size in bytes, for the volume metric.
+    pub fn wire_size(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                Msg::Arrival { .. } => OBJECT_ID_BYTES + SITE_BYTES + TIME_BYTES,
+                Msg::GroupIndex { members, .. } => {
+                    PREFIX_BYTES + SITE_BYTES + members.len() * (OBJECT_ID_BYTES + TIME_BYTES)
+                }
+                Msg::SetTo { updates } => {
+                    updates.len() * (OBJECT_ID_BYTES + TIME_BYTES + LINK_BYTES)
+                }
+                Msg::SetFrom { updates } => {
+                    updates.len() * (OBJECT_ID_BYTES + TIME_BYTES + 1 + LINK_BYTES)
+                }
+                Msg::Delegate { entries, .. } => {
+                    PREFIX_BYTES + entries.len() * (OBJECT_ID_BYTES + ENTRY_BYTES)
+                }
+                Msg::Migrate { entries, .. } => {
+                    PREFIX_BYTES + entries.len() * (OBJECT_ID_BYTES + ENTRY_BYTES)
+                }
+            }
+    }
+
+    /// The metrics class this message is charged to.
+    pub fn class(&self) -> simnet::MsgClass {
+        match self {
+            Msg::Arrival { .. } => simnet::MsgClass::IndexReport,
+            Msg::GroupIndex { .. } => simnet::MsgClass::GroupIndex,
+            Msg::SetTo { .. } | Msg::SetFrom { .. } => simnet::MsgClass::IopUpdate,
+            Msg::Delegate { .. } => simnet::MsgClass::Delegate,
+            Msg::Migrate { .. } => simnet::MsgClass::SplitMerge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::Id;
+    use simnet::time::ms;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(Id::hash(&n.to_be_bytes()))
+    }
+
+    #[test]
+    fn arrival_size_fixed() {
+        let m = Msg::Arrival { object: obj(1), site: SiteId(0), time: ms(1) };
+        assert_eq!(m.wire_size(), 16 + 20 + 4 + 8);
+        assert_eq!(m.class(), simnet::MsgClass::IndexReport);
+    }
+
+    #[test]
+    fn group_index_scales_with_members() {
+        let members: Vec<_> = (0..10u64).map(|i| (obj(i), ms(i))).collect();
+        let m = Msg::GroupIndex {
+            prefix: Prefix::from_bit_str("0101"),
+            site: SiteId(1),
+            members,
+        };
+        assert_eq!(m.wire_size(), 16 + 9 + 4 + 10 * 28);
+        assert_eq!(m.class(), simnet::MsgClass::GroupIndex);
+    }
+
+    #[test]
+    fn one_group_message_cheaper_than_individual_reports() {
+        // The core premise of §IV: indexing k objects as one group costs
+        // less wire volume than k individual arrival messages (headers
+        // and routing amortize).
+        let k = 100u64;
+        let members: Vec<_> = (0..k).map(|i| (obj(i), ms(i))).collect();
+        let group = Msg::GroupIndex {
+            prefix: Prefix::from_bit_str("00"),
+            site: SiteId(0),
+            members,
+        }
+        .wire_size();
+        let individual: usize = (0..k)
+            .map(|i| Msg::Arrival { object: obj(i), site: SiteId(0), time: ms(i) }.wire_size())
+            .sum();
+        assert!(group < individual, "group {group} >= individual {individual}");
+    }
+
+    #[test]
+    fn iop_update_classes() {
+        let set_to = Msg::SetTo {
+            updates: vec![(obj(1), ms(1), Link { site: SiteId(2), time: ms(3) })],
+        };
+        let set_from = Msg::SetFrom { updates: vec![(obj(1), ms(3), None)] };
+        assert_eq!(set_to.class(), simnet::MsgClass::IopUpdate);
+        assert_eq!(set_from.class(), simnet::MsgClass::IopUpdate);
+        assert!(set_to.wire_size() > HEADER_BYTES);
+        assert!(set_from.wire_size() > HEADER_BYTES);
+    }
+
+    #[test]
+    fn migrate_and_delegate_classes() {
+        let e = IndexEntry { site: SiteId(0), time: ms(1), prev: None };
+        let d = Msg::Delegate { prefix: Prefix::from_bit_str("010"), entries: vec![(obj(1), e)] };
+        let g = Msg::Migrate { prefix: None, entries: vec![(obj(1), e)] };
+        assert_eq!(d.class(), simnet::MsgClass::Delegate);
+        assert_eq!(g.class(), simnet::MsgClass::SplitMerge);
+    }
+}

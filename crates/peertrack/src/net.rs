@@ -1,0 +1,400 @@
+//! [`TraceableNetwork`] — the public façade.
+//!
+//! Bundles the discrete-event engine and the protocol world, and exposes
+//! the application-level API: build a network, feed receptor captures,
+//! drain the indexing traffic, run MOODS queries with latency/message
+//! accounting, and churn nodes in and out.
+
+use crate::config::{Config, IndexingMode};
+use crate::messages::Msg;
+use crate::query::{self, QueryStats};
+use crate::world::{Anomalies, NetWorld};
+use chord::Ring;
+use ids::Id;
+use moods::{Locate, ObjectId, Path, SiteId, Trace};
+use simnet::{LatencyModel, Metrics, MsgClass, Sim, SimConfig, SimTime};
+
+/// Builder for a [`TraceableNetwork`].
+pub struct Builder {
+    sites: usize,
+    config: Config,
+    latency: Option<Box<dyn LatencyModel>>,
+}
+
+impl Builder {
+    /// Start building; configure and finish with [`Builder::build`].
+    pub fn new() -> Builder {
+        Builder { sites: 0, config: Config::default(), latency: None }
+    }
+
+    /// Number of initial sites (`Nn`). Must be at least 1.
+    pub fn sites(mut self, n: usize) -> Builder {
+        self.sites = n;
+        self
+    }
+
+    /// RNG seed (node identities, latency jitter, estimator draws).
+    pub fn seed(mut self, seed: u64) -> Builder {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Indexing algorithm (§III individual vs §IV group).
+    pub fn mode(mut self, mode: IndexingMode) -> Builder {
+        self.config.mode = mode;
+        self
+    }
+
+    /// Replace the latency model (default: the paper's 5 ms/hop).
+    pub fn latency(mut self, latency: Box<dyn LatencyModel>) -> Builder {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Charge explicit existence-check lookups during refresh (see
+    /// [`Config::count_existence_checks`]).
+    pub fn count_existence_checks(mut self, on: bool) -> Builder {
+        self.config.count_existence_checks = on;
+        self
+    }
+
+    /// Construct the network: all sites join the Chord ring, the overlay
+    /// is stabilized, `Lp` is set from the scheme, and the metrics are
+    /// zeroed so measurements start from a warm, converged system (the
+    /// paper's OverSim warm-up).
+    ///
+    /// # Panics
+    /// On invalid configuration (zero sites, bad group parameters).
+    pub fn build(self) -> TraceableNetwork {
+        assert!(self.sites > 0, "a traceable network needs at least one site");
+        if let IndexingMode::Group(g) = self.config.mode {
+            if let Err(e) = g.validate() {
+                panic!("invalid group configuration: {e}");
+            }
+        }
+        let n_max = match self.config.mode {
+            IndexingMode::Group(g) => g.n_max,
+            IndexingMode::Individual => 1024,
+        };
+
+        let mut sim_cfg = SimConfig::default().with_seed(self.config.seed);
+        if let Some(l) = self.latency {
+            sim_cfg = sim_cfg.with_latency(l);
+        }
+        let mut sim: Sim<Msg> = sim_cfg.build();
+        let mut world = NetWorld::new(self.config);
+
+        let seed = world.config.seed;
+        let mut bootstrap: Option<Id> = None;
+        for i in 0..self.sites {
+            let chord_id = Id::hash_str(&format!("site-{seed}-{i}"));
+            match bootstrap {
+                None => {
+                    world.ring.bootstrap(chord_id, i);
+                    bootstrap = Some(chord_id);
+                }
+                Some(b) => {
+                    world
+                        .ring
+                        .join(b, chord_id, i)
+                        .expect("join during bootstrap cannot fail");
+                }
+            }
+            world.push_site(chord_id, n_max);
+        }
+        world.ring.stabilize_all();
+        world.refresh_lp(&mut sim);
+        // Construction traffic is warm-up; measurements start clean.
+        sim.metrics_mut().reset();
+
+        TraceableNetwork { sim, world }
+    }
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder::new()
+    }
+}
+
+/// A running traceable network (engine + protocol state).
+pub struct TraceableNetwork {
+    sim: Sim<Msg>,
+    /// The protocol world. Public for inspection by experiments/tests;
+    /// mutate only through the façade methods.
+    pub world: NetWorld,
+}
+
+impl TraceableNetwork {
+    /// Start a builder.
+    pub fn builder() -> Builder {
+        Builder::new()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    /// Accumulated network metrics.
+    pub fn metrics(&self) -> &Metrics {
+        self.sim.metrics()
+    }
+
+    /// Zero the metrics (e.g. after a warm-up phase).
+    pub fn reset_metrics(&mut self) {
+        self.sim.metrics_mut().reset();
+    }
+
+    /// Anomaly counters (should stay zero in well-formed runs).
+    pub fn anomalies(&self) -> Anomalies {
+        self.world.anomalies
+    }
+
+    /// Number of live sites (`Nn`).
+    pub fn live_sites(&self) -> usize {
+        self.world.live_sites()
+    }
+
+    /// Current global prefix length `Lp`.
+    pub fn current_lp(&self) -> usize {
+        self.world.current_lp
+    }
+
+    /// The underlying Chord ring (read-only).
+    pub fn ring(&self) -> &Ring {
+        &self.world.ring
+    }
+
+    /// Per-live-site gateway load (indexed objects) — Fig. 8a's metric.
+    pub fn load_distribution(&self) -> Vec<u64> {
+        self.world.load_distribution()
+    }
+
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
+    /// Receptors at `site` captured `objects` now.
+    pub fn capture(&mut self, site: SiteId, objects: &[ObjectId]) {
+        self.world.capture_now(&mut self.sim, site, objects);
+    }
+
+    /// Inject a capture at a future instant (workload replay).
+    pub fn schedule_capture(&mut self, at: SimTime, site: SiteId, objects: Vec<ObjectId>) {
+        self.world.schedule_capture(&mut self.sim, at, site, objects);
+    }
+
+    /// Process events until nothing is in flight (all windows flushed by
+    /// their timers, all IOP links threaded).
+    pub fn run_until_quiescent(&mut self) {
+        // Split borrows: Sim drives, world handles.
+        let world = &mut self.world;
+        self.sim.run_until_quiescent(world);
+    }
+
+    /// Process events up to `deadline` (inclusive).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        let world = &mut self.world;
+        self.sim.run_until(world, deadline);
+    }
+
+    /// Force-flush every open capture window immediately.
+    pub fn flush_windows(&mut self) {
+        self.world.flush_all_windows(&mut self.sim);
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (§IV-B)
+    // ------------------------------------------------------------------
+
+    /// `L(o, t)` issued from `from`: where was `object` at `t`?
+    /// Returns the answer plus full cost/latency statistics; the traffic
+    /// is recorded in the metrics under [`MsgClass::Query`].
+    pub fn locate(
+        &mut self,
+        from: SiteId,
+        object: ObjectId,
+        t: SimTime,
+    ) -> (Option<SiteId>, QueryStats) {
+        let (ans, cost, source, complete) = query::locate_raw(&self.world, from, object, t);
+        let stats = self.account(cost, source, complete);
+        (ans, stats)
+    }
+
+    /// `TR(o, t0, t1)` issued from `from`: the object's path during the
+    /// window, with statistics.
+    pub fn trace(
+        &mut self,
+        from: SiteId,
+        object: ObjectId,
+        t0: SimTime,
+        t1: SimTime,
+    ) -> (Path, QueryStats) {
+        let (path, cost, source, complete) = query::trace_raw(&self.world, from, object, t0, t1);
+        let stats = self.account(cost, source, complete);
+        (path, stats)
+    }
+
+    fn account(
+        &mut self,
+        cost: query::QueryCost,
+        source: query::AnswerSource,
+        complete: bool,
+    ) -> QueryStats {
+        let time = self.sim.latency_for(cost.hops as u32);
+        self.sim
+            .metrics_mut()
+            .record_bulk(MsgClass::Query, cost.messages, cost.bytes, cost.hops);
+        QueryStats {
+            time,
+            messages: cost.messages,
+            hops: cost.hops,
+            bytes: cost.bytes,
+            source,
+            complete,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Churn
+    // ------------------------------------------------------------------
+
+    /// A new organization joins: Chord join, key-range handoff, `Lp`
+    /// refresh (with eager split/merge when configured). Returns the new
+    /// site's id.
+    ///
+    /// Drains the event queue before returning so the handoff is
+    /// complete — any *scheduled future captures* are processed too, so
+    /// interleave joins with workload by alternating `schedule_capture`
+    /// / `run_until` / `join_site` phases rather than pre-scheduling
+    /// everything.
+    pub fn join_site(&mut self) -> SiteId {
+        let seed = self.world.config.seed;
+        let idx = self.world.sites.len();
+        let chord_id = Id::hash_str(&format!("site-{seed}-{idx}"));
+        let bootstrap = self
+            .world
+            .sites
+            .iter()
+            .find(|s| s.alive)
+            .map(|s| s.chord_id)
+            .expect("cannot join an empty network");
+
+        let n_max = match self.world.config.mode {
+            IndexingMode::Group(g) => g.n_max,
+            IndexingMode::Individual => 1024,
+        };
+        let outcome = self
+            .world
+            .ring
+            .join(bootstrap, chord_id, idx)
+            .expect("join routing failed");
+        self.sim.metrics_mut().record_bulk(
+            MsgClass::Overlay,
+            outcome.messages,
+            outcome.messages * 32,
+            outcome.messages,
+        );
+        let site = self.world.push_site(chord_id, n_max);
+
+        if let Some(m) = outcome.migration {
+            let from_idx = self
+                .world
+                .ring
+                .app_index_of(&m.from)
+                .expect("migration source is a member");
+            self.world.apply_migration(&mut self.sim, &m, from_idx, idx);
+        }
+        self.world.ring.stabilize_all();
+        self.world.refresh_lp(&mut self.sim);
+        self.world.invalidate_gateway_caches();
+        // The handoff (and any eager split) completes before control
+        // returns; the traffic it cost stays in the metrics.
+        self.run_until_quiescent();
+        site
+    }
+
+    /// An organization leaves gracefully: its open window flushes, its
+    /// gateway shards hand off to the successor, its local repository
+    /// departs with it (traces through it become incomplete — that is
+    /// the price of sovereignty, and tests assert the degradation is
+    /// detected via `QueryStats::complete`).
+    pub fn leave_site(&mut self, site: SiteId) {
+        let idx = site.0 as usize;
+        assert!(self.world.sites[idx].alive, "site {site} already left");
+        assert!(self.world.live_sites() > 1, "last site cannot leave");
+
+        // Flush pending captures so in-flight inventory is indexed
+        // (the node is still a ring member right now), then drain all
+        // in-flight traffic so nothing targets a dead node mid-delivery.
+        self.world.flush_site_window(&mut self.sim, idx);
+        self.run_until_quiescent();
+
+        let chord_id = self.world.sites[idx].chord_id;
+        let outcome = self.world.ring.leave(chord_id);
+        self.sim.metrics_mut().record_bulk(
+            MsgClass::Overlay,
+            outcome.messages,
+            outcome.messages * 32,
+            outcome.messages,
+        );
+        let succ_idx = self
+            .world
+            .ring
+            .app_index_of(&outcome.migration.to)
+            .expect("successor is a member");
+        // Hand off all hosted index data — everything the node hosts
+        // lies in its key range `(pred, id]`, which is exactly the
+        // migration Chord reports.
+        self.world.apply_migration(&mut self.sim, &outcome.migration, idx, succ_idx);
+        self.world.sites[idx].alive = false;
+        self.world.ring.stabilize_all();
+        self.world.refresh_lp(&mut self.sim);
+        self.world.invalidate_gateway_caches();
+        // Handoff (and any eager merge) completes before control returns.
+        self.run_until_quiescent();
+    }
+}
+
+impl TraceableNetwork {
+    /// A read-only view implementing the MOODS [`Locate`]/[`Trace`]
+    /// traits (queries issued from the first live site, no statistics —
+    /// use [`TraceableNetwork::locate`]/[`trace`](TraceableNetwork::trace)
+    /// for accounted queries).
+    ///
+    /// A separate view type keeps the trait's `&self` methods from
+    /// shadowing the inherent `&mut self` query methods during method
+    /// resolution.
+    pub fn reader(&self) -> NetReader<'_> {
+        NetReader { world: &self.world }
+    }
+}
+
+/// Read-only MOODS view of a [`TraceableNetwork`].
+pub struct NetReader<'a> {
+    world: &'a NetWorld,
+}
+
+impl NetReader<'_> {
+    fn origin(&self) -> SiteId {
+        self.world
+            .sites
+            .iter()
+            .find(|s| s.alive)
+            .map(|s| s.site)
+            .expect("network has live sites")
+    }
+}
+
+impl Locate for NetReader<'_> {
+    fn locate(&self, object: ObjectId, t: SimTime) -> Option<SiteId> {
+        query::locate_raw(self.world, self.origin(), object, t).0
+    }
+}
+
+impl Trace for NetReader<'_> {
+    fn trace(&self, object: ObjectId, t0: SimTime, t1: SimTime) -> Path {
+        query::trace_raw(self.world, self.origin(), object, t0, t1).0
+    }
+}

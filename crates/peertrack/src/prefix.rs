@@ -1,0 +1,173 @@
+//! Prefix-length (`Lp`) schemes and the load-coverage probability δ.
+//!
+//! §IV-A.1 derives the optimal prefix length. With `m = 2^Lp` groups
+//! spread uniformly over `Nn` nodes, the probability that a given node
+//! indexes at least one group is
+//!
+//! ```text
+//! δ = 1 − ((Nn − 1)/Nn)^m                                   (Eq. 4)
+//! ```
+//!
+//! Choosing `m = Nn·log₂Nn` drives δ → 1 as the network grows (Eq. 5),
+//! giving the paper's choice
+//!
+//! ```text
+//! Lp = ⌈log₂ Nn + log₂ log₂ Nn⌉                             (Eq. 6)
+//! ```
+//!
+//! §V-C evaluates three schemes; [`PrefixScheme`] implements all of them
+//! plus a fixed override for ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// A rule deriving `Lp` from the (estimated) network size `Nn`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrefixScheme {
+    /// Scheme 1: `Lp = ⌈log₂ Nn⌉` — cheapest indexing, poor balance.
+    Scheme1,
+    /// Scheme 2: `Lp = ⌈log₂ Nn + log₂ log₂ Nn⌉` — the paper's choice
+    /// (Eq. 6): near-perfect balance at modest cost.
+    Scheme2,
+    /// Scheme 3: `Lp = ⌈2·log₂ Nn⌉` — best balance, quadratic group
+    /// count (`2^Lp = Nn²`), highest indexing cost.
+    Scheme3,
+    /// A fixed prefix length, independent of `Nn` (ablations/tests).
+    Fixed(usize),
+}
+
+impl PrefixScheme {
+    /// Derive `Lp` for a network of `nn` nodes (before `Lmin` clamping).
+    ///
+    /// `nn < 2` yields 0: a singleton network needs no grouping bits.
+    pub fn lp(&self, nn: usize) -> usize {
+        let n = nn.max(1) as f64;
+        let log2n = n.log2();
+        let raw = match self {
+            PrefixScheme::Scheme1 => log2n,
+            PrefixScheme::Scheme2 => {
+                if log2n <= 0.0 {
+                    0.0
+                } else {
+                    // log2(Nn·log2 Nn); guard log2 of values ≤ 1.
+                    log2n + log2n.max(1.0).log2()
+                }
+            }
+            PrefixScheme::Scheme3 => 2.0 * log2n,
+            PrefixScheme::Fixed(l) => return *l,
+        };
+        raw.ceil().max(0.0) as usize
+    }
+
+    /// `Lp` clamped to `[l_min, MAX_PREFIX_BITS]` — what the runtime uses.
+    pub fn lp_clamped(&self, nn: usize, l_min: usize) -> usize {
+        self.lp(nn).max(l_min).min(ids::prefix::MAX_PREFIX_BITS)
+    }
+
+    /// Human-readable name used in figure legends.
+    pub fn label(&self) -> String {
+        match self {
+            PrefixScheme::Scheme1 => "Scheme 1 (log2 Nn)".into(),
+            PrefixScheme::Scheme2 => "Scheme 2 (log2 Nn + log2 log2 Nn)".into(),
+            PrefixScheme::Scheme3 => "Scheme 3 (2 log2 Nn)".into(),
+            PrefixScheme::Fixed(l) => format!("Fixed Lp={l}"),
+        }
+    }
+}
+
+/// Eq. 4: probability that a node indexes at least one of `m = 2^lp`
+/// groups in a network of `nn` nodes.
+pub fn delta(nn: usize, lp: usize) -> f64 {
+    if nn == 0 {
+        return 0.0;
+    }
+    if nn == 1 {
+        return 1.0;
+    }
+    let m = 2f64.powi(lp as i32);
+    let miss = (nn as f64 - 1.0) / nn as f64;
+    1.0 - miss.powf(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq6_values_for_paper_sizes() {
+        // Nn = 64: log2=6, log2 log2=~2.58 → ceil(8.58) = 9.
+        assert_eq!(PrefixScheme::Scheme2.lp(64), 9);
+        // Nn = 512: log2=9, log2 9 ≈ 3.17 → ceil(12.17) = 13.
+        assert_eq!(PrefixScheme::Scheme2.lp(512), 13);
+        assert_eq!(PrefixScheme::Scheme1.lp(512), 9);
+        assert_eq!(PrefixScheme::Scheme3.lp(512), 18);
+    }
+
+    #[test]
+    fn schemes_are_ordered() {
+        for nn in [4usize, 16, 64, 100, 512, 4096] {
+            let l1 = PrefixScheme::Scheme1.lp(nn);
+            let l2 = PrefixScheme::Scheme2.lp(nn);
+            let l3 = PrefixScheme::Scheme3.lp(nn);
+            assert!(l1 <= l2, "S1 {l1} > S2 {l2} at Nn={nn}");
+            assert!(l2 <= l3, "S2 {l2} > S3 {l3} at Nn={nn}");
+        }
+    }
+
+    #[test]
+    fn fixed_scheme_ignores_network_size() {
+        assert_eq!(PrefixScheme::Fixed(7).lp(4), 7);
+        assert_eq!(PrefixScheme::Fixed(7).lp(100_000), 7);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        for s in [PrefixScheme::Scheme1, PrefixScheme::Scheme2, PrefixScheme::Scheme3] {
+            assert_eq!(s.lp(0), 0);
+            assert_eq!(s.lp(1), 0);
+        }
+        assert_eq!(PrefixScheme::Scheme2.lp_clamped(1, 4), 4);
+    }
+
+    #[test]
+    fn clamping_respects_max() {
+        assert_eq!(
+            PrefixScheme::Fixed(99).lp_clamped(10, 0),
+            ids::prefix::MAX_PREFIX_BITS
+        );
+    }
+
+    #[test]
+    fn delta_scheme2_approaches_one() {
+        // Eq. 5: with m = Nn·log2 Nn, δ → 1. At Nn=512, Scheme 2 gives
+        // m = 2^13 = 8192 = 16·Nn, so δ = 1 - (511/512)^8192 ≈ 1.
+        let d2 = delta(512, PrefixScheme::Scheme2.lp(512));
+        assert!(d2 > 0.999_99, "δ(scheme2) = {d2}");
+        // Scheme 1 gives m = Nn: δ = 1 - 1/e ≈ 0.632 in the limit.
+        let d1 = delta(512, PrefixScheme::Scheme1.lp(512));
+        assert!((d1 - (1.0 - (-1.0f64).exp())).abs() < 0.01, "δ(scheme1) = {d1}");
+        // Scheme 3: even closer to 1 than scheme 2.
+        let d3 = delta(512, PrefixScheme::Scheme3.lp(512));
+        assert!(d3 > d2);
+    }
+
+    #[test]
+    fn delta_edge_cases() {
+        assert_eq!(delta(0, 5), 0.0);
+        assert_eq!(delta(1, 0), 1.0);
+        assert!(delta(2, 0) > 0.0 && delta(2, 0) < 1.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::BTreeSet<String> = [
+            PrefixScheme::Scheme1,
+            PrefixScheme::Scheme2,
+            PrefixScheme::Scheme3,
+            PrefixScheme::Fixed(3),
+        ]
+        .iter()
+        .map(|s| s.label())
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

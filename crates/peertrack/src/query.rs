@@ -1,0 +1,421 @@
+//! Query processing (§IV-A.3 lookup + §IV-B).
+//!
+//! To answer `L`/`TR` for an object the system must first find *any*
+//! IOP record or index entry for it:
+//!
+//! 1. the querying node checks its own repository (free);
+//! 2. otherwise the query routes towards the object's gateway; **any
+//!    node along the routing path** holding IOP information answers
+//!    early (§IV-B's *Intermediate Node* case);
+//! 3. at the gateway, the §IV-A.3 lookup runs: the shard for the
+//!    current-length prefix first, then a bidirectional linear search —
+//!    the triangle children (where delegated records live) and the
+//!    hosted ancestor prefixes (where pre-split history lives).
+//!
+//! From the anchor, the IOP's distributed doubly-linked list is
+//! traversed backward/forward, one message per visited site.
+//!
+//! Query functions are **pure** (`&NetWorld`): they return the answer
+//! plus a [`QueryCost`]; the façade converts cost to simulated time via
+//! the latency model and records it in the metrics, mirroring how the
+//! paper "added 5ms as the network latency for each network query"
+//! (§V-B).
+
+use crate::messages::{HEADER_BYTES, OBJECT_ID_BYTES, TIME_BYTES};
+use crate::store::Link;
+use crate::world::NetWorld;
+use ids::Prefix;
+use moods::{ObjectId, Path, SiteId, Visit};
+use simnet::SimTime;
+
+/// Bytes of one query/traversal message (header + object id + time +
+/// small opcode).
+pub const QUERY_MSG_BYTES: usize = HEADER_BYTES + OBJECT_ID_BYTES + TIME_BYTES + 4;
+
+/// Who ultimately answered the discovery phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// The querying node held IOP records itself.
+    Local,
+    /// A node on the routing path answered before the gateway (§IV-B).
+    Intermediate(SiteId),
+    /// The gateway's index answered.
+    Gateway(SiteId),
+    /// No node knows the object.
+    NotFound,
+}
+
+/// Message/hop accounting for one query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Overlay hops traversed (= messages here: queries step node to
+    /// node).
+    pub hops: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+}
+
+impl QueryCost {
+    fn step(&mut self, n: u64) {
+        self.messages += n;
+        self.hops += n;
+        self.bytes += n * QUERY_MSG_BYTES as u64;
+    }
+}
+
+/// Full statistics the façade returns with each answer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Simulated wall-clock the query took (latency model applied).
+    pub time: SimTime,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Overlay hops.
+    pub hops: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Who answered the discovery phase.
+    pub source: AnswerSource,
+    /// False when IOP traversal hit missing data (e.g. a departed site)
+    /// and the answer may be truncated.
+    pub complete: bool,
+}
+
+/// Discovery anchor: where traversal starts.
+enum Anchor {
+    /// A site that holds IOP records for the object (local/intermediate).
+    Record(SiteId),
+    /// The gateway's latest-state link.
+    Latest(Link),
+}
+
+struct Discovery {
+    anchor: Option<Anchor>,
+    source: AnswerSource,
+}
+
+/// Phase 1: find an anchor for `object`, starting at `from`.
+fn discover(world: &NetWorld, from: SiteId, object: ObjectId, cost: &mut QueryCost) -> Discovery {
+    // Local repository?
+    if world.sites[from.0 as usize].iop.knows(object) {
+        return Discovery { anchor: Some(Anchor::Record(from)), source: AnswerSource::Local };
+    }
+
+    // Route towards the gateway, checking intermediate nodes.
+    let key = world.gateway_key(object);
+    let from_chord = world.sites[from.0 as usize].chord_id;
+    let r = world.ring.lookup(from_chord, key).expect("overlay lookup failed");
+    for nid in r.path.iter().skip(1) {
+        cost.step(1);
+        let idx = world.ring.app_index_of(nid).expect("path nodes are members");
+        let site = world.sites[idx].site;
+        if *nid != r.owner && world.sites[idx].iop.knows(object) {
+            return Discovery {
+                anchor: Some(Anchor::Record(site)),
+                source: AnswerSource::Intermediate(site),
+            };
+        }
+        if *nid == r.owner {
+            // Gateway reached: run the §IV-A.3 lookup.
+            if let Some(link) = gateway_lookup(world, idx, object, cost) {
+                return Discovery {
+                    anchor: Some(Anchor::Latest(link)),
+                    source: AnswerSource::Gateway(site),
+                };
+            }
+            return Discovery { anchor: None, source: AnswerSource::NotFound };
+        }
+    }
+    // Path was just the origin: origin owns the key.
+    let idx = world.ring.app_index_of(&r.owner).expect("owner is a member");
+    if let Some(link) = gateway_lookup(world, idx, object, cost) {
+        Discovery {
+            anchor: Some(Anchor::Latest(link)),
+            source: AnswerSource::Gateway(world.sites[idx].site),
+        }
+    } else {
+        Discovery { anchor: None, source: AnswerSource::NotFound }
+    }
+}
+
+/// §IV-A.3: check the current-`Lp` shard at the gateway, then search the
+/// triangle children (delegated records) and hosted ancestors
+/// (pre-split history). "To look up an object which does not exist
+/// locally, we only need to ask the parent and its two children."
+fn gateway_lookup(
+    world: &NetWorld,
+    gw_idx: usize,
+    object: ObjectId,
+    cost: &mut QueryCost,
+) -> Option<Link> {
+    // Individual mode: single per-object map.
+    if world.group_config().is_none() {
+        return world.sites[gw_idx].gateway.objects.get(&object).map(|e| e.link());
+    }
+
+    let lp = world.current_lp;
+    let p = Prefix::of_id(&object.id(), lp);
+    if let Some(e) = world.sites[gw_idx].gateway.prefixes.get(&p).and_then(|s| s.get(&object)) {
+        return Some(e.link());
+    }
+
+    // Bidirectional linear search. Descend first (delegation is the
+    // common cause of a miss), then ascend to Lmin.
+    let l_min = world.group_config().map(|g| g.l_min).unwrap_or(0);
+    let gw_site = world.sites[gw_idx].site;
+
+    // Descent through hosted child prefixes the object can live under.
+    let mut stack = vec![p];
+    while let Some(cur) = stack.pop() {
+        if cur.len() >= ids::prefix::MAX_PREFIX_BITS {
+            continue;
+        }
+        let child = cur.child(object.id().bit(cur.len()));
+        if !world.is_hosted(&child) {
+            continue;
+        }
+        let (owner, hops) = world.route(gw_site, child.gateway_id());
+        cost.messages += 1;
+        cost.hops += hops as u64;
+        cost.bytes += QUERY_MSG_BYTES as u64;
+        if let Some(e) =
+            world.sites[owner].gateway.prefixes.get(&child).and_then(|s| s.get(&object))
+        {
+            return Some(e.link());
+        }
+        stack.push(child);
+    }
+
+    // Ascent towards Lmin.
+    let mut l = p.len();
+    while l > l_min {
+        l -= 1;
+        let anc = p.truncate(l);
+        if !world.is_hosted(&anc) {
+            continue;
+        }
+        let (owner, hops) = world.route(gw_site, anc.gateway_id());
+        cost.messages += 1;
+        cost.hops += hops as u64;
+        cost.bytes += QUERY_MSG_BYTES as u64;
+        if let Some(e) =
+            world.sites[owner].gateway.prefixes.get(&anc).and_then(|s| s.get(&object))
+        {
+            return Some(e.link());
+        }
+    }
+    None
+}
+
+/// Read a visit record, paying one message if `site` differs from
+/// `at_site` (the node currently holding the query).
+fn fetch_record(
+    world: &NetWorld,
+    current: &mut SiteId,
+    target: Link,
+    object: ObjectId,
+    cost: &mut QueryCost,
+) -> Option<crate::store::IopRecord> {
+    if *current != target.site {
+        cost.step(1);
+        *current = target.site;
+    }
+    let state = &world.sites[target.site.0 as usize];
+    if !state.alive {
+        // The organization left and took its repository with it (§I:
+        // sovereignty); this segment of the path is unreachable.
+        return None;
+    }
+    state.iop.record_at(object, target.time).copied()
+}
+
+/// Pure `L(o, t)` (Eq. 1) with cost accounting.
+pub(crate) fn locate_raw(
+    world: &NetWorld,
+    from: SiteId,
+    object: ObjectId,
+    t: SimTime,
+) -> (Option<SiteId>, QueryCost, AnswerSource, bool) {
+    let mut cost = QueryCost::default();
+    let d = discover(world, from, object, &mut cost);
+    let Some(anchor) = d.anchor else {
+        return (None, cost, d.source, true);
+    };
+
+    let mut current = match d.source {
+        AnswerSource::Local => from,
+        AnswerSource::Intermediate(s) => s,
+        AnswerSource::Gateway(s) => s,
+        AnswerSource::NotFound => unreachable!("anchor implies found"),
+    };
+
+    match anchor {
+        Anchor::Latest(link) => {
+            if t >= link.time {
+                // The index *is* the latest state: answer immediately.
+                return (Some(link.site), cost, d.source, true);
+            }
+            // Walk backward through the IOP list.
+            let mut cur = link;
+            loop {
+                let Some(rec) = fetch_record(world, &mut current, cur, object, &mut cost) else {
+                    return (None, cost, d.source, false);
+                };
+                if cur.time <= t {
+                    return (Some(cur.site), cost, d.source, true);
+                }
+                match rec.from {
+                    None => return (None, cost, d.source, true), // not yet in system at t
+                    Some(prev) => {
+                        if prev.time <= t {
+                            return (Some(prev.site), cost, d.source, true);
+                        }
+                        cur = prev;
+                    }
+                }
+            }
+        }
+        Anchor::Record(site) => {
+            let store = &world.sites[site.0 as usize].iop;
+            if let Some(rec) = store.latest_at_or_before(object, t) {
+                // The object was here at or before t; is it still the
+                // relevant visit, or did it move on before t?
+                match rec.to {
+                    None => return (Some(site), cost, d.source, true),
+                    Some(next) if t < next.time => {
+                        return (Some(site), cost, d.source, true)
+                    }
+                    Some(next) => {
+                        // Walk forward until the visit covering t.
+                        let mut cur = next;
+                        loop {
+                            let Some(r) =
+                                fetch_record(world, &mut current, cur, object, &mut cost)
+                            else {
+                                return (None, cost, d.source, false);
+                            };
+                            match r.to {
+                                None => return (Some(cur.site), cost, d.source, true),
+                                Some(nn) if t < nn.time => {
+                                    return (Some(cur.site), cost, d.source, true)
+                                }
+                                Some(nn) => cur = nn,
+                            }
+                        }
+                    }
+                }
+            }
+            // All local records are later than t: walk backward from the
+            // earliest local record.
+            let first = store.all(object).first().copied().expect("knows(object)");
+            match first.from {
+                None => (None, cost, d.source, true),
+                Some(prev) => {
+                    let mut cur = prev;
+                    loop {
+                        if cur.time <= t {
+                            return (Some(cur.site), cost, d.source, true);
+                        }
+                        let Some(rec) = fetch_record(world, &mut current, cur, object, &mut cost)
+                        else {
+                            return (None, cost, d.source, false);
+                        };
+                        match rec.from {
+                            None => return (None, cost, d.source, true),
+                            Some(p) => cur = p,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pure `TR(o, t_start, t_end)` (Eq. 2) with cost accounting.
+pub(crate) fn trace_raw(
+    world: &NetWorld,
+    from: SiteId,
+    object: ObjectId,
+    t0: SimTime,
+    t1: SimTime,
+) -> (Path, QueryCost, AnswerSource, bool) {
+    let mut cost = QueryCost::default();
+    if t0 > t1 {
+        return (Vec::new(), cost, AnswerSource::NotFound, true);
+    }
+    let d = discover(world, from, object, &mut cost);
+    let Some(anchor) = d.anchor else {
+        return (Vec::new(), cost, d.source, true);
+    };
+
+    let mut current = match d.source {
+        AnswerSource::Local => from,
+        AnswerSource::Intermediate(s) => s,
+        AnswerSource::Gateway(s) => s,
+        AnswerSource::NotFound => unreachable!("anchor implies found"),
+    };
+    let mut complete = true;
+
+    // Find the anchor visit: for a gateway anchor it is the latest
+    // visit; for a record anchor, the site's latest local record.
+    let start = match anchor {
+        Anchor::Latest(link) => link,
+        Anchor::Record(site) => {
+            let rec = world.sites[site.0 as usize]
+                .iop
+                .latest(object)
+                .expect("record anchor implies knowledge");
+            Link { site, time: rec.arrived }
+        }
+    };
+
+    // Phase A: walk forward from the anchor, collecting visits, until
+    // the last visit that can overlap the window (arrivals beyond t1
+    // cannot). Remember the anchor's back link for phase B.
+    let mut after: Vec<Visit> = Vec::new();
+    let mut anchor_from: Option<Link> = None;
+    let mut cur = start;
+    loop {
+        let Some(rec) = fetch_record(world, &mut current, cur, object, &mut cost) else {
+            complete = false;
+            break;
+        };
+        if cur == start {
+            anchor_from = rec.from;
+        }
+        after.push(Visit { site: cur.site, arrived: cur.time, departed: rec.to.map(|x| x.time) });
+        match rec.to {
+            Some(next) if next.time <= t1 => cur = next,
+            _ => break,
+        }
+    }
+
+    // Phase B: walk backward from the anchor until the window's lower
+    // edge is passed.
+    let mut before: Vec<Visit> = Vec::new();
+    if start.time > t0 {
+        let mut back = anchor_from;
+        while let Some(l) = back {
+            let Some(rec) = fetch_record(world, &mut current, l, object, &mut cost) else {
+                complete = false;
+                break;
+            };
+            before.push(Visit {
+                site: l.site,
+                arrived: l.time,
+                departed: rec.to.map(|x| x.time),
+            });
+            if l.time <= t0 {
+                break;
+            }
+            back = rec.from;
+        }
+    }
+
+    before.reverse();
+    before.extend(after);
+    let path: Path = before.into_iter().filter(|v| v.overlaps(t0, t1)).collect();
+    (path, cost, d.source, complete)
+}

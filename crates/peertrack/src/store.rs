@@ -1,0 +1,349 @@
+//! Per-node storage: IOP repositories and gateway index shards.
+//!
+//! Each organization (site) holds two kinds of state:
+//!
+//! * its **local repository** of IOP records ([`IopStore`]) — the
+//!   segments of object paths observed in its own territory, plus the
+//!   `from`/`to` links the gateway threads through them (§II-C, §III);
+//! * the **index shards** the DHT assigns it ([`GatewayStore`]) — either
+//!   per-object entries (individual mode) or per-prefix group indexes
+//!   ([`PrefixIndex`], group mode, §IV), including Data-Triangle
+//!   bookkeeping.
+
+use ids::Prefix;
+use moods::{ObjectId, SiteId};
+use serde::{Deserialize, Serialize};
+use simnet::SimTime;
+use std::collections::{BTreeSet, HashMap};
+
+/// One hop of the distributed doubly-linked list: a site together with
+/// the arrival timestamp that identifies the visit record there.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Link {
+    /// The linked site.
+    pub site: SiteId,
+    /// Arrival time of the object at that site (record key).
+    pub time: SimTime,
+}
+
+/// A gateway's knowledge of one object: its latest location and the link
+/// to the previous one (enough to thread M2/M3 on the next move).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    /// Site of the latest capture.
+    pub site: SiteId,
+    /// Time of the latest capture.
+    pub time: SimTime,
+    /// Where the object was before that (None for its first appearance).
+    pub prev: Option<Link>,
+}
+
+impl IndexEntry {
+    /// The link form of this entry (site + time).
+    pub fn link(&self) -> Link {
+        Link { site: self.site, time: self.time }
+    }
+}
+
+/// One visit record in a site's local repository. `from`/`to` are filled
+/// in by gateway messages M3/M2 respectively (§III, Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IopRecord {
+    /// When the object arrived here (set at capture).
+    pub arrived: SimTime,
+    /// Previous stop (`o.from` in the paper), set by message M3.
+    pub from: Option<Link>,
+    /// Next stop (`o.to`), set by message M2 when the object moves on.
+    pub to: Option<Link>,
+}
+
+/// A site's local repository: every visit it has observed, per object,
+/// in arrival order.
+#[derive(Clone, Default, Debug)]
+pub struct IopStore {
+    records: HashMap<ObjectId, Vec<IopRecord>>,
+}
+
+impl IopStore {
+    /// Empty repository.
+    pub fn new() -> IopStore {
+        IopStore::default()
+    }
+
+    /// Record a capture (creates an open visit). Arrival times per object
+    /// must be non-decreasing at one site.
+    pub fn capture(&mut self, object: ObjectId, arrived: SimTime) {
+        let v = self.records.entry(object).or_default();
+        if let Some(last) = v.last() {
+            debug_assert!(arrived >= last.arrived, "out-of-order capture at one site");
+        }
+        v.push(IopRecord { arrived, from: None, to: None });
+    }
+
+    /// Apply message **M2**: the object captured here at `arrived` has
+    /// moved on to `to`. Returns false if no such record exists (e.g. the
+    /// site joined after the visit).
+    pub fn set_to(&mut self, object: ObjectId, arrived: SimTime, to: Link) -> bool {
+        self.record_mut(object, arrived)
+            .map(|r| r.to = Some(to))
+            .is_some()
+    }
+
+    /// Apply message **M3**: the object captured here at `arrived` came
+    /// from `from` (None = first appearance in the system).
+    pub fn set_from(&mut self, object: ObjectId, arrived: SimTime, from: Option<Link>) -> bool {
+        self.record_mut(object, arrived)
+            .map(|r| r.from = from)
+            .is_some()
+    }
+
+    fn record_mut(&mut self, object: ObjectId, arrived: SimTime) -> Option<&mut IopRecord> {
+        self.records
+            .get_mut(&object)?
+            .iter_mut()
+            .rev()
+            .find(|r| r.arrived == arrived)
+    }
+
+    /// The visit record keyed by arrival time.
+    pub fn record_at(&self, object: ObjectId, arrived: SimTime) -> Option<&IopRecord> {
+        self.records
+            .get(&object)?
+            .iter()
+            .rev()
+            .find(|r| r.arrived == arrived)
+    }
+
+    /// The site's latest visit record for the object.
+    pub fn latest(&self, object: ObjectId) -> Option<&IopRecord> {
+        self.records.get(&object)?.last()
+    }
+
+    /// Latest visit record with `arrived ≤ t` (for intermediate-node
+    /// query answering).
+    pub fn latest_at_or_before(&self, object: ObjectId, t: SimTime) -> Option<&IopRecord> {
+        self.records
+            .get(&object)?
+            .iter()
+            .rev()
+            .find(|r| r.arrived <= t)
+    }
+
+    /// Does this repository know the object at all?
+    pub fn knows(&self, object: ObjectId) -> bool {
+        self.records.contains_key(&object)
+    }
+
+    /// All visit records for the object, in arrival order.
+    pub fn all(&self, object: ObjectId) -> &[IopRecord] {
+        self.records.get(&object).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of (object, visit) records stored.
+    pub fn len(&self) -> usize {
+        self.records.values().map(Vec::len).sum()
+    }
+
+    /// Is the repository empty?
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A group-index shard: the records a gateway keeps for one prefix.
+///
+/// The insertion-ordered `order` set supports the FIFO-like delegation
+/// policy ("select the earliest α·objects.count objects indexed at this
+/// gateway", Fig. 5 `update_index` — "based on the observation that the
+/// latest records are more likely to be read and updated in the near
+/// future").
+#[derive(Clone, Debug, Default)]
+pub struct PrefixIndex {
+    /// Per-object latest state.
+    pub entries: HashMap<ObjectId, IndexEntry>,
+    /// `(last-update time, object)` — ordered oldest first.
+    order: BTreeSet<(SimTime, ObjectId)>,
+    /// Set once this shard has delegated records to its triangle
+    /// children; lookups then also consult `p+'0'`/`p+'1'`.
+    pub delegated: bool,
+}
+
+impl PrefixIndex {
+    /// Empty shard.
+    pub fn new() -> PrefixIndex {
+        PrefixIndex::default()
+    }
+
+    /// Number of objects indexed here.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the shard empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read an object's entry.
+    pub fn get(&self, object: &ObjectId) -> Option<&IndexEntry> {
+        self.entries.get(object)
+    }
+
+    /// Insert or update an object's entry, maintaining recency order.
+    pub fn upsert(&mut self, object: ObjectId, entry: IndexEntry) {
+        if let Some(old) = self.entries.insert(object, entry) {
+            self.order.remove(&(old.time, object));
+        }
+        self.order.insert((entry.time, object));
+    }
+
+    /// Remove an object's entry (refresh-fetch takes records with it).
+    pub fn take(&mut self, object: &ObjectId) -> Option<IndexEntry> {
+        let e = self.entries.remove(object)?;
+        self.order.remove(&(e.time, *object));
+        Some(e)
+    }
+
+    /// Remove and return the `k` earliest records (delegation batch).
+    pub fn take_earliest(&mut self, k: usize) -> Vec<(ObjectId, IndexEntry)> {
+        let victims: Vec<(SimTime, ObjectId)> = self.order.iter().take(k).copied().collect();
+        let mut out = Vec::with_capacity(victims.len());
+        for (t, o) in victims {
+            self.order.remove(&(t, o));
+            let e = self.entries.remove(&o).expect("order/entries in sync");
+            out.push((o, e));
+        }
+        out
+    }
+
+    /// Drain everything (split/merge migration).
+    pub fn drain_all(&mut self) -> Vec<(ObjectId, IndexEntry)> {
+        self.order.clear();
+        self.entries.drain().collect()
+    }
+}
+
+/// Everything a site stores *as a gateway*: per-object entries
+/// (individual mode) and per-prefix shards (group mode).
+#[derive(Clone, Debug, Default)]
+pub struct GatewayStore {
+    /// Individual-mode index: object id → latest state.
+    pub objects: HashMap<ObjectId, IndexEntry>,
+    /// Group-mode shards, keyed by prefix.
+    pub prefixes: HashMap<Prefix, PrefixIndex>,
+}
+
+impl GatewayStore {
+    /// Empty store.
+    pub fn new() -> GatewayStore {
+        GatewayStore::default()
+    }
+
+    /// Total number of object entries held (both modes) — the *load* a
+    /// node carries for Fig. 8a.
+    pub fn load(&self) -> usize {
+        self.objects.len() + self.prefixes.values().map(PrefixIndex::len).sum::<usize>()
+    }
+
+    /// Shard for `prefix`, creating it if absent.
+    pub fn shard_mut(&mut self, prefix: Prefix) -> &mut PrefixIndex {
+        self.prefixes.entry(prefix).or_default()
+    }
+
+    /// Remove a shard if it is empty; returns true if removed.
+    pub fn prune_if_empty(&mut self, prefix: &Prefix) -> bool {
+        if self.prefixes.get(prefix).is_some_and(PrefixIndex::is_empty) {
+            self.prefixes.remove(prefix);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::Id;
+    use simnet::time::ms;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(Id::hash(&n.to_be_bytes()))
+    }
+
+    #[test]
+    fn capture_then_link() {
+        let mut iop = IopStore::new();
+        iop.capture(obj(1), ms(10));
+        assert!(iop.knows(obj(1)));
+        assert!(iop.set_from(obj(1), ms(10), None));
+        assert!(iop.set_to(obj(1), ms(10), Link { site: SiteId(2), time: ms(30) }));
+        let r = iop.record_at(obj(1), ms(10)).unwrap();
+        assert_eq!(r.from, None);
+        assert_eq!(r.to, Some(Link { site: SiteId(2), time: ms(30) }));
+    }
+
+    #[test]
+    fn set_on_missing_record_reports_failure() {
+        let mut iop = IopStore::new();
+        assert!(!iop.set_to(obj(1), ms(10), Link { site: SiteId(0), time: ms(1) }));
+        iop.capture(obj(1), ms(10));
+        assert!(!iop.set_from(obj(1), ms(99), None));
+    }
+
+    #[test]
+    fn repeated_visits_tracked_separately() {
+        let mut iop = IopStore::new();
+        iop.capture(obj(1), ms(10));
+        iop.capture(obj(1), ms(50));
+        assert_eq!(iop.all(obj(1)).len(), 2);
+        assert_eq!(iop.latest(obj(1)).unwrap().arrived, ms(50));
+        assert_eq!(iop.latest_at_or_before(obj(1), ms(40)).unwrap().arrived, ms(10));
+        assert_eq!(iop.latest_at_or_before(obj(1), ms(5)), None);
+        assert_eq!(iop.len(), 2);
+    }
+
+    #[test]
+    fn prefix_index_upsert_updates_order() {
+        let mut pi = PrefixIndex::new();
+        pi.upsert(obj(1), IndexEntry { site: SiteId(0), time: ms(10), prev: None });
+        pi.upsert(obj(2), IndexEntry { site: SiteId(1), time: ms(20), prev: None });
+        // Re-index object 1 later — it should no longer be the earliest.
+        pi.upsert(obj(1), IndexEntry { site: SiteId(2), time: ms(30), prev: None });
+        let earliest = pi.take_earliest(1);
+        assert_eq!(earliest[0].0, obj(2));
+        assert_eq!(pi.len(), 1);
+        assert!(pi.get(&obj(1)).is_some());
+    }
+
+    #[test]
+    fn take_earliest_more_than_len() {
+        let mut pi = PrefixIndex::new();
+        pi.upsert(obj(1), IndexEntry { site: SiteId(0), time: ms(1), prev: None });
+        let batch = pi.take_earliest(10);
+        assert_eq!(batch.len(), 1);
+        assert!(pi.is_empty());
+    }
+
+    #[test]
+    fn take_removes_entry_and_order() {
+        let mut pi = PrefixIndex::new();
+        pi.upsert(obj(1), IndexEntry { site: SiteId(0), time: ms(1), prev: None });
+        let e = pi.take(&obj(1)).unwrap();
+        assert_eq!(e.site, SiteId(0));
+        assert!(pi.take(&obj(1)).is_none());
+        assert!(pi.take_earliest(1).is_empty());
+    }
+
+    #[test]
+    fn gateway_load_counts_both_kinds() {
+        let mut g = GatewayStore::new();
+        g.objects.insert(obj(1), IndexEntry { site: SiteId(0), time: ms(1), prev: None });
+        let p = Prefix::from_bit_str("01");
+        g.shard_mut(p).upsert(obj(2), IndexEntry { site: SiteId(1), time: ms(2), prev: None });
+        assert_eq!(g.load(), 2);
+        g.shard_mut(p).take(&obj(2));
+        assert!(g.prune_if_empty(&p));
+        assert_eq!(g.load(), 1);
+    }
+}

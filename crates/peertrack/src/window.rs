@@ -1,0 +1,156 @@
+//! Adaptive capture windows (§IV-A.1, "Group Generation").
+//!
+//! Each node takes "the objects in the same window for grouping and
+//! indexing at one cycle". A fixed `Tinterval` misbehaves under bursty
+//! streams, so the paper adapts: a cycle ends when **either** `Tmax` has
+//! passed since the cycle opened **or** the cycle has received `Nmax`
+//! objects — whichever comes first. [`WindowBuffer`] implements that
+//! state machine; the runtime arms/cancels the `Tmax` timer from the
+//! [`WindowEvent`]s it returns.
+
+use moods::{ObjectId, SiteId};
+use simnet::SimTime;
+
+/// A flushed window: the observations of one indexing cycle at one site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowBatch {
+    /// The capturing site.
+    pub site: SiteId,
+    /// `(object, capture time)` in arrival order.
+    pub observations: Vec<(ObjectId, SimTime)>,
+    /// When the cycle opened.
+    pub opened: SimTime,
+    /// When the cycle closed (flush time).
+    pub closed: SimTime,
+}
+
+/// What the caller must do after feeding an observation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WindowEvent {
+    /// First object of a fresh cycle: arm a `Tmax` timer for this site.
+    ArmTimer,
+    /// Cycle is still filling; nothing to do.
+    Buffered,
+    /// `Nmax` reached: cancel the pending timer and index this batch now.
+    FlushByCount(WindowBatch),
+}
+
+/// Per-site window state.
+#[derive(Clone, Debug)]
+pub struct WindowBuffer {
+    site: SiteId,
+    n_max: usize,
+    buf: Vec<(ObjectId, SimTime)>,
+    opened: SimTime,
+}
+
+impl WindowBuffer {
+    /// Fresh, empty buffer for `site` flushing at `n_max` objects.
+    pub fn new(site: SiteId, n_max: usize) -> WindowBuffer {
+        assert!(n_max > 0, "n_max must be positive");
+        WindowBuffer { site, n_max, buf: Vec::new(), opened: SimTime::ZERO }
+    }
+
+    /// Number of buffered observations in the open cycle.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the current cycle empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Feed one capture. Returns the action the runtime must take.
+    pub fn push(&mut self, object: ObjectId, now: SimTime) -> WindowEvent {
+        let first = self.buf.is_empty();
+        if first {
+            self.opened = now;
+        }
+        self.buf.push((object, now));
+        if self.buf.len() >= self.n_max {
+            WindowEvent::FlushByCount(self.flush(now).expect("non-empty by construction"))
+        } else if first {
+            WindowEvent::ArmTimer
+        } else {
+            WindowEvent::Buffered
+        }
+    }
+
+    /// Close the cycle (timer fired, or an orderly shutdown). `None` when
+    /// the cycle is empty (e.g. the timer raced with a count flush).
+    pub fn flush(&mut self, now: SimTime) -> Option<WindowBatch> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        let observations = std::mem::take(&mut self.buf);
+        let batch =
+            WindowBatch { site: self.site, observations, opened: self.opened, closed: now };
+        self.opened = now;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ids::Id;
+    use simnet::time::ms;
+
+    fn obj(n: u64) -> ObjectId {
+        ObjectId(Id::hash(&n.to_be_bytes()))
+    }
+
+    #[test]
+    fn first_push_arms_timer() {
+        let mut w = WindowBuffer::new(SiteId(0), 10);
+        assert_eq!(w.push(obj(1), ms(5)), WindowEvent::ArmTimer);
+        assert_eq!(w.push(obj(2), ms(6)), WindowEvent::Buffered);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn nmax_triggers_flush() {
+        let mut w = WindowBuffer::new(SiteId(3), 3);
+        w.push(obj(1), ms(1));
+        w.push(obj(2), ms(2));
+        match w.push(obj(3), ms(3)) {
+            WindowEvent::FlushByCount(batch) => {
+                assert_eq!(batch.site, SiteId(3));
+                assert_eq!(batch.observations.len(), 3);
+                assert_eq!(batch.opened, ms(1));
+                assert_eq!(batch.closed, ms(3));
+            }
+            other => panic!("expected flush, got {other:?}"),
+        }
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn timer_flush_returns_batch_and_reopens() {
+        let mut w = WindowBuffer::new(SiteId(0), 100);
+        w.push(obj(1), ms(1));
+        let b = w.flush(ms(500)).unwrap();
+        assert_eq!(b.observations, vec![(obj(1), ms(1))]);
+        assert!(w.flush(ms(501)).is_none(), "empty cycle yields no batch");
+        // Next cycle works normally.
+        assert_eq!(w.push(obj(2), ms(502)), WindowEvent::ArmTimer);
+    }
+
+    #[test]
+    fn nmax_one_flushes_every_object() {
+        let mut w = WindowBuffer::new(SiteId(0), 1);
+        for i in 0..5 {
+            match w.push(obj(i), ms(i)) {
+                WindowEvent::FlushByCount(b) => assert_eq!(b.observations.len(), 1),
+                other => panic!("expected immediate flush, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n_max")]
+    fn zero_nmax_rejected() {
+        let _ = WindowBuffer::new(SiteId(0), 0);
+    }
+}

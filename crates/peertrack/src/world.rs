@@ -1,0 +1,846 @@
+//! The protocol engine: per-site state plus every message handler.
+//!
+//! [`NetWorld`] owns all distributed state — the Chord ring, each site's
+//! window buffer, IOP repository and gateway shards — and implements
+//! [`simnet::World`] so the discrete-event engine can drive it. The
+//! structure mirrors §III/§IV exactly:
+//!
+//! * a capture appends an open IOP record locally, then either reports
+//!   the arrival individually (**M1**) or buffers it in the adaptive
+//!   window (§IV-A.1);
+//! * a gateway receiving an arrival/group batch updates its index and
+//!   threads the IOP links with **M2**/**M3** (batched per source site
+//!   in group mode);
+//! * unknown objects trigger the Fig. 5 `refresh_from_ascent` /
+//!   `refresh_from_descent` fetches (charged as `Refresh` traffic;
+//!   executed as zero-latency RPCs — the figures measure message
+//!   volume, not indexing latency, see DESIGN.md);
+//! * overfull shards delegate their earliest `α·count` records to the
+//!   two Data-Triangle children (Fig. 5 `update_index`);
+//! * changes of `Lp` run the splitting–merging process (§IV-A.2) when
+//!   `eager_split_merge` is set.
+
+use crate::config::{Config, GroupConfig, IndexingMode, SizeEstimation};
+use crate::grouping::group_batch;
+use crate::messages::{Msg, ENTRY_BYTES, HEADER_BYTES, OBJECT_ID_BYTES, PREFIX_BYTES};
+use crate::store::{GatewayStore, IndexEntry, IopStore, Link, PrefixIndex};
+use crate::window::{WindowBatch, WindowBuffer, WindowEvent};
+use chord::Ring;
+use ids::{Id, Prefix};
+use moods::{ObjectId, SiteId};
+use simnet::{MsgClass, NodeIndex, Sim, SimTime, TimerId, World};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Timer-kind tags (high byte of the `u64` timer kind).
+const TAG_SHIFT: u32 = 56;
+/// Window `Tmax` expiry; value = site index.
+pub(crate) const TAG_WINDOW: u64 = 1;
+/// Scheduled capture; value = pending-capture id.
+pub(crate) const TAG_CAPTURE: u64 = 2;
+
+fn timer_kind(tag: u64, value: u64) -> u64 {
+    debug_assert!(value < (1 << TAG_SHIFT));
+    (tag << TAG_SHIFT) | value
+}
+
+/// One organization's full state.
+pub struct SiteState {
+    /// Application-level identity.
+    pub site: SiteId,
+    /// Ring identity (SHA-1 of the site's external address).
+    pub chord_id: Id,
+    /// False once the site has left the network.
+    pub alive: bool,
+    /// Group-mode capture window.
+    pub window: WindowBuffer,
+    /// Pending `Tmax` timer for the open window, if any.
+    window_timer: Option<TimerId>,
+    /// Local repository (IOP records).
+    pub iop: IopStore,
+    /// Index shards this site hosts as a gateway.
+    pub gateway: GatewayStore,
+    /// Cached gateway locations per prefix (§IV-A.2 address caching):
+    /// owner site index at the time of first contact.
+    gateway_cache: HashMap<Prefix, usize>,
+}
+
+/// Counters for conditions that should not occur in well-formed runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Anomalies {
+    /// Gateway saw an arrival older than the indexed latest state
+    /// (message reordering faster than the movement cadence).
+    pub out_of_order_arrivals: u64,
+    /// IOP update targeting a record the site does not hold (e.g. the
+    /// site re-joined after data loss).
+    pub dangling_iop_updates: u64,
+    /// Messages dropped because the destination site had left.
+    pub dropped_to_dead: u64,
+}
+
+/// The distributed system: ring + every site's state.
+pub struct NetWorld {
+    /// Static configuration.
+    pub config: Config,
+    /// The Chord overlay.
+    pub ring: Ring,
+    /// All sites ever created; index = `SiteId.0` = simnet `NodeIndex`.
+    pub sites: Vec<SiteState>,
+    /// Current global prefix length `Lp` (group mode).
+    pub current_lp: usize,
+    /// Prefixes that hold index data somewhere in the network. Nodes
+    /// learn populated prefix *lengths* from the `Lp` reconfiguration
+    /// broadcasts; we keep the exact set for determinism.
+    hosted: HashSet<Prefix>,
+    /// Deferred captures keyed by pending id.
+    pending_captures: HashMap<u64, (SiteId, Vec<ObjectId>)>,
+    next_pending: u64,
+    /// Anomaly counters (see [`Anomalies`]).
+    pub anomalies: Anomalies,
+}
+
+impl NetWorld {
+    /// Empty world with the given configuration. Sites are added by the
+    /// builder / churn API in [`crate::net`].
+    pub fn new(config: Config) -> NetWorld {
+        let lp = match config.mode {
+            IndexingMode::Group(g) => g.l_min,
+            IndexingMode::Individual => 0,
+        };
+        NetWorld {
+            config,
+            ring: Ring::new(),
+            sites: Vec::new(),
+            current_lp: lp,
+            hosted: HashSet::new(),
+            pending_captures: HashMap::new(),
+            next_pending: 0,
+            anomalies: Anomalies::default(),
+        }
+    }
+
+    /// Group configuration, if running in group mode.
+    pub fn group_config(&self) -> Option<GroupConfig> {
+        match self.config.mode {
+            IndexingMode::Group(g) => Some(g),
+            IndexingMode::Individual => None,
+        }
+    }
+
+    /// Is this prefix known to hold data anywhere?
+    pub fn is_hosted(&self, p: &Prefix) -> bool {
+        self.hosted.contains(p)
+    }
+
+    /// Number of live sites.
+    pub fn live_sites(&self) -> usize {
+        self.sites.iter().filter(|s| s.alive).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Site plumbing
+    // ------------------------------------------------------------------
+
+    /// Register a new site's state (ring membership handled by caller).
+    pub(crate) fn push_site(&mut self, chord_id: Id, n_max: usize) -> SiteId {
+        let site = SiteId(self.sites.len() as u32);
+        self.sites.push(SiteState {
+            site,
+            chord_id,
+            alive: true,
+            window: WindowBuffer::new(site, n_max),
+            window_timer: None,
+            iop: IopStore::new(),
+            gateway: GatewayStore::new(),
+            gateway_cache: HashMap::new(),
+        });
+        site
+    }
+
+    fn site_idx(&self, site: SiteId) -> usize {
+        site.0 as usize
+    }
+
+    /// Route from a site towards a DHT key: returns `(owner site index,
+    /// hops)`. Panics on routing failure — the runtime stabilizes after
+    /// churn, so lookups always converge.
+    pub(crate) fn route(&self, from: SiteId, key: Id) -> (usize, u32) {
+        let from_chord = self.sites[self.site_idx(from)].chord_id;
+        let r = self.ring.lookup(from_chord, key).expect("overlay lookup failed");
+        let owner = self.ring.app_index_of(&r.owner).expect("owner is a member");
+        (owner, r.hops)
+    }
+
+    /// The gateway key for an object under the current mode.
+    pub fn gateway_key(&self, object: ObjectId) -> Id {
+        match self.config.mode {
+            IndexingMode::Individual => object.id(),
+            IndexingMode::Group(_) => {
+                Prefix::of_id(&object.id(), self.current_lp).gateway_id()
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Capture path
+    // ------------------------------------------------------------------
+
+    /// A receptor at `site` captured `objects` at the current instant.
+    pub fn capture_now(&mut self, sim: &mut Sim<Msg>, site: SiteId, objects: &[ObjectId]) {
+        let idx = self.site_idx(site);
+        assert!(self.sites[idx].alive, "capture at a departed site {site}");
+        let now = sim.now();
+        for &o in objects {
+            self.sites[idx].iop.capture(o, now);
+        }
+        match self.config.mode {
+            IndexingMode::Individual => {
+                for &o in objects {
+                    let (owner, hops) = self.route(site, o.id());
+                    let msg = Msg::Arrival { object: o, site, time: now };
+                    self.dispatch(sim, idx, owner, hops, msg);
+                }
+            }
+            IndexingMode::Group(g) => {
+                for &o in objects {
+                    let ev = self.sites[idx].window.push(o, now);
+                    match ev {
+                        WindowEvent::ArmTimer => {
+                            let t = sim.set_timer(idx, g.t_max, timer_kind(TAG_WINDOW, idx as u64));
+                            self.sites[idx].window_timer = Some(t);
+                        }
+                        WindowEvent::Buffered => {}
+                        WindowEvent::FlushByCount(batch) => {
+                            if let Some(t) = self.sites[idx].window_timer.take() {
+                                sim.cancel_timer(t);
+                            }
+                            self.index_batch(sim, batch);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Queue a capture for time `at` (workload injection).
+    pub fn schedule_capture(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        at: SimTime,
+        site: SiteId,
+        objects: Vec<ObjectId>,
+    ) {
+        let id = self.next_pending;
+        self.next_pending += 1;
+        self.pending_captures.insert(id, (site, objects));
+        sim.schedule(at, self.site_idx(site), timer_kind(TAG_CAPTURE, id));
+    }
+
+    /// Flush every open window immediately (orderly shutdown; also used
+    /// by tests to avoid waiting out `Tmax`).
+    pub fn flush_all_windows(&mut self, sim: &mut Sim<Msg>) {
+        for idx in 0..self.sites.len() {
+            if self.sites[idx].alive {
+                self.flush_site_window(sim, idx);
+            }
+        }
+    }
+
+    /// Flush one site's open window immediately.
+    pub(crate) fn flush_site_window(&mut self, sim: &mut Sim<Msg>, idx: usize) {
+        if let Some(t) = self.sites[idx].window_timer.take() {
+            sim.cancel_timer(t);
+        }
+        if let Some(batch) = self.sites[idx].window.flush(sim.now()) {
+            self.index_batch(sim, batch);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Group indexing (§IV)
+    // ------------------------------------------------------------------
+
+    /// Send one `GroupIndex` message per group in the batch (§IV-A.2).
+    /// With address caching on, a prefix gateway already contacted is
+    /// reached directly (1 hop) instead of via a fresh DHT lookup.
+    fn index_batch(&mut self, sim: &mut Sim<Msg>, batch: WindowBatch) {
+        let site = batch.site;
+        let idx = self.site_idx(site);
+        let caching = self.config_caches_addresses();
+        for group in group_batch(&batch.observations, self.current_lp) {
+            let (owner, hops) = match self.sites[idx].gateway_cache.get(&group.prefix) {
+                Some(&owner) if caching => (owner, 1),
+                _ => {
+                    let key = group.prefix.gateway_id();
+                    let r = self.route(site, key);
+                    if caching {
+                        self.sites[idx].gateway_cache.insert(group.prefix, r.0);
+                    }
+                    r
+                }
+            };
+            let msg = Msg::GroupIndex { prefix: group.prefix, site, members: group.members };
+            self.dispatch(sim, idx, owner, hops, msg);
+        }
+    }
+
+    fn config_caches_addresses(&self) -> bool {
+        self.group_config().map(|g| g.cache_gateway_addresses).unwrap_or(false)
+    }
+
+    /// Drop every site's gateway-address cache (membership or `Lp`
+    /// changed; stale addresses would misroute index updates).
+    pub(crate) fn invalidate_gateway_caches(&mut self) {
+        for s in &mut self.sites {
+            s.gateway_cache.clear();
+        }
+    }
+
+    /// Deliver a message, short-circuiting self-sends (a node does not
+    /// pay network cost to talk to itself).
+    fn dispatch(&mut self, sim: &mut Sim<Msg>, from: usize, to: usize, hops: u32, msg: Msg) {
+        if from == to {
+            self.handle(sim, to, from, msg);
+        } else {
+            let class = msg.class();
+            let bytes = msg.wire_size();
+            sim.send(from, to, class, bytes, hops, msg);
+        }
+    }
+
+    fn handle(&mut self, sim: &mut Sim<Msg>, to: usize, from: usize, msg: Msg) {
+        if !self.sites[to].alive {
+            self.anomalies.dropped_to_dead += 1;
+            return;
+        }
+        match msg {
+            Msg::Arrival { object, site, time } => {
+                self.handle_arrival(sim, to, object, site, time);
+            }
+            Msg::GroupIndex { prefix, site, members } => {
+                self.handle_group_index(sim, to, prefix, site, members);
+            }
+            Msg::SetTo { updates } => {
+                for (o, arrived, link) in updates {
+                    if !self.sites[to].iop.set_to(o, arrived, link) {
+                        self.anomalies.dangling_iop_updates += 1;
+                    }
+                }
+            }
+            Msg::SetFrom { updates } => {
+                for (o, arrived, link) in updates {
+                    if !self.sites[to].iop.set_from(o, arrived, link) {
+                        self.anomalies.dangling_iop_updates += 1;
+                    }
+                }
+            }
+            Msg::Delegate { prefix, entries } => {
+                let shard = self.sites[to].gateway.shard_mut(prefix);
+                for (o, e) in entries {
+                    shard.upsert(o, e);
+                }
+            }
+            Msg::Migrate { prefix, entries } => match prefix {
+                Some(p) => {
+                    let shard = self.sites[to].gateway.shard_mut(p);
+                    for (o, e) in entries {
+                        shard.upsert(o, e);
+                    }
+                }
+                None => {
+                    for (o, e) in entries {
+                        self.sites[to].gateway.objects.insert(o, e);
+                    }
+                }
+            },
+        }
+        let _ = from;
+    }
+
+    /// Individual-mode gateway logic (§III, Fig. 2): update the index,
+    /// send M2 to the source and M3 to the destination of the move.
+    fn handle_arrival(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        gw: usize,
+        object: ObjectId,
+        site: SiteId,
+        time: SimTime,
+    ) {
+        let prev = self.sites[gw].gateway.objects.get(&object).copied();
+        if let Some(p) = prev {
+            if p.time > time {
+                self.anomalies.out_of_order_arrivals += 1;
+                return;
+            }
+        }
+        let entry = IndexEntry { site, time, prev: prev.map(|p| p.link()) };
+        self.sites[gw].gateway.objects.insert(object, entry);
+
+        let new_link = Link { site, time };
+        if let Some(p) = prev {
+            // M2 — direct (the index stores the source's address).
+            let m2 = Msg::SetTo { updates: vec![(object, p.time, new_link)] };
+            self.dispatch(sim, gw, self.site_idx(p.site), 1, m2);
+        }
+        // M3 — direct to the capturing node.
+        let m3 = Msg::SetFrom { updates: vec![(object, time, prev.map(|p| p.link()))] };
+        self.dispatch(sim, gw, self.site_idx(site), 1, m3);
+    }
+
+    /// Group-mode gateway logic — the Fig. 5 `index` algorithm.
+    fn handle_group_index(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        gw: usize,
+        prefix: Prefix,
+        site: SiteId,
+        members: Vec<(ObjectId, SimTime)>,
+    ) {
+        // objects' ← members not indexed locally (Fig. 5 line 2; the
+        // paper's set expression has the operands transposed — the
+        // accompanying comment "objects which are not stored locally"
+        // fixes the intent).
+        let unknown: Vec<ObjectId> = {
+            let shard = self.sites[gw].gateway.shard_mut(prefix);
+            members
+                .iter()
+                .map(|&(o, _)| o)
+                .filter(|o| shard.get(o).is_none())
+                .collect()
+        };
+
+        if !unknown.is_empty() {
+            let mut missing: HashSet<ObjectId> = unknown.into_iter().collect();
+            self.refresh_from_ascent(sim, gw, prefix, &mut missing);
+            if !missing.is_empty() {
+                self.refresh_from_descent(sim, gw, prefix, &mut missing);
+            }
+        }
+
+        // update_index: thread IOP links, batching M2 per source site
+        // and M3 to the capturing site ("one message for each group of
+        // objects which are from the same node").
+        let mut m2: BTreeMap<SiteId, Vec<(ObjectId, SimTime, Link)>> = BTreeMap::new();
+        let mut m3: Vec<(ObjectId, SimTime, Option<Link>)> = Vec::with_capacity(members.len());
+        {
+            let shard = self.sites[gw].gateway.shard_mut(prefix);
+            for &(o, t) in &members {
+                let prev = shard.get(&o).copied();
+                if let Some(p) = prev {
+                    if p.time > t {
+                        self.anomalies.out_of_order_arrivals += 1;
+                        continue;
+                    }
+                }
+                shard.upsert(o, IndexEntry { site, time: t, prev: prev.map(|p| p.link()) });
+                let new_link = Link { site, time: t };
+                if let Some(p) = prev {
+                    m2.entry(p.site).or_default().push((o, p.time, new_link));
+                }
+                m3.push((o, t, prev.map(|p| p.link())));
+            }
+        }
+        self.hosted.insert(prefix);
+
+        for (dest, updates) in m2 {
+            let msg = Msg::SetTo { updates };
+            self.dispatch(sim, gw, self.site_idx(dest), 1, msg);
+        }
+        if !m3.is_empty() {
+            let msg = Msg::SetFrom { updates: m3 };
+            self.dispatch(sim, gw, self.site_idx(site), 1, msg);
+        }
+
+        self.maybe_delegate(sim, gw, prefix);
+    }
+
+    /// Fig. 5 `refresh_from_ascent`: walk shorter prefixes (nearest
+    /// ancestor first, down to `Lmin`), fetching — *moving* — any index
+    /// entries for the missing objects into the local shard.
+    fn refresh_from_ascent(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        gw: usize,
+        prefix: Prefix,
+        missing: &mut HashSet<ObjectId>,
+    ) {
+        let Some(g) = self.group_config() else { return };
+        let mut l = prefix.len();
+        while l > g.l_min && !missing.is_empty() {
+            l -= 1;
+            let p = prefix.truncate(l);
+            self.fetch_remote(sim, gw, p, prefix, missing);
+        }
+    }
+
+    /// Fig. 5 `refresh_from_descent`: recurse into hosted child prefixes
+    /// fetching entries for the missing objects.
+    fn refresh_from_descent(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        gw: usize,
+        prefix: Prefix,
+        missing: &mut HashSet<ObjectId>,
+    ) {
+        self.descend(sim, gw, prefix, prefix, missing);
+    }
+
+    fn descend(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        gw: usize,
+        node: Prefix,
+        dest: Prefix,
+        missing: &mut HashSet<ObjectId>,
+    ) {
+        if missing.is_empty() || node.len() >= ids::prefix::MAX_PREFIX_BITS {
+            return;
+        }
+        for one in [false, true] {
+            let child = node.child(one);
+            // filter(objects, p+bit): only objects under this child.
+            if !missing.iter().any(|o| child.matches(&o.id())) {
+                continue;
+            }
+            let was_hosted = self.is_hosted(&child);
+            self.fetch_remote(sim, gw, child, dest, missing);
+            if was_hosted {
+                self.descend(sim, gw, child, dest, missing);
+            }
+        }
+    }
+
+    /// One refresh fetch: take matching entries from the shard at
+    /// `p`'s gateway into `gw`'s shard for the original prefix, charging
+    /// a request/reply pair of `Refresh` messages.
+    fn fetch_remote(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        gw: usize,
+        p: Prefix,
+        dest: Prefix,
+        missing: &mut HashSet<ObjectId>,
+    ) {
+        if !self.is_hosted(&p) {
+            if self.config.count_existence_checks {
+                let (_, hops) = self.route(self.sites[gw].site, p.gateway_id());
+                sim.metrics_mut().record(MsgClass::Lookup, HEADER_BYTES + PREFIX_BYTES, hops);
+            }
+            return;
+        }
+        let (owner, hops) = self.route(self.sites[gw].site, p.gateway_id());
+        let want: Vec<ObjectId> = missing
+            .iter()
+            .filter(|o| p.matches(&o.id()))
+            .copied()
+            .collect();
+        if want.is_empty() {
+            return;
+        }
+
+        // Take matching entries from the remote shard.
+        let mut fetched: Vec<(ObjectId, IndexEntry)> = Vec::new();
+        if let Some(shard) = self.sites[owner].gateway.prefixes.get_mut(&p) {
+            for o in &want {
+                if let Some(e) = shard.take(o) {
+                    fetched.push((*o, e));
+                }
+            }
+        }
+        if self.sites[owner].gateway.prune_if_empty(&p) {
+            self.hosted.remove(&p);
+        }
+
+        // Charge request + reply (even when the reply is empty: the
+        // gateway could not know without asking).
+        if owner != gw {
+            let req_bytes = HEADER_BYTES + PREFIX_BYTES + want.len() * OBJECT_ID_BYTES;
+            let rep_bytes =
+                HEADER_BYTES + fetched.len() * (OBJECT_ID_BYTES + ENTRY_BYTES);
+            let m = sim.metrics_mut();
+            m.record(MsgClass::Refresh, req_bytes, hops);
+            m.record(MsgClass::Refresh, rep_bytes, 1);
+        }
+
+        if !fetched.is_empty() {
+            // History lands in the shard that requested the refresh.
+            self.hosted.insert(dest);
+            let shard = self.sites[gw].gateway.shard_mut(dest);
+            for (o, e) in &fetched {
+                shard.upsert(*o, *e);
+                missing.remove(o);
+            }
+        }
+    }
+
+    /// Fig. 5 `update_index` lines 2–4: delegate the earliest `α·count`
+    /// records to the two triangle children when the shard exceeds the
+    /// configured threshold.
+    fn maybe_delegate(&mut self, sim: &mut Sim<Msg>, gw: usize, prefix: Prefix) {
+        let Some(g) = self.group_config() else { return };
+        let Some(threshold) = g.delegate_threshold else { return };
+        if prefix.len() >= ids::prefix::MAX_PREFIX_BITS {
+            return;
+        }
+        let len = self.sites[gw].gateway.shard_mut(prefix).len();
+        if len <= threshold {
+            return;
+        }
+        let k = ((g.alpha * len as f64).ceil() as usize).min(len);
+        let victims = self.sites[gw].gateway.shard_mut(prefix).take_earliest(k);
+        self.sites[gw].gateway.shard_mut(prefix).delegated = true;
+
+        let bit = prefix.len();
+        let mut split: [Vec<(ObjectId, IndexEntry)>; 2] = [Vec::new(), Vec::new()];
+        for (o, e) in victims {
+            split[o.id().bit(bit) as usize].push((o, e));
+        }
+        for (oneness, entries) in split.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let child = prefix.child(oneness == 1);
+            self.hosted.insert(child);
+            let (owner, hops) = self.route(self.sites[gw].site, child.gateway_id());
+            let msg = Msg::Delegate { prefix: child, entries };
+            self.dispatch(sim, gw, owner, hops, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lp maintenance: the splitting–merging process (§IV-A.2)
+    // ------------------------------------------------------------------
+
+    /// Recompute `Lp` from the (estimated) ring size; on change, run the
+    /// eager splitting/merging migration if configured. Returns the new
+    /// `Lp`.
+    pub fn refresh_lp(&mut self, sim: &mut Sim<Msg>) -> usize {
+        let Some(g) = self.group_config() else { return self.current_lp };
+        let nn = self.estimated_size(sim, g);
+        let target = g.scheme.lp_clamped(nn, g.l_min);
+        if !g.eager_split_merge {
+            self.current_lp = target;
+            return target;
+        }
+        while self.current_lp < target {
+            let l = self.current_lp;
+            self.split_level(sim, l);
+            self.current_lp += 1;
+        }
+        while self.current_lp > target {
+            let l = self.current_lp;
+            // Children of the old triangles sit one level below the old
+            // parents; they migrate up into the (new child) level first.
+            self.merge_level(sim, l + 1);
+            self.current_lp -= 1;
+        }
+        target
+    }
+
+    /// The network size used to derive `Lp`, per the configured policy.
+    /// The gossip policy simulates a full push-pull epoch over the live
+    /// membership and charges its traffic (one message pair per node per
+    /// round, header-sized payloads).
+    fn estimated_size(&mut self, sim: &mut Sim<Msg>, g: GroupConfig) -> usize {
+        match g.size_estimation {
+            SizeEstimation::Exact => self.ring.len(),
+            SizeEstimation::Gossip { rounds } => {
+                let n = self.ring.len();
+                let est = crate::estimator::estimate_count(n, rounds, sim.rng_mut());
+                let m = sim.metrics_mut();
+                m.record_bulk(
+                    MsgClass::Gossip,
+                    est.messages,
+                    est.messages * 24, // one f64 value + header per exchange
+                    est.messages,
+                );
+                est.median().round().max(1.0) as usize
+            }
+        }
+    }
+
+    /// Push every shard of length `l` down into its two children
+    /// ("the data stored in the old parent will all be delegated into
+    /// the two new parent nodes which are its child nodes").
+    fn split_level(&mut self, sim: &mut Sim<Msg>, l: usize) {
+        let shards: Vec<(usize, Prefix)> = self
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .flat_map(|(i, s)| {
+                s.gateway
+                    .prefixes
+                    .keys()
+                    .filter(|p| p.len() == l)
+                    .map(move |p| (i, *p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (idx, p) in shards {
+            let entries = match self.sites[idx].gateway.prefixes.get_mut(&p) {
+                Some(s) => s.drain_all(),
+                None => continue,
+            };
+            self.sites[idx].gateway.prefixes.remove(&p);
+            self.hosted.remove(&p);
+            if entries.is_empty() {
+                continue;
+            }
+            let mut split: [Vec<(ObjectId, IndexEntry)>; 2] = [Vec::new(), Vec::new()];
+            for (o, e) in entries {
+                split[o.id().bit(l) as usize].push((o, e));
+            }
+            for (oneness, part) in split.into_iter().enumerate() {
+                if part.is_empty() {
+                    continue;
+                }
+                let child = p.child(oneness == 1);
+                self.hosted.insert(child);
+                let (owner, hops) = self.route(self.sites[idx].site, child.gateway_id());
+                let msg = Msg::Migrate { prefix: Some(child), entries: part };
+                self.dispatch(sim, idx, owner, hops, msg);
+            }
+        }
+    }
+
+    /// Merge every shard of length `l` up into its parent ("the parent
+    /// node's two child nodes migrate the data they are indexing to the
+    /// parent node").
+    fn merge_level(&mut self, sim: &mut Sim<Msg>, l: usize) {
+        if l == 0 {
+            return;
+        }
+        let shards: Vec<(usize, Prefix)> = self
+            .sites
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .flat_map(|(i, s)| {
+                s.gateway
+                    .prefixes
+                    .keys()
+                    .filter(|p| p.len() == l)
+                    .map(move |p| (i, *p))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (idx, p) in shards {
+            let entries = match self.sites[idx].gateway.prefixes.get_mut(&p) {
+                Some(s) => s.drain_all(),
+                None => continue,
+            };
+            self.sites[idx].gateway.prefixes.remove(&p);
+            self.hosted.remove(&p);
+            if entries.is_empty() {
+                continue;
+            }
+            let parent = p.parent().expect("l > 0");
+            self.hosted.insert(parent);
+            let (owner, hops) = self.route(self.sites[idx].site, parent.gateway_id());
+            let msg = Msg::Migrate { prefix: Some(parent), entries };
+            self.dispatch(sim, idx, owner, hops, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Churn support (data plane; ring membership handled by `net`)
+    // ------------------------------------------------------------------
+
+    /// After a ring change, move every gateway entry/shard whose key the
+    /// migration covers from `from_site` to `to_site`, charging
+    /// `SplitMerge` traffic (Chord's key handoff).
+    pub(crate) fn apply_migration(
+        &mut self,
+        sim: &mut Sim<Msg>,
+        migration: &chord::Migration,
+        from_idx: usize,
+        to_idx: usize,
+    ) {
+        // Individual-mode entries move by object id.
+        let moved_objects: Vec<ObjectId> = self.sites[from_idx]
+            .gateway
+            .objects
+            .keys()
+            .filter(|o| migration.covers(&o.id()))
+            .copied()
+            .collect();
+        let mut entries = Vec::with_capacity(moved_objects.len());
+        for o in moved_objects {
+            let e = self.sites[from_idx].gateway.objects.remove(&o).expect("listed above");
+            entries.push((o, e));
+        }
+        if !entries.is_empty() {
+            let msg = Msg::Migrate { prefix: None, entries };
+            self.dispatch(sim, from_idx, to_idx, 1, msg);
+        }
+
+        // Group-mode shards move whole, by their gateway key.
+        let moved_prefixes: Vec<Prefix> = self.sites[from_idx]
+            .gateway
+            .prefixes
+            .keys()
+            .filter(|p| migration.covers(&p.gateway_id()))
+            .copied()
+            .collect();
+        for p in moved_prefixes {
+            let mut shard = self.sites[from_idx]
+                .gateway
+                .prefixes
+                .remove(&p)
+                .expect("listed above");
+            let entries = shard.drain_all();
+            if entries.is_empty() {
+                continue;
+            }
+            let msg = Msg::Migrate { prefix: Some(p), entries };
+            self.dispatch(sim, from_idx, to_idx, 1, msg);
+        }
+    }
+
+    /// Total index load per site (objects indexed as gateway) — Fig. 8a.
+    pub fn load_distribution(&self) -> Vec<u64> {
+        self.sites
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.gateway.load() as u64)
+            .collect()
+    }
+
+    /// Borrow a shard for inspection (tests, queries).
+    pub fn shard(&self, site: SiteId, p: &Prefix) -> Option<&PrefixIndex> {
+        self.sites[self.site_idx(site)].gateway.prefixes.get(p)
+    }
+}
+
+impl World<Msg> for NetWorld {
+    fn on_message(&mut self, sim: &mut Sim<Msg>, to: NodeIndex, from: NodeIndex, msg: Msg) {
+        self.handle(sim, to, from, msg);
+    }
+
+    fn on_timer(&mut self, sim: &mut Sim<Msg>, node: NodeIndex, kind: u64) {
+        let tag = kind >> TAG_SHIFT;
+        let value = kind & ((1 << TAG_SHIFT) - 1);
+        match tag {
+            TAG_WINDOW => {
+                let idx = value as usize;
+                debug_assert_eq!(idx, node);
+                if !self.sites[idx].alive {
+                    return;
+                }
+                self.sites[idx].window_timer = None;
+                if let Some(batch) = self.sites[idx].window.flush(sim.now()) {
+                    self.index_batch(sim, batch);
+                }
+            }
+            TAG_CAPTURE => {
+                if let Some((site, objects)) = self.pending_captures.remove(&value) {
+                    if self.sites[site.0 as usize].alive {
+                        self.capture_now(sim, site, &objects);
+                    }
+                }
+            }
+            other => panic!("unknown timer tag {other}"),
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Predictive object tracking — the paper's §VII future work:
+//! "add capabilities for predicting future status of objects ... using
+//! statistical and probabilistic techniques".
+//!
+//! The model is deliberately the simplest thing that answers the future
+//! query `L(o, t_future)` probabilistically:
+//!
+//! * a **first-order Markov chain** over sites, fitted from historical
+//!   MOODS paths (site → site transition counts, §II-B's path domain);
+//! * a per-site **dwell-time distribution** (empirical mean, used as the
+//!   rate of an exponential holding time);
+//! * prediction by **Monte-Carlo rollout**: from the object's current
+//!   site and elapsed dwell, sample holding times and transitions up to
+//!   the horizon; the empirical distribution over end sites is the
+//!   answer.
+//!
+//! Everything is deterministic given the caller's RNG, so predictions
+//! are reproducible in tests and experiments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use moods::{Path, SiteId};
+use rand::Rng;
+use simnet::SimTime;
+use std::collections::HashMap;
+
+/// A fitted movement model.
+#[derive(Clone, Debug, Default)]
+pub struct TransitionModel {
+    /// `counts[a][b]` = observed moves a → b.
+    counts: HashMap<SiteId, HashMap<SiteId, u64>>,
+    /// Sum of closed dwell durations and their count, per site.
+    dwell: HashMap<SiteId, (u64, u64)>,
+    /// Observed terminations (object's path ends at this site so far).
+    terminal: HashMap<SiteId, u64>,
+}
+
+impl TransitionModel {
+    /// Empty model (predicts "stays put" everywhere).
+    pub fn new() -> TransitionModel {
+        TransitionModel::default()
+    }
+
+    /// Fold one historical path into the model.
+    pub fn observe(&mut self, path: &Path) {
+        for w in path.windows(2) {
+            *self
+                .counts
+                .entry(w[0].site)
+                .or_default()
+                .entry(w[1].site)
+                .or_default() += 1;
+        }
+        for v in path {
+            if let Some(d) = v.departed {
+                let e = self.dwell.entry(v.site).or_default();
+                e.0 += d.since(v.arrived).as_micros();
+                e.1 += 1;
+            }
+        }
+        if let Some(last) = path.last() {
+            if last.departed.is_none() {
+                *self.terminal.entry(last.site).or_default() += 1;
+            }
+        }
+    }
+
+    /// Fit a model from a corpus of paths.
+    pub fn fit(paths: &[Path]) -> TransitionModel {
+        let mut m = TransitionModel::new();
+        for p in paths {
+            m.observe(p);
+        }
+        m
+    }
+
+    /// Number of observed transitions out of `site`.
+    pub fn out_degree(&self, site: SiteId) -> u64 {
+        self.counts.get(&site).map(|m| m.values().sum()).unwrap_or(0)
+    }
+
+    /// Next-site distribution from `site`, most probable first.
+    /// Empty when the site was never seen to forward anything.
+    pub fn next_distribution(&self, site: SiteId) -> Vec<(SiteId, f64)> {
+        let Some(row) = self.counts.get(&site) else {
+            return Vec::new();
+        };
+        let total: u64 = row.values().sum();
+        let mut out: Vec<(SiteId, f64)> =
+            row.iter().map(|(s, c)| (*s, *c as f64 / total as f64)).collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("probabilities are finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Probability that an object at `site` has reached the end of its
+    /// journey (estimated from observed open-ended path terminations).
+    pub fn terminal_probability(&self, site: SiteId) -> f64 {
+        let ends = *self.terminal.get(&site).unwrap_or(&0);
+        let moves = self.out_degree(site);
+        if ends + moves == 0 {
+            return 1.0; // never seen: assume it stays
+        }
+        ends as f64 / (ends + moves) as f64
+    }
+
+    /// Mean dwell at `site`; `None` if no closed visit was observed.
+    pub fn mean_dwell(&self, site: SiteId) -> Option<SimTime> {
+        let (total, n) = self.dwell.get(&site)?;
+        if *n == 0 {
+            return None;
+        }
+        Some(SimTime::from_micros(total / n))
+    }
+
+    /// Predict where an object will be `horizon` from now, given it is
+    /// currently at `site` and has already dwelt `elapsed` there.
+    /// Returns the site distribution from `rollouts` Monte-Carlo runs,
+    /// most probable first.
+    pub fn predict<R: Rng + ?Sized>(
+        &self,
+        site: SiteId,
+        elapsed: SimTime,
+        horizon: SimTime,
+        rollouts: u32,
+        rng: &mut R,
+    ) -> Vec<(SiteId, f64)> {
+        assert!(rollouts > 0, "need at least one rollout");
+        let mut tally: HashMap<SiteId, u32> = HashMap::new();
+        for _ in 0..rollouts {
+            let end = self.rollout(site, elapsed, horizon, rng);
+            *tally.entry(end).or_default() += 1;
+        }
+        let mut out: Vec<(SiteId, f64)> = tally
+            .into_iter()
+            .map(|(s, c)| (s, c as f64 / rollouts as f64))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// One sampled trajectory; returns the site at the horizon.
+    fn rollout<R: Rng + ?Sized>(
+        &self,
+        mut site: SiteId,
+        elapsed: SimTime,
+        horizon: SimTime,
+        rng: &mut R,
+    ) -> SiteId {
+        let mut remaining = horizon.as_micros() as f64;
+        let mut first = true;
+        // Bound the walk: horizons only ever span a bounded number of
+        // hops in practice; 64 protects against degenerate zero dwells.
+        for _ in 0..64 {
+            if rng.gen::<f64>() < self.terminal_probability(site) {
+                return site; // journey ends here
+            }
+            let Some(mean) = self.mean_dwell(site) else {
+                return site; // no dwell data: cannot predict a departure
+            };
+            // Exponential holding time with the observed mean; memoryless,
+            // so elapsed dwell only matters through the first sample's
+            // conditioning (memorylessness makes it a no-op — document
+            // the assumption by consuming `elapsed` only as a flag).
+            let _ = (first, elapsed);
+            first = false;
+            let mean_us = (mean.as_micros() as f64).max(1.0);
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let hold = -u.ln() * mean_us;
+            if hold >= remaining {
+                return site;
+            }
+            remaining -= hold;
+
+            let dist = self.next_distribution(site);
+            if dist.is_empty() {
+                return site;
+            }
+            let mut draw: f64 = rng.gen();
+            let mut chosen = dist[dist.len() - 1].0;
+            for (s, p) in &dist {
+                if draw < *p {
+                    chosen = *s;
+                    break;
+                }
+                draw -= p;
+            }
+            site = chosen;
+        }
+        site
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moods::Visit;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, SeedableRng};
+    use simnet::time::secs;
+
+    fn visit(site: u32, arrived: u64, departed: Option<u64>) -> Visit {
+        Visit { site: SiteId(site), arrived: secs(arrived), departed: departed.map(secs) }
+    }
+
+    /// A corpus of linear paths 0 → 1 → 2 with 100 s dwells.
+    fn linear_corpus(n: usize) -> Vec<Path> {
+        (0..n)
+            .map(|_| {
+                vec![
+                    visit(0, 0, Some(100)),
+                    visit(1, 100, Some(200)),
+                    visit(2, 200, None),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_chain_predicts_certainly() {
+        let m = TransitionModel::fit(&linear_corpus(50));
+        assert_eq!(m.next_distribution(SiteId(0)), vec![(SiteId(1), 1.0)]);
+        assert_eq!(m.next_distribution(SiteId(1)), vec![(SiteId(2), 1.0)]);
+        assert!(m.next_distribution(SiteId(2)).is_empty());
+        assert_eq!(m.mean_dwell(SiteId(0)), Some(secs(100)));
+        // Site 2 is always terminal.
+        assert!((m.terminal_probability(SiteId(2)) - 1.0).abs() < 1e-9);
+        assert!(m.terminal_probability(SiteId(0)) < 1e-9);
+    }
+
+    #[test]
+    fn long_horizon_ends_at_absorbing_site() {
+        let m = TransitionModel::fit(&linear_corpus(50));
+        let mut rng = StdRng::seed_from_u64(1);
+        // Horizon far beyond total journey: everything ends at site 2.
+        let dist = m.predict(SiteId(0), SimTime::ZERO, secs(1_000_000), 200, &mut rng);
+        assert_eq!(dist[0].0, SiteId(2));
+        assert!(dist[0].1 > 0.99, "got {dist:?}");
+    }
+
+    #[test]
+    fn zero_horizon_stays_put() {
+        let m = TransitionModel::fit(&linear_corpus(10));
+        let mut rng = StdRng::seed_from_u64(2);
+        let dist = m.predict(SiteId(1), SimTime::ZERO, SimTime::ZERO, 100, &mut rng);
+        assert_eq!(dist, vec![(SiteId(1), 1.0)]);
+    }
+
+    #[test]
+    fn medium_horizon_spreads_over_route() {
+        let m = TransitionModel::fit(&linear_corpus(50));
+        let mut rng = StdRng::seed_from_u64(3);
+        // Horizon ≈ one mean dwell: mass mostly on sites 0 and 1.
+        let dist = m.predict(SiteId(0), SimTime::ZERO, secs(100), 2_000, &mut rng);
+        let p: HashMap<SiteId, f64> = dist.into_iter().collect();
+        let p0 = p.get(&SiteId(0)).copied().unwrap_or(0.0);
+        let p1 = p.get(&SiteId(1)).copied().unwrap_or(0.0);
+        assert!(p0 > 0.2 && p1 > 0.2, "p0={p0} p1={p1}");
+        // Exponential(100s) over a 100s horizon: P(no move) = e^-1 ≈ .37,
+        // P(exactly one move) ≈ .37 too; allow generous slack.
+        assert!((p0 - 0.37).abs() < 0.1, "p0={p0}");
+    }
+
+    #[test]
+    fn branching_chain_probabilities_follow_counts() {
+        // 0 → 1 (3 times), 0 → 2 (once).
+        let mut paths = vec![];
+        for _ in 0..3 {
+            paths.push(vec![visit(0, 0, Some(10)), visit(1, 10, None)]);
+        }
+        paths.push(vec![visit(0, 0, Some(10)), visit(2, 10, None)]);
+        let m = TransitionModel::fit(&paths);
+        let d = m.next_distribution(SiteId(0));
+        assert_eq!(d[0], (SiteId(1), 0.75));
+        assert_eq!(d[1], (SiteId(2), 0.25));
+    }
+
+    #[test]
+    fn unseen_site_is_a_fixpoint() {
+        let m = TransitionModel::fit(&linear_corpus(5));
+        let mut rng = StdRng::seed_from_u64(4);
+        let dist = m.predict(SiteId(99), SimTime::ZERO, secs(10_000), 50, &mut rng);
+        assert_eq!(dist, vec![(SiteId(99), 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distribution_sums_to_one(
+            routes in prop::collection::vec(
+                prop::collection::vec(0u32..6, 2..6), 1..20),
+            horizon in 0u64..10_000,
+        ) {
+            let mut paths: Vec<Path> = Vec::new();
+            for r in &routes {
+                let mut t = 0u64;
+                let mut path = Vec::new();
+                for (i, s) in r.iter().enumerate() {
+                    let departed = (i + 1 < r.len()).then(|| t + 50);
+                    path.push(visit(*s, t, departed));
+                    t += 50;
+                }
+                paths.push(path);
+            }
+            let m = TransitionModel::fit(&paths);
+            let mut rng = StdRng::seed_from_u64(7);
+            let dist = m.predict(SiteId(routes[0][0]), SimTime::ZERO, secs(horizon), 100, &mut rng);
+            let total: f64 = dist.iter().map(|(_, p)| p).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            prop_assert!(dist.iter().all(|(_, p)| *p > 0.0 && *p <= 1.0));
+            // Sorted descending.
+            prop_assert!(dist.windows(2).all(|w| w[0].1 >= w[1].1));
+        }
+    }
+}

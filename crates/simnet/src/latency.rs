@@ -1,0 +1,126 @@
+//! Network latency models.
+//!
+//! §V-B: "For the P2P approach, we added 5ms (typical network latency of
+//! T1) as the network latency for each network query." [`ConstantPerHop`]
+//! reproduces exactly that accounting; [`UniformJitter`] adds bounded
+//! random jitter for robustness experiments (the conclusions must not
+//! depend on perfectly constant links).
+
+use crate::time::SimTime;
+use rand::{Rng, RngCore};
+
+/// Maps an overlay transfer (some number of underlay/overlay hops) to a
+/// delivery delay.
+///
+/// The trait is object-safe (`&mut dyn RngCore`) so a [`crate::Sim`] can
+/// hold any model behind a `Box`.
+pub trait LatencyModel: Send + Sync {
+    /// Delay for a message that traverses `hops` overlay hops.
+    /// `rng` allows stochastic models while keeping runs deterministic.
+    fn delay(&self, hops: u32, rng: &mut dyn RngCore) -> SimTime;
+}
+
+/// The paper's model: a fixed per-hop latency (default 5 ms).
+#[derive(Clone, Copy, Debug)]
+pub struct ConstantPerHop {
+    /// Latency charged per hop.
+    pub per_hop: SimTime,
+}
+
+impl ConstantPerHop {
+    /// The paper's 5 ms T1 latency.
+    pub const fn paper() -> Self {
+        ConstantPerHop { per_hop: SimTime::from_millis(5) }
+    }
+
+    /// A custom per-hop latency.
+    pub const fn new(per_hop: SimTime) -> Self {
+        ConstantPerHop { per_hop }
+    }
+}
+
+impl Default for ConstantPerHop {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl LatencyModel for ConstantPerHop {
+    fn delay(&self, hops: u32, _rng: &mut dyn RngCore) -> SimTime {
+        SimTime(self.per_hop.0.saturating_mul(hops as u64))
+    }
+}
+
+/// Per-hop latency drawn uniformly from `[base − jitter, base + jitter]`.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformJitter {
+    /// Mean per-hop latency.
+    pub base: SimTime,
+    /// Maximum absolute deviation per hop.
+    pub jitter: SimTime,
+}
+
+impl UniformJitter {
+    /// Construct; `jitter` must not exceed `base`.
+    pub fn new(base: SimTime, jitter: SimTime) -> Self {
+        assert!(jitter.0 <= base.0, "jitter must not exceed base latency");
+        UniformJitter { base, jitter }
+    }
+}
+
+impl LatencyModel for UniformJitter {
+    fn delay(&self, hops: u32, rng: &mut dyn RngCore) -> SimTime {
+        let mut total = 0u64;
+        for _ in 0..hops {
+            let lo = self.base.0 - self.jitter.0;
+            let hi = self.base.0 + self.jitter.0;
+            total = total.saturating_add(rng.gen_range(lo..=hi));
+        }
+        SimTime(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn constant_is_linear_in_hops() {
+        let m = ConstantPerHop::paper();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(m.delay(0, &mut rng), SimTime::ZERO);
+        assert_eq!(m.delay(1, &mut rng), SimTime::from_millis(5));
+        assert_eq!(m.delay(9, &mut rng), SimTime::from_millis(45));
+    }
+
+    #[test]
+    fn jitter_within_bounds() {
+        let m = UniformJitter::new(SimTime::from_millis(5), SimTime::from_millis(2));
+        let mut rng = StdRng::seed_from_u64(7);
+        for hops in 1..10u32 {
+            let d = m.delay(hops, &mut rng).as_micros();
+            assert!(d >= 3_000 * hops as u64 && d <= 7_000 * hops as u64);
+        }
+    }
+
+    #[test]
+    fn jitter_deterministic_under_seed() {
+        let m = UniformJitter::new(SimTime::from_millis(5), SimTime::from_millis(2));
+        let a: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| m.delay(3, &mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..20).map(|_| m.delay(3, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn jitter_larger_than_base_rejected() {
+        let _ = UniformJitter::new(SimTime::from_millis(1), SimTime::from_millis(2));
+    }
+}

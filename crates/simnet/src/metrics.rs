@@ -1,0 +1,348 @@
+//! Message accounting.
+//!
+//! §V-A defines the paper's headline metric: "The indexing cost, measured
+//! by the total volume of messages transferred over the network."
+//! [`Metrics`] tallies messages, payload bytes and overlay hops, broken
+//! down by protocol message class, so every figure's y-axis can be
+//! recomputed from one structure.
+//!
+//! [`SharedMetrics`] is the thread-safe aggregate used when experiment
+//! sweeps fan out across threads (one `Sim` per thread, atomics for the
+//! roll-up — see the hpc-parallel guidance on data-race-free accounting).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Protocol message classes, used to break indexing cost down per figure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[repr(usize)]
+pub enum MsgClass {
+    /// M1 — arrival report from capturing node to gateway (§III).
+    IndexReport = 0,
+    /// M2/M3 — IOP updates from gateway to source/destination (§III).
+    IopUpdate = 1,
+    /// Group indexing message `(group id, (objects), timestamp)` (§IV-A.2).
+    GroupIndex = 2,
+    /// `refresh_from_ascent` / `refresh_from_descent` fetches (Fig. 5).
+    Refresh = 3,
+    /// Delegation of records from a triangle parent to children (Fig. 5).
+    Delegate = 4,
+    /// Split/merge data migration when `Lp` changes (§IV-A.2).
+    SplitMerge = 5,
+    /// Object/group lookup traffic (§IV-A.3).
+    Lookup = 6,
+    /// Trace/locate query traffic (§IV-B).
+    Query = 7,
+    /// Chord maintenance (join, stabilize, key migration).
+    Overlay = 8,
+    /// Epidemic aggregation for network-size estimation (§IV-A.1, \[14\]).
+    Gossip = 9,
+}
+
+/// Number of message classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// All message classes, for iteration in reports.
+pub const ALL_CLASSES: [MsgClass; NUM_CLASSES] = [
+    MsgClass::IndexReport,
+    MsgClass::IopUpdate,
+    MsgClass::GroupIndex,
+    MsgClass::Refresh,
+    MsgClass::Delegate,
+    MsgClass::SplitMerge,
+    MsgClass::Lookup,
+    MsgClass::Query,
+    MsgClass::Overlay,
+    MsgClass::Gossip,
+];
+
+impl MsgClass {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MsgClass::IndexReport => "index-report",
+            MsgClass::IopUpdate => "iop-update",
+            MsgClass::GroupIndex => "group-index",
+            MsgClass::Refresh => "refresh",
+            MsgClass::Delegate => "delegate",
+            MsgClass::SplitMerge => "split-merge",
+            MsgClass::Lookup => "lookup",
+            MsgClass::Query => "query",
+            MsgClass::Overlay => "overlay",
+            MsgClass::Gossip => "gossip",
+        }
+    }
+
+    /// Does this class count toward *indexing cost* (Figs. 6 and 8)?
+    /// The paper's indexing cost covers index establishment and IOP
+    /// maintenance, not queries or overlay upkeep.
+    pub fn is_indexing(&self) -> bool {
+        matches!(
+            self,
+            MsgClass::IndexReport
+                | MsgClass::IopUpdate
+                | MsgClass::GroupIndex
+                | MsgClass::Refresh
+                | MsgClass::Delegate
+                | MsgClass::SplitMerge
+        )
+    }
+}
+
+/// Single-threaded tally of network activity.
+#[derive(Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    messages: [u64; NUM_CLASSES],
+    bytes: [u64; NUM_CLASSES],
+    hops: [u64; NUM_CLASSES],
+}
+
+impl Metrics {
+    /// Fresh, zeroed tally.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one message of class `class` carrying `bytes` payload over
+    /// `hops` overlay hops.
+    pub fn record(&mut self, class: MsgClass, bytes: usize, hops: u32) {
+        let i = class as usize;
+        self.messages[i] += 1;
+        self.bytes[i] += bytes as u64;
+        self.hops[i] += hops as u64;
+    }
+
+    /// Record `messages` messages of one class at once (used by
+    /// synchronous query paths that account their traffic after the
+    /// fact).
+    pub fn record_bulk(&mut self, class: MsgClass, messages: u64, bytes: u64, hops: u64) {
+        let i = class as usize;
+        self.messages[i] += messages;
+        self.bytes[i] += bytes;
+        self.hops[i] += hops;
+    }
+
+    /// Messages of one class.
+    pub fn messages_of(&self, class: MsgClass) -> u64 {
+        self.messages[class as usize]
+    }
+
+    /// Bytes of one class.
+    pub fn bytes_of(&self, class: MsgClass) -> u64 {
+        self.bytes[class as usize]
+    }
+
+    /// Hops of one class.
+    pub fn hops_of(&self, class: MsgClass) -> u64 {
+        self.hops[class as usize]
+    }
+
+    /// Total messages, all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Total payload bytes, all classes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total overlay hops, all classes.
+    pub fn total_hops(&self) -> u64 {
+        self.hops.iter().sum()
+    }
+
+    /// The paper's *indexing cost*: messages of the indexing classes
+    /// (see [`MsgClass::is_indexing`]).
+    pub fn indexing_messages(&self) -> u64 {
+        ALL_CLASSES
+            .iter()
+            .filter(|c| c.is_indexing())
+            .map(|&c| self.messages_of(c))
+            .sum()
+    }
+
+    /// Indexing cost in overlay-hop transmissions — each message counted
+    /// once per hop it crosses, the network-layer reading of "messages
+    /// transferred over the network" (§IV-C counts routing cost this
+    /// way: `O(2^Lp log2 Nn)` vs `O(No log2 Nn)` hops).
+    pub fn indexing_hops(&self) -> u64 {
+        ALL_CLASSES
+            .iter()
+            .filter(|c| c.is_indexing())
+            .map(|&c| self.hops_of(c))
+            .sum()
+    }
+
+    /// Indexing cost in payload bytes ("total volume of messages").
+    pub fn indexing_bytes(&self) -> u64 {
+        ALL_CLASSES
+            .iter()
+            .filter(|c| c.is_indexing())
+            .map(|&c| self.bytes_of(c))
+            .sum()
+    }
+
+    /// Merge another tally into this one.
+    pub fn merge(&mut self, other: &Metrics) {
+        for i in 0..NUM_CLASSES {
+            self.messages[i] += other.messages[i];
+            self.bytes[i] += other.bytes[i];
+            self.hops[i] += other.hops[i];
+        }
+    }
+
+    /// Reset all counters to zero (e.g. after warm-up, before the
+    /// measured phase of an experiment).
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+
+    /// Difference `self - baseline`, for measuring a phase.
+    pub fn delta_since(&self, baseline: &Metrics) -> Metrics {
+        let mut out = Metrics::default();
+        for i in 0..NUM_CLASSES {
+            out.messages[i] = self.messages[i] - baseline.messages[i];
+            out.bytes[i] = self.bytes[i] - baseline.bytes[i];
+            out.hops[i] = self.hops[i] - baseline.hops[i];
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Metrics {{ total: {} msgs / {} B / {} hops",
+            self.total_messages(),
+            self.total_bytes(),
+            self.total_hops()
+        )?;
+        for &c in &ALL_CLASSES {
+            if self.messages_of(c) > 0 {
+                writeln!(
+                    f,
+                    "  {:>12}: {:>8} msgs {:>10} B {:>8} hops",
+                    c.label(),
+                    self.messages_of(c),
+                    self.bytes_of(c),
+                    self.hops_of(c)
+                )?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Thread-safe aggregate of many [`Metrics`], for parallel sweeps.
+#[derive(Default)]
+pub struct SharedMetrics {
+    messages: [AtomicU64; NUM_CLASSES],
+    bytes: [AtomicU64; NUM_CLASSES],
+    hops: [AtomicU64; NUM_CLASSES],
+}
+
+impl SharedMetrics {
+    /// Fresh, zeroed aggregate.
+    pub fn new() -> SharedMetrics {
+        SharedMetrics::default()
+    }
+
+    /// Fold a per-run tally into the aggregate. Relaxed ordering suffices:
+    /// counters are independent and only read after the joining of all
+    /// worker threads establishes the necessary happens-before edges.
+    pub fn absorb(&self, m: &Metrics) {
+        for i in 0..NUM_CLASSES {
+            self.messages[i].fetch_add(m.messages[i], Ordering::Relaxed);
+            self.bytes[i].fetch_add(m.bytes[i], Ordering::Relaxed);
+            self.hops[i].fetch_add(m.hops[i], Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot the aggregate as a plain [`Metrics`].
+    pub fn snapshot(&self) -> Metrics {
+        let mut out = Metrics::default();
+        for i in 0..NUM_CLASSES {
+            out.messages[i] = self.messages[i].load(Ordering::Relaxed);
+            out.bytes[i] = self.bytes[i].load(Ordering::Relaxed);
+            out.hops[i] = self.hops[i].load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut m = Metrics::new();
+        m.record(MsgClass::IndexReport, 100, 3);
+        m.record(MsgClass::IndexReport, 50, 2);
+        m.record(MsgClass::Query, 10, 1);
+        assert_eq!(m.messages_of(MsgClass::IndexReport), 2);
+        assert_eq!(m.bytes_of(MsgClass::IndexReport), 150);
+        assert_eq!(m.hops_of(MsgClass::IndexReport), 5);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.total_bytes(), 160);
+        assert_eq!(m.total_hops(), 6);
+    }
+
+    #[test]
+    fn indexing_cost_excludes_queries_and_overlay() {
+        let mut m = Metrics::new();
+        m.record(MsgClass::GroupIndex, 1, 1);
+        m.record(MsgClass::IopUpdate, 1, 1);
+        m.record(MsgClass::Query, 1, 1);
+        m.record(MsgClass::Overlay, 1, 1);
+        m.record(MsgClass::Gossip, 1, 1);
+        assert_eq!(m.indexing_messages(), 2);
+        assert_eq!(m.indexing_bytes(), 2);
+    }
+
+    #[test]
+    fn merge_and_delta() {
+        let mut a = Metrics::new();
+        a.record(MsgClass::Lookup, 10, 4);
+        let baseline = a.clone();
+        a.record(MsgClass::Lookup, 20, 5);
+        let d = a.delta_since(&baseline);
+        assert_eq!(d.messages_of(MsgClass::Lookup), 1);
+        assert_eq!(d.bytes_of(MsgClass::Lookup), 20);
+
+        let mut merged = Metrics::new();
+        merged.merge(&a);
+        merged.merge(&d);
+        assert_eq!(merged.messages_of(MsgClass::Lookup), 3);
+    }
+
+    #[test]
+    fn shared_absorbs_across_threads() {
+        let shared = SharedMetrics::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    let mut local = Metrics::new();
+                    for _ in 0..1000 {
+                        local.record(MsgClass::GroupIndex, 8, 2);
+                    }
+                    shared.absorb(&local);
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.messages_of(MsgClass::GroupIndex), 8_000);
+        assert_eq!(snap.bytes_of(MsgClass::GroupIndex), 64_000);
+        assert_eq!(snap.hops_of(MsgClass::GroupIndex), 16_000);
+    }
+
+    #[test]
+    fn all_classes_labelled_uniquely() {
+        let labels: std::collections::BTreeSet<_> =
+            ALL_CLASSES.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), NUM_CLASSES);
+    }
+}

@@ -1,0 +1,406 @@
+//! The discrete-event engine.
+//!
+//! [`Sim`] owns the virtual clock, the event queue, the RNG, the latency
+//! model and the [`Metrics`] tally. Protocol state lives entirely in a
+//! [`World`] implementation; the engine pops one event at a time and hands
+//! it to the world together with `&mut Sim`, so handlers can send further
+//! messages, arm timers and read the clock.
+//!
+//! Determinism: events are ordered by `(time, sequence-number)`, where the
+//! sequence number is assigned at scheduling time. Two runs with the same
+//! seed and the same workload therefore produce byte-identical metrics —
+//! the property that makes the reproduced figures exactly re-runnable.
+
+use crate::latency::{ConstantPerHop, LatencyModel};
+use crate::metrics::{Metrics, MsgClass};
+use crate::time::SimTime;
+use rand::{rngs::StdRng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Index of a simulated node (dense, assigned by the application).
+pub type NodeIndex = usize;
+
+/// Handle for a cancellable timer.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct TimerId(u64);
+
+/// Protocol logic driven by the engine.
+pub trait World<M> {
+    /// A message from `from` has arrived at `to`.
+    fn on_message(&mut self, sim: &mut Sim<M>, to: NodeIndex, from: NodeIndex, msg: M);
+
+    /// A timer armed with [`Sim::set_timer`] (or an absolute event from
+    /// [`Sim::schedule`]) has fired at `node`. `kind` is the caller's tag.
+    fn on_timer(&mut self, sim: &mut Sim<M>, node: NodeIndex, kind: u64);
+}
+
+enum EventKind<M> {
+    Deliver { to: NodeIndex, from: NodeIndex, msg: M },
+    Timer { node: NodeIndex, kind: u64, id: u64 },
+}
+
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+// Order by (time, seq) — BinaryHeap is a max-heap, so wrap in Reverse at
+// the call sites. Only time/seq participate in the ordering.
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Configuration for a simulation run.
+pub struct SimConfig {
+    /// RNG seed; equal seeds give identical runs.
+    pub seed: u64,
+    /// Latency model (defaults to the paper's 5 ms/hop).
+    pub latency: Box<dyn LatencyModel>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { seed: 0xC0FFEE, latency: Box::new(ConstantPerHop::paper()) }
+    }
+}
+
+impl SimConfig {
+    /// Replace the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the latency model.
+    pub fn with_latency(mut self, latency: Box<dyn LatencyModel>) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Build the engine.
+    pub fn build<M>(self) -> Sim<M> {
+        Sim {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            rng: StdRng::seed_from_u64(self.seed),
+            latency: self.latency,
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Sim<M> {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled<M>>>,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    rng: StdRng,
+    latency: Box<dyn LatencyModel>,
+    metrics: Metrics,
+}
+
+impl<M> Sim<M> {
+    /// Engine with default configuration (paper latency, fixed seed).
+    pub fn new() -> Sim<M> {
+        SimConfig::default().build()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events still queued (including lazily cancelled timers).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Accumulated metrics.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics, for costs computed outside the event loop
+    /// (e.g. a synchronous query path that still wants accounting).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// The deterministic RNG.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Delay the latency model assigns to `hops` overlay hops, advancing
+    /// the RNG (stochastic models) deterministically.
+    pub fn latency_for(&mut self, hops: u32) -> SimTime {
+        self.latency.delay(hops, &mut self.rng)
+    }
+
+    /// Send a message: records `class`/`bytes`/`hops` in the metrics and
+    /// schedules delivery after the model's delay for `hops` hops.
+    ///
+    /// `hops` is the number of overlay hops the routing layer reports for
+    /// reaching `to` (1 when the sender already knows the target's
+    /// address, `O(log N)` for a fresh DHT lookup).
+    pub fn send(
+        &mut self,
+        from: NodeIndex,
+        to: NodeIndex,
+        class: MsgClass,
+        bytes: usize,
+        hops: u32,
+        msg: M,
+    ) {
+        self.metrics.record(class, bytes, hops);
+        let delay = self.latency.delay(hops, &mut self.rng);
+        let time = self.now + delay;
+        self.push(Scheduled {
+            time,
+            seq: 0, // filled by push
+            kind: EventKind::Deliver { to, from, msg },
+        });
+    }
+
+    /// Deliver a message locally (same node): no metrics, no delay beyond
+    /// one event-queue round, preserving causal ordering with in-flight
+    /// traffic.
+    pub fn send_local(&mut self, node: NodeIndex, msg: M) {
+        let time = self.now;
+        self.push(Scheduled {
+            time,
+            seq: 0,
+            kind: EventKind::Deliver { to: node, from: node, msg },
+        });
+    }
+
+    /// Arm a relative timer at `node`, firing after `delay` with tag
+    /// `kind`. Returns a handle for [`Sim::cancel_timer`].
+    pub fn set_timer(&mut self, node: NodeIndex, delay: SimTime, kind: u64) -> TimerId {
+        self.schedule(self.now + delay, node, kind)
+    }
+
+    /// Schedule an absolute-time event at `node` (used to inject workload
+    /// arrivals). Returns a cancellable handle like a timer.
+    pub fn schedule(&mut self, at: SimTime, node: NodeIndex, kind: u64) -> TimerId {
+        assert!(at >= self.now, "cannot schedule into the past");
+        let id = self.next_timer;
+        self.next_timer += 1;
+        self.push(Scheduled { time: at, seq: 0, kind: EventKind::Timer { node, kind, id } });
+        TimerId(id)
+    }
+
+    /// Cancel a pending timer. Cancelling an already-fired timer is a
+    /// no-op (lazy cancellation).
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled.insert(id.0);
+    }
+
+    fn push(&mut self, mut ev: Scheduled<M>) {
+        ev.seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(ev));
+    }
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step<W: World<M>>(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(Reverse(ev)) = self.queue.pop() else {
+                return false;
+            };
+            debug_assert!(ev.time >= self.now, "event queue went backwards");
+            match ev.kind {
+                EventKind::Timer { id, node, kind } => {
+                    if self.cancelled.remove(&id) {
+                        continue; // skip cancelled, try next event
+                    }
+                    self.now = ev.time;
+                    world.on_timer(self, node, kind);
+                }
+                EventKind::Deliver { to, from, msg } => {
+                    self.now = ev.time;
+                    world.on_message(self, to, from, msg);
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Run until no events remain.
+    pub fn run_until_quiescent<W: World<M>>(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run until the clock would pass `deadline` (events at exactly
+    /// `deadline` are processed). Remaining events stay queued.
+    pub fn run_until<W: World<M>>(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            match self.queue.peek() {
+                Some(Reverse(ev)) if ev.time <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+impl<M> Default for Sim<M> {
+    fn default() -> Self {
+        Sim::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ms;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(u64, String)>,
+    }
+
+    impl World<&'static str> for Recorder {
+        fn on_message(
+            &mut self,
+            sim: &mut Sim<&'static str>,
+            to: NodeIndex,
+            from: NodeIndex,
+            msg: &'static str,
+        ) {
+            self.log.push((sim.now().as_micros(), format!("msg {from}->{to}: {msg}")));
+            if msg == "ping" {
+                sim.send(to, from, MsgClass::Query, 4, 1, "pong");
+            }
+        }
+
+        fn on_timer(&mut self, sim: &mut Sim<&'static str>, node: NodeIndex, kind: u64) {
+            self.log.push((sim.now().as_micros(), format!("timer {kind} @ {node}")));
+        }
+    }
+
+    #[test]
+    fn message_delivered_after_latency() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        sim.send(0, 1, MsgClass::Query, 4, 3, "hello"); // 3 hops * 5ms
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(w.log, vec![(15_000, "msg 0->1: hello".into())]);
+        assert_eq!(sim.now(), ms(15));
+    }
+
+    #[test]
+    fn ping_pong_round_trip() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        sim.send(0, 1, MsgClass::Query, 4, 1, "ping");
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(w.log.len(), 2);
+        assert_eq!(w.log[1].0, 10_000); // 5ms out + 5ms back
+        assert_eq!(sim.metrics().total_messages(), 2);
+        assert_eq!(sim.metrics().total_hops(), 2);
+    }
+
+    #[test]
+    fn events_fire_in_time_order_with_fifo_ties() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        sim.set_timer(0, ms(10), 1);
+        sim.set_timer(0, ms(5), 2);
+        sim.set_timer(0, ms(10), 3); // ties with kind=1; scheduled later
+        sim.run_until_quiescent(&mut w);
+        let kinds: Vec<_> = w.log.iter().map(|(_, s)| s.clone()).collect();
+        assert_eq!(kinds, vec!["timer 2 @ 0", "timer 1 @ 0", "timer 3 @ 0"]);
+    }
+
+    #[test]
+    fn cancelled_timer_does_not_fire() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        let t = sim.set_timer(0, ms(5), 7);
+        sim.set_timer(0, ms(6), 8);
+        sim.cancel_timer(t);
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(w.log.len(), 1);
+        assert!(w.log[0].1.contains("timer 8"));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        sim.set_timer(0, ms(5), 1);
+        sim.set_timer(0, ms(50), 2);
+        sim.run_until(&mut w, ms(10));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(sim.now(), ms(10));
+        assert_eq!(sim.pending(), 1);
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn schedule_absolute_and_local_send() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        sim.schedule(ms(42), 3, 9);
+        sim.send_local(2, "loopback");
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(w.log[0], (0, "msg 2->2: loopback".into()));
+        assert_eq!(w.log[1], (42_000, "timer 9 @ 3".into()));
+        // Local sends are free.
+        assert_eq!(sim.metrics().total_messages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim: Sim<&'static str> = SimConfig::default().build();
+        let mut w = Recorder::default();
+        sim.set_timer(0, ms(5), 1);
+        sim.run_until_quiescent(&mut w);
+        sim.schedule(ms(1), 0, 2);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        fn run(seed: u64) -> Vec<(u64, String)> {
+            let mut sim: Sim<&'static str> = SimConfig::default()
+                .with_seed(seed)
+                .with_latency(Box::new(crate::latency::UniformJitter::new(ms(5), ms(2))))
+                .build();
+            let mut w = Recorder::default();
+            for i in 0..20 {
+                sim.send(0, 1, MsgClass::Lookup, 8, 1 + (i % 4), "ping");
+            }
+            sim.run_until_quiescent(&mut w);
+            w.log
+        }
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

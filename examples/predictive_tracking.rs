@@ -1,0 +1,99 @@
+//! Predictive tracking — the paper's §VII future work, running on top
+//! of the P2P traces.
+//!
+//! A logistics planner fits a movement model from the *historical*
+//! traces PeerTrack serves (no central history needed — each trace is a
+//! normal `TR` query), then forecasts where an in-flight shipment will
+//! be tomorrow.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p peertrack-examples --bin predictive_tracking
+//! ```
+
+use moods::SiteId;
+use peertrack::Builder;
+use predict::TransitionModel;
+use rand::{rngs::StdRng, SeedableRng};
+use simnet::time::secs;
+use simnet::SimTime;
+use workload::topology::SupplyChain;
+
+const DAY: u64 = 24 * 3_600;
+
+fn main() {
+    let chain = SupplyChain::generate(2, 3, 8, 5);
+    let mut net = Builder::new().sites(chain.total()).seed(5).build();
+    let mut rng = StdRng::seed_from_u64(77);
+
+    // History: 120 completed shipments flow through the chain, dwelling
+    // roughly a day per stop.
+    let mut historical = Vec::new();
+    for serial in 0..120u64 {
+        let route = chain.sample_route(&mut rng);
+        let o = workload::epc_object(route[0].0, serial);
+        let mut t = secs(10 + serial * 13);
+        for &site in &route {
+            net.schedule_capture(t, site, vec![o]);
+            t += secs(DAY);
+        }
+        historical.push(o);
+    }
+    net.run_until_quiescent();
+
+    // Fit the model from P2P trace queries — the planner only uses the
+    // public query API.
+    let planner = SiteId(0);
+    let corpus: Vec<moods::Path> = historical
+        .iter()
+        .map(|&o| net.trace(planner, o, SimTime::ZERO, SimTime::INFINITY).0)
+        .collect();
+    let model = TransitionModel::fit(&corpus);
+    println!(
+        "fitted movement model from {} historical traces ({} observed arrivals)",
+        corpus.len(),
+        corpus.iter().map(|p| p.len()).sum::<usize>()
+    );
+
+    // An in-flight shipment was just captured at a distribution centre.
+    let dc = {
+        // Pick the DC with the most outgoing history.
+        chain
+            .sites_of(workload::topology::Tier::DistributionCenter)
+            .into_iter()
+            .max_by_key(|&s| model.out_degree(s))
+            .expect("chain has DCs")
+    };
+    println!("\nshipment currently at {dc} (mean dwell there: {})",
+        model.mean_dwell(dc).map(|d| d.to_string()).unwrap_or_else(|| "unknown".into()));
+
+    println!("\nmost likely next stops:");
+    for (site, p) in model.next_distribution(dc).iter().take(3) {
+        println!("  {site}: {:.0}%", p * 100.0);
+    }
+
+    for days in [1u64, 3, 7] {
+        let dist = model.predict(dc, SimTime::ZERO, secs(days * DAY), 4_000, &mut rng);
+        let top: Vec<String> = dist
+            .iter()
+            .take(3)
+            .map(|(s, p)| format!("{s} ({:.0}%)", p * 100.0))
+            .collect();
+        println!("forecast +{days}d: {}", top.join(", "));
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    // Long horizon: the shipment ends at some retailer with near
+    // certainty.
+    let dist = model.predict(dc, SimTime::ZERO, secs(60 * DAY), 4_000, &mut rng);
+    let retail_mass: f64 = dist
+        .iter()
+        .filter(|(s, _)| chain.tier(*s) == workload::topology::Tier::Retailer)
+        .map(|(_, p)| p)
+        .sum();
+    println!("\nP(at a retailer within 60 days) = {:.1}%", retail_mass * 100.0);
+    assert!(retail_mass > 0.95, "long-horizon mass must reach the retail tier");
+
+    println!("done.");
+}

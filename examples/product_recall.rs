@@ -1,0 +1,105 @@
+//! Product recall across a supply chain — the paper's §I motivating
+//! application.
+//!
+//! A contaminated production batch left supplier S. The recall team
+//! must find (a) where every affected item is *now* and (b) every
+//! warehouse and store the batch passed through, so those sites can be
+//! inspected. With PeerTrack this needs no central database: the team
+//! queries from its own node and the DHT + IOP lists do the rest.
+//!
+//! Run with:
+//! ```text
+//! cargo run -p peertrack-examples --bin product_recall
+//! ```
+
+use moods::{ObjectId, SiteId};
+use peertrack::Builder;
+use rand::{rngs::StdRng, SeedableRng};
+use simnet::time::secs;
+use simnet::SimTime;
+use std::collections::BTreeMap;
+use workload::topology::{SupplyChain, Tier};
+
+fn main() {
+    // 4 suppliers, 6 distribution centres, 20 retail stores.
+    let chain = SupplyChain::generate(4, 6, 20, 7);
+    let mut net = Builder::new().sites(chain.total()).seed(7).build();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    // Supplier 2 ships 40 items of the affected batch; each item takes
+    // a (valid) route through the chain at its own pace. Half are still
+    // in transit when the recall hits.
+    let supplier = SiteId(2);
+    let batch: Vec<ObjectId> =
+        (0..40).map(|serial| workload::epc_object(supplier.0, serial)).collect();
+
+    for (i, &item) in batch.iter().enumerate() {
+        let route = {
+            // Sample until the route starts at our supplier.
+            loop {
+                let r = chain.sample_route(&mut rng);
+                if r[0] == supplier {
+                    break r;
+                }
+            }
+        };
+        let mut t = secs(100 + i as u64);
+        // Items further down the batch have progressed less far.
+        let steps = if i % 2 == 0 { route.len() } else { 1 + (i % route.len()) };
+        for &site in route.iter().take(steps) {
+            net.schedule_capture(t, site, vec![item]);
+            t += secs(24 * 3_600);
+        }
+    }
+    net.run_until_quiescent();
+
+    // --- The recall, issued from retail store n29 (no local data). ---
+    let recall_desk = SiteId(29);
+    let now = net.now();
+
+    let mut current_locations: BTreeMap<SiteId, usize> = BTreeMap::new();
+    let mut exposed_sites: BTreeMap<SiteId, usize> = BTreeMap::new();
+    let mut total_messages = 0u64;
+    let mut total_time_us = 0u64;
+
+    for &item in &batch {
+        let (loc, s1) = net.locate(recall_desk, item, now);
+        let loc = loc.expect("every batch item was captured at the supplier");
+        *current_locations.entry(loc).or_default() += 1;
+
+        let (path, s2) = net.trace(recall_desk, item, SimTime::ZERO, now);
+        assert!(s2.complete, "recall trace must be complete");
+        assert_eq!(path.first().map(|v| v.site), Some(supplier));
+        for v in &path {
+            *exposed_sites.entry(v.site).or_default() += 1;
+        }
+        total_messages += s1.messages + s2.messages;
+        total_time_us += (s1.time + s2.time).as_micros();
+    }
+
+    println!("RECALL REPORT — batch of {} items from {}", batch.len(), supplier);
+    println!("\ncurrent locations (seize these):");
+    for (site, n) in &current_locations {
+        let tier = match chain.tier(*site) {
+            Tier::Supplier => "supplier",
+            Tier::DistributionCenter => "distribution centre",
+            Tier::Retailer => "retail store",
+        };
+        println!("  {site} ({tier}): {n} items");
+    }
+    println!("\nexposed sites (inspect these):");
+    for (site, n) in &exposed_sites {
+        println!("  {site}: handled {n} items of the batch");
+    }
+    println!(
+        "\nquery cost: {} P2P messages, {:.1} ms simulated wall-clock total, zero central servers",
+        total_messages,
+        total_time_us as f64 / 1_000.0
+    );
+
+    // Sanity: every item is accounted for, and the supplier saw all 40.
+    let placed: usize = current_locations.values().sum();
+    assert_eq!(placed, batch.len());
+    assert_eq!(exposed_sites[&supplier], batch.len());
+    println!("\nall {} items accounted for — recall complete.", placed);
+}

@@ -1,0 +1,54 @@
+//! Shared helpers for the workspace integration tests.
+
+#![forbid(unsafe_code)]
+
+use moods::{MovementLog, ObjectId, SiteId};
+use peertrack::TraceableNetwork;
+use simnet::SimTime;
+
+/// A triple of tracking backends fed the same workload: the distributed
+/// system under test, the centralized baseline, and the semantic oracle.
+pub struct Tripled {
+    /// The P2P system.
+    pub net: TraceableNetwork,
+    /// The centralized warehouse baseline.
+    pub warehouse: centralized::Warehouse,
+    /// The ground-truth oracle.
+    pub oracle: MovementLog,
+}
+
+/// Feed the same capture events into all three backends and drain the
+/// P2P indexing traffic.
+pub fn triple_from_events(
+    mut net: TraceableNetwork,
+    events: &[workload::CaptureEvent],
+) -> Tripled {
+    let mut warehouse = centralized::Warehouse::new();
+    let mut oracle = MovementLog::new();
+    let mut sorted: Vec<&workload::CaptureEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.at);
+    for ev in sorted {
+        net.schedule_capture(ev.at, ev.site, ev.objects.clone());
+        for &o in &ev.objects {
+            warehouse.ingest(o, ev.site, ev.at);
+            oracle.record(o, ev.site, ev.at);
+        }
+    }
+    net.run_until_quiescent();
+    Tripled { net, warehouse, oracle }
+}
+
+/// Assert all three backends agree on `L(o, t)` and lifetime `TR`.
+pub fn assert_agreement(t: &mut Tripled, object: ObjectId, probes: &[SimTime], from: SiteId) {
+    use moods::{Locate, Trace};
+    for &probe in probes {
+        let p2p = t.net.locate(from, object, probe).0;
+        let central = t.warehouse.locate(object, probe);
+        let truth = t.oracle.locate(object, probe);
+        assert_eq!(p2p, truth, "P2P disagrees with oracle at {probe}");
+        assert_eq!(central, truth, "warehouse disagrees with oracle at {probe}");
+    }
+    let p2p = t.net.trace(from, object, SimTime::ZERO, SimTime::INFINITY).0;
+    let truth = t.oracle.trace(object, SimTime::ZERO, SimTime::INFINITY);
+    assert_eq!(p2p, truth, "P2P trace disagrees with oracle");
+}

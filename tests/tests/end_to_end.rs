@@ -1,0 +1,114 @@
+//! Full-pipeline integration: the §V workload generator feeds the P2P
+//! system, the centralized warehouse and the oracle; all three must
+//! agree on every query, and the high-level experiment claims must hold
+//! at miniature scale.
+
+use integration_tests::{assert_agreement, triple_from_events};
+use moods::SiteId;
+use peertrack::{Builder, IndexingMode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use simnet::time::secs;
+use workload::paper::PaperWorkload;
+
+fn paper_events(sites: usize, vol: usize, grouped: bool, seed: u64) -> Vec<workload::CaptureEvent> {
+    PaperWorkload {
+        sites,
+        objects_per_site: vol,
+        grouped_movement: grouped,
+        seed,
+        ..PaperWorkload::default()
+    }
+    .generate()
+}
+
+#[test]
+fn three_backends_agree_group_mode() {
+    let events = paper_events(12, 40, true, 5);
+    let net = Builder::new().sites(12).seed(5).build();
+    let mut t = triple_from_events(net, &events);
+
+    let probes: Vec<simnet::SimTime> = (0..20).map(|i| secs(i * 700)).collect();
+    let mut rng = StdRng::seed_from_u64(17);
+    for _ in 0..30 {
+        let site = rng.gen_range(0..12u32);
+        let serial = rng.gen_range(0..40u64);
+        let o = workload::epc_object(site, serial);
+        let from = SiteId(rng.gen_range(0..12u32));
+        assert_agreement(&mut t, o, &probes, from);
+    }
+    assert_eq!(t.net.anomalies(), peertrack::world::Anomalies::default());
+}
+
+#[test]
+fn three_backends_agree_individual_mode() {
+    let events = paper_events(10, 25, false, 6);
+    let net = Builder::new().sites(10).seed(6).mode(IndexingMode::Individual).build();
+    let mut t = triple_from_events(net, &events);
+
+    let probes: Vec<simnet::SimTime> = (0..15).map(|i| secs(i * 900)).collect();
+    for site in 0..10u32 {
+        for serial in [0u64, 3, 24] {
+            let o = workload::epc_object(site, serial);
+            assert_agreement(&mut t, o, &probes, SiteId((site + 5) % 10));
+        }
+    }
+}
+
+#[test]
+fn movers_have_eleven_visit_traces() {
+    // Paper workload: 10% of objects move along a 10-node trace, so a
+    // mover's lifetime trace has 11 visits (home + 10).
+    let events = paper_events(16, 50, true, 7);
+    let net = Builder::new().sites(16).seed(7).build();
+    let mut t = triple_from_events(net, &events);
+
+    let movers = 5; // 10% of 50
+    for site in 0..16u32 {
+        for serial in 0..movers as u64 {
+            let o = workload::epc_object(site, serial);
+            let (p, stats) =
+                t.net.trace(SiteId(0), o, simnet::SimTime::ZERO, simnet::SimTime::INFINITY);
+            assert_eq!(p.len(), 11, "mover at site {site} serial {serial}");
+            assert!(stats.complete);
+            assert_eq!(p[0].site, SiteId(site), "trace starts at home");
+        }
+        // Non-movers have exactly their inventory capture.
+        let stayer = workload::epc_object(site, movers as u64);
+        let (p, _) =
+            t.net.trace(SiteId(0), stayer, simnet::SimTime::ZERO, simnet::SimTime::INFINITY);
+        assert_eq!(p.len(), 1);
+    }
+}
+
+#[test]
+fn group_mode_is_never_costlier_than_individual() {
+    // Cross-crate miniature of Fig. 6: same workload, both modes.
+    for vol in [20usize, 100, 400] {
+        let run = |mode: IndexingMode| {
+            let mut net = Builder::new().sites(24).seed(9).mode(mode).build();
+            for ev in paper_events(24, vol, true, 9) {
+                net.schedule_capture(ev.at, ev.site, ev.objects);
+            }
+            net.run_until_quiescent();
+            net.metrics().indexing_messages()
+        };
+        let ind = run(IndexingMode::Individual);
+        let grp = run(bench::experiment_group_mode());
+        assert!(grp <= ind, "vol {vol}: group {grp} > individual {ind}");
+    }
+}
+
+#[test]
+fn warehouse_and_p2p_report_same_trace_lengths_at_scale() {
+    let events = paper_events(20, 60, true, 10);
+    let net = Builder::new().sites(20).seed(10).build();
+    let mut t = triple_from_events(net, &events);
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..50 {
+        use moods::Trace;
+        let o = workload::epc_object(rng.gen_range(0..20u32), rng.gen_range(0..60u64));
+        let p2p = t.net.trace(SiteId(1), o, simnet::SimTime::ZERO, simnet::SimTime::INFINITY).0;
+        let wh = t.warehouse.trace(o, simnet::SimTime::ZERO, simnet::SimTime::INFINITY);
+        assert_eq!(p2p.len(), wh.len());
+    }
+}
