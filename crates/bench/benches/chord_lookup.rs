@@ -2,10 +2,10 @@
 //! the §IV-C `O(log Nn)` hop bound is checked by complexity_check; this
 //! measures the constant factor.
 
+use bench::harness::Harness;
 use chord::Ring;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use ids::Id;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::hint::black_box;
 
 fn build(n: usize) -> (Ring, Vec<Id>) {
@@ -25,25 +25,17 @@ fn build(n: usize) -> (Ring, Vec<Id>) {
     (ring, ids)
 }
 
-fn bench_lookup(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chord_lookup");
+fn main() {
+    let mut h = Harness::from_env();
+    let mut g = h.group("chord_lookup");
     for n in [64usize, 256, 1024] {
         let (ring, ids) = build(n);
         let mut rng = StdRng::seed_from_u64(9);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let key = Id::from_u64(rng.gen());
-                let from = ids[rng.gen_range(0..ids.len())];
-                black_box(ring.lookup(from, key).expect("lookup"))
-            })
+        g.bench(n, || {
+            let key = Id::from_u64(rng.gen());
+            let from = ids[rng.gen_range(0..ids.len())];
+            black_box(ring.lookup(from, key).expect("lookup"));
         });
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_lookup
-}
-criterion_main!(benches);

@@ -1,31 +1,23 @@
 //! Group generation (§IV-A.1) — the per-window partitioning that runs
 //! on every indexing cycle; §IV-C claims Θ(No).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::{Harness, Throughput};
 use moods::ObjectId;
 use peertrack::grouping::group_batch;
 use simnet::SimTime;
 use std::hint::black_box;
 
-fn bench_grouping(c: &mut Criterion) {
-    let mut g = c.benchmark_group("group_generation");
+fn main() {
+    let mut h = Harness::from_env();
+    let mut g = h.group("group_generation");
     for (n, lp) in [(1_000usize, 8usize), (10_000, 13), (10_000, 8)] {
         let obs: Vec<(ObjectId, SimTime)> = (0..n)
             .map(|i| (ObjectId::from_raw(&(i as u64).to_be_bytes()), SimTime(i as u64)))
             .collect();
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(
-            BenchmarkId::new(format!("lp{lp}"), n),
-            &obs,
-            |b, obs| b.iter(|| black_box(group_batch(black_box(obs), lp))),
-        );
+        g.bench(format!("lp{lp}/{n}"), || {
+            black_box(group_batch(black_box(&obs), lp));
+        });
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_grouping
-}
-criterion_main!(benches);

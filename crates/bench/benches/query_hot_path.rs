@@ -2,19 +2,18 @@
 //! every Fig. 7 data point (simulated latency excluded; this is the
 //! routing + IOP traversal work).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::Harness;
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use moods::SiteId;
 use peertrack::Builder;
-use rand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::SimTime;
 use std::hint::black_box;
 
-fn bench_queries(c: &mut Criterion) {
+fn main() {
     // 64 sites, 200 objects moving through 6-site routes.
     let mut net = Builder::new().sites(64).seed(3).build();
-    let objects: Vec<_> = (0..200u64)
-        .map(|i| moods::ObjectId::from_raw(&i.to_be_bytes()))
-        .collect();
+    let objects: Vec<_> =
+        (0..200u64).map(|i| moods::ObjectId::from_raw(&i.to_be_bytes())).collect();
     let mut rng = StdRng::seed_from_u64(5);
     for (i, &o) in objects.iter().enumerate() {
         let mut t = SimTime::from_secs(1 + i as u64);
@@ -26,31 +25,21 @@ fn bench_queries(c: &mut Criterion) {
     }
     net.run_until_quiescent();
 
-    let mut g = c.benchmark_group("query_hot_path");
-    g.bench_function("locate", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i += 1;
-            let o = objects[i % objects.len()];
-            let from = SiteId((i % 64) as u32);
-            black_box(net.locate(from, o, SimTime::from_secs(100_000)))
-        })
+    let mut h = Harness::from_env();
+    let mut g = h.group("query_hot_path");
+    let mut i = 0usize;
+    g.bench("locate", || {
+        i += 1;
+        let o = objects[i % objects.len()];
+        let from = SiteId((i % 64) as u32);
+        black_box(net.locate(from, o, SimTime::from_secs(100_000)));
     });
-    g.bench_function("trace_lifetime", |b| {
-        let mut i = 0usize;
-        b.iter(|| {
-            i += 1;
-            let o = objects[i % objects.len()];
-            let from = SiteId((i % 64) as u32);
-            black_box(net.trace(from, o, SimTime::ZERO, SimTime::INFINITY))
-        })
+    let mut i = 0usize;
+    g.bench("trace_lifetime", || {
+        i += 1;
+        let o = objects[i % objects.len()];
+        let from = SiteId((i % 64) as u32);
+        black_box(net.trace(from, o, SimTime::ZERO, SimTime::INFINITY));
     });
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_queries
-}
-criterion_main!(benches);

@@ -1,25 +1,19 @@
 //! Throughput of the from-scratch SHA-1 — every object id and group id
 //! derivation goes through it (§III footnote 1).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use bench::harness::{Harness, Throughput};
 use ids::Sha1;
 use std::hint::black_box;
 
-fn bench_sha1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha1");
+fn main() {
+    let mut h = Harness::from_env();
+    let mut g = h.group("sha1");
     for size in [64usize, 1024, 65536] {
         let data = vec![0xABu8; size];
         g.throughput(Throughput::Bytes(size as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, d| {
-            b.iter(|| Sha1::digest(black_box(d)))
+        g.bench(size, || {
+            black_box(Sha1::digest(black_box(&data)));
         });
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_sha1
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! Data-Triangle shard operations (§IV-A.2): upsert (index update) and
 //! earliest-α delegation batches.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::harness::Harness;
 use moods::{ObjectId, SiteId};
 use peertrack::{IndexEntry, PrefixIndex};
 use simnet::SimTime;
@@ -18,34 +18,26 @@ fn filled(n: usize) -> PrefixIndex {
     pi
 }
 
-fn bench_triangle(c: &mut Criterion) {
-    let mut g = c.benchmark_group("triangle_ops");
+fn main() {
+    let mut h = Harness::from_env();
+    let mut g = h.group("triangle_ops");
     for n in [1_000usize, 10_000] {
-        g.bench_with_input(BenchmarkId::new("upsert", n), &n, |b, &n| {
-            let mut pi = filled(n);
-            let mut i = n as u64;
-            b.iter(|| {
-                i += 1;
-                pi.upsert(
-                    ObjectId::from_raw(&i.to_be_bytes()),
-                    IndexEntry { site: SiteId(0), time: SimTime(i), prev: None },
-                );
-            })
+        let mut pi = filled(n);
+        let mut i = n as u64;
+        g.bench(format!("upsert/{n}"), || {
+            i += 1;
+            pi.upsert(
+                ObjectId::from_raw(&i.to_be_bytes()),
+                IndexEntry { site: SiteId(0), time: SimTime(i), prev: None },
+            );
         });
-        g.bench_with_input(BenchmarkId::new("delegate_half", n), &n, |b, &n| {
-            b.iter_batched(
-                || filled(n),
-                |mut pi| black_box(pi.take_earliest(n / 2)),
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        g.bench_batched(
+            format!("delegate_half/{n}"),
+            || filled(n),
+            |mut pi| {
+                black_box(pi.take_earliest(n / 2));
+            },
+        );
     }
     g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_triangle
-}
-criterion_main!(benches);

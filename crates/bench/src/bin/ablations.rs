@@ -7,7 +7,7 @@
 use bench::report::{gini, print_table, results_path, write_csv};
 use moods::SiteId;
 use peertrack::{Builder, GroupConfig, IndexingMode, TraceableNetwork};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::time::{ms, secs};
 use simnet::{MsgClass, SimTime, UniformJitter};
 use workload::paper::PaperWorkload;

@@ -10,7 +10,7 @@
 use bench::report::print_table;
 use chord::Ring;
 use ids::Id;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 
 fn main() {
     // Hop growth: average lookup hops across sizes vs (1/2)·log2(Nn).

@@ -10,7 +10,7 @@ use bench::report::{print_table, results_path, write_csv};
 use moods::{ObjectId, SiteId};
 use peertrack::query::AnswerSource;
 use peertrack::Builder;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::time::secs;
 use simnet::SimTime;
 

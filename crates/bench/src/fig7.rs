@@ -10,7 +10,7 @@ use crate::{experiment_group_mode, parallel_sweep, Scale};
 use centralized::Warehouse;
 use moods::SiteId;
 use peertrack::Builder;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::SimTime;
 use workload::paper::PaperWorkload;
 

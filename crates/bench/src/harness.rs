@@ -1,0 +1,208 @@
+//! Minimal timing harness behind the `cargo bench` binaries.
+//!
+//! A criterion substitute small enough to live in-tree (hermetic-build
+//! policy): warmup to calibrate an iteration count, then a fixed number
+//! of wall-clock samples, reported as median/min/max ns per iteration
+//! plus derived throughput. No statistics beyond order statistics —
+//! the paper's claims are complexity-shaped, and complexity_check does
+//! the curve fitting; these binaries exist to catch gross constant-
+//! factor regressions.
+//!
+//! `cargo bench` invokes each `harness = false` binary with `--bench`
+//! and any user filter; [`Harness::from_env`] honours the filter by
+//! substring on `group/id` names.
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time per measured sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+/// Wall-clock spent calibrating the per-sample iteration count.
+const WARMUP_TARGET: Duration = Duration::from_millis(100);
+/// Measured samples per benchmark.
+const SAMPLES: usize = 20;
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration → MB/s.
+    Bytes(u64),
+    /// Logical elements processed per iteration → Melem/s.
+    Elements(u64),
+}
+
+/// Top-level driver: owns the CLI filter and prints the report.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Build from `std::env::args`, ignoring flags (`--bench`, `--quiet`
+    /// and friends come from cargo); the first free argument is a
+    /// substring filter on `group/id`.
+    pub fn from_env() -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness { filter }
+    }
+
+    /// Start a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group { harness: self, name: name.to_string(), throughput: None }
+    }
+
+    fn runs(&self, full_id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_id.contains(f))
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Harness {
+        Harness::from_env()
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct Group<'a> {
+    harness: &'a mut Harness,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl Group<'_> {
+    /// Set the per-iteration work amount for throughput reporting on
+    /// subsequent `bench*` calls.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Measure `routine` (timed in bulk, `iters` calls per sample).
+    pub fn bench<F: FnMut()>(&mut self, id: impl std::fmt::Display, mut routine: F) {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.harness.runs(&full_id) {
+            return;
+        }
+        // Warmup doubles the batch size until it fills the target, which
+        // both warms caches and calibrates iterations-per-sample.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                routine();
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= WARMUP_TARGET {
+                let per_iter = elapsed.as_nanos().max(1) / batch as u128;
+                let iters = (SAMPLE_TARGET.as_nanos() / per_iter).clamp(1, u64::MAX as u128);
+                report(&full_id, self.throughput, &sample(iters as u64, || routine()));
+                return;
+            }
+            batch = batch.saturating_mul(2);
+        }
+    }
+
+    /// Measure `routine` on fresh input from `setup` each iteration;
+    /// only `routine` is timed.
+    pub fn bench_batched<T, S, F>(&mut self, id: impl std::fmt::Display, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> T,
+        F: FnMut(T),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        if !self.harness.runs(&full_id) {
+            return;
+        }
+        // Setup dominates warmup cost; calibrate on a handful of runs.
+        let t0 = Instant::now();
+        let mut calib = 0u64;
+        while t0.elapsed() < WARMUP_TARGET || calib < 3 {
+            let input = setup();
+            routine(input);
+            calib += 1;
+        }
+        let per_ns: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                let input = setup();
+                let t = Instant::now();
+                routine(input);
+                t.elapsed().as_nanos() as f64
+            })
+            .collect();
+        report(&full_id, self.throughput, &per_ns);
+    }
+
+    /// End the group (parity with the criterion API; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Take [`SAMPLES`] timings of `iters` calls each; returns ns/iter.
+fn sample<F: FnMut()>(iters: u64, mut routine: F) -> Vec<f64> {
+    (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                routine();
+            }
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect()
+}
+
+fn report(full_id: &str, throughput: Option<Throughput>, per_iter_ns: &[f64]) {
+    let mut sorted = per_iter_ns.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let median = sorted[sorted.len() / 2];
+    let (min, max) = (sorted[0], sorted[sorted.len() - 1]);
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!("  {:>10.1} MB/s", n as f64 / median * 1e9 / 1e6),
+        Throughput::Elements(n) => {
+            format!("  {:>10.3} Melem/s", n as f64 / median * 1e9 / 1e6)
+        }
+    });
+    println!(
+        "{full_id:<40} median {:>12}/iter   (min {:>12}, max {:>12}){}",
+        fmt_ns(median),
+        fmt_ns(min),
+        fmt_ns(max),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let s = sample(10, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert_eq!(s.len(), SAMPLES);
+        assert!(s.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn filter_matches_substring() {
+        let h = Harness { filter: Some("sha1".into()) };
+        assert!(h.runs("sha1/64"));
+        assert!(!h.runs("chord_lookup/256"));
+        let all = Harness { filter: None };
+        assert!(all.runs("anything"));
+    }
+
+    #[test]
+    fn fmt_ns_scales_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(4_560.0), "4.56 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+    }
+}

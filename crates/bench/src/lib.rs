@@ -23,6 +23,7 @@
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod harness;
 pub mod report;
 
 use peertrack::{GroupConfig, IndexingMode};
@@ -98,34 +99,36 @@ where
     F: Fn(&I) -> O + Sync,
 {
     let n = inputs.len();
-    let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers =
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
+    // Workers claim input indices from a shared counter and stream
+    // (index, output) pairs back; the scope owner reassembles in order.
     let next = std::sync::atomic::AtomicUsize::new(0);
-
-    crossbeam::scope(|scope| {
-        let slots: Vec<_> = out.iter_mut().collect();
-        // Hand each worker an equal share of slot pointers via a channel
-        // of (index, input, slot) work items.
-        let (tx, rx) = crossbeam::channel::unbounded();
-        for (i, (input, slot)) in inputs.iter().zip(slots).enumerate() {
-            tx.send((i, input, slot)).expect("channel open");
-        }
-        drop(tx);
-        for _ in 0..workers.min(n) {
-            let rx = rx.clone();
-            let f = &f;
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
+    let inputs = &inputs;
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
             let next = &next;
-            scope.spawn(move |_| {
-                while let Ok((_i, input, slot)) = rx.recv() {
-                    *slot = Some(f(input));
-                    next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
                 }
+                tx.send((i, f(&inputs[i]))).expect("collector alive");
             });
         }
+        drop(tx);
+        let mut out: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for (i, o) in rx {
+            out[i] = Some(o);
+        }
+        out.into_iter().map(|o| o.expect("all slots filled")).collect()
     })
-    .expect("sweep worker panicked");
-
-    out.into_iter().map(|o| o.expect("all slots filled")).collect()
 }
 
 #[cfg(test)]

@@ -229,8 +229,8 @@ impl Trace for Warehouse {
 mod tests {
     use super::*;
     use moods::MovementLog;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use proptiny::prelude::*;
+    use detrand::{rngs::StdRng, Rng, SeedableRng};
     use simnet::time::{ms, secs};
 
     fn obj(n: u64) -> ObjectId {
@@ -308,7 +308,7 @@ mod tests {
         assert!(t2 >= t);
     }
 
-    proptest! {
+    proptiny! {
         /// The warehouse agrees with the MOODS oracle on arbitrary
         /// schedules (both are "centralized", but they maintain
         /// different tables — coalesced stays vs raw arrivals).
@@ -323,7 +323,7 @@ mod tests {
             let mut t = 0u64;
             let mut last_site: Option<SiteId> = None;
             for _ in 0..n_moves {
-                t += rng.gen_range(1..100);
+                t += rng.gen_range(1u64..100);
                 // Avoid consecutive same-site arrivals: the warehouse
                 // coalesces them (a DB property the raw log lacks).
                 let mut site = SiteId(rng.gen_range(0..8));

@@ -1,7 +1,6 @@
 //! Per-node Chord state: finger table, successor list, predecessor.
 
 use ids::{Id, ID_BITS};
-use serde::{Deserialize, Serialize};
 
 /// Length of the successor list (Chord's `r`). `r = 4` tolerates three
 /// simultaneous adjacent failures, plenty for the paper's churn levels.
@@ -11,7 +10,7 @@ pub const SUCCESSOR_LIST_LEN: usize = 4;
 ///
 /// Entries may be stale after churn; the routing layer skips entries that
 /// no longer correspond to live nodes, as real Chord does after a timeout.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct FingerTable {
     /// `fingers[i] = successor(owner + 2^i)`, possibly stale.
     entries: Vec<Id>,
@@ -50,7 +49,7 @@ impl FingerTable {
 }
 
 /// One Chord participant.
-#[derive(Clone, Serialize, Deserialize)]
+#[derive(Clone)]
 pub struct ChordNode {
     /// The node's ring identifier.
     pub id: Id,

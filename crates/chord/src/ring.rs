@@ -443,8 +443,8 @@ impl Default for Ring {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+    use proptiny::prelude::*;
+    use detrand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
 
     /// Build a converged ring of `n` nodes with deterministic random ids.
     fn build_ring(n: usize, seed: u64) -> (Ring, Vec<Id>) {
@@ -614,8 +614,8 @@ mod tests {
         assert_eq!(ring.successor_of(&Id::from_u64(100)), Some(Id::from_u64(100)));
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(24))]
+    proptiny! {
+        #![proptiny_config(Config::with_cases(24))]
 
         /// Finger-table routing must equal the naive ring scan for any
         /// membership and key set.

@@ -1,0 +1,333 @@
+//! Deterministic, dependency-free pseudo-random numbers.
+//!
+//! The paper's evaluation (§V) rests on bit-reproducible simulation
+//! runs; DESIGN.md commits the repo to from-scratch primitives. This
+//! crate extends that rule to randomness: it re-implements exactly the
+//! slice of the `rand` 0.8 API surface the workspace uses, so call
+//! sites port mechanically (`use detrand::…` → `use detrand::…`) and the
+//! build never touches the registry.
+//!
+//! * [`rngs::StdRng`] — xoshiro256\*\* (Blackman & Vigna) seeded from a
+//!   `u64` through SplitMix64, the construction recommended by the
+//!   xoshiro authors. Unlike `rand`'s `StdRng`, the algorithm is part
+//!   of this crate's contract: streams are stable forever, which is
+//!   what makes committed experiment numbers reproducible.
+//! * [`RngCore`] — the object-safe generator core (`&mut dyn RngCore`
+//!   works, as `simnet`'s latency models require).
+//! * [`Rng`] — blanket extension trait: `gen_range`, `gen_bool`,
+//!   `gen::<T>()`, `fill`.
+//! * [`SeedableRng`] — `seed_from_u64` / `from_seed` construction.
+//! * [`seq::SliceRandom`] — `shuffle`, `choose`, `choose_multiple`.
+//!
+//! Integer `gen_range` uses widening-multiply with rejection (Lemire),
+//! so draws are unbiased and cost one `u64` of entropy in the common
+//! case. Floats use the standard 53-bit mantissa-fill in `[0, 1)`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// The object-safe core of a random number generator.
+///
+/// Everything else ([`Rng`], [`seq::SliceRandom`]) is derived from
+/// [`RngCore::next_u64`]; implement only that and the rest follows.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (high half of [`next_u64`],
+    /// the stronger bits of xoshiro256\*\*).
+    ///
+    /// [`next_u64`]: RngCore::next_u64
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes (little-endian `u64` chunks).
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            rest.copy_from_slice(&last[..rest.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Construct from a `u64` via SplitMix64 state expansion.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Construct from 32 explicit state bytes (little-endian words).
+    fn from_seed(seed: [u8; 32]) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce from uniform bits.
+pub trait Standard: Sized {
+    /// Draw one value from the standard distribution (uniform over the
+    /// type's domain; `[0, 1)` for floats).
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // Highest bit: xoshiro256** low bits are its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Uniform draw in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Unbiased integer in `[0, span)` for `span ≥ 1`: widening multiply
+/// with rejection (Lemire 2019).
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span >= 1);
+    let mut m = (rng.next_u64() as u128) * (span as u128);
+    let mut low = m as u64;
+    if low < span {
+        // Threshold = 2^64 mod span; reject the biased low region.
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            m = (rng.next_u64() as u128) * (span as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Whole u64/i64 domain: every 64-bit pattern is valid.
+                    return lo.wrapping_add(rng.next_u64() as $t);
+                }
+                lo.wrapping_add(uniform_below(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = unit_f64(rng) as $t;
+                let v = self.start + u * (self.end - self.start);
+                // Rounding may land exactly on `end`; stay half-open.
+                if v >= self.end { <$t>::max(self.start, self.end - (self.end - self.start) * 1e-9) } else { v }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                lo + (unit_f64(rng) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// Convenience extension methods, blanket-implemented for every
+/// [`RngCore`] (including unsized `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (`Range` or `RangeInclusive`, integer
+    /// or float).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// A value of `T`'s standard distribution (uniform bits; `[0, 1)`
+    /// for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        unit_f64(self) < p
+    }
+
+    /// Fill a byte slice with random bytes.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn gen_range_half_open_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10u64..13);
+            assert!((10..13).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_inclusive_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            let v = rng.gen_range(7u8..=9);
+            seen[(v - 7) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3], "all inclusive-range values reachable");
+    }
+
+    #[test]
+    fn gen_range_singleton_inclusive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(rng.gen_range(5u32..=5), 5);
+        assert_eq!(rng.gen_range(-3i32..=-3), -3);
+    }
+
+    #[test]
+    fn gen_range_full_u64_domain() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // Must not panic or loop; spans the whole domain.
+        let mut any_high = false;
+        for _ in 0..64 {
+            any_high |= rng.gen_range(0u64..=u64::MAX) > u64::MAX / 2;
+        }
+        assert!(any_high);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "p=0.25 hit rate {hits}/10000");
+    }
+
+    #[test]
+    fn uniform_below_unbiased_small_span() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[uniform_below(&mut rng, 3) as usize] += 1;
+        }
+        for c in counts {
+            assert!((9_000..11_000).contains(&c), "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunk() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 13];
+        a.fill_bytes(&mut buf);
+        // First 8 bytes are the LE first word.
+        assert_eq!(buf[..8], b.next_u64().to_le_bytes());
+        assert_eq!(buf[8..13], b.next_u64().to_le_bytes()[..5]);
+    }
+
+    #[test]
+    fn object_safe_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let dynrng: &mut dyn RngCore = &mut rng;
+        // Rng methods resolve through the blanket impl on the unsized type.
+        let v = dynrng.gen_range(0u64..10);
+        assert!(v < 10);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let u = unit_f64(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

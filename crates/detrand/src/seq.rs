@@ -1,0 +1,131 @@
+//! Random slice operations: shuffle and sampling without replacement.
+
+use crate::{Rng, RngCore};
+
+/// Extension trait on slices, mirroring `rand::seq::SliceRandom`.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Fisher–Yates shuffle, in place.
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// `amount` distinct elements sampled without replacement (fewer if
+    /// the slice is shorter), in selection order.
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_range(0..self.len())])
+        }
+    }
+
+    fn choose_multiple<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        amount: usize,
+    ) -> std::vec::IntoIter<&T> {
+        // Partial Fisher–Yates over an index vector: O(len) setup,
+        // exact sampling without replacement.
+        let amount = amount.min(self.len());
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        let mut picked = Vec::with_capacity(amount);
+        for i in 0..amount {
+            let j = rng.gen_range(i..indices.len());
+            indices.swap(i, j);
+            picked.push(&self[indices[i]]);
+        }
+        picked.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 2, 17, 100] {
+            let mut v: Vec<usize> = (0..n).collect();
+            v.shuffle(&mut rng);
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn shuffle_deterministic_and_seed_sensitive() {
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut v: Vec<u32> = (0..50).collect();
+            v.shuffle(&mut rng);
+            v
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn shuffle_actually_moves_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let fixed = v.iter().enumerate().filter(|(i, &x)| *i as u32 == x).count();
+        assert!(fixed < 15, "{fixed} fixed points in a 100-element shuffle");
+    }
+
+    #[test]
+    fn choose_empty_and_singleton() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let empty: [u8; 0] = [];
+        assert_eq!(empty.choose(&mut rng), None);
+        assert_eq!([42u8].choose(&mut rng), Some(&42));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let v = [1u8, 2, 3, 4];
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(*v.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn choose_multiple_distinct_and_clamped() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let v: Vec<u32> = (0..10).collect();
+        for amount in [0usize, 1, 5, 10, 25] {
+            let picked: Vec<u32> = v.choose_multiple(&mut rng, amount).copied().collect();
+            assert_eq!(picked.len(), amount.min(v.len()));
+            let distinct: std::collections::BTreeSet<u32> = picked.iter().copied().collect();
+            assert_eq!(distinct.len(), picked.len(), "duplicates in {picked:?}");
+        }
+    }
+}

@@ -13,7 +13,6 @@
 //! the partition value, per TDS §14.5.1.)
 
 use crate::id::Id;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// SGTIN-96 header value (TDS: `0011 0000`).
@@ -32,7 +31,7 @@ const PARTITION_TABLE: [(u32, u32); 7] = [
 ];
 
 /// A 96-bit SGTIN EPC.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EpcCode {
     /// Filter value (3 bits): 1 = point of sale item, 2 = full case, etc.
     pub filter: u8,
@@ -182,7 +181,7 @@ impl fmt::Display for EpcCode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptiny::prelude::*;
 
     #[test]
     fn roundtrip_simple() {
@@ -237,7 +236,7 @@ mod tests {
         assert_ne!(a, b);
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_roundtrip(
             filter in 0u8..=7,

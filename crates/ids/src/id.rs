@@ -15,12 +15,11 @@
 
 use crate::sha1::Sha1;
 use crate::{ID_BITS, ID_BYTES};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use detrand::Rng;
 use std::fmt;
 
 /// A 160-bit identifier on the Chord ring.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Id(pub [u8; ID_BYTES]);
 
 impl Id {
@@ -175,8 +174,8 @@ impl fmt::Display for Id {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use proptiny::prelude::*;
+    use detrand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn from_u64_roundtrip() {
@@ -284,7 +283,7 @@ mod tests {
         assert_eq!(x, Id::ZERO);
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_interval_oc_complement(x in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
             // Every point is in exactly one of (a,b] and (b,a] unless it

@@ -13,11 +13,10 @@
 
 use crate::id::Id;
 use crate::ID_BITS;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A prefix of up to 160 bits of an identifier.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Prefix {
     /// Bits, MSB-first, padded with zeros past `len`.
     bits: [u8; 8],
@@ -218,8 +217,8 @@ pub fn check_len(len: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use proptiny::prelude::*;
+    use detrand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn of_id_matches_bit_string() {
@@ -319,7 +318,7 @@ mod tests {
         assert!(Prefix::ROOT.is_prefix_of(&b));
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_of_id_matches(seed in any::<u64>(), len in 0usize..=64) {
             let mut rng = StdRng::seed_from_u64(seed);

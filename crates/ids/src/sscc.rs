@@ -10,7 +10,6 @@
 //! ```
 
 use crate::id::Id;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// SSCC-96 header value (TDS: `0011 0001`).
@@ -22,7 +21,7 @@ const PARTITION_TABLE: [(u32, u32); 7] =
     [(40, 18), (37, 21), (34, 24), (30, 28), (27, 31), (24, 34), (20, 38)];
 
 /// A 96-bit SSCC.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SsccCode {
     /// Filter value (3 bits); 2 = "full case", typical for pallets.
     pub filter: u8,
@@ -133,7 +132,7 @@ impl fmt::Display for SsccCode {
 mod tests {
     use super::*;
     use crate::epc::EpcError;
-    use proptest::prelude::*;
+    use proptiny::prelude::*;
 
     #[test]
     fn roundtrip_simple() {
@@ -165,7 +164,7 @@ mod tests {
         assert_ne!(sscc.object_id(), sgtin.object_id());
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_roundtrip(
             filter in 0u8..=7,

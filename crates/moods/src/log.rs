@@ -103,7 +103,7 @@ impl Trace for MovementLog {
 mod tests {
     use super::*;
     use ids::Id;
-    use proptest::prelude::*;
+    use proptiny::prelude::*;
     use simnet::time::ms;
 
     fn obj(n: u64) -> ObjectId {
@@ -186,7 +186,7 @@ mod tests {
         log.record(obj(1), SiteId(1), ms(5));
     }
 
-    proptest! {
+    proptiny! {
         /// locate(o, t) equals the site of the last visit whose interval
         /// contains t, for arbitrary movement schedules.
         #[test]

@@ -1,7 +1,6 @@
 //! Vocabulary types and the `L`/`TR` traits.
 
 use ids::Id;
-use serde::{Deserialize, Serialize};
 use simnet::SimTime;
 use std::fmt;
 
@@ -10,7 +9,7 @@ use std::fmt;
 ///
 /// Sites are dense application-level indices; the binding to a DHT/ring
 /// identity is owned by the tracking backend.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SiteId(pub u32);
 
 impl fmt::Debug for SiteId {
@@ -27,7 +26,7 @@ impl fmt::Display for SiteId {
 
 /// A receptor (RFID reader) at a fixed location within a site, e.g. "the
 /// reader at dock door 3".
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ReceptorId {
     /// The governing site.
     pub site: SiteId,
@@ -38,7 +37,7 @@ pub struct ReceptorId {
 /// An object's identity in the system: the SHA-1 hash of its raw id
 /// (EPC), per §III footnote 1. Newtype over [`Id`] so object keys and
 /// ring/node ids cannot be confused in signatures.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ObjectId(pub Id);
 
 impl ObjectId {
@@ -63,7 +62,7 @@ impl fmt::Debug for ObjectId {
 ///
 /// Receptor data is assumed cleansed (§II-A: "we assume in this paper
 /// that the data captured by receptors is already cleansed").
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Observation {
     /// The captured object.
     pub object: ObjectId,
@@ -82,7 +81,7 @@ impl Observation {
 
 /// One stay at a site: `[arrived, departed)` where `departed` is the
 /// arrival at the next site (`None` while the object is still there).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Visit {
     /// The site visited.
     pub site: SiteId,

@@ -18,7 +18,7 @@
 
 use crate::messages::Msg;
 use crate::store::{IndexEntry, Link};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::bytebuf::{ByteBuf, Bytes};
 use ids::Prefix;
 use moods::{ObjectId, SiteId};
 use simnet::SimTime;
@@ -59,31 +59,31 @@ const TAG_SET_FROM: u8 = 4;
 const TAG_DELEGATE: u8 = 5;
 const TAG_MIGRATE: u8 = 6;
 
-fn put_header(buf: &mut BytesMut, tag: u8, seq: u64) {
+fn put_header(buf: &mut ByteBuf, tag: u8, seq: u64) {
     buf.put_u8(tag);
     buf.put_u8(VERSION);
     buf.put_bytes(0, 6); // reserved
     buf.put_u64(seq);
 }
 
-fn put_object(buf: &mut BytesMut, o: &ObjectId) {
+fn put_object(buf: &mut ByteBuf, o: &ObjectId) {
     buf.put_slice(&o.0 .0);
 }
 
-fn put_time(buf: &mut BytesMut, t: SimTime) {
+fn put_time(buf: &mut ByteBuf, t: SimTime) {
     buf.put_u64(t.as_micros());
 }
 
-fn put_site(buf: &mut BytesMut, s: SiteId) {
+fn put_site(buf: &mut ByteBuf, s: SiteId) {
     buf.put_u32(s.0);
 }
 
-fn put_link(buf: &mut BytesMut, l: &Link) {
+fn put_link(buf: &mut ByteBuf, l: &Link) {
     put_site(buf, l.site);
     put_time(buf, l.time);
 }
 
-fn put_opt_link(buf: &mut BytesMut, l: &Option<Link>) {
+fn put_opt_link(buf: &mut ByteBuf, l: &Option<Link>) {
     match l {
         Some(l) => {
             buf.put_u8(1);
@@ -96,17 +96,17 @@ fn put_opt_link(buf: &mut BytesMut, l: &Option<Link>) {
     }
 }
 
-fn put_entry(buf: &mut BytesMut, e: &IndexEntry) {
+fn put_entry(buf: &mut ByteBuf, e: &IndexEntry) {
     put_site(buf, e.site);
     put_time(buf, e.time);
     put_opt_link(buf, &e.prev);
 }
 
-fn put_prefix(buf: &mut BytesMut, p: &Prefix) {
+fn put_prefix(buf: &mut ByteBuf, p: &Prefix) {
     buf.put_slice(&p.wire_bytes());
 }
 
-fn put_opt_prefix(buf: &mut BytesMut, p: &Option<Prefix>) {
+fn put_opt_prefix(buf: &mut ByteBuf, p: &Option<Prefix>) {
     // Absence encoded as an over-long sentinel length (0xFF).
     match p {
         Some(p) => put_prefix(buf, p),
@@ -119,7 +119,7 @@ fn put_opt_prefix(buf: &mut BytesMut, p: &Option<Prefix>) {
 
 /// Encode a message with the given header sequence number.
 pub fn encode(msg: &Msg, seq: u64) -> Bytes {
-    let mut buf = BytesMut::with_capacity(msg.wire_size() + 8);
+    let mut buf = ByteBuf::with_capacity(msg.wire_size() + 8);
     match msg {
         Msg::Arrival { object, site, time } => {
             put_header(&mut buf, TAG_ARRIVAL, seq);
@@ -177,7 +177,7 @@ pub fn encode(msg: &Msg, seq: u64) -> Bytes {
     buf.freeze()
 }
 
-fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+fn need(buf: &Bytes, n: usize) -> Result<(), DecodeError> {
     if buf.remaining() < n {
         Err(DecodeError::Truncated)
     } else {
@@ -185,46 +185,46 @@ fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
     }
 }
 
-fn get_object(buf: &mut impl Buf) -> Result<ObjectId, DecodeError> {
+fn get_object(buf: &mut Bytes) -> Result<ObjectId, DecodeError> {
     need(buf, 20)?;
     let mut raw = [0u8; 20];
     buf.copy_to_slice(&mut raw);
     Ok(ObjectId(ids::Id(raw)))
 }
 
-fn get_time(buf: &mut impl Buf) -> Result<SimTime, DecodeError> {
+fn get_time(buf: &mut Bytes) -> Result<SimTime, DecodeError> {
     need(buf, 8)?;
     Ok(SimTime::from_micros(buf.get_u64()))
 }
 
-fn get_site(buf: &mut impl Buf) -> Result<SiteId, DecodeError> {
+fn get_site(buf: &mut Bytes) -> Result<SiteId, DecodeError> {
     need(buf, 4)?;
     Ok(SiteId(buf.get_u32()))
 }
 
-fn get_link(buf: &mut impl Buf) -> Result<Link, DecodeError> {
+fn get_link(buf: &mut Bytes) -> Result<Link, DecodeError> {
     Ok(Link { site: get_site(buf)?, time: get_time(buf)? })
 }
 
-fn get_opt_link(buf: &mut impl Buf) -> Result<Option<Link>, DecodeError> {
+fn get_opt_link(buf: &mut Bytes) -> Result<Option<Link>, DecodeError> {
     need(buf, 13)?;
     let present = buf.get_u8() == 1;
     let link = get_link(buf)?;
     Ok(present.then_some(link))
 }
 
-fn get_entry(buf: &mut impl Buf) -> Result<IndexEntry, DecodeError> {
+fn get_entry(buf: &mut Bytes) -> Result<IndexEntry, DecodeError> {
     Ok(IndexEntry { site: get_site(buf)?, time: get_time(buf)?, prev: get_opt_link(buf)? })
 }
 
-fn get_prefix(buf: &mut impl Buf) -> Result<Prefix, DecodeError> {
+fn get_prefix(buf: &mut Bytes) -> Result<Prefix, DecodeError> {
     need(buf, 9)?;
     let mut raw = [0u8; 9];
     buf.copy_to_slice(&mut raw);
     Prefix::from_wire_bytes(&raw).map_err(DecodeError::BadPrefix)
 }
 
-fn get_opt_prefix(buf: &mut impl Buf) -> Result<Option<Prefix>, DecodeError> {
+fn get_opt_prefix(buf: &mut Bytes) -> Result<Option<Prefix>, DecodeError> {
     need(buf, 9)?;
     let mut raw = [0u8; 9];
     buf.copy_to_slice(&mut raw);
@@ -234,7 +234,7 @@ fn get_opt_prefix(buf: &mut impl Buf) -> Result<Option<Prefix>, DecodeError> {
     Prefix::from_wire_bytes(&raw).map(Some).map_err(DecodeError::BadPrefix)
 }
 
-fn get_len(buf: &mut impl Buf) -> Result<usize, DecodeError> {
+fn get_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
     need(buf, 4)?;
     Ok(buf.get_u32() as usize)
 }
@@ -312,7 +312,7 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use proptiny::prelude::*;
 
     fn obj(n: u64) -> ObjectId {
         ObjectId::from_raw(&n.to_be_bytes())
@@ -401,10 +401,10 @@ mod tests {
     #[test]
     fn decode_rejects_garbage() {
         assert!(matches!(decode(Bytes::from_static(b"")), Err(DecodeError::Truncated)));
-        let mut raw = BytesMut::new();
+        let mut raw = ByteBuf::new();
         put_header(&mut raw, 99, 0);
         assert!(matches!(decode(raw.freeze()), Err(DecodeError::BadTag(99))));
-        let mut raw = BytesMut::new();
+        let mut raw = ByteBuf::new();
         raw.put_u8(TAG_ARRIVAL);
         raw.put_u8(VERSION + 1);
         raw.put_bytes(0, 14);
@@ -421,7 +421,7 @@ mod tests {
         }
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_group_index_roundtrip(
             seeds in prop::collection::vec((any::<u64>(), any::<u64>()), 0..64),

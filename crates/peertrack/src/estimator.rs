@@ -12,8 +12,8 @@
 //! `Nn = 1/value`. Variance halves roughly every round (the paper's \[14\]
 //! proves the convergence factor `1/(2·sqrt(e))` per round).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use detrand::seq::SliceRandom;
+use detrand::Rng;
 
 /// Outcome of an estimation epoch.
 #[derive(Clone, Debug)]
@@ -103,7 +103,7 @@ pub fn recommended_rounds(n: usize) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use detrand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn single_node_knows_itself() {

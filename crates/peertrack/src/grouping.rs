@@ -51,7 +51,7 @@ pub fn max_groups(n: usize, lp: usize) -> usize {
 mod tests {
     use super::*;
     use ids::Id;
-    use proptest::prelude::*;
+    use proptiny::prelude::*;
     use simnet::time::ms;
 
     fn obj(n: u64) -> ObjectId {
@@ -112,7 +112,7 @@ mod tests {
         assert_eq!(max_groups(10, 64), 10);
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_grouping_is_a_partition(
             seeds in prop::collection::vec(any::<u64>(), 1..200),

@@ -49,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bytebuf;
 pub mod codec;
 pub mod config;
 pub mod estimator;

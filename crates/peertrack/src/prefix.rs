@@ -18,10 +18,9 @@
 //! §V-C evaluates three schemes; [`PrefixScheme`] implements all of them
 //! plus a fixed override for ablations.
 
-use serde::{Deserialize, Serialize};
 
 /// A rule deriving `Lp` from the (estimated) network size `Nn`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PrefixScheme {
     /// Scheme 1: `Lp = ⌈log₂ Nn⌉` — cheapest indexing, poor balance.
     Scheme1,

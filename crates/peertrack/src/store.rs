@@ -12,13 +12,12 @@
 
 use ids::Prefix;
 use moods::{ObjectId, SiteId};
-use serde::{Deserialize, Serialize};
 use simnet::SimTime;
 use std::collections::{BTreeSet, HashMap};
 
 /// One hop of the distributed doubly-linked list: a site together with
 /// the arrival timestamp that identifies the visit record there.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Link {
     /// The linked site.
     pub site: SiteId,
@@ -28,7 +27,7 @@ pub struct Link {
 
 /// A gateway's knowledge of one object: its latest location and the link
 /// to the previous one (enough to thread M2/M3 on the next move).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IndexEntry {
     /// Site of the latest capture.
     pub site: SiteId,
@@ -47,7 +46,7 @@ impl IndexEntry {
 
 /// One visit record in a site's local repository. `from`/`to` are filled
 /// in by gateway messages M3/M2 respectively (§III, Fig. 2).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct IopRecord {
     /// When the object arrived here (set at capture).
     pub arrived: SimTime,

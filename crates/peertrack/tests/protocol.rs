@@ -4,8 +4,8 @@
 
 use moods::{Locate, MovementLog, ObjectId, SiteId, Trace};
 use peertrack::{Builder, GroupConfig, IndexingMode, PrefixScheme};
-use proptest::prelude::*;
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use proptiny::prelude::*;
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::time::{ms, secs};
 use simnet::{MsgClass, SimTime};
 
@@ -471,8 +471,8 @@ fn intermediate_nodes_answer_queries() {
 // The big agreement property: PeerTrack == oracle under random schedules
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+proptiny! {
+    #![proptiny_config(Config::with_cases(12))]
 
     #[test]
     fn prop_distributed_answers_equal_oracle(

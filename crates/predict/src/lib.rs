@@ -21,7 +21,7 @@
 #![warn(missing_docs)]
 
 use moods::{Path, SiteId};
-use rand::Rng;
+use detrand::Rng;
 use simnet::SimTime;
 use std::collections::HashMap;
 
@@ -195,8 +195,8 @@ impl TransitionModel {
 mod tests {
     use super::*;
     use moods::Visit;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use proptiny::prelude::*;
+    use detrand::{rngs::StdRng, SeedableRng};
     use simnet::time::secs;
 
     fn visit(site: u32, arrived: u64, departed: Option<u64>) -> Visit {
@@ -283,7 +283,7 @@ mod tests {
         assert_eq!(dist, vec![(SiteId(99), 1.0)]);
     }
 
-    proptest! {
+    proptiny! {
         #[test]
         fn prop_distribution_sums_to_one(
             routes in prop::collection::vec(

@@ -1,0 +1,99 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use detrand::rngs::StdRng;
+use detrand::Rng;
+use std::ops::Range;
+
+/// A `Vec` whose length is drawn from `len` (half-open, matching
+/// `proptest`'s `vec(elem, lo..hi)`) and whose elements come from
+/// `elem`.
+pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec strategy: empty length range");
+    VecStrategy { elem, len }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let lo = self.len.start;
+        let mut out = Vec::new();
+        // 1. Aggressive length cuts: down to the minimum, then halving.
+        if v.len() > lo {
+            out.push(v[..lo].to_vec());
+            let half = lo.max(v.len() / 2);
+            if half < v.len() && half > lo {
+                out.push(v[..half].to_vec());
+            }
+        }
+        // 2. Drop single elements (preserves which element fails).
+        if v.len() > lo {
+            for i in 0..v.len() {
+                let mut next = v.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // 3. Shrink elements in place.
+        for (i, x) in v.iter().enumerate() {
+            for candidate in self.elem.shrink(x) {
+                let mut next = v.clone();
+                next[i] = candidate;
+                out.push(next);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::SeedableRng;
+
+    #[test]
+    fn generates_lengths_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = vec(0u8..=255, 2..9);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            seen.insert(v.len());
+        }
+        assert_eq!(seen.len(), 7, "all lengths 2..9 reachable, saw {seen:?}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_min_len() {
+        let s = vec(0u32..10, 2..6);
+        let v = s.shrink(&vec![1, 2, 3, 4]);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|c| c.len() >= 2));
+        assert!(v.contains(&vec![1, 2]), "truncation to min length offered");
+    }
+
+    #[test]
+    fn nested_vec_strategy_works() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = vec(vec(0u32..6, 2..6), 1..20);
+        let v = s.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 20);
+        for inner in &v {
+            assert!((2..6).contains(&inner.len()));
+            assert!(inner.iter().all(|&x| x < 6));
+        }
+    }
+}

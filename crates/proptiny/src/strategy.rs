@@ -1,0 +1,289 @@
+//! Generator combinators: how test inputs are produced and shrunk.
+
+use detrand::rngs::StdRng;
+use detrand::Rng;
+use std::marker::PhantomData;
+
+/// A value generator with shrinking.
+///
+/// `generate` draws one value from the deterministic RNG; `shrink`
+/// proposes simpler candidates for a failing value, most aggressive
+/// first. The runner keeps any candidate that still fails.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Clone + std::fmt::Debug;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Candidate simplifications of `v`, most aggressive first.
+    fn shrink(&self, _v: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+/// Shrink candidates for an integer, moving from `v` toward `origin`
+/// by binary subdivision: `origin, v − d/2, v − d/4, …, v ∓ 1` where
+/// `d = v − origin`. Greedy descent over this list converges to the
+/// boundary of an up-closed failure region in O(log²) evaluations.
+fn shrink_int_i128(v: i128, origin: i128) -> Vec<i128> {
+    let mut out = Vec::new();
+    let mut d = v - origin;
+    while d != 0 {
+        out.push(v - d);
+        d /= 2;
+    }
+    out
+}
+
+macro_rules! impl_int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int_i128(*v as i128, self.start as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int_i128(*v as i128, *self.start() as i128)
+                    .into_iter()
+                    .map(|x| x as $t)
+                    .collect()
+            }
+        }
+
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+            fn shrink(&self) -> Vec<$t> {
+                shrink_int_i128(*self as i128, 0).into_iter().map(|x| x as $t).collect()
+            }
+        }
+    )*};
+}
+impl_int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical whole-domain generator, usable via [`any`].
+pub trait Arbitrary: Clone + std::fmt::Debug {
+    /// Draw a value from the full domain.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+
+    /// Candidate simplifications, most aggressive first.
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+    fn shrink(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Whole-domain strategy for an [`Arbitrary`] type: `any::<u64>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+    fn shrink(&self, v: &T) -> Vec<T> {
+        v.shrink()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($S:ident / $idx:tt),+),)*) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+            fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&v.$idx) {
+                        let mut next = v.clone();
+                        next.$idx = candidate;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+);
+
+/// The parsed form of a `"[chars]{lo,hi}"` pattern.
+struct CharClassPattern {
+    alphabet: Vec<char>,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Parse the restricted regex subset the workspace uses: one character
+/// class with a repetition count — `[01]{0,20}`, `[abc]{4}`.
+fn parse_char_class(pattern: &str) -> CharClassPattern {
+    fn bad(pattern: &str) -> ! {
+        panic!(
+            "proptiny string strategies support only \"[chars]{{lo,hi}}\" patterns, got {pattern:?}"
+        )
+    }
+    let Some(rest) = pattern.strip_prefix('[') else { bad(pattern) };
+    let Some((class, reps)) = rest.split_once(']') else { bad(pattern) };
+    let alphabet: Vec<char> = class.chars().collect();
+    if alphabet.is_empty() {
+        bad(pattern);
+    }
+    let Some(reps) = reps.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        bad(pattern)
+    };
+    let parse = |s: &str| s.parse::<usize>().ok();
+    let (min_len, max_len) = match reps.split_once(',') {
+        Some((lo, hi)) => match (parse(lo), parse(hi)) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => bad(pattern),
+        },
+        None => match parse(reps) {
+            Some(n) => (n, n),
+            None => bad(pattern),
+        },
+    };
+    assert!(min_len <= max_len, "empty repetition range in {pattern:?}");
+    CharClassPattern { alphabet, min_len, max_len }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let p = parse_char_class(self);
+        let len = rng.gen_range(p.min_len..=p.max_len);
+        (0..len).map(|_| p.alphabet[rng.gen_range(0..p.alphabet.len())]).collect()
+    }
+
+    fn shrink(&self, v: &String) -> Vec<String> {
+        let p = parse_char_class(self);
+        let chars: Vec<char> = v.chars().collect();
+        let mut out = Vec::new();
+        // Shorten (respecting the minimum), then simplify characters
+        // toward the first alphabet symbol.
+        for keep in shrink_int_i128(chars.len() as i128, p.min_len as i128) {
+            out.push(chars[..keep as usize].iter().collect());
+        }
+        for (i, c) in chars.iter().enumerate() {
+            if *c != p.alphabet[0] {
+                let mut next = chars.clone();
+                next[i] = p.alphabet[0];
+                out.push(next.into_iter().collect());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use detrand::SeedableRng;
+
+    #[test]
+    fn int_shrink_moves_toward_origin() {
+        let s = 0u64..1000;
+        let c = s.shrink(&700);
+        assert_eq!(c[0], 0, "most aggressive candidate first");
+        assert!(c.contains(&699), "unit step present");
+        assert!(c.iter().all(|&x| x < 700));
+        assert!(s.shrink(&0).is_empty(), "origin does not shrink");
+    }
+
+    #[test]
+    fn range_shrink_respects_start() {
+        let s = 10u32..100;
+        assert!(s.shrink(&10).is_empty());
+        assert!(s.shrink(&40).iter().all(|&x| (10..40).contains(&x)));
+    }
+
+    #[test]
+    fn signed_shrink_handles_negatives() {
+        // Range strategies shrink toward the range start.
+        let c = (-100i64..100).shrink(&-80);
+        assert!(c.iter().all(|&x| (-100..-80).contains(&x)));
+        assert_eq!(c[0], -100);
+        let c0 = <i64 as Arbitrary>::shrink(&-5);
+        assert_eq!(c0[0], 0);
+        assert!(c0.contains(&-4));
+    }
+
+    #[test]
+    fn char_class_parser_accepts_workspace_patterns() {
+        let p = parse_char_class("[01]{0,20}");
+        assert_eq!(p.alphabet, vec!['0', '1']);
+        assert_eq!((p.min_len, p.max_len), (0, 20));
+        let p = parse_char_class("[abc]{4}");
+        assert_eq!((p.min_len, p.max_len), (4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptiny string strategies")]
+    fn char_class_parser_rejects_general_regex() {
+        parse_char_class("a+b*");
+    }
+
+    #[test]
+    fn bitstr_generates_within_spec() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let s: &'static str = "[01]{2,5}";
+        for _ in 0..200 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!((2..=5).contains(&v.len()));
+            assert!(v.chars().all(|c| c == '0' || c == '1'));
+        }
+    }
+
+    #[test]
+    fn tuple_generate_and_shrink() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = (0u32..10, 0u32..10);
+        let v = s.generate(&mut rng);
+        assert!(v.0 < 10 && v.1 < 10);
+        let c = s.shrink(&(3, 4));
+        assert!(c.iter().all(|&(a, b)| (a == 3) ^ (b == 4) || a < 3 || b < 4));
+        assert!(c.iter().any(|&(a, b)| a < 3 && b == 4));
+        assert!(c.iter().any(|&(a, b)| a == 3 && b < 4));
+    }
+}

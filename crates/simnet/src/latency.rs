@@ -7,7 +7,7 @@
 //! depend on perfectly constant links).
 
 use crate::time::SimTime;
-use rand::{Rng, RngCore};
+use detrand::{Rng, RngCore};
 
 /// Maps an overlay transfer (some number of underlay/overlay hops) to a
 /// delivery delay.
@@ -83,7 +83,7 @@ impl LatencyModel for UniformJitter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{rngs::StdRng, SeedableRng};
+    use detrand::{rngs::StdRng, SeedableRng};
 
     #[test]
     fn constant_is_linear_in_hops() {

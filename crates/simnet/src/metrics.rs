@@ -10,12 +10,11 @@
 //! sweeps fan out across threads (one `Sim` per thread, atomics for the
 //! roll-up — see the hpc-parallel guidance on data-race-free accounting).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Protocol message classes, used to break indexing cost down per figure.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[repr(usize)]
 pub enum MsgClass {
     /// M1 — arrival report from capturing node to gateway (§III).
@@ -91,7 +90,7 @@ impl MsgClass {
 }
 
 /// Single-threaded tally of network activity.
-#[derive(Clone, Default, Serialize, Deserialize)]
+#[derive(Clone, Default)]
 pub struct Metrics {
     messages: [u64; NUM_CLASSES],
     bytes: [u64; NUM_CLASSES],

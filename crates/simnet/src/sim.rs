@@ -14,7 +14,7 @@
 use crate::latency::{ConstantPerHop, LatencyModel};
 use crate::metrics::{Metrics, MsgClass};
 use crate::time::SimTime;
-use rand::{rngs::StdRng, SeedableRng};
+use detrand::{rngs::StdRng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 

@@ -5,13 +5,12 @@
 //! evaluation (5 ms per hop, `Tmax` windows of hundreds of ms), so a `u64`
 //! microsecond counter is an exact-enough model of it.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in virtual time, in microseconds since the simulation epoch.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct SimTime(pub u64);
 

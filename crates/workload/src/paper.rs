@@ -13,8 +13,8 @@
 
 use crate::{epc_object, CaptureEvent};
 use moods::SiteId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detrand::rngs::StdRng;
+use detrand::{Rng, SeedableRng};
 use simnet::time::secs;
 use simnet::SimTime;
 

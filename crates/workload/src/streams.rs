@@ -8,8 +8,8 @@
 
 use crate::{epc_object, CaptureEvent};
 use moods::SiteId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use detrand::rngs::StdRng;
+use detrand::{Rng, SeedableRng};
 use simnet::SimTime;
 
 /// An arrival process at one site.

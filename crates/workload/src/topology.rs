@@ -6,8 +6,8 @@
 //! each downstream site wired to a subset of the upstream tier.
 
 use moods::SiteId;
-use rand::rngs::StdRng;
-use rand::{seq::SliceRandom, Rng, SeedableRng};
+use detrand::rngs::StdRng;
+use detrand::{seq::SliceRandom, Rng, SeedableRng};
 
 /// Role of a site in the chain.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -16,7 +16,7 @@
 use moods::{ObjectId, SiteId};
 use peertrack::estimator::{estimate_count, recommended_rounds};
 use peertrack::{Builder, PrefixScheme};
-use rand::{rngs::StdRng, SeedableRng};
+use detrand::{rngs::StdRng, SeedableRng};
 use simnet::time::secs;
 use simnet::MsgClass;
 

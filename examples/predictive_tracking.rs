@@ -14,7 +14,7 @@
 use moods::SiteId;
 use peertrack::Builder;
 use predict::TransitionModel;
-use rand::{rngs::StdRng, SeedableRng};
+use detrand::{rngs::StdRng, SeedableRng};
 use simnet::time::secs;
 use simnet::SimTime;
 use workload::topology::SupplyChain;

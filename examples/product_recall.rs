@@ -14,7 +14,7 @@
 
 use moods::{ObjectId, SiteId};
 use peertrack::Builder;
-use rand::{rngs::StdRng, SeedableRng};
+use detrand::{rngs::StdRng, SeedableRng};
 use simnet::time::secs;
 use simnet::SimTime;
 use std::collections::BTreeMap;

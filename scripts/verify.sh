@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verify: hermetic build + tests, then a policy check that no
+# crate has reintroduced a registry dependency. The workspace must
+# build from a clean checkout with an empty cargo registry cache —
+# every dependency is an in-tree path dependency (see README "Building"
+# and DESIGN.md "In-tree primitives").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline
+
+echo "== benches compile (offline) =="
+cargo build --offline --benches
+
+echo "== dependency policy: path-only =="
+# Any dependency line carrying a version requirement or registry/git
+# source is a policy violation. In-tree deps look like
+# `foo = { workspace = true }` / `foo = { path = "..." }`; the
+# workspace table itself must be path-only too.
+# Inside any *dependencies* section, the only acceptable shapes are
+# `foo = { workspace = true }` and `foo = { path = "...", ... }` with
+# no version/git/registry source. Section-aware so keys like
+# `description` or `resolver` elsewhere never false-positive.
+violations=$(
+    find . -name Cargo.toml -not -path './target/*' -print0 | xargs -0 awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies/) }
+        in_deps && /^[[:space:]]*[A-Za-z0-9_-]+[[:space:]]*=/ {
+            ok = ($0 ~ /workspace[[:space:]]*=[[:space:]]*true/ || $0 ~ /path[[:space:]]*=/)
+            bad = ($0 ~ /(version|git|registry)[[:space:]]*=/)
+            if (!ok || bad) print FILENAME ":" FNR ": " $0
+        }' || true
+)
+if [[ -n "$violations" ]]; then
+    echo "registry/git dependencies are not allowed (hermetic build policy):" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+echo "OK: all Cargo.toml dependencies are path-only."

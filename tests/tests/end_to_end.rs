@@ -6,7 +6,7 @@
 use integration_tests::{assert_agreement, triple_from_events};
 use moods::SiteId;
 use peertrack::{Builder, IndexingMode};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::time::secs;
 use workload::paper::PaperWorkload;
 

@@ -4,7 +4,7 @@
 
 use moods::{MovementLog, ObjectId, SiteId, Trace};
 use peertrack::{Builder, GroupConfig, IndexingMode};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use simnet::time::{ms, secs};
 use simnet::SimTime;
 
