@@ -1,0 +1,209 @@
+//! Fault sweep: tracking quality and reliability cost as a function of
+//! link loss, with the retry layer off vs on.
+//!
+//! For each drop rate the same capture/movement workload runs twice —
+//! retries disabled (the paper's implicit reliable-network assumption)
+//! and enabled (at-least-once delivery with acks and exponential
+//! backoff). Reported per cell:
+//!
+//! * delivery rate the fault plane actually achieved,
+//! * locate accuracy against the ground-truth oracle and the fraction
+//!   of answers the system itself flagged complete,
+//! * retransmission/ack overhead (`MsgClass::Retrans` / `Ack`) relative
+//!   to the whole message budget,
+//! * the protocol's own anomaly counters (exhausted retries, failed
+//!   refresh fetches).
+//!
+//! Writes `results/fault_sweep.csv`. `PEERTRACK_SCALE=full` for the
+//! larger configuration.
+
+use bench::report::{print_table, results_path, write_csv};
+use bench::Scale;
+use detrand::{rngs::StdRng, Rng, SeedableRng};
+use moods::{MovementLog, ObjectId, SiteId};
+use peertrack::config::RetryConfig;
+use peertrack::{Builder, GroupConfig, IndexingMode, TraceableNetwork};
+use simnet::fault::FaultConfig;
+use simnet::time::ms;
+use simnet::{MsgClass, SimTime};
+
+const SEED: u64 = 0x5EED_FA17;
+
+struct Cell {
+    drop: f64,
+    retries: bool,
+    delivery: f64,
+    locate_ok: f64,
+    flagged_complete: f64,
+    retrans: u64,
+    acks: u64,
+    overhead: f64,
+    exhausted: u64,
+    refresh_failures: u64,
+}
+
+fn build(sites: usize, drop: f64, retries: bool) -> TraceableNetwork {
+    let retry = if retries {
+        RetryConfig { enabled: true, timeout: ms(150), backoff: 2, max_attempts: 6 }
+    } else {
+        RetryConfig::disabled()
+    };
+    Builder::new()
+        .sites(sites)
+        .seed(SEED)
+        .mode(IndexingMode::Group(GroupConfig {
+            t_max: ms(200),
+            n_max: 64,
+            ..GroupConfig::default()
+        }))
+        .faults(FaultConfig::uniform_drop(SEED ^ 0xD0D0, drop))
+        .retry(retry)
+        .build()
+}
+
+/// The workload: every object is captured once, a third of them move
+/// one to three more times. Identical schedule for every cell.
+fn run_cell(sites: usize, objects: usize, drop: f64, retries: bool) -> Cell {
+    let mut net = build(sites, drop, retries);
+    let mut oracle = MovementLog::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut clock = SimTime::ZERO;
+    let mut all: Vec<ObjectId> = Vec::with_capacity(objects);
+
+    let mut moves: Vec<u32> = Vec::with_capacity(objects);
+    for n in 0..objects {
+        let o = ObjectId::from_raw(format!("sweep-{n}").as_bytes());
+        let site = SiteId(rng.gen_range(0..sites as u32));
+        clock = clock + ms(25);
+        net.schedule_capture(clock, site, vec![o]);
+        oracle.record(o, site, clock);
+        all.push(o);
+        // A third of the objects move on, one to three times.
+        moves.push(if rng.gen_range(0..3u32) == 0 { rng.gen_range(1..=3u32) } else { 0 });
+    }
+    // Movement rounds, each well past the previous round's windows: the
+    // sweep measures the effect of *loss*, so successive updates for
+    // one object must not race each other's capture windows (that
+    // reordering exists at zero loss and is studied by the schedule
+    // auditor instead).
+    for round in 0..3u32 {
+        clock = clock + ms(2_000);
+        for (i, &o) in all.iter().enumerate() {
+            if moves[i] <= round {
+                continue;
+            }
+            let here = oracle.visits(o).last().map(|v| v.site);
+            let mut site = SiteId(rng.gen_range(0..sites as u32));
+            if here == Some(site) {
+                site = SiteId((site.0 + 1) % sites as u32);
+            }
+            clock = clock + ms(25);
+            net.schedule_capture(clock, site, vec![o]);
+            oracle.record(o, site, clock);
+        }
+    }
+    net.run_until_quiescent();
+
+    let origin = SiteId(0);
+    let (mut ok, mut complete) = (0usize, 0usize);
+    for &o in &all {
+        let truth = oracle.visits(o).last().expect("every object was captured").site;
+        let (loc, stats) = net.locate(origin, o, net.now());
+        if loc == Some(truth) {
+            ok += 1;
+        }
+        if stats.complete {
+            complete += 1;
+        }
+    }
+
+    let m = net.metrics();
+    let retrans = m.messages_of(MsgClass::Retrans);
+    let acks = m.messages_of(MsgClass::Ack);
+    let total_bytes: u64 = simnet::metrics::ALL_CLASSES.iter().map(|&c| m.bytes_of(c)).sum();
+    let overhead_bytes = m.bytes_of(MsgClass::Retrans) + m.bytes_of(MsgClass::Ack);
+    let anomalies = net.anomalies();
+    Cell {
+        drop,
+        retries,
+        delivery: net.fault_stats().expect("fault plane configured").delivery_rate(),
+        locate_ok: ok as f64 / all.len() as f64,
+        flagged_complete: complete as f64 / all.len() as f64,
+        retrans,
+        acks,
+        overhead: if total_bytes == 0 { 0.0 } else { overhead_bytes as f64 / total_bytes as f64 },
+        exhausted: anomalies.retries_exhausted,
+        refresh_failures: anomalies.refresh_failures,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sites = scale.nodes(32);
+    let objects = scale.objects(1200);
+    let drops = [0.0, 0.02, 0.05, 0.10, 0.20];
+
+    let inputs: Vec<(f64, bool)> = drops
+        .iter()
+        .flat_map(|&d| [(d, false), (d, true)])
+        .collect();
+    let cells = bench::parallel_sweep(inputs, |&(drop, retries)| {
+        run_cell(sites, objects, drop, retries)
+    });
+
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.2}", c.drop),
+                (if c.retries { "on" } else { "off" }).to_string(),
+                format!("{:.4}", c.delivery),
+                format!("{:.4}", c.locate_ok),
+                format!("{:.4}", c.flagged_complete),
+                c.retrans.to_string(),
+                c.acks.to_string(),
+                format!("{:.4}", c.overhead),
+                c.exhausted.to_string(),
+                c.refresh_failures.to_string(),
+            ]
+        })
+        .collect();
+    let header = [
+        "drop",
+        "retries",
+        "delivery_rate",
+        "locate_accuracy",
+        "flagged_complete",
+        "retrans_msgs",
+        "ack_msgs",
+        "reliability_byte_overhead",
+        "retries_exhausted",
+        "refresh_failures",
+    ];
+    print_table(
+        &format!("Fault sweep ({sites} sites, {objects} objects)"),
+        &header,
+        &rows,
+    );
+    let path = results_path("fault_sweep.csv");
+    write_csv(&path, &header, &rows).expect("write fault_sweep.csv");
+    println!("\nwrote {}", path.display());
+
+    // The headline claims, enforced so `all_experiments`-style runs
+    // catch regressions: retries recover locate accuracy at 10% loss,
+    // and a clean link stays exactly clean.
+    for c in &cells {
+        if c.drop == 0.0 {
+            assert_eq!(c.retrans, 0, "no loss, no retransmissions");
+            assert!(c.locate_ok == 1.0, "lossless run must locate everything");
+        }
+        if c.retries && c.drop <= 0.10 {
+            assert!(
+                c.locate_ok > 0.99,
+                "retries must recover accuracy at {}% drop (got {:.4})",
+                c.drop * 100.0,
+                c.locate_ok
+            );
+        }
+    }
+}

@@ -387,6 +387,27 @@ impl Ring {
         messages
     }
 
+    /// Crash-aware recovery: run incremental [`Ring::stabilize_round`]s
+    /// until [`Ring::check_converged`] passes, asserting convergence
+    /// within `max_rounds`. This is the post-crash repair path — unlike
+    /// [`Ring::stabilize_all`] it exercises the same per-round repair a
+    /// real deployment would, so a crash that stabilization *cannot*
+    /// recover from (e.g. a partitioned successor chain) fails loudly
+    /// instead of being papered over by the ground-truth rebuild.
+    /// Returns the total maintenance messages spent.
+    pub fn stabilize_until_converged(&mut self, max_rounds: usize) -> Result<u64, String> {
+        let mut messages = 0u64;
+        for _ in 0..max_rounds {
+            messages += self.stabilize_round();
+            if self.check_converged().is_ok() {
+                return Ok(messages);
+            }
+        }
+        self.check_converged().map(|()| messages).map_err(|e| {
+            format!("ring failed to converge within {max_rounds} rounds: {e}")
+        })
+    }
+
     /// Full repair: recompute every node's pointers from ground truth.
     /// Equivalent to running `stabilize_round` until fixpoint; used to
     /// start experiments from a converged overlay, as the paper's
@@ -541,6 +562,33 @@ mod tests {
         ring.stabilize_all();
         let r = ring.lookup(ids[0], victim).unwrap();
         assert_eq!(r.owner, succ_truth);
+    }
+
+    #[test]
+    fn crash_recovery_converges_within_finger_rotation() {
+        // After abrupt failures, incremental stabilization must restore
+        // full convergence within one finger-cursor rotation (each round
+        // fixes one finger index at every node) — the bound crash
+        // recovery asserts in the full-stack crash path.
+        let (mut ring, ids) = build_ring(24, 11);
+        ring.fail(ids[3]);
+        ring.fail(ids[17]);
+        assert!(ring.check_converged().is_err(), "crash must leave stale pointers");
+        let msgs = ring
+            .stabilize_until_converged(ID_BITS + 1)
+            .expect("stabilization repairs crashes");
+        assert!(msgs > 0);
+        ring.check_converged().unwrap();
+        // Converged means idempotent: another bounded run is cheap.
+        ring.stabilize_until_converged(1).unwrap();
+    }
+
+    #[test]
+    fn unrecoverable_bound_reports_error() {
+        let (mut ring, ids) = build_ring(12, 13);
+        ring.fail(ids[5]);
+        // Zero rounds cannot repair anything: the bound must fail loudly.
+        assert!(ring.stabilize_until_converged(0).is_err());
     }
 
     #[test]

@@ -115,6 +115,76 @@ impl IndexingMode {
     }
 }
 
+/// Timeout/retry/backoff parameters for the at-least-once delivery
+/// layer. When enabled, every networked protocol message is sequenced
+/// and acknowledged; unacked messages are retransmitted with exponential
+/// backoff and retransmissions are charged to
+/// [`simnet::MsgClass::Retrans`] (acks to [`simnet::MsgClass::Ack`]).
+/// Disabled by default — the clean path stays byte-identical to a build
+/// without the retry layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Master switch. `false` sends no acks, arms no timers and adds no
+    /// metrics.
+    pub enabled: bool,
+    /// Time to wait for an ack before the first retransmission.
+    pub timeout: SimTime,
+    /// Timeout multiplier per successive retransmission (1 = constant).
+    pub backoff: u32,
+    /// Total delivery attempts (first send included) before giving up
+    /// and counting `retries_exhausted`.
+    pub max_attempts: u32,
+}
+
+impl RetryConfig {
+    /// The disabled configuration.
+    pub fn disabled() -> RetryConfig {
+        RetryConfig {
+            enabled: false,
+            timeout: SimTime::from_millis(200),
+            backoff: 2,
+            max_attempts: 6,
+        }
+    }
+
+    /// Default enabled configuration: 200 ms initial timeout, doubling,
+    /// six attempts.
+    pub fn enabled() -> RetryConfig {
+        RetryConfig { enabled: true, ..RetryConfig::disabled() }
+    }
+
+    /// Validate parameter ranges; called by the network builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.timeout == SimTime::ZERO {
+            return Err("retry timeout must be positive".into());
+        }
+        if self.backoff == 0 {
+            return Err("retry backoff must be >= 1".into());
+        }
+        if self.max_attempts == 0 {
+            return Err("retry max_attempts must be >= 1".into());
+        }
+        Ok(())
+    }
+
+    /// Delay before the retransmission that makes delivery attempt
+    /// number `attempt + 1` (so `attempt = 1` after the initial send):
+    /// `timeout * backoff^(attempt - 1)`, saturating.
+    pub fn delay_after(&self, attempt: u32) -> SimTime {
+        let factor = (self.backoff as u64).saturating_pow(attempt.saturating_sub(1));
+        SimTime::from_micros(self.timeout.as_micros().saturating_mul(factor))
+    }
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig::disabled()
+    }
+}
+
 /// Full network configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -122,6 +192,8 @@ pub struct Config {
     pub mode: IndexingMode,
     /// RNG seed for the run (node ids, latency jitter, workload draws).
     pub seed: u64,
+    /// At-least-once delivery layer (off by default).
+    pub retry: RetryConfig,
     /// Charge one extra `Lookup` message per ascent/descent *existence
     /// check* during refresh, instead of assuming nodes track which
     /// prefix lengths are populated from the `Lp` reconfiguration
@@ -135,6 +207,7 @@ impl Default for Config {
         Config {
             mode: IndexingMode::group_default(),
             seed: 0x9E3779B9,
+            retry: RetryConfig::disabled(),
             count_existence_checks: false,
         }
     }
@@ -169,5 +242,28 @@ mod tests {
     fn mode_predicates() {
         assert!(IndexingMode::group_default().is_group());
         assert!(!IndexingMode::Individual.is_group());
+    }
+
+    #[test]
+    fn retry_validation_and_backoff_schedule() {
+        assert!(RetryConfig::disabled().validate().is_ok());
+        assert!(RetryConfig::enabled().validate().is_ok());
+        let bad = RetryConfig { max_attempts: 0, ..RetryConfig::enabled() };
+        assert!(bad.validate().is_err());
+        let bad = RetryConfig { timeout: SimTime::ZERO, ..RetryConfig::enabled() };
+        assert!(bad.validate().is_err());
+
+        let r = RetryConfig {
+            enabled: true,
+            timeout: SimTime::from_millis(100),
+            backoff: 2,
+            max_attempts: 4,
+        };
+        assert_eq!(r.delay_after(1), SimTime::from_millis(100));
+        assert_eq!(r.delay_after(2), SimTime::from_millis(200));
+        assert_eq!(r.delay_after(3), SimTime::from_millis(400));
+        // Constant-backoff variant.
+        let c = RetryConfig { backoff: 1, ..r };
+        assert_eq!(c.delay_after(3), SimTime::from_millis(100));
     }
 }

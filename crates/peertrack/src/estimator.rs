@@ -24,6 +24,18 @@ pub struct Estimate {
     pub messages: u64,
     /// Rounds executed.
     pub rounds: u32,
+    /// Exchanges broken by message loss. Loss breaks the sum invariant
+    /// (a one-sided update changes the total mass), so a non-zero count
+    /// flags the epoch as degraded: the estimate carries extra,
+    /// unbounded-in-theory bias and consumers should treat it as a hint.
+    pub lost: u64,
+}
+
+impl Estimate {
+    /// Did message loss corrupt the mass conservation this epoch?
+    pub fn degraded(&self) -> bool {
+        self.lost > 0
+    }
 }
 
 impl Estimate {
@@ -61,10 +73,31 @@ impl Estimate {
 /// # Panics
 /// If `n == 0`.
 pub fn estimate_count<R: Rng + ?Sized>(n: usize, rounds: u32, rng: &mut R) -> Estimate {
+    estimate_count_lossy(n, rounds, 0.0, rng)
+}
+
+/// [`estimate_count`] under message loss: each leg of a push-pull
+/// exchange is independently lost with probability `loss`. A lost *push*
+/// wastes the message (no state change); a lost *pull* (reply) leaves
+/// the initiator stale while the peer already averaged — breaking the
+/// sum invariant, which is exactly how the real protocol degrades.
+/// Lossless calls (`loss == 0`) take no extra RNG draws, so
+/// [`estimate_count`] is byte-identical to the pre-fault implementation.
+///
+/// # Panics
+/// If `n == 0` or `loss` is outside `[0, 1]`.
+pub fn estimate_count_lossy<R: Rng + ?Sized>(
+    n: usize,
+    rounds: u32,
+    loss: f64,
+    rng: &mut R,
+) -> Estimate {
     assert!(n > 0, "cannot estimate an empty network");
+    assert!((0.0..=1.0).contains(&loss), "loss out of range");
     let mut values = vec![0.0f64; n];
     values[0] = 1.0;
     let mut messages = 0u64;
+    let mut lost = 0u64;
 
     let mut order: Vec<usize> = (0..n).collect();
     for _ in 0..rounds {
@@ -79,10 +112,18 @@ pub fn estimate_count<R: Rng + ?Sized>(n: usize, rounds: u32, rng: &mut R) -> Es
             if j >= i {
                 j += 1;
             }
-            let avg = (values[i] + values[j]) / 2.0;
-            values[i] = avg;
-            values[j] = avg;
             messages += 2; // push + pull
+            if loss > 0.0 && rng.gen_bool(loss) {
+                lost += 1; // push lost: no exchange at all
+                continue;
+            }
+            let avg = (values[i] + values[j]) / 2.0;
+            values[j] = avg;
+            if loss > 0.0 && rng.gen_bool(loss) {
+                lost += 1; // pull lost: i keeps its stale value
+                continue;
+            }
+            values[i] = avg;
         }
     }
 
@@ -90,7 +131,7 @@ pub fn estimate_count<R: Rng + ?Sized>(n: usize, rounds: u32, rng: &mut R) -> Es
         .into_iter()
         .map(|v| if v > 0.0 { 1.0 / v } else { f64::INFINITY })
         .collect();
-    Estimate { per_node, messages, rounds }
+    Estimate { per_node, messages, rounds, lost }
 }
 
 /// Rounds needed for every node to be within ~10 % of the truth with
@@ -150,6 +191,53 @@ mod tests {
         let a = estimate_count(40, 20, &mut StdRng::seed_from_u64(5)).per_node;
         let b = estimate_count(40, 20, &mut StdRng::seed_from_u64(5)).per_node;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clean_runs_reach_ten_percent_in_logarithmic_rounds() {
+        // The satellite contract: within 10 % of the true Nn in O(log Nn)
+        // rounds on clean runs. recommended_rounds(n) = 3·log2(n) + 10 is
+        // the logarithmic budget; the median must land well inside 10 %.
+        let mut rng = StdRng::seed_from_u64(1234);
+        for n in [16usize, 64, 256, 1024] {
+            let rounds = recommended_rounds(n);
+            assert!(rounds <= 3 * (n as f64).log2().ceil() as u32 + 10);
+            let e = estimate_count(n, rounds, &mut rng);
+            let rel = ((e.median() - n as f64) / n as f64).abs();
+            assert!(rel < 0.10, "n={n}: median {:.2} off by {rel:.3}", e.median());
+            assert!(!e.degraded(), "clean run must not be flagged");
+            assert_eq!(e.lost, 0);
+        }
+    }
+
+    #[test]
+    fn ten_percent_loss_degrades_gracefully() {
+        // At 10 % per-leg loss the sum invariant breaks, so the epoch
+        // must be flagged; the median should still be a usable hint
+        // (bounded error — within a factor of two of the truth), because
+        // Lp consumes it on a log scale.
+        let mut rng = StdRng::seed_from_u64(77);
+        for n in [64usize, 256] {
+            let e = estimate_count_lossy(n, recommended_rounds(n), 0.10, &mut rng);
+            assert!(e.degraded(), "loss must flag the epoch");
+            let med = e.median();
+            assert!(med.is_finite());
+            let ratio = med / n as f64;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "n={n}: degraded median {med:.2} outside [n/2, 2n]"
+            );
+        }
+    }
+
+    #[test]
+    fn lossless_lossy_call_is_byte_identical_to_clean() {
+        // estimate_count delegates with loss = 0.0; the gate on the loss
+        // draws means identical RNG consumption, hence identical output.
+        let a = estimate_count(40, 20, &mut StdRng::seed_from_u64(5));
+        let b = estimate_count_lossy(40, 20, 0.0, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.per_node, b.per_node);
+        assert_eq!(b.lost, 0);
     }
 
     #[test]

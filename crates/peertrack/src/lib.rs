@@ -59,6 +59,7 @@ pub mod net;
 pub mod prefix;
 pub mod query;
 pub mod store;
+pub mod triangle;
 pub mod window;
 pub mod world;
 

@@ -79,6 +79,40 @@ pub enum Msg {
         /// The migrated records.
         entries: Vec<(ObjectId, IndexEntry)>,
     },
+    /// Delivery acknowledgement for the at-least-once retry layer: the
+    /// receiver echoes the [`Wire::seq`] of the delivery it accepted.
+    Ack {
+        /// Sequence number being acknowledged.
+        acked: u64,
+    },
+}
+
+/// Link-level envelope: every networked delivery carries a sender-unique
+/// sequence number so the retry layer can acknowledge it and the receiver
+/// can discard duplicates (retransmissions and fault-plane duplication
+/// both deliver the same `seq` twice). `seq = 0` is reserved for
+/// unsequenced traffic — local self-sends and the acks themselves — which
+/// is never retried or deduplicated.
+#[derive(Clone, Debug)]
+pub struct Wire {
+    /// Sender-unique sequence number (0 = unsequenced).
+    pub seq: u64,
+    /// The protocol payload.
+    pub msg: Msg,
+}
+
+impl Wire {
+    /// Wrap a payload without a sequence number.
+    pub fn unsequenced(msg: Msg) -> Wire {
+        Wire { seq: 0, msg }
+    }
+
+    /// Serialized size: the sequence number rides the fixed header
+    /// ([`HEADER_BYTES`] already accounts for it), so the envelope adds
+    /// nothing on the wire.
+    pub fn wire_size(&self) -> usize {
+        self.msg.wire_size()
+    }
 }
 
 impl Msg {
@@ -102,6 +136,7 @@ impl Msg {
                 Msg::Migrate { entries, .. } => {
                     PREFIX_BYTES + entries.len() * (OBJECT_ID_BYTES + ENTRY_BYTES)
                 }
+                Msg::Ack { .. } => TIME_BYTES, // the echoed u64 seq
             }
     }
 
@@ -113,6 +148,7 @@ impl Msg {
             Msg::SetTo { .. } | Msg::SetFrom { .. } => simnet::MsgClass::IopUpdate,
             Msg::Delegate { .. } => simnet::MsgClass::Delegate,
             Msg::Migrate { .. } => simnet::MsgClass::SplitMerge,
+            Msg::Ack { .. } => simnet::MsgClass::Ack,
         }
     }
 }

@@ -5,26 +5,27 @@
 //! drain the indexing traffic, run MOODS queries with latency/message
 //! accounting, and churn nodes in and out.
 
-use crate::config::{Config, IndexingMode};
-use crate::messages::Msg;
+use crate::config::{Config, IndexingMode, RetryConfig};
+use crate::messages::Wire;
 use crate::query::{self, QueryStats};
 use crate::world::{Anomalies, NetWorld};
 use chord::Ring;
 use ids::Id;
 use moods::{Locate, ObjectId, Path, SiteId, Trace};
-use simnet::{LatencyModel, Metrics, MsgClass, Sim, SimConfig, SimTime};
+use simnet::{FaultConfig, FaultStats, LatencyModel, Metrics, MsgClass, Sim, SimConfig, SimTime};
 
 /// Builder for a [`TraceableNetwork`].
 pub struct Builder {
     sites: usize,
     config: Config,
     latency: Option<Box<dyn LatencyModel>>,
+    faults: Option<FaultConfig>,
 }
 
 impl Builder {
     /// Start building; configure and finish with [`Builder::build`].
     pub fn new() -> Builder {
-        Builder { sites: 0, config: Config::default(), latency: None }
+        Builder { sites: 0, config: Config::default(), latency: None, faults: None }
     }
 
     /// Number of initial sites (`Nn`). Must be at least 1.
@@ -58,6 +59,22 @@ impl Builder {
         self
     }
 
+    /// Inject link faults (drop/duplicate/jitter) and enable crash
+    /// support. The plane has its own seed (see [`FaultConfig`]), so
+    /// runs with faults disabled are byte-identical to builds without a
+    /// fault plane at all.
+    pub fn faults(mut self, faults: FaultConfig) -> Builder {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Configure the at-least-once delivery layer (acked, sequenced
+    /// sends with timeout/retry/backoff). Off by default.
+    pub fn retry(mut self, retry: RetryConfig) -> Builder {
+        self.config.retry = retry;
+        self
+    }
+
     /// Construct the network: all sites join the Chord ring, the overlay
     /// is stabilized, `Lp` is set from the scheme, and the metrics are
     /// zeroed so measurements start from a warm, converged system (the
@@ -72,6 +89,9 @@ impl Builder {
                 panic!("invalid group configuration: {e}");
             }
         }
+        if let Err(e) = self.config.retry.validate() {
+            panic!("invalid retry configuration: {e}");
+        }
         let n_max = match self.config.mode {
             IndexingMode::Group(g) => g.n_max,
             IndexingMode::Individual => 1024,
@@ -81,7 +101,10 @@ impl Builder {
         if let Some(l) = self.latency {
             sim_cfg = sim_cfg.with_latency(l);
         }
-        let mut sim: Sim<Msg> = sim_cfg.build();
+        if let Some(f) = self.faults {
+            sim_cfg = sim_cfg.with_faults(f);
+        }
+        let mut sim: Sim<Wire> = sim_cfg.build();
         let mut world = NetWorld::new(self.config);
 
         let seed = world.config.seed;
@@ -119,7 +142,7 @@ impl Default for Builder {
 
 /// A running traceable network (engine + protocol state).
 pub struct TraceableNetwork {
-    sim: Sim<Msg>,
+    sim: Sim<Wire>,
     /// The protocol world. Public for inspection by experiments/tests;
     /// mutate only through the façade methods.
     pub world: NetWorld,
@@ -169,6 +192,11 @@ impl TraceableNetwork {
     /// Per-live-site gateway load (indexed objects) — Fig. 8a's metric.
     pub fn load_distribution(&self) -> Vec<u64> {
         self.world.load_distribution()
+    }
+
+    /// Fault-plane statistics, if a plane was configured.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.sim.fault_stats()
     }
 
     // ------------------------------------------------------------------
@@ -307,9 +335,15 @@ impl TraceableNetwork {
             self.world.apply_migration(&mut self.sim, &m, from_idx, idx);
         }
         self.world.ring.stabilize_all();
+        // Settle the key handoff before recomputing Lp: the migrated
+        // shards travel as in-flight messages, and an eager split that
+        // runs while they are airborne cannot re-level them — they
+        // would land at the old Lp after the rest of the index moved,
+        // splitting the object's identity across two triangle levels.
+        self.run_until_quiescent();
         self.world.refresh_lp(&mut self.sim);
         self.world.invalidate_gateway_caches();
-        // The handoff (and any eager split) completes before control
+        // The eager split/merge migration also completes before control
         // returns; the traffic it cost stays in the metrics.
         self.run_until_quiescent();
         site
@@ -348,12 +382,62 @@ impl TraceableNetwork {
         // lies in its key range `(pred, id]`, which is exactly the
         // migration Chord reports.
         self.world.apply_migration(&mut self.sim, &outcome.migration, idx, succ_idx);
+        // Drain the handoff while the leaver still counts as alive: a
+        // graceful departure waits for its migration to be acked, so
+        // under link faults the retry layer may retransmit it. Marking
+        // the site dead first would silence those retransmissions and
+        // lose the shard.
+        self.run_until_quiescent();
         self.world.sites[idx].alive = false;
         self.world.ring.stabilize_all();
         self.world.refresh_lp(&mut self.sim);
         self.world.invalidate_gateway_caches();
         // Handoff (and any eager merge) completes before control returns.
         self.run_until_quiescent();
+    }
+
+    /// An organization crashes mid-protocol: no flush, no handoff.
+    /// Messages already in flight to it are discarded by the fault
+    /// plane, its window contents and local repository are lost, and
+    /// every index entry it hosted as a gateway vanishes — queries for
+    /// those objects degrade (and must be *detectably* degraded; the
+    /// invariant auditor checks exactly that). The overlay repairs
+    /// itself through crash-aware incremental stabilization, whose
+    /// convergence is asserted.
+    ///
+    /// Requires the network to have been built with [`Builder::faults`]
+    /// (a no-fault plane via `FaultConfig::none` suffices).
+    pub fn crash_site(&mut self, site: SiteId) {
+        let idx = site.0 as usize;
+        assert!(self.world.sites[idx].alive, "site {site} already gone");
+        assert!(self.world.live_sites() > 1, "last site cannot crash");
+        assert!(self.sim.has_faults(), "crash_site requires Builder::faults");
+
+        let chord_id = self.world.sites[idx].chord_id;
+        self.world.sites[idx].alive = false;
+        self.sim.crash_node(idx);
+        self.world.ring.fail(chord_id);
+
+        // Crash-aware repair: incremental rounds, convergence asserted
+        // within one finger-cursor rotation (see chord::Ring docs).
+        let messages = self
+            .world
+            .ring
+            .stabilize_until_converged(ids::ID_BITS + 1)
+            .expect("post-crash stabilization must converge");
+        self.sim.metrics_mut().record_bulk(
+            MsgClass::Overlay,
+            messages,
+            messages * 32,
+            messages,
+        );
+        self.world.refresh_lp(&mut self.sim);
+        self.world.invalidate_gateway_caches();
+        // Drain survivors' in-flight traffic (deliveries to the crashed
+        // node are discarded by the plane as they surface), then forget
+        // hosted prefixes whose only copy died with the node.
+        self.run_until_quiescent();
+        self.world.rebuild_hosted();
     }
 }
 

@@ -1,0 +1,298 @@
+//! Data-Triangle prefix partition model (§IV-A.2).
+//!
+//! A Data Triangle is a parent prefix `p` plus its two children `p0`,
+//! `p1`. The splitting–merging process that absorbs `Lp` changes walks
+//! these triangles: growing `Lp` *splits* a parent's records down to
+//! its children; shrinking *merges* the two children back into the
+//! parent. The correctness obligation — implicit in the paper, explicit
+//! here — is that the set of active prefixes always stays an exact
+//! partition of the id space: **complete** (every object id matches
+//! some active prefix) and **disjoint** (no id matches two), otherwise
+//! objects are indexed twice or not at all.
+//!
+//! [`TriangleCover`] models that active-prefix set as an antichain in
+//! the binary trie and checks the partition invariant after every
+//! operation. The property test at the bottom drives it through random
+//! `Lp` grow/shrink sequences — the satellite requirement — plus
+//! arbitrary single-triangle splits and merges.
+
+use ids::prefix::{check_len, Prefix, MAX_PREFIX_BITS};
+use std::collections::BTreeSet;
+
+/// The set of active (record-holding) prefixes, maintained as an exact
+/// partition of the id space.
+#[derive(Clone, Debug)]
+pub struct TriangleCover {
+    leaves: BTreeSet<Prefix>,
+}
+
+impl TriangleCover {
+    /// The uniform partition at prefix length `lp`: all `2^lp` prefixes.
+    ///
+    /// # Panics
+    /// If `lp > 20` — the cover is materialized, so enumeration must
+    /// stay small (practical `Lp` for the paper's sizes is ≤ ~20).
+    pub fn uniform(lp: usize) -> TriangleCover {
+        check_len(lp);
+        assert!(lp <= 20, "uniform cover at Lp={lp} would materialize 2^{lp} prefixes");
+        TriangleCover { leaves: Prefix::enumerate(lp).collect() }
+    }
+
+    /// The active prefixes, in sorted order.
+    pub fn leaves(&self) -> impl Iterator<Item = &Prefix> {
+        self.leaves.iter()
+    }
+
+    /// Number of active prefixes.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Is the cover empty? (Never true for a valid partition.)
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// Split the triangle rooted at `p`: the parent's records descend
+    /// to its two children. No-op (returning `false`) unless `p` is an
+    /// active leaf with room to split.
+    pub fn split(&mut self, p: Prefix) -> bool {
+        if p.len() >= MAX_PREFIX_BITS || !self.leaves.remove(&p) {
+            return false;
+        }
+        self.leaves.insert(p.child(false));
+        self.leaves.insert(p.child(true));
+        true
+    }
+
+    /// Merge the triangle rooted at `p`: both children collapse into
+    /// the parent. No-op (returning `false`) unless both children are
+    /// active leaves.
+    pub fn merge(&mut self, p: Prefix) -> bool {
+        let (c0, c1) = (p.child(false), p.child(true));
+        if p.len() >= MAX_PREFIX_BITS || !self.leaves.contains(&c0) || !self.leaves.contains(&c1)
+        {
+            return false;
+        }
+        self.leaves.remove(&c0);
+        self.leaves.remove(&c1);
+        self.leaves.insert(p);
+        true
+    }
+
+    /// Apply the §IV-A.2 splitting–merging process toward a new uniform
+    /// length `lp`: leaves shorter than `lp` split repeatedly (each
+    /// split is one triangle descent), leaves longer than `lp` merge
+    /// with their siblings (one triangle ascent each). Returns the
+    /// number of triangle operations performed.
+    ///
+    /// # Panics
+    /// If `lp > 20` (see [`TriangleCover::uniform`]).
+    pub fn retarget(&mut self, lp: usize) -> usize {
+        check_len(lp);
+        assert!(lp <= 20, "retarget to Lp={lp} would materialize 2^{lp} prefixes");
+        let mut ops = 0;
+        // Splits: repeatedly take the shortest leaf below target depth.
+        while let Some(&p) = self.leaves.iter().find(|p| p.len() < lp) {
+            assert!(self.split(p));
+            ops += 1;
+        }
+        // Merges: collapse sibling pairs deeper than the target. Taking
+        // the *longest* leaf first guarantees its sibling subtree is
+        // already a leaf by the time we reach it from below.
+        while let Some(&p) = self.leaves.iter().rev().max_by_key(|p| p.len()) {
+            if p.len() <= lp {
+                break;
+            }
+            let parent = p.parent().expect("non-root leaf has a parent");
+            assert!(
+                self.merge(parent),
+                "sibling of {p:?} missing — cover was not a partition"
+            );
+            ops += 1;
+        }
+        ops
+    }
+
+    /// Check the partition invariant: every point of the id space is
+    /// covered by exactly one leaf.
+    ///
+    /// Disjointness: in bit-string sorted order an overlap can only be
+    /// a leaf that prefixes its successor. Completeness: once leaves
+    /// are disjoint, their measures (`2^-len`) must sum to exactly 1 —
+    /// checked in integer arithmetic at the deepest leaf's resolution.
+    pub fn check_partition(&self) -> Result<(), String> {
+        let leaves: Vec<&Prefix> = self.leaves.iter().collect();
+        if leaves.is_empty() {
+            return Err("cover is empty".into());
+        }
+        for w in leaves.windows(2) {
+            if w[0].is_prefix_of(w[1]) {
+                return Err(format!(
+                    "overlap: {} is a prefix of {}",
+                    w[0].as_bit_string(),
+                    w[1].as_bit_string()
+                ));
+            }
+        }
+        let depth = leaves.iter().map(|p| p.len()).max().unwrap();
+        let total: u128 = leaves.iter().map(|p| 1u128 << (depth - p.len())).sum();
+        if total != 1u128 << depth {
+            return Err(format!(
+                "coverage gap: leaves measure {total}/{} of the space",
+                1u128 << depth
+            ));
+        }
+        Ok(())
+    }
+
+    /// The unique active leaf covering `id`'s bit path, if the
+    /// partition is intact.
+    pub fn leaf_for(&self, id: &ids::Id) -> Option<Prefix> {
+        self.leaves.iter().find(|p| p.matches(id)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptiny::prelude::*;
+    use proptiny::schedule::schedule;
+
+    #[test]
+    fn uniform_cover_is_a_partition() {
+        for lp in [0usize, 1, 3, 8] {
+            let c = TriangleCover::uniform(lp);
+            assert_eq!(c.len(), 1 << lp);
+            c.check_partition().unwrap();
+        }
+    }
+
+    #[test]
+    fn split_and_merge_are_inverse() {
+        let mut c = TriangleCover::uniform(2);
+        let p = Prefix::from_bit_str("01");
+        assert!(c.split(p));
+        assert_eq!(c.len(), 5);
+        c.check_partition().unwrap();
+        assert!(c.merge(p), "merging the split triangle restores the leaf");
+        assert_eq!(c.len(), 4);
+        c.check_partition().unwrap();
+    }
+
+    #[test]
+    fn invalid_triangle_ops_are_rejected() {
+        let mut c = TriangleCover::uniform(2);
+        // Splitting a non-leaf (too short or too long) is a no-op.
+        assert!(!c.split(Prefix::from_bit_str("0")));
+        assert!(!c.split(Prefix::from_bit_str("010")));
+        // Merging needs both children active.
+        assert!(c.merge(Prefix::from_bit_str("0")), "children 00,01 are leaves");
+        assert!(!c.merge(Prefix::from_bit_str("0")), "already merged");
+        c.check_partition().unwrap();
+    }
+
+    #[test]
+    fn retarget_reaches_uniform_depth_both_ways() {
+        let mut c = TriangleCover::uniform(3);
+        let ops_up = c.retarget(6);
+        assert!(c.leaves().all(|p| p.len() == 6));
+        assert_eq!(c.len(), 64);
+        c.check_partition().unwrap();
+        // 8 → 64 leaves is 56 net new leaves = 56 splits.
+        assert_eq!(ops_up, 56);
+        let ops_down = c.retarget(2);
+        assert!(c.leaves().all(|p| p.len() == 2));
+        assert_eq!(ops_down, 60, "64 → 4 leaves is 60 merges");
+        c.check_partition().unwrap();
+        assert_eq!(c.retarget(2), 0, "already at target");
+    }
+
+    #[test]
+    fn check_partition_detects_gap_and_overlap() {
+        let mut c = TriangleCover::uniform(2);
+        c.leaves.remove(&Prefix::from_bit_str("10"));
+        assert!(c.check_partition().unwrap_err().contains("gap"));
+        c.leaves.insert(Prefix::from_bit_str("10"));
+        c.leaves.insert(Prefix::from_bit_str("100"));
+        assert!(c.check_partition().unwrap_err().contains("overlap"));
+    }
+
+    #[test]
+    fn leaf_for_finds_exactly_one_prefix() {
+        let mut c = TriangleCover::uniform(3);
+        c.retarget(5);
+        c.split(Prefix::from_bit_str("00000"));
+        let id = ids::Id::hash(b"urn:epc:id:sgtin:0614141.1.1");
+        let leaf = c.leaf_for(&id).expect("partition covers every id");
+        assert!(leaf.matches(&id));
+        assert_eq!(c.leaves().filter(|p| p.matches(&id)).count(), 1);
+    }
+
+    /// The schedule op for the satellite property: random `Lp`
+    /// grow/shrink interleaved with arbitrary single-triangle splits
+    /// and merges (selectors resolved modulo the live leaf set).
+    #[derive(Clone, Debug)]
+    enum Op {
+        Retarget(usize),
+        Split(usize),
+        Merge(usize),
+    }
+
+    #[test]
+    fn random_lp_walks_preserve_the_partition() {
+        // The satellite requirement: a random sequence of Lp grow/shrink
+        // (plus triangle-local churn) always leaves the cover complete
+        // and non-overlapping, with retarget landing at uniform depth.
+        let strategy = schedule(1..25)
+            .with_op(4, |rng| Op::Retarget(detrand::Rng::gen_range(rng, 0..=9)))
+            .with_op(2, |rng| Op::Split(detrand::Rng::gen_range(rng, 0..4096)))
+            .with_op(2, |rng| Op::Merge(detrand::Rng::gen_range(rng, 0..4096)))
+            .with_op_shrink(|op| match op {
+                Op::Retarget(l) => (0..*l).map(Op::Retarget).collect(),
+                Op::Split(s) => (0..*s.min(&8)).map(Op::Split).collect(),
+                Op::Merge(s) => (0..*s.min(&8)).map(Op::Merge).collect(),
+            });
+        proptiny::run(
+            "random_lp_walks_preserve_the_partition",
+            &proptiny::Config::with_cases(96),
+            &(strategy,),
+            |(ops,): (Vec<Op>,)| {
+                let mut c = TriangleCover::uniform(3);
+                let mut target = 3usize;
+                for op in &ops {
+                    match op {
+                        Op::Retarget(lp) => {
+                            target = *lp;
+                            c.retarget(*lp);
+                            prop_assert!(c.leaves().all(|p| p.len() == *lp));
+                        }
+                        Op::Split(sel) => {
+                            let i = sel % c.len();
+                            let p = *c.leaves().nth(i).unwrap();
+                            c.split(p);
+                        }
+                        Op::Merge(sel) => {
+                            let i = sel % c.len();
+                            let p = *c.leaves().nth(i).unwrap();
+                            if let Some(parent) = p.parent() {
+                                c.merge(parent);
+                            }
+                        }
+                    }
+                    prop_assert!(
+                        c.check_partition().is_ok(),
+                        "after {op:?}: {}",
+                        c.check_partition().unwrap_err()
+                    );
+                }
+                // A final retarget from any churned state restores the
+                // uniform cover.
+                c.retarget(target);
+                prop_assert_eq!(c.len(), 1usize << target);
+                prop_assert!(c.check_partition().is_ok());
+                proptiny::CaseResult::Pass
+            },
+        );
+    }
+}

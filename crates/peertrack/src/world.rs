@@ -22,7 +22,7 @@
 
 use crate::config::{Config, GroupConfig, IndexingMode, SizeEstimation};
 use crate::grouping::group_batch;
-use crate::messages::{Msg, ENTRY_BYTES, HEADER_BYTES, OBJECT_ID_BYTES, PREFIX_BYTES};
+use crate::messages::{Msg, Wire, ENTRY_BYTES, HEADER_BYTES, OBJECT_ID_BYTES, PREFIX_BYTES};
 use crate::store::{GatewayStore, IndexEntry, IopStore, Link, PrefixIndex};
 use crate::window::{WindowBatch, WindowBuffer, WindowEvent};
 use chord::Ring;
@@ -37,6 +37,8 @@ const TAG_SHIFT: u32 = 56;
 pub(crate) const TAG_WINDOW: u64 = 1;
 /// Scheduled capture; value = pending-capture id.
 pub(crate) const TAG_CAPTURE: u64 = 2;
+/// Ack timeout for a sequenced delivery; value = sequence number.
+pub(crate) const TAG_RETRY: u64 = 3;
 
 fn timer_kind(tag: u64, value: u64) -> u64 {
     debug_assert!(value < (1 << TAG_SHIFT));
@@ -62,6 +64,11 @@ pub struct SiteState {
     /// Cached gateway locations per prefix (§IV-A.2 address caching):
     /// owner site index at the time of first contact.
     gateway_cache: HashMap<Prefix, usize>,
+    /// Sequence numbers already processed (retry mode): retransmissions
+    /// and fault-plane duplicates are acked again but not re-applied —
+    /// IOP upserts are not idempotent, so at-least-once delivery plus
+    /// this filter gives exactly-once processing.
+    seen_seqs: HashSet<u64>,
 }
 
 /// Counters for conditions that should not occur in well-formed runs.
@@ -75,6 +82,15 @@ pub struct Anomalies {
     pub dangling_iop_updates: u64,
     /// Messages dropped because the destination site had left.
     pub dropped_to_dead: u64,
+    /// Deliveries that exhausted every retry attempt without an ack.
+    pub retries_exhausted: u64,
+    /// Duplicate deliveries (retransmission or fault-plane duplication)
+    /// suppressed by the receiver's sequence filter.
+    pub duplicates_suppressed: u64,
+    /// Refresh RPCs abandoned because every attempt was lost (the
+    /// entries stay at the remote shard; the index is stale until the
+    /// next refresh).
+    pub refresh_failures: u64,
 }
 
 /// The distributed system: ring + every site's state.
@@ -96,6 +112,21 @@ pub struct NetWorld {
     next_pending: u64,
     /// Anomaly counters (see [`Anomalies`]).
     pub anomalies: Anomalies,
+    /// Next wire sequence number (0 is reserved for unsequenced traffic).
+    next_seq: u64,
+    /// Unacked sequenced sends awaiting their retry timer.
+    pending_retries: HashMap<u64, PendingSend>,
+}
+
+/// A sequenced send the retry layer may have to retransmit.
+struct PendingSend {
+    from: usize,
+    to: usize,
+    hops: u32,
+    msg: Msg,
+    /// Delivery attempts made so far (first send included).
+    attempts: u32,
+    timer: TimerId,
 }
 
 impl NetWorld {
@@ -115,6 +146,8 @@ impl NetWorld {
             pending_captures: HashMap::new(),
             next_pending: 0,
             anomalies: Anomalies::default(),
+            next_seq: 1,
+            pending_retries: HashMap::new(),
         }
     }
 
@@ -152,6 +185,7 @@ impl NetWorld {
             iop: IopStore::new(),
             gateway: GatewayStore::new(),
             gateway_cache: HashMap::new(),
+            seen_seqs: HashSet::new(),
         });
         site
     }
@@ -185,7 +219,7 @@ impl NetWorld {
     // ------------------------------------------------------------------
 
     /// A receptor at `site` captured `objects` at the current instant.
-    pub fn capture_now(&mut self, sim: &mut Sim<Msg>, site: SiteId, objects: &[ObjectId]) {
+    pub fn capture_now(&mut self, sim: &mut Sim<Wire>, site: SiteId, objects: &[ObjectId]) {
         let idx = self.site_idx(site);
         assert!(self.sites[idx].alive, "capture at a departed site {site}");
         let now = sim.now();
@@ -224,7 +258,7 @@ impl NetWorld {
     /// Queue a capture for time `at` (workload injection).
     pub fn schedule_capture(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         at: SimTime,
         site: SiteId,
         objects: Vec<ObjectId>,
@@ -237,7 +271,7 @@ impl NetWorld {
 
     /// Flush every open window immediately (orderly shutdown; also used
     /// by tests to avoid waiting out `Tmax`).
-    pub fn flush_all_windows(&mut self, sim: &mut Sim<Msg>) {
+    pub fn flush_all_windows(&mut self, sim: &mut Sim<Wire>) {
         for idx in 0..self.sites.len() {
             if self.sites[idx].alive {
                 self.flush_site_window(sim, idx);
@@ -246,7 +280,7 @@ impl NetWorld {
     }
 
     /// Flush one site's open window immediately.
-    pub(crate) fn flush_site_window(&mut self, sim: &mut Sim<Msg>, idx: usize) {
+    pub(crate) fn flush_site_window(&mut self, sim: &mut Sim<Wire>, idx: usize) {
         if let Some(t) = self.sites[idx].window_timer.take() {
             sim.cancel_timer(t);
         }
@@ -262,7 +296,7 @@ impl NetWorld {
     /// Send one `GroupIndex` message per group in the batch (§IV-A.2).
     /// With address caching on, a prefix gateway already contacted is
     /// reached directly (1 hop) instead of via a fresh DHT lookup.
-    fn index_batch(&mut self, sim: &mut Sim<Msg>, batch: WindowBatch) {
+    fn index_batch(&mut self, sim: &mut Sim<Wire>, batch: WindowBatch) {
         let site = batch.site;
         let idx = self.site_idx(site);
         let caching = self.config_caches_addresses();
@@ -296,21 +330,60 @@ impl NetWorld {
     }
 
     /// Deliver a message, short-circuiting self-sends (a node does not
-    /// pay network cost to talk to itself).
-    fn dispatch(&mut self, sim: &mut Sim<Msg>, from: usize, to: usize, hops: u32, msg: Msg) {
+    /// pay network cost to talk to itself). Networked sends are
+    /// sequenced; with the retry layer enabled they are also tracked
+    /// for retransmission until acked.
+    fn dispatch(&mut self, sim: &mut Sim<Wire>, from: usize, to: usize, hops: u32, msg: Msg) {
         if from == to {
-            self.handle(sim, to, from, msg);
-        } else {
-            let class = msg.class();
-            let bytes = msg.wire_size();
-            sim.send(from, to, class, bytes, hops, msg);
+            self.handle(sim, to, from, Wire::unsequenced(msg));
+            return;
         }
+        let class = msg.class();
+        let bytes = msg.wire_size();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.config.retry.enabled {
+            let timer =
+                sim.set_timer(from, self.config.retry.timeout, timer_kind(TAG_RETRY, seq));
+            self.pending_retries.insert(
+                seq,
+                PendingSend { from, to, hops, msg: msg.clone(), attempts: 1, timer },
+            );
+        }
+        sim.send(from, to, class, bytes, hops, Wire { seq, msg });
     }
 
-    fn handle(&mut self, sim: &mut Sim<Msg>, to: usize, from: usize, msg: Msg) {
+    /// Send the ack for an accepted sequenced delivery (retry mode).
+    /// Acks are themselves unsequenced: a lost ack is repaired by the
+    /// retransmission it fails to suppress.
+    fn send_ack(&mut self, sim: &mut Sim<Wire>, from: usize, to: usize, seq: u64) {
+        let ack = Msg::Ack { acked: seq };
+        let bytes = ack.wire_size();
+        sim.send(from, to, MsgClass::Ack, bytes, 1, Wire::unsequenced(ack));
+    }
+
+    fn handle(&mut self, sim: &mut Sim<Wire>, to: usize, from: usize, wire: Wire) {
+        let Wire { seq, msg } = wire;
+        if let Msg::Ack { acked } = msg {
+            // Acks complete the sender's pending entry even if the
+            // sender has since left — there is nothing to retransmit.
+            if let Some(p) = self.pending_retries.remove(&acked) {
+                sim.cancel_timer(p.timer);
+            }
+            return;
+        }
         if !self.sites[to].alive {
             self.anomalies.dropped_to_dead += 1;
             return;
+        }
+        if seq != 0 {
+            if self.config.retry.enabled {
+                self.send_ack(sim, to, from, seq);
+            }
+            if !self.sites[to].seen_seqs.insert(seq) {
+                self.anomalies.duplicates_suppressed += 1;
+                return;
+            }
         }
         match msg {
             Msg::Arrival { object, site, time } => {
@@ -334,33 +407,65 @@ impl NetWorld {
                 }
             }
             Msg::Delegate { prefix, entries } => {
-                let shard = self.sites[to].gateway.shard_mut(prefix);
                 for (o, e) in entries {
-                    shard.upsert(o, e);
+                    self.merge_entry(sim, to, prefix, o, e);
                 }
             }
             Msg::Migrate { prefix, entries } => match prefix {
                 Some(p) => {
-                    let shard = self.sites[to].gateway.shard_mut(p);
                     for (o, e) in entries {
-                        shard.upsert(o, e);
+                        self.merge_entry(sim, to, p, o, e);
                     }
                 }
                 None => {
                     for (o, e) in entries {
-                        self.sites[to].gateway.objects.insert(o, e);
+                        match self.sites[to].gateway.objects.get(&o).copied() {
+                            Some(ex) if ex.time > e.time => {} // racing update won
+                            Some(ex) if ex.time == e.time && e.prev.is_none() => {}
+                            _ => {
+                                self.sites[to].gateway.objects.insert(o, e);
+                            }
+                        }
                     }
                 }
             },
+            Msg::Ack { .. } => unreachable!("acks handled before dispatch"),
         }
         let _ = from;
+    }
+
+    /// A retry timer fired: retransmit if the delivery is still unacked
+    /// and attempts remain, else record exhaustion.
+    fn handle_retry_timeout(&mut self, sim: &mut Sim<Wire>, seq: u64) {
+        let Some(mut p) = self.pending_retries.remove(&seq) else {
+            return; // acked in the meantime
+        };
+        if !self.sites[p.from].alive {
+            return; // sender left; nothing to repair
+        }
+        if p.attempts >= self.config.retry.max_attempts {
+            self.anomalies.retries_exhausted += 1;
+            return;
+        }
+        p.attempts += 1;
+        let delay = self.config.retry.delay_after(p.attempts);
+        p.timer = sim.set_timer(p.from, delay, timer_kind(TAG_RETRY, seq));
+        sim.send(
+            p.from,
+            p.to,
+            MsgClass::Retrans,
+            p.msg.wire_size(),
+            p.hops,
+            Wire { seq, msg: p.msg.clone() },
+        );
+        self.pending_retries.insert(seq, p);
     }
 
     /// Individual-mode gateway logic (§III, Fig. 2): update the index,
     /// send M2 to the source and M3 to the destination of the move.
     fn handle_arrival(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         gw: usize,
         object: ObjectId,
         site: SiteId,
@@ -390,7 +495,7 @@ impl NetWorld {
     /// Group-mode gateway logic — the Fig. 5 `index` algorithm.
     fn handle_group_index(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         gw: usize,
         prefix: Prefix,
         site: SiteId,
@@ -454,12 +559,67 @@ impl NetWorld {
         self.maybe_delegate(sim, gw, prefix);
     }
 
+    /// Install one handed-off index entry (shard migration or triangle
+    /// delegation), merging with any entry a concurrent index update
+    /// created at this gateway while the handoff was in flight — a
+    /// handoff can be arbitrarily delayed by loss and retransmission.
+    /// The two racing visits are re-threaded into one IOP chain where
+    /// possible (late M2/M3 repairs); a conflict that cannot be
+    /// reconciled locally is counted as an out-of-order arrival so
+    /// exactness-sensitive consumers can back off.
+    fn merge_entry(
+        &mut self,
+        sim: &mut Sim<Wire>,
+        gw: usize,
+        p: Prefix,
+        o: ObjectId,
+        e: IndexEntry,
+    ) {
+        let Some(ex) = self.sites[gw].gateway.shard_mut(p).get(&o).copied() else {
+            self.sites[gw].gateway.shard_mut(p).upsert(o, e);
+            return;
+        };
+        if ex.time == e.time {
+            // The same visit arrived twice (e.g. a duplicated handoff);
+            // keep the richer threading.
+            if ex.prev.is_none() && e.prev.is_some() {
+                self.sites[gw].gateway.shard_mut(p).upsert(o, e);
+            }
+            return;
+        }
+        let handoff_is_newer = ex.time < e.time;
+        let (older, newer) = if handoff_is_newer { (ex, e) } else { (e, ex) };
+        if newer.prev == Some(older.link()) {
+            // Already threaded past the older visit — nothing to repair.
+            if handoff_is_newer {
+                self.sites[gw].gateway.shard_mut(p).upsert(o, newer);
+            }
+        } else if newer.prev.is_none() {
+            // Thread the older visit in as the newer one's predecessor
+            // and repair the repositories' links (late M2/M3).
+            let merged = IndexEntry { prev: Some(older.link()), ..newer };
+            self.sites[gw].gateway.shard_mut(p).upsert(o, merged);
+            let m2 = Msg::SetTo { updates: vec![(o, older.time, newer.link())] };
+            self.dispatch(sim, gw, self.site_idx(older.site), 1, m2);
+            let m3 = Msg::SetFrom { updates: vec![(o, newer.time, Some(older.link()))] };
+            self.dispatch(sim, gw, self.site_idx(newer.site), 1, m3);
+        } else {
+            // The newer visit already has a different predecessor: the
+            // older one belongs somewhere mid-chain. Keep the newer
+            // entry and record the reordering.
+            if handoff_is_newer {
+                self.sites[gw].gateway.shard_mut(p).upsert(o, newer);
+            }
+            self.anomalies.out_of_order_arrivals += 1;
+        }
+    }
+
     /// Fig. 5 `refresh_from_ascent`: walk shorter prefixes (nearest
     /// ancestor first, down to `Lmin`), fetching — *moving* — any index
     /// entries for the missing objects into the local shard.
     fn refresh_from_ascent(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         gw: usize,
         prefix: Prefix,
         missing: &mut HashSet<ObjectId>,
@@ -477,7 +637,7 @@ impl NetWorld {
     /// fetching entries for the missing objects.
     fn refresh_from_descent(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         gw: usize,
         prefix: Prefix,
         missing: &mut HashSet<ObjectId>,
@@ -487,7 +647,7 @@ impl NetWorld {
 
     fn descend(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         gw: usize,
         node: Prefix,
         dest: Prefix,
@@ -515,7 +675,7 @@ impl NetWorld {
     /// a request/reply pair of `Refresh` messages.
     fn fetch_remote(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         gw: usize,
         p: Prefix,
         dest: Prefix,
@@ -536,6 +696,38 @@ impl NetWorld {
             .collect();
         if want.is_empty() {
             return;
+        }
+
+        // Fault plane: the fetch is a synchronous request/reply RPC, so
+        // loss is sampled directly (it never crosses the event queue).
+        // Either leg can be lost; with retries enabled the exchange is
+        // re-attempted within the configured budget (extra requests are
+        // charged as `Retrans`), otherwise a single loss abandons the
+        // fetch — the entries stay at the remote shard and the local
+        // index goes stale, a genuine fault the auditor can observe.
+        if owner != gw && sim.has_faults() {
+            let req_bytes = HEADER_BYTES + PREFIX_BYTES + want.len() * OBJECT_ID_BYTES;
+            let max_attempts =
+                if self.config.retry.enabled { self.config.retry.max_attempts } else { 1 };
+            let mut attempt = 1u32;
+            let ok = loop {
+                let plane = sim.faults_mut().expect("has_faults");
+                let lost = plane.sample_loss(gw, owner) || plane.sample_loss(owner, gw);
+                if !lost {
+                    break true;
+                }
+                if attempt >= max_attempts {
+                    break false;
+                }
+                attempt += 1;
+                sim.metrics_mut().record(MsgClass::Retrans, req_bytes, hops);
+            };
+            if !ok {
+                // The initial request was still transmitted and charged.
+                sim.metrics_mut().record(MsgClass::Refresh, req_bytes, hops);
+                self.anomalies.refresh_failures += 1;
+                return;
+            }
         }
 
         // Take matching entries from the remote shard.
@@ -576,7 +768,7 @@ impl NetWorld {
     /// Fig. 5 `update_index` lines 2–4: delegate the earliest `α·count`
     /// records to the two triangle children when the shard exceeds the
     /// configured threshold.
-    fn maybe_delegate(&mut self, sim: &mut Sim<Msg>, gw: usize, prefix: Prefix) {
+    fn maybe_delegate(&mut self, sim: &mut Sim<Wire>, gw: usize, prefix: Prefix) {
         let Some(g) = self.group_config() else { return };
         let Some(threshold) = g.delegate_threshold else { return };
         if prefix.len() >= ids::prefix::MAX_PREFIX_BITS {
@@ -614,7 +806,7 @@ impl NetWorld {
     /// Recompute `Lp` from the (estimated) ring size; on change, run the
     /// eager splitting/merging migration if configured. Returns the new
     /// `Lp`.
-    pub fn refresh_lp(&mut self, sim: &mut Sim<Msg>) -> usize {
+    pub fn refresh_lp(&mut self, sim: &mut Sim<Wire>) -> usize {
         let Some(g) = self.group_config() else { return self.current_lp };
         let nn = self.estimated_size(sim, g);
         let target = g.scheme.lp_clamped(nn, g.l_min);
@@ -641,12 +833,20 @@ impl NetWorld {
     /// The gossip policy simulates a full push-pull epoch over the live
     /// membership and charges its traffic (one message pair per node per
     /// round, header-sized payloads).
-    fn estimated_size(&mut self, sim: &mut Sim<Msg>, g: GroupConfig) -> usize {
+    fn estimated_size(&mut self, sim: &mut Sim<Wire>, g: GroupConfig) -> usize {
         match g.size_estimation {
             SizeEstimation::Exact => self.ring.len(),
             SizeEstimation::Gossip { rounds } => {
                 let n = self.ring.len();
-                let est = crate::estimator::estimate_count(n, rounds, sim.rng_mut());
+                // Under a fault plane, gossip suffers the same default
+                // loss rate as the rest of the traffic (loss = 0 when no
+                // plane: identical RNG draws, byte-identical runs).
+                let loss = match sim.faults_mut() {
+                    Some(p) => p.default_drop(),
+                    None => 0.0,
+                };
+                let est =
+                    crate::estimator::estimate_count_lossy(n, rounds, loss, sim.rng_mut());
                 let m = sim.metrics_mut();
                 m.record_bulk(
                     MsgClass::Gossip,
@@ -662,8 +862,11 @@ impl NetWorld {
     /// Push every shard of length `l` down into its two children
     /// ("the data stored in the old parent will all be delegated into
     /// the two new parent nodes which are its child nodes").
-    fn split_level(&mut self, sim: &mut Sim<Msg>, l: usize) {
-        let shards: Vec<(usize, Prefix)> = self
+    fn split_level(&mut self, sim: &mut Sim<Wire>, l: usize) {
+        // Sorted: the shard map iterates in hash order, and dispatch
+        // order feeds the latency/fault RNGs — runs must not depend on
+        // the process's hasher seed.
+        let mut shards: Vec<(usize, Prefix)> = self
             .sites
             .iter()
             .enumerate()
@@ -677,6 +880,7 @@ impl NetWorld {
                     .collect::<Vec<_>>()
             })
             .collect();
+        shards.sort();
         for (idx, p) in shards {
             let entries = match self.sites[idx].gateway.prefixes.get_mut(&p) {
                 Some(s) => s.drain_all(),
@@ -707,11 +911,13 @@ impl NetWorld {
     /// Merge every shard of length `l` up into its parent ("the parent
     /// node's two child nodes migrate the data they are indexing to the
     /// parent node").
-    fn merge_level(&mut self, sim: &mut Sim<Msg>, l: usize) {
+    fn merge_level(&mut self, sim: &mut Sim<Wire>, l: usize) {
         if l == 0 {
             return;
         }
-        let shards: Vec<(usize, Prefix)> = self
+        // Sorted for hasher-independent dispatch order, as in
+        // `split_level`.
+        let mut shards: Vec<(usize, Prefix)> = self
             .sites
             .iter()
             .enumerate()
@@ -725,6 +931,7 @@ impl NetWorld {
                     .collect::<Vec<_>>()
             })
             .collect();
+        shards.sort();
         for (idx, p) in shards {
             let entries = match self.sites[idx].gateway.prefixes.get_mut(&p) {
                 Some(s) => s.drain_all(),
@@ -752,19 +959,21 @@ impl NetWorld {
     /// `SplitMerge` traffic (Chord's key handoff).
     pub(crate) fn apply_migration(
         &mut self,
-        sim: &mut Sim<Msg>,
+        sim: &mut Sim<Wire>,
         migration: &chord::Migration,
         from_idx: usize,
         to_idx: usize,
     ) {
-        // Individual-mode entries move by object id.
-        let moved_objects: Vec<ObjectId> = self.sites[from_idx]
+        // Individual-mode entries move by object id. Sorted so message
+        // contents and dispatch order are hasher-independent.
+        let mut moved_objects: Vec<ObjectId> = self.sites[from_idx]
             .gateway
             .objects
             .keys()
             .filter(|o| migration.covers(&o.id()))
             .copied()
             .collect();
+        moved_objects.sort();
         let mut entries = Vec::with_capacity(moved_objects.len());
         for o in moved_objects {
             let e = self.sites[from_idx].gateway.objects.remove(&o).expect("listed above");
@@ -775,14 +984,16 @@ impl NetWorld {
             self.dispatch(sim, from_idx, to_idx, 1, msg);
         }
 
-        // Group-mode shards move whole, by their gateway key.
-        let moved_prefixes: Vec<Prefix> = self.sites[from_idx]
+        // Group-mode shards move whole, by their gateway key; sorted
+        // for the same reason as above.
+        let mut moved_prefixes: Vec<Prefix> = self.sites[from_idx]
             .gateway
             .prefixes
             .keys()
             .filter(|p| migration.covers(&p.gateway_id()))
             .copied()
             .collect();
+        moved_prefixes.sort();
         for p in moved_prefixes {
             let mut shard = self.sites[from_idx]
                 .gateway
@@ -796,6 +1007,18 @@ impl NetWorld {
             let msg = Msg::Migrate { prefix: Some(p), entries };
             self.dispatch(sim, from_idx, to_idx, 1, msg);
         }
+    }
+
+    /// Recompute the hosted-prefix set from the shards that actually
+    /// exist at live sites. Used after a crash: prefixes whose only copy
+    /// lived on the dead node must stop attracting refresh fetches.
+    pub(crate) fn rebuild_hosted(&mut self) {
+        self.hosted = self
+            .sites
+            .iter()
+            .filter(|s| s.alive)
+            .flat_map(|s| s.gateway.prefixes.keys().copied())
+            .collect();
     }
 
     /// Total index load per site (objects indexed as gateway) — Fig. 8a.
@@ -813,12 +1036,12 @@ impl NetWorld {
     }
 }
 
-impl World<Msg> for NetWorld {
-    fn on_message(&mut self, sim: &mut Sim<Msg>, to: NodeIndex, from: NodeIndex, msg: Msg) {
-        self.handle(sim, to, from, msg);
+impl World<Wire> for NetWorld {
+    fn on_message(&mut self, sim: &mut Sim<Wire>, to: NodeIndex, from: NodeIndex, wire: Wire) {
+        self.handle(sim, to, from, wire);
     }
 
-    fn on_timer(&mut self, sim: &mut Sim<Msg>, node: NodeIndex, kind: u64) {
+    fn on_timer(&mut self, sim: &mut Sim<Wire>, node: NodeIndex, kind: u64) {
         let tag = kind >> TAG_SHIFT;
         let value = kind & ((1 << TAG_SHIFT) - 1);
         match tag {
@@ -839,6 +1062,9 @@ impl World<Msg> for NetWorld {
                         self.capture_now(sim, site, &objects);
                     }
                 }
+            }
+            TAG_RETRY => {
+                self.handle_retry_timeout(sim, value);
             }
             other => panic!("unknown timer tag {other}"),
         }

@@ -31,8 +31,10 @@ use detrand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 pub mod collection;
+pub mod schedule;
 pub mod strategy;
 
+pub use schedule::{schedule, ScheduleStrategy};
 pub use strategy::{any, Arbitrary, Strategy};
 
 /// Module alias so ported `prop::collection::vec(...)` call sites keep

@@ -1,0 +1,229 @@
+//! Schedule strategies: weighted sequences of operations.
+//!
+//! The invariant auditor (tests crate) explores random interleavings of
+//! protocol operations — captures, movements, churn, fault injection —
+//! and needs failing interleavings to shrink to a minimal reproducer.
+//! [`schedule`] builds a [`Strategy`] over `Vec<Op>` from a weighted
+//! table of op generators; shrinking removes whole operations first
+//! (the highest-leverage cut for a schedule) and then simplifies the
+//! surviving operations in place through a caller-supplied per-op
+//! shrinker, so the minimal case is "fewest ops, each as tame as
+//! possible while still failing".
+
+use crate::strategy::Strategy;
+use detrand::rngs::StdRng;
+use detrand::Rng;
+use std::ops::Range;
+
+/// Generator closure for one schedule operation.
+type OpGen<Op> = Box<dyn Fn(&mut StdRng) -> Op>;
+
+/// Per-op shrinker: candidate simplifications, most aggressive first.
+type OpShrink<Op> = Box<dyn Fn(&Op) -> Vec<Op>>;
+
+/// A weighted table of operation generators producing `Vec<Op>`
+/// schedules. Built by [`schedule`]; add entries with
+/// [`with_op`](ScheduleStrategy::with_op).
+pub struct ScheduleStrategy<Op> {
+    ops: Vec<(u32, OpGen<Op>)>,
+    total_weight: u64,
+    len: Range<usize>,
+    shrink_op: Option<OpShrink<Op>>,
+}
+
+/// A schedule of `len.start..len.end` operations, each drawn from a
+/// weighted generator table (empty until `with_op` entries are added).
+///
+/// # Panics
+/// If `len` is empty.
+pub fn schedule<Op>(len: Range<usize>) -> ScheduleStrategy<Op> {
+    assert!(len.start < len.end, "schedule strategy: empty length range");
+    ScheduleStrategy { ops: Vec::new(), total_weight: 0, len, shrink_op: None }
+}
+
+impl<Op> ScheduleStrategy<Op> {
+    /// Add an operation generator drawn with probability
+    /// `weight / total_weight`.
+    ///
+    /// # Panics
+    /// If `weight` is zero (a zero-weight op can never be generated, so
+    /// asking for one is a bug in the table).
+    pub fn with_op(mut self, weight: u32, gen: impl Fn(&mut StdRng) -> Op + 'static) -> Self {
+        assert!(weight > 0, "schedule strategy: op weight must be positive");
+        self.total_weight += weight as u64;
+        self.ops.push((weight, Box::new(gen)));
+        self
+    }
+
+    /// Install the per-op shrinker. Without one, shrinking still
+    /// removes operations but leaves survivors untouched.
+    pub fn with_op_shrink(mut self, shrink: impl Fn(&Op) -> Vec<Op> + 'static) -> Self {
+        self.shrink_op = Some(Box::new(shrink));
+        self
+    }
+
+    fn pick(&self, rng: &mut StdRng) -> Op {
+        debug_assert!(self.total_weight > 0, "schedule strategy: no ops registered");
+        let mut roll = rng.gen_range(0..self.total_weight);
+        for (weight, gen) in &self.ops {
+            if roll < *weight as u64 {
+                return gen(rng);
+            }
+            roll -= *weight as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+impl<Op: Clone + std::fmt::Debug> Strategy for ScheduleStrategy<Op> {
+    type Value = Vec<Op>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<Op> {
+        assert!(self.total_weight > 0, "schedule strategy: no ops registered");
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.pick(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<Op>) -> Vec<Vec<Op>> {
+        let lo = self.len.start;
+        let mut out = Vec::new();
+        // 1. Aggressive length cuts: keep the prefix (schedules are
+        //    causal, so a prefix is always a valid schedule), then the
+        //    suffix — a violation triggered late may not need the warmup.
+        if v.len() > lo {
+            out.push(v[..lo].to_vec());
+            let half = lo.max(v.len() / 2);
+            if half < v.len() && half > lo {
+                out.push(v[..half].to_vec());
+                out.push(v[v.len() - half..].to_vec());
+            }
+        }
+        // 2. Remove single operations (isolates the load-bearing ops).
+        if v.len() > lo {
+            for i in 0..v.len() {
+                let mut next = v.clone();
+                next.remove(i);
+                out.push(next);
+            }
+        }
+        // 3. Simplify surviving operations in place.
+        if let Some(shrink_op) = &self.shrink_op {
+            for (i, op) in v.iter().enumerate() {
+                for candidate in shrink_op(op) {
+                    let mut next = v.clone();
+                    next[i] = candidate;
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_collect, CaseResult, Config};
+    use detrand::SeedableRng;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    enum Op {
+        Capture(u32),
+        Move(u32),
+        Crash(u32),
+    }
+
+    fn demo() -> ScheduleStrategy<Op> {
+        schedule(1..12)
+            .with_op(6, |rng| Op::Capture(rng.gen_range(0..16)))
+            .with_op(3, |rng| Op::Move(rng.gen_range(0..16)))
+            .with_op(1, |rng| Op::Crash(rng.gen_range(0..4)))
+            .with_op_shrink(|op| match op {
+                // A crash simplifies to a benign capture, then selectors
+                // shrink toward zero.
+                Op::Crash(n) => {
+                    let mut c = vec![Op::Capture(*n)];
+                    c.extend((0..*n).map(Op::Crash));
+                    c
+                }
+                Op::Move(n) => (0..*n).map(Op::Move).collect(),
+                Op::Capture(n) => (0..*n).map(Op::Capture).collect(),
+            })
+    }
+
+    #[test]
+    fn generates_lengths_and_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = demo();
+        let (mut captures, mut moves, mut crashes) = (0u32, 0u32, 0u32);
+        for _ in 0..300 {
+            let v = s.generate(&mut rng);
+            assert!((1..12).contains(&v.len()));
+            for op in v {
+                match op {
+                    Op::Capture(_) => captures += 1,
+                    Op::Move(_) => moves += 1,
+                    Op::Crash(_) => crashes += 1,
+                }
+            }
+        }
+        // 6:3:1 weighting — order must hold with a wide margin.
+        assert!(captures > moves && moves > crashes, "{captures}/{moves}/{crashes}");
+        assert!(crashes > 0, "rare ops still reachable");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let s = demo();
+        let a = s.generate(&mut StdRng::seed_from_u64(9));
+        let b = s.generate(&mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shrink_respects_min_len_and_offers_removals() {
+        let s = demo();
+        let v = vec![Op::Capture(3), Op::Crash(2), Op::Move(1)];
+        let candidates = s.shrink(&v);
+        assert!(candidates.iter().all(|c| !c.is_empty()), "min length 1 respected");
+        // Every single-op removal is offered.
+        for i in 0..v.len() {
+            let mut removed = v.clone();
+            removed.remove(i);
+            assert!(candidates.contains(&removed), "removal of op {i} offered");
+        }
+        // Per-op shrinking turns the crash into a capture somewhere.
+        assert!(candidates
+            .iter()
+            .any(|c| c.len() == 3 && matches!(c[1], Op::Capture(2))));
+    }
+
+    #[test]
+    fn failing_schedule_shrinks_to_single_culprit_op() {
+        // "no schedule crashes node 0" — minimal reproducer is exactly
+        // [Crash(0)]: removal strips the noise, per-op shrinking tames
+        // the selector.
+        let fail = run_collect(
+            "schedule_shrinks_to_crash",
+            &Config { max_shrink_steps: 4096, ..Config::default() },
+            &(demo(),),
+            |(ops,): (Vec<Op>,)| {
+                if ops.iter().any(|op| matches!(op, Op::Crash(_))) {
+                    CaseResult::Fail("crashed".into())
+                } else {
+                    CaseResult::Pass
+                }
+            },
+        )
+        .expect_err("property must fail");
+        assert_eq!(fail.minimal, "([Crash(0)],)");
+        assert!(fail.shrink_steps > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no ops registered")]
+    fn empty_table_rejected_at_generate() {
+        let s: ScheduleStrategy<Op> = schedule(1..4);
+        s.generate(&mut StdRng::seed_from_u64(0));
+    }
+}

@@ -15,7 +15,10 @@
 //! * message/byte/hop accounting ([`metrics::Metrics`]) — "indexing cost,
 //!   measured by the total volume of messages transferred over the
 //!   network" (§V-A) — with an atomic aggregate ([`metrics::SharedMetrics`])
-//!   for multi-threaded experiment sweeps.
+//!   for multi-threaded experiment sweeps;
+//! * an optional, separately-seeded fault plane ([`fault::FaultPlane`])
+//!   that can drop, duplicate and jitter-delay deliveries or crash nodes
+//!   mid-protocol, with byte-identical replay of every faulty execution.
 //!
 //! The engine is deliberately protocol-agnostic: protocols implement
 //! [`World`] and own all node state; the simulator owns time.
@@ -23,11 +26,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod sim;
 pub mod time;
 
+pub use fault::{FaultConfig, FaultPlane, FaultStats, LinkFaults};
 pub use latency::{ConstantPerHop, LatencyModel, UniformJitter};
 pub use metrics::{Metrics, MsgClass, SharedMetrics};
 pub use sim::{NodeIndex, Sim, SimConfig, TimerId, World};

@@ -37,10 +37,14 @@ pub enum MsgClass {
     Overlay = 8,
     /// Epidemic aggregation for network-size estimation (§IV-A.1, \[14\]).
     Gossip = 9,
+    /// Delivery acknowledgements for the at-least-once retry layer.
+    Ack = 10,
+    /// Retransmissions after an ack timeout (at-least-once delivery).
+    Retrans = 11,
 }
 
 /// Number of message classes.
-pub const NUM_CLASSES: usize = 10;
+pub const NUM_CLASSES: usize = 12;
 
 /// All message classes, for iteration in reports.
 pub const ALL_CLASSES: [MsgClass; NUM_CLASSES] = [
@@ -54,6 +58,8 @@ pub const ALL_CLASSES: [MsgClass; NUM_CLASSES] = [
     MsgClass::Query,
     MsgClass::Overlay,
     MsgClass::Gossip,
+    MsgClass::Ack,
+    MsgClass::Retrans,
 ];
 
 impl MsgClass {
@@ -70,12 +76,16 @@ impl MsgClass {
             MsgClass::Query => "query",
             MsgClass::Overlay => "overlay",
             MsgClass::Gossip => "gossip",
+            MsgClass::Ack => "ack",
+            MsgClass::Retrans => "retrans",
         }
     }
 
     /// Does this class count toward *indexing cost* (Figs. 6 and 8)?
     /// The paper's indexing cost covers index establishment and IOP
-    /// maintenance, not queries or overlay upkeep.
+    /// maintenance, not queries, overlay upkeep, or reliability overhead
+    /// (acks/retransmissions are kept separate so faulty runs remain
+    /// comparable to the paper's loss-free cost model).
     pub fn is_indexing(&self) -> bool {
         matches!(
             self,

@@ -11,6 +11,7 @@
 //! seed and the same workload therefore produce byte-identical metrics —
 //! the property that makes the reproduced figures exactly re-runnable.
 
+use crate::fault::{FaultConfig, FaultPlane, FaultStats};
 use crate::latency::{ConstantPerHop, LatencyModel};
 use crate::metrics::{Metrics, MsgClass};
 use crate::time::SimTime;
@@ -71,11 +72,15 @@ pub struct SimConfig {
     pub seed: u64,
     /// Latency model (defaults to the paper's 5 ms/hop).
     pub latency: Box<dyn LatencyModel>,
+    /// Optional fault plane (drop/duplicate/jitter/crash). `None` — the
+    /// default — keeps the clean delivery path bit-for-bit unchanged:
+    /// no extra RNG draws, no extra branches with observable effects.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0xC0FFEE, latency: Box::new(ConstantPerHop::paper()) }
+        SimConfig { seed: 0xC0FFEE, latency: Box::new(ConstantPerHop::paper()), faults: None }
     }
 }
 
@@ -92,6 +97,12 @@ impl SimConfig {
         self
     }
 
+    /// Enable fault injection.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
     /// Build the engine.
     pub fn build<M>(self) -> Sim<M> {
         Sim {
@@ -103,6 +114,7 @@ impl SimConfig {
             rng: StdRng::seed_from_u64(self.seed),
             latency: self.latency,
             metrics: Metrics::new(),
+            faults: self.faults.map(FaultPlane::new),
         }
     }
 }
@@ -117,6 +129,7 @@ pub struct Sim<M> {
     rng: StdRng,
     latency: Box<dyn LatencyModel>,
     metrics: Metrics,
+    faults: Option<FaultPlane>,
 }
 
 impl<M> Sim<M> {
@@ -171,10 +184,24 @@ impl<M> Sim<M> {
         bytes: usize,
         hops: u32,
         msg: M,
-    ) {
+    )
+    where
+        M: Clone,
+    {
         self.metrics.record(class, bytes, hops);
         let delay = self.latency.delay(hops, &mut self.rng);
         let time = self.now + delay;
+        if let Some(plane) = self.faults.as_mut() {
+            let verdict = plane.judge(from, to);
+            for copy in 0..verdict.copies {
+                self.push(Scheduled {
+                    time: time + verdict.extra_delay[copy as usize],
+                    seq: 0, // filled by push
+                    kind: EventKind::Deliver { to, from, msg: msg.clone() },
+                });
+            }
+            return;
+        }
         self.push(Scheduled {
             time,
             seq: 0, // filled by push
@@ -216,6 +243,39 @@ impl<M> Sim<M> {
         self.cancelled.insert(id.0);
     }
 
+    /// Is a fault plane configured?
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The fault plane, if configured (crash injection, RPC loss
+    /// sampling, fault parameters).
+    pub fn faults_mut(&mut self) -> Option<&mut FaultPlane> {
+        self.faults.as_mut()
+    }
+
+    /// Fault statistics, if a plane is configured.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|p| *p.stats())
+    }
+
+    /// Crash `node` mid-protocol: deliveries to or from it — including
+    /// messages already in flight — are discarded from now on. Timers at
+    /// the node still fire (the world is expected to ignore events at
+    /// nodes it knows are dead). Requires a fault plane; configure one
+    /// with [`FaultConfig::none`] if only crashes are wanted.
+    pub fn crash_node(&mut self, node: NodeIndex) {
+        self.faults
+            .as_mut()
+            .expect("crash_node requires a fault plane (SimConfig::with_faults)")
+            .crash(node);
+    }
+
+    /// Has `node` been crashed via [`Sim::crash_node`]?
+    pub fn node_crashed(&self, node: NodeIndex) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.is_crashed(node))
+    }
+
     fn push(&mut self, mut ev: Scheduled<M>) {
         ev.seq = self.seq;
         self.seq += 1;
@@ -239,6 +299,15 @@ impl<M> Sim<M> {
                 }
                 EventKind::Deliver { to, from, msg } => {
                     self.now = ev.time;
+                    // A crash takes effect immediately: messages already in
+                    // flight toward the crashed node are discarded at
+                    // delivery time.
+                    if let Some(plane) = self.faults.as_mut() {
+                        if plane.is_crashed(to) {
+                            plane.note_delivery_to_crashed();
+                            continue;
+                        }
+                    }
                     world.on_message(self, to, from, msg);
                 }
             }

@@ -16,6 +16,12 @@ cargo test -q --offline
 echo "== benches compile (offline) =="
 cargo build --offline --benches
 
+echo "== schedule auditor (fast budget) =="
+# Random op schedules under 5% drop with retries on must preserve every
+# invariant; a reduced case budget keeps this inside tier-1 time. The
+# full-budget run is `AUDIT_CASES=50` (the test's default).
+AUDIT_CASES=15 cargo test -q --offline -p integration-tests --test schedule_audit
+
 echo "== dependency policy: path-only =="
 # Any dependency line carrying a version requirement or registry/git
 # source is a policy violation. In-tree deps look like

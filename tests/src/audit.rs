@@ -1,0 +1,698 @@
+//! The schedule-exploring invariant auditor.
+//!
+//! A *schedule* is a sequence of operations — captures, movements,
+//! churn, crashes, clock advances — encoded as `u64` words so that a
+//! failing schedule prints as a runnable reproducer (see
+//! [`format_schedule`] / the `AUDIT_SCHEDULE` replay test). The auditor
+//! [`run_schedule`]s a word list against a small faulty network while
+//! maintaining a [`MovementLog`] oracle, then checks global invariants
+//! after quiescence:
+//!
+//! * **Chord agreement** — the ring's successor/predecessor/finger state
+//!   is converged.
+//! * **Index uniqueness & placement** — no object is indexed at two
+//!   gateways; every entry sits in a shard whose prefix matches the
+//!   object's hash, hosted by the DHT owner of that prefix, and is
+//!   reachable through the Data-Triangle ancestor chain.
+//! * **Locate agreement** — for objects untouched by crashes, `L(o,t)`
+//!   equals the oracle; crash-tainted objects may degrade but never
+//!   fabricate a site the object did not visit.
+//! * **IOP chain consistency** — walking the distributed doubly-linked
+//!   list from the gateway's latest link visits only true oracle visits
+//!   in order, with mutually consistent `from`/`to` links.
+//! * **Trace agreement** — `TR(o)` is a subsequence of the oracle path;
+//!   exact (and flagged complete) when no reordering anomaly occurred.
+//!
+//! Crashes lose data by design (no replication in the paper), so
+//! crash-affected objects are *tainted* and held to the weaker
+//! "degrade detectably, never silently lie" standard. Graceful leaves
+//! migrate their index shards, so they taint traces (repository gone)
+//! but not locates.
+
+use moods::{MovementLog, ObjectId, Path, SiteId, Visit};
+use peertrack::config::RetryConfig;
+use peertrack::store::IndexEntry;
+use peertrack::{Builder, GroupConfig, IndexingMode, TraceableNetwork};
+use simnet::fault::FaultConfig;
+use simnet::time::ms;
+use simnet::{FaultStats, MsgClass, SimTime};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Simulated-time gap between consecutive schedule arrivals; small
+/// enough that several captures share one indexing window (`T_MAX`).
+const STEP: SimTime = SimTime::from_millis(35);
+/// Window width used by the audit harness.
+const T_MAX: SimTime = ms(150);
+/// Window object bound.
+const N_MAX: usize = 8;
+/// Delegation threshold — tiny, so schedules exercise Data Triangles.
+const DELEGATE_THRESHOLD: usize = 6;
+/// Minimum prefix length (`Lmin`).
+const L_MIN: usize = 3;
+
+/// One schedule operation. Selectors are resolved modulo the live
+/// population when the op executes, so every word is valid in every
+/// state (shrinking never produces an inapplicable schedule).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Capture a fresh object at the selected live site.
+    Capture {
+        /// Live-site selector.
+        site: u16,
+    },
+    /// Re-capture an existing object (selector modulo created objects)
+    /// at the selected live site — a movement.
+    MoveObj {
+        /// Live-site selector.
+        site: u16,
+        /// Created-object selector.
+        obj: u16,
+    },
+    /// Run the simulation forward by `ms` milliseconds.
+    Advance {
+        /// Milliseconds to advance.
+        ms: u16,
+    },
+    /// Drain the event queue completely.
+    Quiesce,
+    /// A new organization joins.
+    Join,
+    /// A schedule-joined organization leaves gracefully.
+    Leave {
+        /// Joined-site selector.
+        sel: u16,
+    },
+    /// A schedule-joined organization crashes mid-protocol.
+    Crash {
+        /// Joined-site selector.
+        sel: u16,
+    },
+}
+
+const TAG_CAPTURE: u64 = 0;
+const TAG_MOVE: u64 = 1;
+const TAG_ADVANCE: u64 = 2;
+const TAG_QUIESCE: u64 = 3;
+const TAG_JOIN: u64 = 4;
+const TAG_LEAVE: u64 = 5;
+const TAG_CRASH: u64 = 6;
+const NUM_TAGS: u64 = 7;
+
+/// Encode an op as one schedule word: tag in the top byte, operands in
+/// the low 32 bits.
+pub fn encode(op: Op) -> u64 {
+    let (tag, a, b) = match op {
+        Op::Capture { site } => (TAG_CAPTURE, site, 0),
+        Op::MoveObj { site, obj } => (TAG_MOVE, site, obj),
+        Op::Advance { ms } => (TAG_ADVANCE, ms, 0),
+        Op::Quiesce => (TAG_QUIESCE, 0, 0),
+        Op::Join => (TAG_JOIN, 0, 0),
+        Op::Leave { sel } => (TAG_LEAVE, sel, 0),
+        Op::Crash { sel } => (TAG_CRASH, sel, 0),
+    };
+    (tag << 56) | ((a as u64) << 16) | b as u64
+}
+
+/// Decode a schedule word. Total: every `u64` decodes to some op (tag
+/// taken modulo the op count), so arbitrary words are runnable.
+pub fn decode(word: u64) -> Op {
+    let a = ((word >> 16) & 0xFFFF) as u16;
+    let b = (word & 0xFFFF) as u16;
+    match (word >> 56) % NUM_TAGS {
+        TAG_CAPTURE => Op::Capture { site: a },
+        TAG_MOVE => Op::MoveObj { site: a, obj: b },
+        TAG_ADVANCE => Op::Advance { ms: a },
+        TAG_QUIESCE => Op::Quiesce,
+        TAG_JOIN => Op::Join,
+        TAG_LEAVE => Op::Leave { sel: a },
+        _ => Op::Crash { sel: a },
+    }
+}
+
+/// Per-op shrink candidates, most aggressive first: destructive ops
+/// simplify toward benign ones, selectors and durations toward zero.
+pub fn shrink_word(word: u64) -> Vec<u64> {
+    let halves = |v: u16| -> Vec<u16> {
+        let mut out = Vec::new();
+        if v > 0 {
+            out.push(0);
+        }
+        if v / 2 != 0 && v / 2 != v {
+            out.push(v / 2);
+        }
+        out
+    };
+    let ops = match decode(word) {
+        Op::Capture { site } => halves(site).into_iter().map(|site| Op::Capture { site }).collect(),
+        Op::MoveObj { site, obj } => {
+            let mut c = vec![Op::Capture { site }];
+            c.extend(halves(site).into_iter().map(|site| Op::MoveObj { site, obj }));
+            c.extend(halves(obj).into_iter().map(|obj| Op::MoveObj { site, obj }));
+            c
+        }
+        Op::Advance { ms } => halves(ms).into_iter().map(|ms| Op::Advance { ms }).collect(),
+        Op::Quiesce | Op::Join => Vec::new(),
+        Op::Leave { sel } => {
+            let mut c = vec![Op::Capture { site: sel }];
+            c.extend(halves(sel).into_iter().map(|sel| Op::Leave { sel }));
+            c
+        }
+        Op::Crash { sel } => {
+            let mut c = vec![Op::Leave { sel }, Op::Capture { site: sel }];
+            c.extend(halves(sel).into_iter().map(|sel| Op::Crash { sel }));
+            c
+        }
+    };
+    ops.into_iter().map(encode).filter(|&w| w != word).collect()
+}
+
+/// Render a word list as the comma-separated decimal form the
+/// `AUDIT_SCHEDULE` environment variable accepts.
+pub fn format_schedule(words: &[u64]) -> String {
+    words.iter().map(u64::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// Parse the `AUDIT_SCHEDULE` form (decimal words separated by commas
+/// and/or whitespace).
+pub fn parse_schedule(s: &str) -> Result<Vec<u64>, String> {
+    s.split(|c: char| c == ',' || c.is_whitespace())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse::<u64>().map_err(|e| format!("bad schedule word {t:?}: {e}")))
+        .collect()
+}
+
+/// Human-readable decoding of a schedule.
+pub fn describe(words: &[u64]) -> String {
+    let ops: Vec<Op> = words.iter().map(|&w| decode(w)).collect();
+    format!("{ops:?}")
+}
+
+/// Harness configuration for one audited run.
+#[derive(Clone, Copy, Debug)]
+pub struct AuditConfig {
+    /// Founding sites (never churned by the schedule; queries originate
+    /// at founder 0).
+    pub founders: usize,
+    /// Engine seed (node identities, latencies).
+    pub seed: u64,
+    /// Fault-plane seed (independent, see `simnet::fault`).
+    pub fault_seed: u64,
+    /// Uniform per-delivery drop probability.
+    pub drop: f64,
+    /// Retry layer configuration.
+    pub retry: RetryConfig,
+}
+
+impl AuditConfig {
+    /// A lossy network with the retry layer off — the configuration the
+    /// auditor demonstrates violations against.
+    pub fn lossy_no_retries(drop: f64) -> AuditConfig {
+        AuditConfig {
+            founders: 6,
+            seed: 0xA0D1_7E57,
+            fault_seed: 0xFA01_7501,
+            drop,
+            retry: RetryConfig::disabled(),
+        }
+    }
+
+    /// The same lossy network with the retry layer on (longer attempt
+    /// budget than the default: schedules are short, so the harness can
+    /// afford patience in exchange for delivery certainty).
+    pub fn lossy_with_retries(drop: f64) -> AuditConfig {
+        AuditConfig {
+            retry: RetryConfig {
+                enabled: true,
+                timeout: ms(120),
+                backoff: 2,
+                max_attempts: 8,
+            },
+            ..AuditConfig::lossy_no_retries(drop)
+        }
+    }
+}
+
+/// What one audited run observed.
+#[derive(Debug)]
+pub struct AuditReport {
+    /// Invariant violations, sorted; empty means the run is clean.
+    pub violations: Vec<String>,
+    /// Objects the schedule created.
+    pub objects: usize,
+    /// Ops that actually executed (selector no-ops excluded).
+    pub ops_applied: usize,
+    /// Protocol anomaly counters at the end of the run.
+    pub anomalies: peertrack::world::Anomalies,
+    /// Fault-plane delivery statistics.
+    pub fault_stats: FaultStats,
+    /// Retransmissions charged to `MsgClass::Retrans`.
+    pub retrans_messages: u64,
+    /// Acks charged to `MsgClass::Ack`.
+    pub ack_messages: u64,
+    /// Query completeness over all oracle objects: (exact locates,
+    /// total locates).
+    pub locate_agreement: (usize, usize),
+}
+
+fn audit_mode() -> IndexingMode {
+    IndexingMode::Group(GroupConfig {
+        l_min: L_MIN,
+        t_max: T_MAX,
+        n_max: N_MAX,
+        delegate_threshold: Some(DELEGATE_THRESHOLD),
+        ..GroupConfig::default()
+    })
+}
+
+fn live_sites_of(net: &TraceableNetwork) -> Vec<SiteId> {
+    net.world.sites.iter().filter(|s| s.alive).map(|s| s.site).collect()
+}
+
+fn audit_object(n: u64) -> ObjectId {
+    ObjectId::from_raw(format!("audit-object-{n}").as_bytes())
+}
+
+/// Objects whose data the imminent crash of `victim` may take down:
+/// entries hosted at the victim, objects whose prefix (at any plausible
+/// triangle depth) is owned by the victim (in-flight index updates die
+/// with it), and objects whose latest oracle visit is at the victim
+/// (an unflushed window or the live repository is lost).
+fn crash_taints(
+    net: &TraceableNetwork,
+    oracle: &MovementLog,
+    created: &[ObjectId],
+    victim: SiteId,
+    taint: &mut HashSet<ObjectId>,
+) {
+    let vidx = victim.0 as usize;
+    let victim_chord = net.world.sites[vidx].chord_id;
+    for shard in net.world.sites[vidx].gateway.prefixes.values() {
+        taint.extend(shard.entries.keys().copied());
+    }
+    taint.extend(net.world.sites[vidx].gateway.objects.keys().copied());
+
+    let max_len = net
+        .world
+        .sites
+        .iter()
+        .filter(|s| s.alive)
+        .flat_map(|s| s.gateway.prefixes.keys().map(|p| p.len()))
+        .max()
+        .unwrap_or(0)
+        .max(net.current_lp())
+        + 1;
+    for &o in created {
+        if oracle.visits(o).last().map(|v| v.site) == Some(victim) {
+            taint.insert(o);
+            continue;
+        }
+        for l in L_MIN..=max_len {
+            let key = ids::Prefix::of_id(&o.id(), l).gateway_id();
+            if net.ring().successor_of(&key) == Some(victim_chord) {
+                taint.insert(o);
+                break;
+            }
+        }
+    }
+}
+
+/// Execute a schedule and audit the invariants after quiescence.
+pub fn run_schedule(cfg: &AuditConfig, words: &[u64]) -> AuditReport {
+    let mut net = Builder::new()
+        .sites(cfg.founders)
+        .seed(cfg.seed)
+        .mode(audit_mode())
+        .faults(FaultConfig::uniform_drop(cfg.fault_seed, cfg.drop))
+        .retry(cfg.retry)
+        .build();
+
+    let mut oracle = MovementLog::new();
+    let mut created: Vec<ObjectId> = Vec::new();
+    let mut joined: Vec<SiteId> = Vec::new();
+    let mut dead: BTreeSet<SiteId> = BTreeSet::new();
+    let mut locate_taint: HashSet<ObjectId> = HashSet::new();
+    let mut clock = SimTime::ZERO;
+    let mut next_obj = 0u64;
+    let mut ops_applied = 0usize;
+
+    for &word in words {
+        let op = decode(word);
+        match op {
+            Op::Capture { site } | Op::MoveObj { site, .. } => {
+                let targets = live_sites_of(&net);
+                let s = targets[site as usize % targets.len()];
+                let o = match op {
+                    Op::Capture { .. } => {
+                        let o = audit_object(next_obj);
+                        next_obj += 1;
+                        created.push(o);
+                        o
+                    }
+                    Op::MoveObj { obj, .. } => {
+                        if created.is_empty() {
+                            continue;
+                        }
+                        created[obj as usize % created.len()]
+                    }
+                    _ => unreachable!(),
+                };
+                clock = clock.max(net.now()) + STEP;
+                net.schedule_capture(clock, s, vec![o]);
+                oracle.record(o, s, clock);
+            }
+            Op::Advance { ms: m } => {
+                let deadline = net.now() + SimTime::from_millis(m as u64);
+                net.run_until(deadline);
+            }
+            Op::Quiesce => net.run_until_quiescent(),
+            Op::Join => joined.push(net.join_site()),
+            Op::Leave { sel } => {
+                if joined.is_empty() {
+                    continue;
+                }
+                let s = joined.swap_remove(sel as usize % joined.len());
+                dead.insert(s);
+                net.leave_site(s);
+            }
+            Op::Crash { sel } => {
+                if joined.is_empty() {
+                    continue;
+                }
+                let s = joined.swap_remove(sel as usize % joined.len());
+                crash_taints(&net, &oracle, &created, s, &mut locate_taint);
+                dead.insert(s);
+                net.crash_site(s);
+            }
+        }
+        ops_applied += 1;
+    }
+    net.run_until_quiescent();
+
+    let violations = check_invariants(&mut net, &oracle, &created, &dead, &locate_taint);
+    let anomalies = net.anomalies();
+    let exact = violations.iter().filter(|v| v.starts_with("locate")).count();
+    AuditReport {
+        objects: created.len(),
+        ops_applied,
+        anomalies,
+        fault_stats: net.fault_stats().expect("audit networks always have a fault plane"),
+        retrans_messages: net.metrics().messages_of(MsgClass::Retrans),
+        ack_messages: net.metrics().messages_of(MsgClass::Ack),
+        locate_agreement: (created.len().saturating_sub(exact), created.len()),
+        violations,
+    }
+}
+
+/// `(site, arrived)` pairs of `sub` appear in `full` in order.
+fn is_subsequence(sub: &Path, full: &Path) -> bool {
+    let mut it = full.iter();
+    sub.iter().all(|v| it.any(|f| f.site == v.site && f.arrived == v.arrived))
+}
+
+fn check_invariants(
+    net: &mut TraceableNetwork,
+    oracle: &MovementLog,
+    created: &[ObjectId],
+    dead: &BTreeSet<SiteId>,
+    locate_taint: &HashSet<ObjectId>,
+) -> Vec<String> {
+    let mut v: Vec<String> = Vec::new();
+
+    // I1 — Chord successor/predecessor/finger agreement.
+    if let Err(e) = net.ring().check_converged() {
+        v.push(format!("chord: overlay not converged after quiescence: {e}"));
+    }
+
+    // I2/I3 — scan every live gateway: uniqueness, prefix match,
+    // DHT placement, Data-Triangle reachability.
+    let lp = net.current_lp();
+    let mut holders: HashMap<ObjectId, Vec<(SiteId, ids::Prefix, IndexEntry)>> = HashMap::new();
+    for s in net.world.sites.iter().filter(|s| s.alive) {
+        if !s.gateway.objects.is_empty() {
+            v.push(format!("index: site {} holds individual-mode entries in group mode", s.site));
+        }
+        for (p, shard) in &s.gateway.prefixes {
+            for (o, e) in &shard.entries {
+                holders.entry(*o).or_default().push((s.site, *p, *e));
+            }
+        }
+    }
+    for &o in created {
+        let Some(entries) = holders.get_mut(&o) else { continue };
+        entries.sort_by_key(|(s, p, _)| (s.0, *p));
+        if entries.len() > 1 {
+            v.push(format!(
+                "index: object {o:?} locatable at {} gateways: {:?}",
+                entries.len(),
+                entries.iter().map(|(s, p, _)| (s.0, p.as_bit_string())).collect::<Vec<_>>()
+            ));
+        }
+        for (site, p, _) in entries.iter() {
+            if !p.matches(&o.id()) {
+                v.push(format!("index: entry for {o:?} filed under foreign prefix {p}"));
+            }
+            let holder_chord = net.world.sites[site.0 as usize].chord_id;
+            if net.ring().successor_of(&p.gateway_id()) != Some(holder_chord) {
+                v.push(format!("index: shard {p} at site {site} is not the DHT owner's"));
+            }
+            // Triangle reachability, mirroring the §IV-A.3 lookup: the
+            // descent below Lp only follows contiguously-hosted child
+            // prefixes, while the ascent probes every hosted ancestor
+            // down to Lmin (the entry's own level must be hosted).
+            if p.len() < L_MIN {
+                v.push(format!("triangle: entry for {o:?} at {p} below Lmin"));
+            } else if p.len() > lp {
+                for l in lp + 1..=p.len() {
+                    if !net.world.is_hosted(&ids::Prefix::of_id(&o.id(), l)) {
+                        v.push(format!(
+                            "triangle: entry for {o:?} at {p} unreachable — level-{l} of the \
+                             descent chain is not hosted"
+                        ));
+                        break;
+                    }
+                }
+            } else if p.len() < lp && !net.world.is_hosted(p) {
+                v.push(format!(
+                    "triangle: entry for {o:?} at {p} invisible to the ascent — shard not \
+                     registered as hosted"
+                ));
+            }
+        }
+    }
+
+    // Reordered deliveries (retransmission racing a later capture) are
+    // detected and skipped by the gateway, leaving the out-of-order
+    // visit unthreaded; exact-chain assertions apply only to runs where
+    // that never happened.
+    let ordering_clean = net.anomalies().out_of_order_arrivals == 0;
+    let origin = SiteId(0);
+
+    for &o in created {
+        let truth = oracle.visits(o);
+        let latest = truth.last().expect("created objects have a visit");
+        let trace_tainted = truth.iter().any(|t| dead.contains(&t.site));
+        let loc_tainted = locate_taint.contains(&o);
+
+        // I4 — locate agreement. Exactness requires ordering_clean: a
+        // detected-but-unrepairable reordering (counted by the system)
+        // legitimately leaves a mid-chain visit unthreaded, which the
+        // local-anchor shortcut can answer from.
+        let (loc, stats) = net.locate(origin, o, net.now());
+        if !loc_tainted && ordering_clean {
+            if loc != Some(latest.site) {
+                v.push(format!(
+                    "locate: {o:?} answered {loc:?}, oracle says {:?} (complete={})",
+                    latest.site, stats.complete
+                ));
+            }
+            let n = holders.get(&o).map_or(0, Vec::len);
+            if n == 1 {
+                let (_, _, e) = holders[&o][0];
+                if (e.site, e.time) != (latest.site, latest.arrived) {
+                    v.push(format!(
+                        "index: stale entry for {o:?}: ({}, {}) vs oracle ({}, {})",
+                        e.site, e.time, latest.site, latest.arrived
+                    ));
+                }
+            } else if n == 0 {
+                v.push(format!("index: {o:?} has no gateway entry anywhere"));
+            }
+        } else if let Some(site) = loc {
+            // Tainted or reordered: degraded answers are acceptable,
+            // fabricated ones are not — the site must appear in the
+            // true history.
+            if stats.complete && !truth.iter().any(|t| t.site == site) {
+                v.push(format!("locate: degraded {o:?} fabricated site {site}"));
+            }
+        }
+
+        // I6 — trace agreement.
+        let (path, tstats) = net.trace(origin, o, SimTime::ZERO, SimTime::INFINITY);
+        if !is_subsequence(&path, &truth) {
+            v.push(format!(
+                "trace: {o:?} returned visits outside the oracle path: {path:?} vs {truth:?}"
+            ));
+        }
+        if !trace_tainted && !loc_tainted && ordering_clean {
+            if path != truth {
+                v.push(format!("trace: {o:?} incomplete: {path:?} vs oracle {truth:?}"));
+            } else if !tstats.complete {
+                v.push(format!("trace: {o:?} exact yet flagged incomplete"));
+            }
+        }
+
+        // I5 — IOP doubly-linked chain walk from the gateway's latest
+        // link, structural (bypasses the query layer).
+        if !trace_tainted && !loc_tainted {
+            if let Some(entries) = holders.get(&o) {
+                if let [(_, _, e)] = entries.as_slice() {
+                    walk_iop_chain(net, o, e, &truth, ordering_clean, &mut v);
+                }
+            }
+        }
+    }
+
+    v.sort();
+    v.dedup();
+    v
+}
+
+/// Follow `from` links backwards from the gateway's latest link,
+/// checking record existence, back-link (`to`) consistency, and that
+/// the walked visits are a suffix-free-form subsequence of the truth.
+fn walk_iop_chain(
+    net: &TraceableNetwork,
+    o: ObjectId,
+    entry: &IndexEntry,
+    truth: &Path,
+    ordering_clean: bool,
+    v: &mut Vec<String>,
+) {
+    let mut cur = entry.link();
+    let mut walked: Vec<Visit> = Vec::new();
+    let mut expected_to: Option<peertrack::store::Link> = None;
+    for _ in 0..truth.len() + 2 {
+        let idx = cur.site.0 as usize;
+        if !net.world.sites[idx].alive {
+            v.push(format!("iop: chain of untainted {o:?} leads to dead site {}", cur.site));
+            return;
+        }
+        let Some(rec) = net.world.sites[idx].iop.record_at(o, cur.time) else {
+            v.push(format!(
+                "iop: chain of {o:?} dangles — no record at ({}, {})",
+                cur.site, cur.time
+            ));
+            return;
+        };
+        if ordering_clean && rec.to.map(|l| (l.site, l.time)) != expected_to.map(|l| (l.site, l.time))
+        {
+            v.push(format!(
+                "iop: {o:?} back-link at ({}, {}) is {:?}, expected {expected_to:?}",
+                cur.site, cur.time, rec.to
+            ));
+        }
+        walked.push(Visit { site: cur.site, arrived: cur.time, departed: None });
+        match rec.from {
+            None => break,
+            Some(f) => {
+                expected_to = Some(cur);
+                cur = f;
+            }
+        }
+    }
+    if walked.len() > truth.len() {
+        v.push(format!("iop: chain of {o:?} longer than the oracle path (cycle?)"));
+        return;
+    }
+    walked.reverse();
+    if !is_subsequence(&walked, truth) {
+        v.push(format!(
+            "iop: chain of {o:?} visits {:?} — not a subsequence of the oracle path",
+            walked.iter().map(|w| (w.site.0, w.arrived)).collect::<Vec<_>>()
+        ));
+    }
+    if ordering_clean && walked.len() != truth.len() {
+        v.push(format!(
+            "iop: chain of {o:?} has {} links, oracle has {} visits",
+            walked.len(),
+            truth.len()
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_roundtrip_through_codec() {
+        let ops = [
+            Op::Capture { site: 7 },
+            Op::MoveObj { site: 3, obj: 12 },
+            Op::Advance { ms: 450 },
+            Op::Quiesce,
+            Op::Join,
+            Op::Leave { sel: 2 },
+            Op::Crash { sel: 5 },
+        ];
+        for op in ops {
+            assert_eq!(decode(encode(op)), op);
+        }
+    }
+
+    #[test]
+    fn every_word_decodes_to_something_runnable() {
+        for w in [0u64, u64::MAX, 0x0700_0000_0000_0000, 12345, 1 << 57] {
+            let _ = decode(w); // total function: must not panic
+        }
+    }
+
+    #[test]
+    fn schedule_string_roundtrip() {
+        let words = vec![encode(Op::Capture { site: 1 }), encode(Op::Join), encode(Op::Quiesce)];
+        let s = format_schedule(&words);
+        assert_eq!(parse_schedule(&s).unwrap(), words);
+        assert!(parse_schedule("12, junk").is_err());
+        assert!(describe(&words).contains("Capture"));
+    }
+
+    #[test]
+    fn shrink_moves_toward_benign_ops() {
+        let crash = encode(Op::Crash { sel: 4 });
+        let c = shrink_word(crash);
+        assert!(c.contains(&encode(Op::Leave { sel: 4 })), "crash demotes to leave");
+        assert!(c.contains(&encode(Op::Capture { site: 4 })), "and to a capture");
+        assert!(!c.contains(&crash));
+        assert!(shrink_word(encode(Op::Quiesce)).is_empty());
+    }
+
+    #[test]
+    fn clean_schedule_on_fault_free_network_audits_clean() {
+        // Sanity: zero drop probability, no churn — the auditor must
+        // report nothing (the invariants hold on the clean path).
+        let cfg = AuditConfig {
+            drop: 0.0,
+            ..AuditConfig::lossy_no_retries(0.0)
+        };
+        let words: Vec<u64> = [
+            Op::Capture { site: 0 },
+            Op::Capture { site: 3 },
+            Op::MoveObj { site: 1, obj: 0 },
+            Op::Quiesce,
+            Op::Join,
+            Op::MoveObj { site: 4, obj: 1 },
+            Op::Advance { ms: 400 },
+            Op::Leave { sel: 0 },
+            Op::MoveObj { site: 2, obj: 0 },
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let report = run_schedule(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.objects, 2);
+        assert_eq!(report.fault_stats.dropped, 0);
+        assert_eq!(report.retrans_messages, 0, "retries off: no retransmissions");
+        assert_eq!(report.ack_messages, 0, "retries off: no acks");
+    }
+}

@@ -2,6 +2,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod audit;
+
 use moods::{MovementLog, ObjectId, SiteId};
 use peertrack::TraceableNetwork;
 use simnet::SimTime;

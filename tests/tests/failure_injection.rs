@@ -20,7 +20,8 @@ fn group_mode() -> IndexingMode {
 fn churn_storm_preserves_all_index_entries() {
     // Interleave captures with joins and leaves; every object must stay
     // locatable at its true location throughout.
-    let mut net = Builder::new().sites(16).seed(1).mode(group_mode()).build();
+    const FOUNDERS: u32 = 16;
+    let mut net = Builder::new().sites(FOUNDERS as usize).seed(1).mode(group_mode()).build();
     let mut truth: Vec<(ObjectId, SiteId)> = Vec::new();
     let mut rng = StdRng::seed_from_u64(2);
     let mut next_obj = 0u64;
@@ -32,7 +33,7 @@ fn churn_storm_preserves_all_index_entries() {
         for _ in 0..10 {
             let o = obj(next_obj);
             next_obj += 1;
-            let site = SiteId(rng.gen_range(0..16u32));
+            let site = SiteId(rng.gen_range(0..FOUNDERS));
             net.schedule_capture(t, site, vec![o]);
             truth.push((o, site));
         }
