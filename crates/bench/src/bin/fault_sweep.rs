@@ -17,7 +17,7 @@
 //! Writes `results/fault_sweep.csv`. `PEERTRACK_SCALE=full` for the
 //! larger configuration.
 
-use bench::report::{print_table, results_path, write_csv};
+use bench::report::{fault_stats_row, print_table, results_path, write_csv, FAULT_STATS_HEADER};
 use bench::Scale;
 use detrand::{rngs::StdRng, Rng, SeedableRng};
 use moods::{MovementLog, ObjectId, SiteId};
@@ -33,6 +33,7 @@ struct Cell {
     drop: f64,
     retries: bool,
     delivery: f64,
+    fault_stats: simnet::FaultStats,
     locate_ok: f64,
     flagged_complete: f64,
     retrans: u64,
@@ -123,10 +124,12 @@ fn run_cell(sites: usize, objects: usize, drop: f64, retries: bool) -> Cell {
     let total_bytes: u64 = simnet::metrics::ALL_CLASSES.iter().map(|&c| m.bytes_of(c)).sum();
     let overhead_bytes = m.bytes_of(MsgClass::Retrans) + m.bytes_of(MsgClass::Ack);
     let anomalies = net.anomalies();
+    let fault_stats = net.fault_stats().expect("fault plane configured");
     Cell {
         drop,
         retries,
-        delivery: net.fault_stats().expect("fault plane configured").delivery_rate(),
+        delivery: fault_stats.delivery_rate(),
+        fault_stats,
         locate_ok: ok as f64 / all.len() as f64,
         flagged_complete: complete as f64 / all.len() as f64,
         retrans,
@@ -188,6 +191,27 @@ fn main() {
     let path = results_path("fault_sweep.csv");
     write_csv(&path, &header, &rows).expect("write fault_sweep.csv");
     println!("\nwrote {}", path.display());
+
+    // Raw fault-plane counters per cell, through the shared reporting
+    // path (`bench::report::fault_stats_row`) — the same formatting any
+    // figure binary run with faults would print.
+    let mut fs_header = vec!["drop", "retries"];
+    fs_header.extend(FAULT_STATS_HEADER);
+    let fs_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let mut row = vec![
+                format!("{:.2}", c.drop),
+                (if c.retries { "on" } else { "off" }).to_string(),
+            ];
+            row.extend(fault_stats_row(&c.fault_stats));
+            row
+        })
+        .collect();
+    print_table("Fault-plane counters", &fs_header, &fs_rows);
+    let fs_path = results_path("fault_stats.csv");
+    write_csv(&fs_path, &fs_header, &fs_rows).expect("write fault_stats.csv");
+    println!("\nwrote {}", fs_path.display());
 
     // The headline claims, enforced so `all_experiments`-style runs
     // catch regressions: retries recover locate accuracy at 10% loss,

@@ -14,9 +14,11 @@ fn main() {
             vec![
                 p.nn.to_string(),
                 p.objects_per_node.to_string(),
-                format!("{:.2}", p.p2p_ms),
-                format!("{:.2}", p.centralized_ms),
-                format!("{:.1}", p.p2p_messages),
+                // Same precision as all_experiments' E3 writer so both
+                // producers of results/fig7a.csv emit identical bytes.
+                format!("{:.3}", p.p2p_ms),
+                format!("{:.3}", p.centralized_ms),
+                format!("{:.2}", p.p2p_messages),
                 p.warehouse_rows.to_string(),
             ]
         })

@@ -14,9 +14,11 @@ fn main() {
             vec![
                 p.objects_per_node.to_string(),
                 p.nn.to_string(),
-                format!("{:.2}", p.p2p_ms),
-                format!("{:.2}", p.centralized_ms),
-                format!("{:.1}", p.p2p_messages),
+                // Same precision as all_experiments' E4 writer so both
+                // producers of results/fig7b.csv emit identical bytes.
+                format!("{:.3}", p.p2p_ms),
+                format!("{:.3}", p.centralized_ms),
+                format!("{:.2}", p.p2p_messages),
                 p.warehouse_rows.to_string(),
             ]
         })

@@ -7,6 +7,7 @@
 //! answer.
 
 use bench::report::{print_table, results_path, write_csv};
+use obs::SharedRecorder;
 use moods::{ObjectId, SiteId};
 use peertrack::query::AnswerSource;
 use peertrack::Builder;
@@ -23,6 +24,10 @@ fn main() {
     let mut csv = Vec::new();
     for trace_len in [1usize, 2, 5, 10, 20, 40] {
         let mut net = Builder::new().sites(SITES).seed(31).mode(bench::experiment_group_mode()).build();
+        // Observation-only: the recorder sees every event but perturbs
+        // nothing, so the breakdown columns are identical to a blind run.
+        let rec = SharedRecorder::new();
+        net.set_trace_sink(Box::new(rec.clone()));
         let mut rng = StdRng::seed_from_u64(77);
         let objects: Vec<ObjectId> = (0..OBJECTS as u64)
             .map(|i| ObjectId::from_raw(&i.to_be_bytes()))
@@ -57,12 +62,24 @@ fn main() {
             }
         }
         let pct = |n: u64| 100.0 * n as f64 / QUERIES as f64;
+        // Modelled query latency distribution, from the QUERY_TRACE
+        // span histogram the recorder builds as `net.trace` accounts
+        // each query.
+        let rec = rec.borrow();
+        let h = rec
+            .span_histogram(peertrack::spans::QUERY_TRACE)
+            .expect("every cell issues trace queries");
+        assert_eq!(h.count(), QUERIES as u64);
+        let (p50, p95, p99) = (h.p50(), h.p95(), h.p99());
         rows.push(vec![
             trace_len.to_string(),
             format!("{:.1}", pct(local)),
             format!("{:.1}", pct(intermediate)),
             format!("{:.1}", pct(gateway)),
             format!("{:.1}", msgs as f64 / QUERIES as f64),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
         ]);
         csv.push(vec![
             trace_len.to_string(),
@@ -70,16 +87,28 @@ fn main() {
             pct(intermediate).to_string(),
             pct(gateway).to_string(),
             (msgs as f64 / QUERIES as f64).to_string(),
+            p50.to_string(),
+            p95.to_string(),
+            p99.to_string(),
         ]);
     }
     print_table(
         "Query answering breakdown vs trace length (§IV-B intermediate-node effect)",
-        &["trace_len", "local %", "intermediate %", "gateway %", "avg msgs"],
+        &["trace_len", "local %", "intermediate %", "gateway %", "avg msgs", "p50 us", "p95 us", "p99 us"],
         &rows,
     );
     write_csv(
         results_path("query_breakdown.csv"),
-        &["trace_len", "local_pct", "intermediate_pct", "gateway_pct", "avg_msgs"],
+        &[
+            "trace_len",
+            "local_pct",
+            "intermediate_pct",
+            "gateway_pct",
+            "avg_msgs",
+            "p50_us",
+            "p95_us",
+            "p99_us",
+        ],
         &csv,
     )
     .expect("write query_breakdown.csv");

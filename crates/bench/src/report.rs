@@ -1,5 +1,6 @@
 //! CSV and console reporting shared by the experiment binaries.
 
+use simnet::FaultStats;
 use std::fmt::Display;
 use std::fs;
 use std::io::Write;
@@ -58,6 +59,30 @@ pub fn print_table<T: Display>(title: &str, header: &[&str], rows: &[Vec<T>]) {
             .collect();
         println!("{}", line.join("  "));
     }
+}
+
+/// Column names matching [`fault_stats_row`].
+pub const FAULT_STATS_HEADER: [&str; 6] =
+    ["delivered", "dropped", "duplicated", "jittered", "to_crashed", "delivery_rate"];
+
+/// Render the fault plane's counters as one row of CSV/table cells —
+/// the single place the delivery-rate arithmetic is formatted, so
+/// `fault_sweep` and any figure binary run with faults report
+/// identically.
+pub fn fault_stats_row(s: &FaultStats) -> Vec<String> {
+    vec![
+        s.delivered.to_string(),
+        s.dropped.to_string(),
+        s.duplicated.to_string(),
+        s.jittered.to_string(),
+        s.to_crashed.to_string(),
+        format!("{:.4}", s.delivery_rate()),
+    ]
+}
+
+/// Print the fault-plane counters as a one-row console table.
+pub fn print_fault_stats(title: &str, s: &FaultStats) {
+    print_table(title, &FAULT_STATS_HEADER, &[fault_stats_row(s)]);
 }
 
 /// Least-squares slope of `log(y)` against `log(x)` — the growth
@@ -161,6 +186,15 @@ mod tests {
         assert!(c.windows(2).all(|w| w[0].1 <= w[1].1 && w[0].0 <= w[1].0));
         // 25% of nodes (the hottest) carry 50% of the load.
         assert!((c[1].1 - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_stats_row_matches_header() {
+        let s = FaultStats { delivered: 90, dropped: 10, duplicated: 3, jittered: 7, to_crashed: 0 };
+        let row = fault_stats_row(&s);
+        assert_eq!(row.len(), FAULT_STATS_HEADER.len());
+        assert_eq!(row[0], "90");
+        assert_eq!(row[5], "0.9000");
     }
 
     #[test]

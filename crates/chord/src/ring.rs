@@ -124,6 +124,13 @@ impl Ring {
         self.nodes.get(id).map(|n| n.app_index)
     }
 
+    /// Map a lookup path (ring ids, as in [`LookupResult::path`]) to
+    /// application node indices, skipping ids that have since left the
+    /// ring. Used to emit per-hop trace events for a routed lookup.
+    pub fn app_path(&self, path: &[Id]) -> Vec<usize> {
+        path.iter().filter_map(|id| self.app_index_of(id)).collect()
+    }
+
     /// All member ids in ring (ascending) order.
     pub fn node_ids(&self) -> impl Iterator<Item = Id> + '_ {
         self.nodes.keys().copied()

@@ -1,0 +1,165 @@
+//! Hand-rolled Chrome trace-event JSON emitter.
+//!
+//! The output loads in `chrome://tracing` and in Perfetto
+//! (<https://ui.perfetto.dev>). We emit the stable subset of the trace
+//! event format:
+//!
+//! * one complete (`"ph":"X"`) slice per delivered message, from send
+//!   to delivery, on the destination node's track, with flow arrows
+//!   (`"ph":"s"` / `"ph":"f"`) tying cause to effect;
+//! * an instant (`"ph":"i"`) event per dropped message;
+//! * one complete slice per closed application span.
+//!
+//! `pid` is always 0 (one simulated network), `tid` is the node index,
+//! timestamps are virtual microseconds. Output is deterministic: the
+//! emitter walks the event log and the span list in recording order
+//! and never touches a hash map.
+
+use crate::recorder::Recorder;
+use simnet::trace::{EventId, TraceKind};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON literal (ASCII labels in practice).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a recorder's trace as Chrome trace-event JSON.
+///
+/// `span_label` names application span kinds (use
+/// `peertrack::spans::label` for peertrack traffic; any stable mapping
+/// works).
+pub fn chrome_trace_json(rec: &Recorder, span_label: &dyn Fn(u32) -> &'static str) -> String {
+    let mut out = String::with_capacity(256 + rec.events().len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+
+    // Send metadata for slice reconstruction: send id -> event index.
+    let mut sends: HashMap<EventId, usize> = HashMap::new();
+    for (i, ev) in rec.events().iter().enumerate() {
+        if ev.kind == TraceKind::Send {
+            sends.insert(ev.id, i);
+        }
+    }
+
+    let emit = |out: &mut String, first: &mut bool, body: String| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(&body);
+    };
+
+    for ev in rec.events() {
+        match ev.kind {
+            TraceKind::Deliver => {
+                let Some(&si) = sends.get(&ev.cause) else { continue };
+                let send = &rec.events()[si];
+                let name = send.class.map(|c| c.label()).unwrap_or("local");
+                let ts = send.at.as_micros();
+                let dur = ev.at.as_micros().saturating_sub(ts);
+                emit(&mut out, &mut first, format!(
+                    "{{\"name\":\"{}\",\"cat\":\"msg\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"id\":{},\"cause\":{},\"from\":{},\"bytes\":{},\"hops\":{},\"ctx\":{}}}}}",
+                    esc(name), ts, dur, ev.node, ev.id, send.cause, ev.peer, send.bytes, send.hops, ev.ctx
+                ));
+                // Flow arrow from the sender's track to the delivery.
+                emit(&mut out, &mut first, format!(
+                    "{{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                    send.id, ts, send.peer
+                ));
+                emit(&mut out, &mut first, format!(
+                    "{{\"name\":\"flow\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"ts\":{},\"pid\":0,\"tid\":{}}}",
+                    send.id, ev.at.as_micros(), ev.node
+                ));
+            }
+            TraceKind::Drop => {
+                let name = ev.class.map(|c| c.label()).unwrap_or("in-flight");
+                emit(&mut out, &mut first, format!(
+                    "{{\"name\":\"drop {}\",\"cat\":\"fault\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{\"id\":{},\"cause\":{}}}}}",
+                    esc(name), ev.at.as_micros(), ev.node, ev.id, ev.cause
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    for span in rec.spans() {
+        let Some(close) = span.close else { continue };
+        let ts = span.open.as_micros();
+        emit(&mut out, &mut first, format!(
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\"args\":{{\"span\":{},\"cause\":{}}}}}",
+            esc(span_label(span.kind)), ts, close.as_micros().saturating_sub(ts), span.node, span.id, span.cause
+        ));
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::metrics::MsgClass;
+    use simnet::trace::{TraceEvent, TraceSink};
+    use simnet::SimTime;
+
+    #[test]
+    fn emits_slices_and_balanced_json() {
+        let mut rec = Recorder::new();
+        let send = TraceEvent {
+            id: 1,
+            cause: 0,
+            kind: TraceKind::Send,
+            at: SimTime::from_micros(0),
+            deliver_at: SimTime::from_micros(5_000),
+            node: 2,
+            peer: 1,
+            class: Some(MsgClass::Query),
+            bytes: 40,
+            hops: 1,
+            ctx: 0,
+        };
+        rec.on_event(&send);
+        rec.on_event(&TraceEvent {
+            id: 2,
+            cause: 1,
+            kind: TraceKind::Deliver,
+            at: SimTime::from_micros(5_000),
+            deliver_at: SimTime::from_micros(5_000),
+            node: 2,
+            peer: 1,
+            class: None,
+            bytes: 0,
+            hops: 0,
+            ctx: 0,
+        });
+        let s = rec.span_open(7, 2, SimTime::from_micros(0), 0);
+        rec.span_close(s, SimTime::from_micros(9_000));
+        let json = chrome_trace_json(&rec, &|_| "op");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"pid\":0"));
+        assert!(json.contains("\"dur\":5000"));
+        assert!(json.contains("\"name\":\"op\""));
+        let braces: i64 = json
+            .chars()
+            .map(|c| match c {
+                '{' => 1,
+                '}' => -1,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(braces, 0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Structural properties of the hand-rolled Chrome trace export: for
+//! arbitrary event logs the JSON stays balanced, every record carries
+//! the trace-event-format essentials (`ph`, `ts`, `pid`), and the
+//! output is a pure function of the recorder's contents.
+
+use obs::{chrome_trace_json, Recorder};
+use proptiny::prelude::*;
+use simnet::time::SimTime;
+use simnet::{MsgClass, TraceEvent, TraceKind, TraceSink};
+
+/// Feed a synthetic send/deliver (or send/drop) pair per sample into a
+/// recorder, mimicking the engine's id/cause threading.
+fn recorder_from(samples: &[(u8, u64, u64, bool)]) -> Recorder {
+    let mut rec = Recorder::new();
+    let mut next_id = 1u64;
+    for &(class, at, latency, dropped) in samples {
+        let class = match class % 5 {
+            0 => MsgClass::IndexReport,
+            1 => MsgClass::GroupIndex,
+            2 => MsgClass::IopUpdate,
+            3 => MsgClass::Delegate,
+            _ => MsgClass::SplitMerge,
+        };
+        let at = SimTime::from_micros(at % 1_000_000_000);
+        let latency = latency % 10_000_000;
+        let deliver_at = at + SimTime::from_micros(latency);
+        let send_id = next_id;
+        next_id += 1;
+        rec.on_event(&TraceEvent {
+            id: send_id,
+            cause: 0,
+            kind: TraceKind::Send,
+            at,
+            deliver_at,
+            node: 1,
+            peer: 2,
+            class: Some(class),
+            bytes: 64,
+            hops: 2,
+            ctx: 0,
+        });
+        rec.on_event(&TraceEvent {
+            id: next_id,
+            cause: send_id,
+            kind: if dropped { TraceKind::Drop } else { TraceKind::Deliver },
+            at: deliver_at,
+            deliver_at,
+            node: 2,
+            peer: 1,
+            class: Some(class),
+            bytes: 64,
+            hops: 2,
+            ctx: 0,
+        });
+        next_id += 1;
+    }
+    rec
+}
+
+fn label(_kind: u32) -> &'static str {
+    "span"
+}
+
+proptiny! {
+    #[test]
+    fn prop_chrome_json_is_balanced_and_deterministic(
+        samples in prop::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u64>(), any::<bool>()),
+            0..50,
+        ),
+    ) {
+        let json = chrome_trace_json(&recorder_from(&samples), &label);
+        let (mut braces, mut brackets) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            match c {
+                _ if escaped => escaped = false,
+                '\\' if in_str => escaped = true,
+                '"' => in_str = !in_str,
+                '{' if !in_str => braces += 1,
+                '}' if !in_str => braces -= 1,
+                '[' if !in_str => brackets += 1,
+                ']' if !in_str => brackets -= 1,
+                _ => {}
+            }
+            prop_assert!(braces >= 0 && brackets >= 0, "closer before opener");
+        }
+        prop_assert_eq!(braces, 0, "unbalanced braces");
+        prop_assert_eq!(brackets, 0, "unbalanced brackets");
+        prop_assert!(!in_str, "unterminated string");
+        prop_assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+
+        let delivered = samples.iter().filter(|s| !s.3).count();
+        if delivered > 0 {
+            prop_assert!(json.contains("\"ph\":\"X\""), "delivered messages emit slices");
+        }
+        if samples.len() > delivered {
+            prop_assert!(json.contains("\"ph\":\"i\""), "drops emit instants");
+        }
+        for key in ["\"ts\":", "\"pid\":"] {
+            if !samples.is_empty() {
+                prop_assert!(json.contains(key), "missing {key}");
+            }
+        }
+
+        // Pure function of the recorder: regenerating gives bytes.
+        let again = chrome_trace_json(&recorder_from(&samples), &label);
+        prop_assert_eq!(json, again);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property tests for the log-bucketed histogram: bucket containment,
+//! merge = concatenation (hence order-independence), and quantile
+//! monotonicity — the algebra the latency reports rest on.
+
+use obs::Histogram;
+use proptiny::prelude::*;
+
+fn hist_of(vals: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in vals {
+        h.record(v);
+    }
+    h
+}
+
+proptiny! {
+    #[test]
+    fn prop_every_value_lands_in_a_bucket_containing_it(v in any::<u64>()) {
+        let (lower, upper) = Histogram::bucket_of(v);
+        prop_assert!(lower <= v && v <= upper, "{v} outside [{lower}, {upper}]");
+        let h = hist_of(&[v]);
+        let hit: Vec<_> = h.buckets().collect();
+        prop_assert_eq!(hit.len(), 1, "one value, one non-empty bucket");
+        let (blo, bhi, n) = hit[0];
+        prop_assert_eq!(n, 1);
+        prop_assert!(blo <= v && v <= bhi);
+    }
+
+    #[test]
+    fn prop_merge_equals_concatenation(
+        a in prop::collection::vec(any::<u64>(), 0..100),
+        b in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        // Recording a++b in one histogram and merging two halves must
+        // agree bucket-for-bucket — which also makes merge commutative,
+        // so shard-local histograms can be combined in any order.
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let whole = hist_of(&concat);
+        let mut ab = hist_of(&a);
+        ab.merge(&hist_of(&b));
+        let mut ba = hist_of(&b);
+        ba.merge(&hist_of(&a));
+        for h in [&ab, &ba] {
+            prop_assert_eq!(h.count(), whole.count());
+            prop_assert_eq!(h.buckets().collect::<Vec<_>>(), whole.buckets().collect::<Vec<_>>());
+            if !whole.is_empty() {
+                prop_assert_eq!(h.min(), whole.min());
+                prop_assert_eq!(h.max(), whole.max());
+                prop_assert_eq!(h.p50(), whole.p50());
+                prop_assert_eq!(h.p99(), whole.p99());
+            }
+        }
+    }
+
+    #[test]
+    fn prop_quantiles_monotone_and_bounded(
+        vals in prop::collection::vec(any::<u64>(), 1..200),
+        qa_pm in 0u32..=1000,
+        qb_pm in 0u32..=1000,
+    ) {
+        let h = hist_of(&vals);
+        let (qa, qb) = (qa_pm as f64 / 1000.0, qb_pm as f64 / 1000.0);
+        let (lo, hi) = (qa.min(qb), qa.max(qb));
+        prop_assert!(h.quantile(lo) <= h.quantile(hi), "quantile must be monotone in q");
+        prop_assert!(h.quantile(lo) >= h.min() && h.quantile(hi) <= h.max());
+    }
+}

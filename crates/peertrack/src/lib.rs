@@ -58,6 +58,7 @@ pub mod messages;
 pub mod net;
 pub mod prefix;
 pub mod query;
+pub mod spans;
 pub mod store;
 pub mod triangle;
 pub mod window;

@@ -151,6 +151,25 @@ impl Msg {
             Msg::Ack { .. } => simnet::MsgClass::Ack,
         }
     }
+
+    /// The single object this message concerns, when it concerns
+    /// exactly one — used to tag trace records so a trace can be
+    /// filtered per object (batched payloads return `None` and stay
+    /// attributable through the causal chain instead).
+    pub fn single_object(&self) -> Option<ObjectId> {
+        match self {
+            Msg::Arrival { object, .. } => Some(*object),
+            Msg::GroupIndex { members, .. } if members.len() == 1 => Some(members[0].0),
+            Msg::SetTo { updates } if updates.len() == 1 => Some(updates[0].0),
+            Msg::SetFrom { updates } if updates.len() == 1 => Some(updates[0].0),
+            Msg::Delegate { entries, .. } | Msg::Migrate { entries, .. }
+                if entries.len() == 1 =>
+            {
+                Some(entries[0].0)
+            }
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,10 +8,12 @@
 use crate::config::{Config, IndexingMode, RetryConfig};
 use crate::messages::Wire;
 use crate::query::{self, QueryStats};
+use crate::spans;
 use crate::world::{Anomalies, NetWorld};
 use chord::Ring;
 use ids::Id;
 use moods::{Locate, ObjectId, Path, SiteId, Trace};
+use simnet::trace::TraceSink;
 use simnet::{FaultConfig, FaultStats, LatencyModel, Metrics, MsgClass, Sim, SimConfig, SimTime};
 
 /// Builder for a [`TraceableNetwork`].
@@ -20,12 +22,13 @@ pub struct Builder {
     config: Config,
     latency: Option<Box<dyn LatencyModel>>,
     faults: Option<FaultConfig>,
+    trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Builder {
     /// Start building; configure and finish with [`Builder::build`].
     pub fn new() -> Builder {
-        Builder { sites: 0, config: Config::default(), latency: None, faults: None }
+        Builder { sites: 0, config: Config::default(), latency: None, faults: None, trace: None }
     }
 
     /// Number of initial sites (`Nn`). Must be at least 1.
@@ -75,6 +78,17 @@ impl Builder {
         self
     }
 
+    /// Install a trace sink (e.g. `obs::SharedRecorder`) from the very
+    /// first event — construction/warm-up traffic included. For traces
+    /// that start clean at time zero, build without one and call
+    /// [`TraceableNetwork::set_trace_sink`] instead. Tracing never
+    /// changes behaviour: a traced run is byte-identical to an
+    /// untraced run with the same seed.
+    pub fn trace_sink(mut self, sink: Box<dyn TraceSink>) -> Builder {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Construct the network: all sites join the Chord ring, the overlay
     /// is stabilized, `Lp` is set from the scheme, and the metrics are
     /// zeroed so measurements start from a warm, converged system (the
@@ -103,6 +117,9 @@ impl Builder {
         }
         if let Some(f) = self.faults {
             sim_cfg = sim_cfg.with_faults(f);
+        }
+        if let Some(t) = self.trace {
+            sim_cfg = sim_cfg.with_trace(t);
         }
         let mut sim: Sim<Wire> = sim_cfg.build();
         let mut world = NetWorld::new(self.config);
@@ -199,6 +216,22 @@ impl TraceableNetwork {
         self.sim.fault_stats()
     }
 
+    /// Install a trace sink now (e.g. `obs::SharedRecorder`), after
+    /// construction/warm-up — the trace starts at the current instant.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sim.set_trace_sink(sink);
+    }
+
+    /// Detach and return the installed trace sink, if any.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sim.take_trace_sink()
+    }
+
+    /// Is a trace sink installed?
+    pub fn tracing(&self) -> bool {
+        self.sim.tracing()
+    }
+
     // ------------------------------------------------------------------
     // Data plane
     // ------------------------------------------------------------------
@@ -246,7 +279,7 @@ impl TraceableNetwork {
         t: SimTime,
     ) -> (Option<SiteId>, QueryStats) {
         let (ans, cost, source, complete) = query::locate_raw(&self.world, from, object, t);
-        let stats = self.account(cost, source, complete);
+        let stats = self.account(spans::QUERY_LOCATE, from, cost, source, complete);
         (ans, stats)
     }
 
@@ -260,17 +293,27 @@ impl TraceableNetwork {
         t1: SimTime,
     ) -> (Path, QueryStats) {
         let (path, cost, source, complete) = query::trace_raw(&self.world, from, object, t0, t1);
-        let stats = self.account(cost, source, complete);
+        let stats = self.account(spans::QUERY_TRACE, from, cost, source, complete);
         (path, stats)
     }
 
     fn account(
         &mut self,
+        span_kind: u32,
+        from: SiteId,
         cost: query::QueryCost,
         source: query::AnswerSource,
         complete: bool,
     ) -> QueryStats {
         let time = self.sim.latency_for(cost.hops as u32);
+        if self.sim.tracing() {
+            // Queries resolve against a consistent snapshot rather than
+            // by exchanging sim messages, so the span *is* the record:
+            // it opens now and closes at now + modelled latency.
+            let span = self.sim.span_open(span_kind, from.0 as usize);
+            let close_at = self.sim.now() + time;
+            self.sim.span_close_at(span, close_at);
+        }
         self.sim
             .metrics_mut()
             .record_bulk(MsgClass::Query, cost.messages, cost.bytes, cost.hops);
@@ -300,6 +343,7 @@ impl TraceableNetwork {
     pub fn join_site(&mut self) -> SiteId {
         let seed = self.world.config.seed;
         let idx = self.world.sites.len();
+        let join_span = self.sim.span_open(spans::OP_JOIN, idx);
         let chord_id = Id::hash_str(&format!("site-{seed}-{idx}"));
         let bootstrap = self
             .world
@@ -341,11 +385,14 @@ impl TraceableNetwork {
         // would land at the old Lp after the rest of the index moved,
         // splitting the object's identity across two triangle levels.
         self.run_until_quiescent();
+        let lp_span = self.sim.span_open(spans::OP_LP_REFRESH, idx);
         self.world.refresh_lp(&mut self.sim);
         self.world.invalidate_gateway_caches();
         // The eager split/merge migration also completes before control
         // returns; the traffic it cost stays in the metrics.
         self.run_until_quiescent();
+        self.sim.span_close(lp_span);
+        self.sim.span_close(join_span);
         site
     }
 
@@ -358,6 +405,7 @@ impl TraceableNetwork {
         let idx = site.0 as usize;
         assert!(self.world.sites[idx].alive, "site {site} already left");
         assert!(self.world.live_sites() > 1, "last site cannot leave");
+        let leave_span = self.sim.span_open(spans::OP_LEAVE, idx);
 
         // Flush pending captures so in-flight inventory is indexed
         // (the node is still a ring member right now), then drain all
@@ -390,10 +438,13 @@ impl TraceableNetwork {
         self.run_until_quiescent();
         self.world.sites[idx].alive = false;
         self.world.ring.stabilize_all();
+        let lp_span = self.sim.span_open(spans::OP_LP_REFRESH, idx);
         self.world.refresh_lp(&mut self.sim);
         self.world.invalidate_gateway_caches();
         // Handoff (and any eager merge) completes before control returns.
         self.run_until_quiescent();
+        self.sim.span_close(lp_span);
+        self.sim.span_close(leave_span);
     }
 
     /// An organization crashes mid-protocol: no flush, no handoff.

@@ -23,6 +23,7 @@
 use crate::config::{Config, GroupConfig, IndexingMode, SizeEstimation};
 use crate::grouping::group_batch;
 use crate::messages::{Msg, Wire, ENTRY_BYTES, HEADER_BYTES, OBJECT_ID_BYTES, PREFIX_BYTES};
+use crate::spans;
 use crate::store::{GatewayStore, IndexEntry, IopStore, Link, PrefixIndex};
 use crate::window::{WindowBatch, WindowBuffer, WindowEvent};
 use chord::Ring;
@@ -116,6 +117,11 @@ pub struct NetWorld {
     next_seq: u64,
     /// Unacked sequenced sends awaiting their retry timer.
     pending_retries: HashMap<u64, PendingSend>,
+    /// Open end-to-end message spans keyed by wire sequence number
+    /// (only populated while a trace sink is installed). Keying by seq
+    /// makes the span cover retransmissions: it closes when the first
+    /// copy is processed, whichever attempt delivered it.
+    pending_spans: HashMap<u64, simnet::SpanId>,
 }
 
 /// A sequenced send the retry layer may have to retransmit.
@@ -148,6 +154,7 @@ impl NetWorld {
             anomalies: Anomalies::default(),
             next_seq: 1,
             pending_retries: HashMap::new(),
+            pending_spans: HashMap::new(),
         }
     }
 
@@ -204,6 +211,25 @@ impl NetWorld {
         (owner, r.hops)
     }
 
+    /// [`NetWorld::route`], additionally emitting one `LookupHop` trace
+    /// event per node visited when a sink is installed. Behaviour and
+    /// result are identical to `route` — tracing never changes routing.
+    pub(crate) fn route_traced(
+        &self,
+        sim: &mut Sim<Wire>,
+        from: SiteId,
+        key: Id,
+    ) -> (usize, u32) {
+        let from_chord = self.sites[self.site_idx(from)].chord_id;
+        let r = self.ring.lookup(from_chord, key).expect("overlay lookup failed");
+        let owner = self.ring.app_index_of(&r.owner).expect("owner is a member");
+        if sim.tracing() && r.path.len() > 1 {
+            let path = self.ring.app_path(&r.path[1..]);
+            sim.trace_lookup_path(self.site_idx(from), &path);
+        }
+        (owner, r.hops)
+    }
+
     /// The gateway key for an object under the current mode.
     pub fn gateway_key(&self, object: ObjectId) -> Id {
         match self.config.mode {
@@ -226,16 +252,26 @@ impl NetWorld {
         for &o in objects {
             self.sites[idx].iop.capture(o, now);
         }
+        let tracing = sim.tracing();
         match self.config.mode {
             IndexingMode::Individual => {
                 for &o in objects {
-                    let (owner, hops) = self.route(site, o.id());
+                    if tracing {
+                        sim.set_trace_ctx(spans::object_tag(o));
+                    }
+                    let (owner, hops) = self.route_traced(sim, site, o.id());
                     let msg = Msg::Arrival { object: o, site, time: now };
                     self.dispatch(sim, idx, owner, hops, msg);
                 }
             }
             IndexingMode::Group(g) => {
                 for &o in objects {
+                    // Tag the window push with the object so the
+                    // armed `Tmax` timer (and a count-triggered flush)
+                    // are causally attributable to a capture.
+                    if tracing {
+                        sim.set_trace_ctx(spans::object_tag(o));
+                    }
                     let ev = self.sites[idx].window.push(o, now);
                     match ev {
                         WindowEvent::ArmTimer => {
@@ -253,6 +289,9 @@ impl NetWorld {
                 }
             }
         }
+        if tracing {
+            sim.clear_trace_ctx();
+        }
     }
 
     /// Queue a capture for time `at` (workload injection).
@@ -265,8 +304,18 @@ impl NetWorld {
     ) {
         let id = self.next_pending;
         self.next_pending += 1;
+        // Tag the injection with the object (single-object captures,
+        // the auditor's shape) so the whole downstream chain of this
+        // capture/movement is anchored to it.
+        let tagged = sim.tracing() && objects.len() == 1;
+        if tagged {
+            sim.set_trace_ctx(spans::object_tag(objects[0]));
+        }
         self.pending_captures.insert(id, (site, objects));
         sim.schedule(at, self.site_idx(site), timer_kind(TAG_CAPTURE, id));
+        if tagged {
+            sim.clear_trace_ctx();
+        }
     }
 
     /// Flush every open window immediately (orderly shutdown; also used
@@ -305,7 +354,7 @@ impl NetWorld {
                 Some(&owner) if caching => (owner, 1),
                 _ => {
                     let key = group.prefix.gateway_id();
-                    let r = self.route(site, key);
+                    let r = self.route_traced(sim, site, key);
                     if caching {
                         self.sites[idx].gateway_cache.insert(group.prefix, r.0);
                     }
@@ -342,6 +391,20 @@ impl NetWorld {
         let bytes = msg.wire_size();
         let seq = self.next_seq;
         self.next_seq += 1;
+        let mut tagged = false;
+        if sim.tracing() {
+            // Tag single-object payloads so the trace can be filtered
+            // per object; batched payloads stay linked via the causal
+            // chain instead.
+            if let Some(o) = msg.single_object() {
+                sim.set_trace_ctx(spans::object_tag(o));
+                tagged = true;
+            }
+            if let Some(kind) = spans::for_class(class) {
+                let span = sim.span_open(kind, from);
+                self.pending_spans.insert(seq, span);
+            }
+        }
         if self.config.retry.enabled {
             let timer =
                 sim.set_timer(from, self.config.retry.timeout, timer_kind(TAG_RETRY, seq));
@@ -351,6 +414,9 @@ impl NetWorld {
             );
         }
         sim.send(from, to, class, bytes, hops, Wire { seq, msg });
+        if tagged {
+            sim.clear_trace_ctx();
+        }
     }
 
     /// Send the ack for an accepted sequenced delivery (retry mode).
@@ -383,6 +449,13 @@ impl NetWorld {
             if !self.sites[to].seen_seqs.insert(seq) {
                 self.anomalies.duplicates_suppressed += 1;
                 return;
+            }
+            // First processed copy of this sequence number: the
+            // end-to-end message span (opened at dispatch) ends here.
+            if !self.pending_spans.is_empty() {
+                if let Some(span) = self.pending_spans.remove(&seq) {
+                    sim.span_close(span);
+                }
             }
         }
         match msg {
@@ -683,12 +756,12 @@ impl NetWorld {
     ) {
         if !self.is_hosted(&p) {
             if self.config.count_existence_checks {
-                let (_, hops) = self.route(self.sites[gw].site, p.gateway_id());
+                let (_, hops) = self.route_traced(sim, self.sites[gw].site, p.gateway_id());
                 sim.metrics_mut().record(MsgClass::Lookup, HEADER_BYTES + PREFIX_BYTES, hops);
             }
             return;
         }
-        let (owner, hops) = self.route(self.sites[gw].site, p.gateway_id());
+        let (owner, hops) = self.route_traced(sim, self.sites[gw].site, p.gateway_id());
         let want: Vec<ObjectId> = missing
             .iter()
             .filter(|o| p.matches(&o.id()))
@@ -793,7 +866,7 @@ impl NetWorld {
             }
             let child = prefix.child(oneness == 1);
             self.hosted.insert(child);
-            let (owner, hops) = self.route(self.sites[gw].site, child.gateway_id());
+            let (owner, hops) = self.route_traced(sim, self.sites[gw].site, child.gateway_id());
             let msg = Msg::Delegate { prefix: child, entries };
             self.dispatch(sim, gw, owner, hops, msg);
         }
@@ -901,7 +974,8 @@ impl NetWorld {
                 }
                 let child = p.child(oneness == 1);
                 self.hosted.insert(child);
-                let (owner, hops) = self.route(self.sites[idx].site, child.gateway_id());
+                let (owner, hops) =
+                    self.route_traced(sim, self.sites[idx].site, child.gateway_id());
                 let msg = Msg::Migrate { prefix: Some(child), entries: part };
                 self.dispatch(sim, idx, owner, hops, msg);
             }
@@ -944,7 +1018,8 @@ impl NetWorld {
             }
             let parent = p.parent().expect("l > 0");
             self.hosted.insert(parent);
-            let (owner, hops) = self.route(self.sites[idx].site, parent.gateway_id());
+            let (owner, hops) =
+                self.route_traced(sim, self.sites[idx].site, parent.gateway_id());
             let msg = Msg::Migrate { prefix: Some(parent), entries };
             self.dispatch(sim, idx, owner, hops, msg);
         }

@@ -31,9 +31,11 @@ pub mod latency;
 pub mod metrics;
 pub mod sim;
 pub mod time;
+pub mod trace;
 
 pub use fault::{FaultConfig, FaultPlane, FaultStats, LinkFaults};
 pub use latency::{ConstantPerHop, LatencyModel, UniformJitter};
 pub use metrics::{Metrics, MsgClass, SharedMetrics};
 pub use sim::{NodeIndex, Sim, SimConfig, TimerId, World};
 pub use time::SimTime;
+pub use trace::{EventId, SpanId, TraceEvent, TraceKind, TraceSink};

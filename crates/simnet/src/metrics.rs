@@ -208,13 +208,16 @@ impl Metrics {
         *self = Metrics::default();
     }
 
-    /// Difference `self - baseline`, for measuring a phase.
+    /// Difference `self - baseline`, for measuring a phase. Saturating:
+    /// a [`Metrics::reset`] between taking the baseline and the delta
+    /// leaves counters *below* the baseline, which must read as zero
+    /// progress, not a subtraction overflow.
     pub fn delta_since(&self, baseline: &Metrics) -> Metrics {
         let mut out = Metrics::default();
         for i in 0..NUM_CLASSES {
-            out.messages[i] = self.messages[i] - baseline.messages[i];
-            out.bytes[i] = self.bytes[i] - baseline.bytes[i];
-            out.hops[i] = self.hops[i] - baseline.hops[i];
+            out.messages[i] = self.messages[i].saturating_sub(baseline.messages[i]);
+            out.bytes[i] = self.bytes[i].saturating_sub(baseline.bytes[i]);
+            out.hops[i] = self.hops[i].saturating_sub(baseline.hops[i]);
         }
         out
     }
@@ -326,6 +329,25 @@ mod tests {
         merged.merge(&a);
         merged.merge(&d);
         assert_eq!(merged.messages_of(MsgClass::Lookup), 3);
+    }
+
+    #[test]
+    fn delta_after_reset_saturates_to_zero() {
+        // Regression: reset() between baseline and delta used to panic
+        // in debug builds (subtraction overflow) because the counters
+        // fell below the baseline.
+        let mut m = Metrics::new();
+        m.record(MsgClass::GroupIndex, 64, 3);
+        m.record(MsgClass::Query, 8, 1);
+        let baseline = m.clone();
+        m.reset();
+        m.record(MsgClass::Query, 8, 1);
+        let d = m.delta_since(&baseline);
+        assert_eq!(d.messages_of(MsgClass::GroupIndex), 0);
+        assert_eq!(d.bytes_of(MsgClass::GroupIndex), 0);
+        assert_eq!(d.hops_of(MsgClass::GroupIndex), 0);
+        assert_eq!(d.messages_of(MsgClass::Query), 0);
+        assert_eq!(d.total_messages(), 0);
     }
 
     #[test]

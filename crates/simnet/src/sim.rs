@@ -15,6 +15,7 @@ use crate::fault::{FaultConfig, FaultPlane, FaultStats};
 use crate::latency::{ConstantPerHop, LatencyModel};
 use crate::metrics::{Metrics, MsgClass};
 use crate::time::SimTime;
+use crate::trace::{EventId, SpanId, TraceEvent, TraceKind, TraceSink};
 use detrand::{rngs::StdRng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -45,6 +46,11 @@ struct Scheduled<M> {
     time: SimTime,
     seq: u64,
     kind: EventKind<M>,
+    /// Trace id of the `Send`/`TimerSet` record that enqueued this
+    /// event (0 when tracing is off). Never participates in ordering.
+    trace_id: EventId,
+    /// Trace context tag captured at scheduling time (0 = untagged).
+    ctx: u64,
 }
 
 // Order by (time, seq) — BinaryHeap is a max-heap, so wrap in Reverse at
@@ -76,11 +82,20 @@ pub struct SimConfig {
     /// default — keeps the clean delivery path bit-for-bit unchanged:
     /// no extra RNG draws, no extra branches with observable effects.
     pub faults: Option<FaultConfig>,
+    /// Optional trace sink (see [`crate::trace`]). `None` — the default
+    /// — keeps the run allocation-free and byte-identical to an
+    /// untraced run.
+    pub trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { seed: 0xC0FFEE, latency: Box::new(ConstantPerHop::paper()), faults: None }
+        SimConfig {
+            seed: 0xC0FFEE,
+            latency: Box::new(ConstantPerHop::paper()),
+            faults: None,
+            trace: None,
+        }
     }
 }
 
@@ -103,6 +118,12 @@ impl SimConfig {
         self
     }
 
+    /// Install a trace sink (causal event records + spans).
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Build the engine.
     pub fn build<M>(self) -> Sim<M> {
         Sim {
@@ -115,6 +136,10 @@ impl SimConfig {
             latency: self.latency,
             metrics: Metrics::new(),
             faults: self.faults.map(FaultPlane::new),
+            trace: self.trace,
+            next_event_id: 1,
+            current_cause: 0,
+            trace_ctx: 0,
         }
     }
 }
@@ -130,6 +155,15 @@ pub struct Sim<M> {
     latency: Box<dyn LatencyModel>,
     metrics: Metrics,
     faults: Option<FaultPlane>,
+    trace: Option<Box<dyn TraceSink>>,
+    /// Next trace-record id; advanced only while a sink is installed.
+    next_event_id: EventId,
+    /// Trace id of the delivery/firing whose handler is running (0
+    /// outside handlers): the cause recorded for sends and timers.
+    current_cause: EventId,
+    /// Application-attached subject tag copied onto every record until
+    /// cleared (see [`Sim::set_trace_ctx`]).
+    trace_ctx: u64,
 }
 
 impl<M> Sim<M> {
@@ -193,19 +227,32 @@ impl<M> Sim<M> {
         let time = self.now + delay;
         if let Some(plane) = self.faults.as_mut() {
             let verdict = plane.judge(from, to);
+            if verdict.copies == 0 {
+                self.trace_emit(TraceKind::Drop, to, from, Some(class), bytes as u32, hops, time);
+                return;
+            }
             for copy in 0..verdict.copies {
+                let at = time + verdict.extra_delay[copy as usize];
+                let trace_id =
+                    self.trace_emit(TraceKind::Send, to, from, Some(class), bytes as u32, hops, at);
                 self.push(Scheduled {
-                    time: time + verdict.extra_delay[copy as usize],
+                    time: at,
                     seq: 0, // filled by push
                     kind: EventKind::Deliver { to, from, msg: msg.clone() },
+                    trace_id,
+                    ctx: self.trace_ctx,
                 });
             }
             return;
         }
+        let trace_id =
+            self.trace_emit(TraceKind::Send, to, from, Some(class), bytes as u32, hops, time);
         self.push(Scheduled {
             time,
             seq: 0, // filled by push
             kind: EventKind::Deliver { to, from, msg },
+            trace_id,
+            ctx: self.trace_ctx,
         });
     }
 
@@ -214,10 +261,13 @@ impl<M> Sim<M> {
     /// traffic.
     pub fn send_local(&mut self, node: NodeIndex, msg: M) {
         let time = self.now;
+        let trace_id = self.trace_emit(TraceKind::Send, node, node, None, 0, 0, time);
         self.push(Scheduled {
             time,
             seq: 0,
             kind: EventKind::Deliver { to: node, from: node, msg },
+            trace_id,
+            ctx: self.trace_ctx,
         });
     }
 
@@ -233,7 +283,14 @@ impl<M> Sim<M> {
         assert!(at >= self.now, "cannot schedule into the past");
         let id = self.next_timer;
         self.next_timer += 1;
-        self.push(Scheduled { time: at, seq: 0, kind: EventKind::Timer { node, kind, id } });
+        let trace_id = self.trace_emit(TraceKind::TimerSet, node, node, None, 0, 0, at);
+        self.push(Scheduled {
+            time: at,
+            seq: 0,
+            kind: EventKind::Timer { node, kind, id },
+            trace_id,
+            ctx: self.trace_ctx,
+        });
         TimerId(id)
     }
 
@@ -282,6 +339,144 @@ impl<M> Sim<M> {
         self.queue.push(Reverse(ev));
     }
 
+    /// Hand one record to the sink, if any. Returns the assigned id
+    /// (0 with tracing off). Cause and context come from the engine
+    /// state at the moment of recording.
+    #[allow(clippy::too_many_arguments)]
+    fn trace_emit(
+        &mut self,
+        kind: TraceKind,
+        node: NodeIndex,
+        peer: NodeIndex,
+        class: Option<MsgClass>,
+        bytes: u32,
+        hops: u32,
+        deliver_at: SimTime,
+    ) -> EventId {
+        let Some(sink) = self.trace.as_mut() else {
+            return 0;
+        };
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        sink.on_event(&TraceEvent {
+            id,
+            cause: self.current_cause,
+            kind,
+            at: self.now,
+            deliver_at,
+            node,
+            peer,
+            class,
+            bytes,
+            hops,
+            ctx: self.trace_ctx,
+        });
+        id
+    }
+
+    /// Like [`Sim::trace_emit`] but for records produced while popping
+    /// the queue: the cause is the `Send`/`TimerSet` that enqueued the
+    /// event and the context travels with it.
+    fn trace_emit_popped(
+        &mut self,
+        kind: TraceKind,
+        node: NodeIndex,
+        peer: NodeIndex,
+        class: Option<MsgClass>,
+        cause: EventId,
+        ctx: u64,
+    ) -> EventId {
+        let Some(sink) = self.trace.as_mut() else {
+            return 0;
+        };
+        let id = self.next_event_id;
+        self.next_event_id += 1;
+        sink.on_event(&TraceEvent {
+            id,
+            cause,
+            kind,
+            at: self.now,
+            deliver_at: self.now,
+            node,
+            peer,
+            class,
+            bytes: 0,
+            hops: 0,
+            ctx,
+        });
+        id
+    }
+
+    /// Is a trace sink installed?
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Install a trace sink mid-run (records start at the next event).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Remove and return the trace sink, e.g. to inspect a recorder
+    /// after the run.
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Tag every subsequently recorded event with `ctx` (until
+    /// [`Sim::clear_trace_ctx`]). The peertrack layer uses this to mark
+    /// single-object operations with a digest of the object id; `0`
+    /// means untagged. No-op cheap when tracing is off (one store).
+    pub fn set_trace_ctx(&mut self, ctx: u64) {
+        self.trace_ctx = ctx;
+    }
+
+    /// Clear the context tag set by [`Sim::set_trace_ctx`].
+    pub fn clear_trace_ctx(&mut self) {
+        self.trace_ctx = 0;
+    }
+
+    /// Open an application-level span at `node` (see
+    /// `peertrack::spans` for the kind registry). Returns 0 when
+    /// tracing is off; [`Sim::span_close`] ignores 0.
+    pub fn span_open(&mut self, kind: u32, node: NodeIndex) -> SpanId {
+        let (now, cause) = (self.now, self.current_cause);
+        match self.trace.as_mut() {
+            Some(sink) => sink.span_open(kind, node, now, cause),
+            None => 0,
+        }
+    }
+
+    /// Close a span at the current virtual time.
+    pub fn span_close(&mut self, span: SpanId) {
+        self.span_close_at(span, self.now);
+    }
+
+    /// Close a span at an explicit time — for synchronous operations
+    /// (queries) whose simulated duration is computed rather than
+    /// played through the event queue.
+    pub fn span_close_at(&mut self, span: SpanId, at: SimTime) {
+        if span == 0 {
+            return;
+        }
+        if let Some(sink) = self.trace.as_mut() {
+            sink.span_close(span, at);
+        }
+    }
+
+    /// Record the hop path of a DHT lookup (`path` = nodes visited
+    /// after the origin, in routing order). No-op when tracing is off;
+    /// callers should still gate on [`Sim::tracing`] to avoid building
+    /// the path vector for nothing.
+    pub fn trace_lookup_path(&mut self, origin: NodeIndex, path: &[NodeIndex]) {
+        if self.trace.is_none() {
+            return;
+        }
+        for (i, &node) in path.iter().enumerate() {
+            self.trace_emit(TraceKind::LookupHop, node, origin, None, 0, (i + 1) as u32, self.now);
+        }
+    }
+
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step<W: World<M>>(&mut self, world: &mut W) -> bool {
         loop {
@@ -295,7 +490,17 @@ impl<M> Sim<M> {
                         continue; // skip cancelled, try next event
                     }
                     self.now = ev.time;
+                    let fired = self.trace_emit_popped(
+                        TraceKind::TimerFired,
+                        node,
+                        node,
+                        None,
+                        ev.trace_id,
+                        ev.ctx,
+                    );
+                    self.current_cause = fired;
                     world.on_timer(self, node, kind);
+                    self.current_cause = 0;
                 }
                 EventKind::Deliver { to, from, msg } => {
                     self.now = ev.time;
@@ -305,10 +510,28 @@ impl<M> Sim<M> {
                     if let Some(plane) = self.faults.as_mut() {
                         if plane.is_crashed(to) {
                             plane.note_delivery_to_crashed();
+                            self.trace_emit_popped(
+                                TraceKind::Drop,
+                                to,
+                                from,
+                                None,
+                                ev.trace_id,
+                                ev.ctx,
+                            );
                             continue;
                         }
                     }
+                    let delivered = self.trace_emit_popped(
+                        TraceKind::Deliver,
+                        to,
+                        from,
+                        None,
+                        ev.trace_id,
+                        ev.ctx,
+                    );
+                    self.current_cause = delivered;
                     world.on_message(self, to, from, msg);
+                    self.current_cause = 0;
                 }
             }
             return true;

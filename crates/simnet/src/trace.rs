@@ -1,0 +1,119 @@
+//! Engine-level causal tracing hooks.
+//!
+//! The engine can carry an optional [`TraceSink`]; when one is
+//! installed every send / delivery / drop / timer event is reported to
+//! it as a [`TraceEvent`] carrying a monotonically assigned id and the
+//! id of the event that *caused* it, so any delivery can be walked back
+//! to the workload injection (capture / movement) at the root of its
+//! chain.
+//!
+//! Causality is threaded mechanically: while the engine runs a world
+//! handler for a delivery or a timer firing, the id of that delivery /
+//! firing is the *current cause*, and every send or timer armed inside
+//! the handler records it. Scheduled events remember the id of the
+//! `Send`/`TimerSet` record that enqueued them, so the matching
+//! `Deliver`/`TimerFired` record points back at it.
+//!
+//! **Zero-cost when off.** With no sink installed the engine performs
+//! no allocations and no extra RNG draws for tracing — the only cost is
+//! two dormant integer fields on each queued event — so a traced and an
+//! untraced run with the same seed execute byte-identically. This is
+//! asserted by `tests/determinism.rs`.
+//!
+//! The trait lives in `simnet` so the engine stays free of any
+//! dependency on the `obs` crate; `obs::Recorder` is the canonical
+//! implementation.
+
+use crate::metrics::MsgClass;
+use crate::sim::NodeIndex;
+use crate::time::SimTime;
+
+/// Identifier of one trace record. `0` is reserved for "no event" and
+/// is never assigned; a [`TraceEvent::cause`] of `0` marks a root event
+/// (injected from outside any handler).
+pub type EventId = u64;
+
+/// Identifier of an open span. `0` is reserved for "no span" (returned
+/// when tracing is disabled); closing span `0` is a no-op.
+pub type SpanId = u64;
+
+/// What happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A message was handed to the network (`deliver_at` is its
+    /// scheduled arrival; under fault injection each duplicate copy
+    /// gets its own `Send` record).
+    Send,
+    /// A message arrived and was handed to the world.
+    Deliver,
+    /// A message was discarded: dropped by the fault plane at send
+    /// time, or addressed to a crashed node at delivery time.
+    Drop,
+    /// A timer was armed (`deliver_at` is when it will fire).
+    TimerSet,
+    /// A timer fired and was handed to the world.
+    TimerFired,
+    /// One overlay-routing hop of a traced DHT lookup (`hops` is the
+    /// position along the path, starting at 1).
+    LookupHop,
+}
+
+/// One record in the causal trace.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Monotonically assigned id (starts at 1).
+    pub id: EventId,
+    /// Id of the event that caused this one; `0` for roots.
+    pub cause: EventId,
+    /// What happened.
+    pub kind: TraceKind,
+    /// When it was recorded (virtual time).
+    pub at: SimTime,
+    /// For `Send`/`TimerSet`: the scheduled arrival / firing time.
+    /// Equal to `at` for every other kind.
+    pub deliver_at: SimTime,
+    /// The node the event concerns: destination for sends/deliveries,
+    /// owning node for timers, visited node for lookup hops.
+    pub node: NodeIndex,
+    /// The counterpart node: source for sends/deliveries/drops, the
+    /// lookup origin for hops, `node` itself for timers.
+    pub peer: NodeIndex,
+    /// Message class (`None` for timers, local sends and lookup hops).
+    pub class: Option<MsgClass>,
+    /// Payload bytes (0 where not applicable).
+    pub bytes: u32,
+    /// Overlay hops charged (sends) or hop position (lookup hops).
+    pub hops: u32,
+    /// Application-attached subject tag (see [`Sim::set_trace_ctx`]);
+    /// `0` means untagged. The peertrack layer tags per-object
+    /// operations with a digest of the object id so the auditor can
+    /// anchor causal slices.
+    ///
+    /// [`Sim::set_trace_ctx`]: crate::sim::Sim::set_trace_ctx
+    pub ctx: u64,
+}
+
+/// Receiver for trace records and operation spans.
+///
+/// `on_event` is the only required method; the span hooks default to
+/// no-ops so simple sinks (counters, filters) stay one `impl` long.
+pub trait TraceSink {
+    /// One causal record. Called in event order; `ev.id` is strictly
+    /// increasing across calls.
+    fn on_event(&mut self, ev: &TraceEvent);
+
+    /// An application-level operation began (group-index flush, IOP
+    /// update, migration, query…). `kind` is an application-defined
+    /// tag (see `peertrack::spans`), `cause` the trace record the
+    /// operation was started under (`0` if none). Returns a span id to
+    /// pass to [`TraceSink::span_close`]; must not return `0`.
+    fn span_open(&mut self, kind: u32, node: NodeIndex, at: SimTime, cause: EventId) -> SpanId {
+        let _ = (kind, node, at, cause);
+        1
+    }
+
+    /// The operation identified by `span` finished at `at`.
+    fn span_close(&mut self, span: SpanId, at: SimTime) {
+        let _ = (span, at);
+    }
+}

@@ -22,6 +22,33 @@ echo "== schedule auditor (fast budget) =="
 # full-budget run is `AUDIT_CASES=50` (the test's default).
 AUDIT_CASES=15 cargo test -q --offline -p integration-tests --test schedule_audit
 
+echo "== tracing-off byte-identity: figure CSVs =="
+# The observability layer must be zero-cost when no sink is installed:
+# regenerating the figure and fault-sweep CSVs with the instrumented
+# binaries must reproduce the committed files byte for byte. (These
+# binaries run trace-free; any behavioral drift — an extra RNG draw, a
+# reordered dispatch — shows up here as a diff.)
+for bin in fig6a_indexing_volume fig6b_indexing_netsize fig7a_query_netsize \
+           fig7b_query_volume fig8a_load_balance fig8b_scheme_cost fault_sweep; do
+    ./target/release/"$bin" > /dev/null
+done
+git diff --exit-code -- \
+    results/fig6a.csv results/fig6b.csv results/fig7a.csv results/fig7b.csv \
+    results/fig8a.csv results/fig8b.csv results/fault_sweep.csv \
+    || { echo "figure CSVs drifted from the committed baselines" >&2; exit 1; }
+echo "OK: fig6/7/8 + fault_sweep byte-identical to committed baselines."
+
+echo "== trace exporter: deterministic exports =="
+# Two same-seed traced runs must write byte-identical artifacts.
+./target/release/trace_run > /dev/null
+cp results/trace_demo.json /tmp/verify_trace_demo.json
+cp results/latency_histograms.csv /tmp/verify_latency_histograms.csv
+./target/release/trace_run > /dev/null
+cmp results/trace_demo.json /tmp/verify_trace_demo.json
+cmp results/latency_histograms.csv /tmp/verify_latency_histograms.csv
+rm -f /tmp/verify_trace_demo.json /tmp/verify_latency_histograms.csv
+echo "OK: trace exports byte-identical across invocations."
+
 echo "== dependency policy: path-only =="
 # Any dependency line carrying a version requirement or registry/git
 # source is a policy violation. In-tree deps look like
@@ -46,3 +73,9 @@ if [[ -n "$violations" ]]; then
     exit 1
 fi
 echo "OK: all Cargo.toml dependencies are path-only."
+
+# The observability crate must be part of the workspace (and therefore
+# of the policy scan above).
+grep -q 'crates/obs' Cargo.toml \
+    || { echo "crates/obs missing from the workspace manifest" >&2; exit 1; }
+echo "OK: crates/obs is in the workspace."

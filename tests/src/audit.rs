@@ -318,13 +318,34 @@ fn crash_taints(
 
 /// Execute a schedule and audit the invariants after quiescence.
 pub fn run_schedule(cfg: &AuditConfig, words: &[u64]) -> AuditReport {
-    let mut net = Builder::new()
+    run_schedule_inner(cfg, words, None)
+}
+
+/// [`run_schedule`] with a causal trace recorded from the first event.
+/// Tracing is observation-only: the report is identical to the
+/// untraced run's (a test asserts this), so a violation found blind
+/// can be re-run traced to obtain its causal slice.
+pub fn run_schedule_traced(cfg: &AuditConfig, words: &[u64]) -> (AuditReport, obs::SharedRecorder) {
+    let rec = obs::SharedRecorder::new();
+    let report = run_schedule_inner(cfg, words, Some(rec.clone()));
+    (report, rec)
+}
+
+fn run_schedule_inner(
+    cfg: &AuditConfig,
+    words: &[u64],
+    trace: Option<obs::SharedRecorder>,
+) -> AuditReport {
+    let mut builder = Builder::new()
         .sites(cfg.founders)
         .seed(cfg.seed)
         .mode(audit_mode())
         .faults(FaultConfig::uniform_drop(cfg.fault_seed, cfg.drop))
-        .retry(cfg.retry)
-        .build();
+        .retry(cfg.retry);
+    if let Some(rec) = trace {
+        builder = builder.trace_sink(Box::new(rec));
+    }
+    let mut net = builder.build();
 
     let mut oracle = MovementLog::new();
     let mut created: Vec<ObjectId> = Vec::new();
@@ -401,6 +422,58 @@ pub fn run_schedule(cfg: &AuditConfig, words: &[u64]) -> AuditReport {
         locate_agreement: (created.len().saturating_sub(exact), created.len()),
         violations,
     }
+}
+
+/// How many violating objects [`causal_slice`] dumps chains for.
+const MAX_SLICE_OBJECTS: usize = 3;
+
+/// Render the causal slice of a traced run for each object named in the
+/// violations: the ancestor chain of the object's last causally-tagged
+/// delivery, one event per line. Printed next to the `AUDIT_SCHEDULE`
+/// reproducer so a failing schedule arrives with its own diagnosis —
+/// *which* message chain produced the stale/missing state, and where
+/// along it the drop or reordering happened.
+pub fn causal_slice(rec: &obs::Recorder, report: &AuditReport) -> String {
+    let view = obs::TraceView::new(rec.events());
+    let mut out = String::new();
+    let mut dumped = 0usize;
+    for n in 0..report.objects as u64 {
+        if dumped == MAX_SLICE_OBJECTS {
+            out.push_str("(further violating objects elided)\n");
+            break;
+        }
+        let o = audit_object(n);
+        let needle = format!("{o:?}");
+        if !report.violations.iter().any(|v| v.contains(&needle)) {
+            continue;
+        }
+        dumped += 1;
+        let tag = peertrack::spans::object_tag(o);
+        let tagged = view.filter_ctx(tag);
+        match view.last_delivery_for_ctx(tag) {
+            Some(ev) => {
+                out.push_str(&format!(
+                    "causal slice for {o:?} (ctx={tag:#018x}, {} tagged event(s)):\n",
+                    tagged.len()
+                ));
+                out.push_str(&view.format_chain(ev.id));
+            }
+            None => {
+                out.push_str(&format!(
+                    "no tagged events for {o:?} (ctx={tag:#018x}) — \
+                     its updates never entered the network\n"
+                ));
+            }
+        }
+    }
+    if dumped == 0 {
+        out.push_str("no violation names a created object; last events of the trace:\n");
+        for ev in rec.events().iter().rev().take(8).rev() {
+            out.push_str(&obs::format_event(ev));
+            out.push('\n');
+        }
+    }
+    out
 }
 
 /// `(site, arrived)` pairs of `sub` appear in `full` in order.
@@ -694,5 +767,69 @@ mod tests {
         assert_eq!(report.fault_stats.dropped, 0);
         assert_eq!(report.retrans_messages, 0, "retries off: no retransmissions");
         assert_eq!(report.ack_messages, 0, "retries off: no acks");
+    }
+
+    #[test]
+    fn tracing_is_observation_only() {
+        // The same lossy, churning schedule run blind and run traced
+        // must produce the same report — the trace sink sees every
+        // event but perturbs none (no RNG draws, no reordering).
+        let cfg = AuditConfig::lossy_with_retries(0.1);
+        let words: Vec<u64> = [
+            Op::Capture { site: 0 },
+            Op::Capture { site: 2 },
+            Op::MoveObj { site: 1, obj: 0 },
+            Op::Join,
+            Op::MoveObj { site: 3, obj: 1 },
+            Op::Advance { ms: 300 },
+            Op::Crash { sel: 0 },
+            Op::MoveObj { site: 2, obj: 0 },
+            Op::Quiesce,
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let blind = run_schedule(&cfg, &words);
+        let (traced, rec) = run_schedule_traced(&cfg, &words);
+        assert_eq!(blind.violations, traced.violations);
+        assert_eq!(blind.fault_stats, traced.fault_stats);
+        assert_eq!(blind.retrans_messages, traced.retrans_messages);
+        assert_eq!(blind.ack_messages, traced.ack_messages);
+        assert_eq!(blind.objects, traced.objects);
+
+        let rec = rec.borrow();
+        assert!(!rec.events().is_empty(), "the trace must have recorded the run");
+        // Both movements were tagged with their object's ctx.
+        let view = obs::TraceView::new(rec.events());
+        let tag = peertrack::spans::object_tag(audit_object(0));
+        assert!(!view.filter_ctx(tag).is_empty(), "capture injections carry the object tag");
+    }
+
+    #[test]
+    fn causal_slice_names_the_violating_object() {
+        // Fabricate a report naming object 0 and check the slice engine
+        // finds its tagged chain in a real traced run (the run itself is
+        // clean — the slice only needs the trace plus the names).
+        let cfg = AuditConfig {
+            drop: 0.0,
+            ..AuditConfig::lossy_no_retries(0.0)
+        };
+        let words: Vec<u64> =
+            [Op::Capture { site: 1 }, Op::MoveObj { site: 2, obj: 0 }, Op::Quiesce]
+                .into_iter()
+                .map(encode)
+                .collect();
+        let (mut report, rec) = run_schedule_traced(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
+        report
+            .violations
+            .push(format!("locate: {:?} answered None (injected)", audit_object(0)));
+        let slice = causal_slice(&rec.borrow(), &report);
+        assert!(
+            slice.contains("causal slice for"),
+            "slice must anchor on the named object: {slice}"
+        );
+        assert!(slice.contains("deliver"), "the chain ends at a delivery: {slice}");
+        assert!(slice.contains("cause #"), "chain lines show causal parents: {slice}");
     }
 }

@@ -80,6 +80,10 @@ fn different_seed_engine_runs_diverge() {
 /// serialize everything observable — metrics, gateway load, the answer
 /// to a fixed probe schedule — into one string.
 fn stack_fingerprint(seed: u64) -> String {
+    stack_fingerprint_inner(seed, None)
+}
+
+fn stack_fingerprint_inner(seed: u64, rec: Option<obs::SharedRecorder>) -> String {
     let events = PaperWorkload {
         sites: 10,
         objects_per_site: 30,
@@ -89,6 +93,9 @@ fn stack_fingerprint(seed: u64) -> String {
     }
     .generate();
     let mut net = Builder::new().sites(10).seed(seed).build();
+    if let Some(r) = rec {
+        net.set_trace_sink(Box::new(r));
+    }
     for ev in &events {
         net.schedule_capture(ev.at, ev.site, ev.objects.clone());
     }
@@ -123,6 +130,32 @@ fn different_seed_full_stack_runs_diverge() {
     let a = stack_fingerprint(7);
     let b = stack_fingerprint(8);
     assert_ne!(a, b, "different-seed full-stack fingerprints should not collide");
+}
+
+/// The tracing layer's two determinism promises (see `simnet::trace`):
+/// installing a sink does not perturb the run (no extra RNG draws, no
+/// reordering), and a traced run's exports are byte-identical across
+/// same-seed invocations.
+#[test]
+fn tracing_does_not_perturb_the_run_and_exports_deterministically() {
+    let blind = stack_fingerprint(7);
+    let rec_a = obs::SharedRecorder::new();
+    let traced_a = stack_fingerprint_inner(7, Some(rec_a.clone()));
+    assert_eq!(blind, traced_a, "a trace sink must be observation-only");
+
+    let rec_b = obs::SharedRecorder::new();
+    let traced_b = stack_fingerprint_inner(7, Some(rec_b.clone()));
+    assert_eq!(traced_a, traced_b, "same-seed traced runs differ");
+
+    let (rec_a, rec_b) = (rec_a.borrow(), rec_b.borrow());
+    assert!(!rec_a.events().is_empty(), "the workload must have been traced");
+    let json_a = obs::chrome_trace_json(&rec_a, &peertrack::spans::label);
+    let json_b = obs::chrome_trace_json(&rec_b, &peertrack::spans::label);
+    assert_eq!(json_a, json_b, "Chrome trace export is not deterministic");
+    let csv_a = obs::latency_summary_csv(&rec_a, &peertrack::spans::label);
+    let csv_b = obs::latency_summary_csv(&rec_b, &peertrack::spans::label);
+    assert_eq!(csv_a, csv_b, "latency summary export is not deterministic");
+    assert!(csv_a.lines().count() > 1, "the summary must have at least one data row");
 }
 
 #[test]

@@ -21,8 +21,8 @@
 //! ```
 
 use integration_tests::audit::{
-    decode, describe, encode, format_schedule, parse_schedule, run_schedule, shrink_word,
-    AuditConfig, Op,
+    causal_slice, decode, describe, encode, format_schedule, parse_schedule, run_schedule,
+    run_schedule_traced, shrink_word, AuditConfig, Op,
 };
 use proptiny::prelude::*;
 use proptiny::schedule::{schedule, ScheduleStrategy};
@@ -81,7 +81,10 @@ fn auditor_finds_and_shrinks_a_violation_without_retries() {
 
     let words = words_from_minimal(&failure.minimal);
     assert!(!words.is_empty(), "shrinking must keep at least one op: {failure:?}");
-    let report = run_schedule(&cfg, &words);
+    // Re-run the shrunk schedule with the causal trace on: tracing is
+    // observation-only, so the violation must reproduce identically —
+    // and now arrives with the message chain that caused it.
+    let (report, rec) = run_schedule_traced(&cfg, &words);
     assert!(
         !report.violations.is_empty(),
         "the shrunk schedule must still reproduce a violation: {}",
@@ -100,6 +103,9 @@ fn auditor_finds_and_shrinks_a_violation_without_retries() {
          -p integration-tests --test schedule_audit replay_schedule_from_env -- --nocapture",
         format_schedule(&words)
     );
+    let slice = causal_slice(&rec.borrow(), &report);
+    assert!(!slice.is_empty(), "a violating traced run must yield a causal slice");
+    println!("{slice}");
 }
 
 /// Claim 2: with the retry layer on, the same drop rate passes the full
@@ -186,8 +192,11 @@ fn replay_schedule_from_env() {
         cfg.seed = seed;
     }
     println!("replaying {} op(s): {}", words.len(), describe(&words));
-    let report = run_schedule(&cfg, &words);
+    let (report, rec) = run_schedule_traced(&cfg, &words);
     println!("{report:#?}");
+    if !report.violations.is_empty() {
+        println!("{}", causal_slice(&rec.borrow(), &report));
+    }
     assert!(
         report.violations.is_empty(),
         "schedule violates the tracking invariants: {:?}",
