@@ -1,0 +1,159 @@
+//! Loopback-cluster latency bench: the real-socket daemon versus the
+//! simulator's latency *model*, same workload, same seed.
+//!
+//! The simulator charges 5 ms per overlay hop of virtual time; the
+//! daemon measures wall-clock — sender-stamped delivery envelopes per
+//! message class, plus origin-side locate/trace round-trips — into the
+//! same `obs` histograms. This binary runs the identical 5-site §V
+//! workload through both and writes `results/cluster_latency.csv` with
+//! one row per (class, scope): the modelled virtual-time distribution
+//! (`sim-model`, deterministic) beside the measured loopback one
+//! (`loopback-wall`, machine-dependent by nature).
+//!
+//! In sandboxes that forbid binding loopback sockets the cluster half
+//! is skipped with a warning and only the deterministic rows are
+//! written.
+//!
+//! ```text
+//! cargo run --release -p bench --bin cluster_bench
+//! ```
+
+use bench::report::{print_table, results_path, write_csv};
+use daemon::LoopbackCluster;
+use moods::SiteId;
+use obs::{Histogram, SharedRecorder};
+use peertrack::Builder;
+use simnet::metrics::{MsgClass, ALL_CLASSES};
+use simnet::time::secs;
+use simnet::SimTime;
+use workload::paper::PaperWorkload;
+
+const SITES: usize = 5;
+const VOL: usize = 12;
+const SEED: u64 = 21;
+
+fn workload_events() -> Vec<workload::CaptureEvent> {
+    PaperWorkload {
+        sites: SITES,
+        objects_per_site: VOL,
+        grouped_movement: true,
+        seed: SEED,
+        ..PaperWorkload::default()
+    }
+    .generate()
+}
+
+/// The query sequence both executions answer (and get charged for).
+fn query_plan() -> Vec<(SiteId, moods::ObjectId, SimTime)> {
+    let mut plan = Vec::new();
+    for site in 0..SITES as u32 {
+        for serial in 0..VOL as u64 {
+            let o = workload::epc_object(site, serial);
+            let origin = SiteId((site + 2) % SITES as u32);
+            for i in 0..4u64 {
+                plan.push((origin, o, secs(i * 1_400)));
+            }
+        }
+    }
+    plan
+}
+
+/// Per-class histograms: delivery latencies from the recorder plus the
+/// query distribution under [`MsgClass::Query`].
+struct Latencies {
+    by_class: Vec<Histogram>,
+}
+
+impl Latencies {
+    fn new() -> Latencies {
+        Latencies { by_class: (0..ALL_CLASSES.len()).map(|_| Histogram::new()).collect() }
+    }
+
+    fn of(&mut self, class: MsgClass) -> &mut Histogram {
+        &mut self.by_class[class as usize]
+    }
+}
+
+/// Simulator run: virtual-time delivery latencies per class (the 5
+/// ms/hop model) and modelled query latencies.
+fn sim_latencies() -> Latencies {
+    let mut net = Builder::new().sites(SITES).seed(SEED).build();
+    let rec = SharedRecorder::new();
+    net.set_trace_sink(Box::new(rec.clone()));
+    for ev in workload_events() {
+        net.schedule_capture(ev.at, ev.site, ev.objects);
+    }
+    net.run_until_quiescent();
+
+    let mut out = Latencies::new();
+    for (origin, o, t) in query_plan() {
+        let (_ans, stats) = net.locate(origin, o, t);
+        out.of(MsgClass::Query).record(stats.time.as_micros());
+    }
+    for (class, hist) in rec.borrow().class_latencies() {
+        out.of(class).merge(hist);
+    }
+    out
+}
+
+/// Cluster run: wall-clock delivery and query latencies over loopback
+/// sockets, merged across every node's recorder.
+fn cluster_latencies() -> std::io::Result<Latencies> {
+    let mut cluster = LoopbackCluster::start(SITES, SEED)?;
+    cluster.run_schedule(&workload_events())?;
+    let mut out = Latencies::new();
+    for (origin, o, t) in query_plan() {
+        let (_ans, _cost, complete) = cluster.locate(origin, o, t)?;
+        assert!(complete, "cluster locate incomplete");
+    }
+    for report in cluster.shutdown()? {
+        assert_eq!(report.unsupported, 0, "site {} left the supported regime", report.site.0);
+        for (class, hist) in report.recorder.class_latencies() {
+            out.of(class).merge(hist);
+        }
+    }
+    Ok(out)
+}
+
+fn rows_for(scope: &str, lat: &Latencies) -> Vec<Vec<String>> {
+    ALL_CLASSES
+        .iter()
+        .filter(|&&c| !lat.by_class[c as usize].is_empty())
+        .map(|&c| {
+            let h = &lat.by_class[c as usize];
+            vec![
+                format!("{c:?}"),
+                scope.to_string(),
+                h.count().to_string(),
+                h.p50().to_string(),
+                h.p95().to_string(),
+                h.p99().to_string(),
+                format!("{:.1}", h.mean()),
+            ]
+        })
+        .collect()
+}
+
+fn main() -> std::io::Result<()> {
+    let header =
+        ["class", "scope", "count", "p50_us", "p95_us", "p99_us", "mean_us"];
+
+    let sim = sim_latencies();
+    let mut rows = rows_for("sim-model", &sim);
+
+    if std::net::TcpListener::bind("127.0.0.1:0").is_ok() {
+        let cluster = cluster_latencies()?;
+        rows.extend(rows_for("loopback-wall", &cluster));
+    } else {
+        eprintln!(
+            "WARNING: sandbox forbids binding loopback sockets; \
+             writing sim-model rows only"
+        );
+    }
+
+    print_table("latency by class and scope (µs)", &header, &rows);
+    let path = results_path("cluster_latency.csv");
+    write_csv(&path, &header, &rows)?;
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

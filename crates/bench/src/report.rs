@@ -1,5 +1,6 @@
 //! CSV and console reporting shared by the experiment binaries.
 
+use simnet::metrics::{Metrics, ALL_CLASSES};
 use simnet::FaultStats;
 use std::fmt::Display;
 use std::fs;
@@ -83,6 +84,41 @@ pub fn fault_stats_row(s: &FaultStats) -> Vec<String> {
 /// Print the fault-plane counters as a one-row console table.
 pub fn print_fault_stats(title: &str, s: &FaultStats) {
     print_table(title, &FAULT_STATS_HEADER, &[fault_stats_row(s)]);
+}
+
+/// Column names matching [`class_traffic_rows`].
+pub const CLASS_TRAFFIC_HEADER: [&str; 4] = ["class", "messages", "model_bytes", "hops"];
+
+/// One row per message class that carried traffic — the single place
+/// per-class tallies are formatted, shared by the examples, the figure
+/// binaries and the loopback-cluster bench so every surface reports the
+/// accounting model identically.
+pub fn class_traffic_rows(m: &Metrics) -> Vec<Vec<String>> {
+    ALL_CLASSES
+        .iter()
+        .filter(|&&c| m.messages_of(c) > 0)
+        .map(|&c| {
+            vec![
+                format!("{c:?}"),
+                m.messages_of(c).to_string(),
+                m.bytes_of(c).to_string(),
+                m.hops_of(c).to_string(),
+            ]
+        })
+        .collect()
+}
+
+/// Print the per-class traffic tally as an aligned console table, with
+/// a totals row.
+pub fn print_class_traffic(title: &str, m: &Metrics) {
+    let mut rows = class_traffic_rows(m);
+    rows.push(vec![
+        "total".to_string(),
+        m.total_messages().to_string(),
+        m.total_bytes().to_string(),
+        m.total_hops().to_string(),
+    ]);
+    print_table(title, &CLASS_TRAFFIC_HEADER, &rows);
 }
 
 /// Least-squares slope of `log(y)` against `log(x)` — the growth

@@ -45,7 +45,7 @@ pub struct LeaveOutcome {
 }
 
 /// Routing outcome: the owner of a key plus the cost of finding it.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LookupResult {
     /// The node responsible for the key (its successor on the ring).
     pub owner: Id,

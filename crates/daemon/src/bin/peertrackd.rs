@@ -1,0 +1,215 @@
+//! `peertrackd` — run one PeerTrack node over real sockets, or poke a
+//! running one from the command line.
+//!
+//! ```text
+//! peertrackd --site 0 --seed 42 --listen 127.0.0.1:7400
+//! peertrackd --site 1 --seed 42 --listen 127.0.0.1:7401 --bootstrap 127.0.0.1:7400
+//! peertrackd ctl 127.0.0.1:7400 capture 1000000 1:7 1:8
+//! peertrackd ctl 127.0.0.1:7400 flush 1500000
+//! peertrackd ctl 127.0.0.1:7401 locate 1:7 2000000
+//! peertrackd ctl 127.0.0.1:7401 trace 1:7 0 9000000
+//! peertrackd ctl 127.0.0.1:7400 status
+//! peertrackd ctl 127.0.0.1:7400 shutdown
+//! peertrackd --probe-bind        # exit 0 iff loopback sockets work here
+//! ```
+//!
+//! Objects are written `home:serial` (the workload generator's EPC
+//! derivation), times are virtual microseconds. See `DESIGN.md` §11 for
+//! the deployment model — in particular, flushes are explicit because
+//! virtual time lives with the driver, not the daemon.
+
+use daemon::proto::Frame;
+use daemon::{Node, NodeConfig};
+use moods::SiteId;
+use simnet::metrics::ALL_CLASSES;
+use simnet::SimTime;
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use transport::{Backoff, ConnCache};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("peertrackd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        print_usage();
+        return Ok(ExitCode::SUCCESS);
+    }
+    if args[0] == "--probe-bind" {
+        return Ok(match std::net::TcpListener::bind("127.0.0.1:0") {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(_) => ExitCode::FAILURE,
+        });
+    }
+    if args[0] == "ctl" {
+        return ctl(&args[1..]);
+    }
+    serve(args)
+}
+
+fn print_usage() {
+    println!(
+        "usage:\n  peertrackd --site N --seed S --listen ADDR [--bootstrap ADDR]\n  \
+         peertrackd ctl ADDR (status | capture AT_US OBJ... | flush NOW_US | \
+         locate OBJ T_US | trace OBJ T0_US T1_US | shutdown)\n  \
+         peertrackd --probe-bind\n\nOBJ is HOME:SERIAL; times are virtual µs."
+    );
+}
+
+// ----------------------------------------------------------------------
+// Server mode
+// ----------------------------------------------------------------------
+
+fn serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut site: Option<u32> = None;
+    let mut seed: u64 = 0;
+    let mut listen = "127.0.0.1:0".to_string();
+    let mut bootstrap: Option<SocketAddr> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| {
+            it.next().map(|s| s.to_string()).ok_or(format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--site" => site = Some(parse(&val("--site")?, "site")?),
+            "--seed" => seed = parse(&val("--seed")?, "seed")?,
+            "--listen" => listen = val("--listen")?,
+            "--bootstrap" => {
+                bootstrap =
+                    Some(val("--bootstrap")?.parse().map_err(|e| format!("bootstrap: {e}"))?)
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let site = SiteId(site.ok_or("--site is required")?);
+
+    let cfg = NodeConfig { site, seed, group: Default::default(), listen, bootstrap };
+    let node = Node::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
+    println!("peertrackd site {} listening on {}", site.0, node.addr());
+    let report = node.join(); // blocks until a Shutdown frame arrives
+
+    println!("site {} shut down", report.site.0);
+    println!("  protocol frames: {} sent, {} received", report.sent, report.received);
+    for class in ALL_CLASSES {
+        let m = report.metrics.messages_of(class);
+        if m > 0 {
+            println!(
+                "  {:?}: {} msgs, {} model bytes, {} hops",
+                class,
+                m,
+                report.metrics.bytes_of(class),
+                report.metrics.hops_of(class)
+            );
+        }
+    }
+    if report.anomalies != Default::default() || report.unsupported > 0 {
+        println!("  anomalies: {:?}", report.anomalies);
+        println!("  unsupported-path hits: {}", report.unsupported);
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ----------------------------------------------------------------------
+// Control mode
+// ----------------------------------------------------------------------
+
+fn ctl(args: &[String]) -> Result<ExitCode, String> {
+    let addr: SocketAddr = args
+        .first()
+        .ok_or("ctl needs an address")?
+        .parse()
+        .map_err(|e| format!("address: {e}"))?;
+    let cmd = args.get(1).ok_or("ctl needs a command")?;
+    let rest = &args[2..];
+
+    let frame = match cmd.as_str() {
+        "status" => Frame::Status,
+        "shutdown" => Frame::Shutdown,
+        "capture" => {
+            let at = time_arg(rest.first(), "capture AT_US")?;
+            if rest.len() < 2 {
+                return Err("capture needs at least one OBJ".into());
+            }
+            let objects =
+                rest[1..].iter().map(|s| object_arg(s)).collect::<Result<Vec<_>, _>>()?;
+            Frame::Capture { at, objects }
+        }
+        "flush" => Frame::Flush { now: time_arg(rest.first(), "flush NOW_US")? },
+        "locate" => Frame::Locate {
+            object: object_arg(rest.first().ok_or("locate needs OBJ")?)?,
+            t: time_arg(rest.get(1), "locate T_US")?,
+        },
+        "trace" => Frame::Trace {
+            object: object_arg(rest.first().ok_or("trace needs OBJ")?)?,
+            t0: time_arg(rest.get(1), "trace T0_US")?,
+            t1: time_arg(rest.get(2), "trace T1_US")?,
+        },
+        other => return Err(format!("unknown ctl command {other}")),
+    };
+
+    let mut conns = ConnCache::new(Backoff::fast());
+    let raw = conns.request(addr, &frame.encode()).map_err(|e| format!("request: {e}"))?;
+    let reply = Frame::decode(&raw).map_err(|e| format!("reply: {e}"))?;
+    match reply {
+        Frame::Ack => println!("ok"),
+        Frame::StatusResp { site, members, sent, received } => {
+            println!("site {} members {members} sent {sent} received {received}", site.0);
+        }
+        Frame::LocateResp { answer, cost, complete } => {
+            match answer {
+                Some(s) => println!("at site {}", s.0),
+                None => println!("not born yet"),
+            }
+            println!(
+                "cost: {} msgs {} hops {} bytes; complete: {complete}",
+                cost.messages, cost.hops, cost.bytes
+            );
+        }
+        Frame::TraceResp { path, cost, complete } => {
+            for v in &path {
+                match v.departed {
+                    Some(d) => println!(
+                        "site {} [{} .. {}]",
+                        v.site.0,
+                        v.arrived.as_micros(),
+                        d.as_micros()
+                    ),
+                    None => println!("site {} [{} .. )", v.site.0, v.arrived.as_micros()),
+                }
+            }
+            println!(
+                "cost: {} msgs {} hops {} bytes; complete: {complete}",
+                cost.messages, cost.hops, cost.bytes
+            );
+        }
+        other => return Err(format!("unexpected reply {other:?}")),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn parse<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("{what}: {e}"))
+}
+
+fn time_arg(s: Option<&String>, what: &str) -> Result<SimTime, String> {
+    let s = s.ok_or(format!("{what} is required"))?;
+    Ok(SimTime::from_micros(parse(s, what)?))
+}
+
+/// `HOME:SERIAL` → the workload generator's EPC-derived object id.
+fn object_arg(s: &str) -> Result<moods::ObjectId, String> {
+    let (home, serial) = s.split_once(':').ok_or(format!("object `{s}` is not HOME:SERIAL"))?;
+    Ok(workload::epc_object(parse(home, "object home")?, parse(serial, "object serial")?))
+}

@@ -1,0 +1,294 @@
+//! In-process loopback cluster: N daemon nodes on ephemeral 127.0.0.1
+//! ports, driven through the same schedule the simulator runs.
+//!
+//! The harness is the cluster's *virtual-time conductor*. Off-sim there
+//! is no global clock and no timer wheel, so the harness carries both:
+//! it keeps a per-site [`WindowBuffer`] mirror (fed the same pushes the
+//! node sees, so it knows when the simulator's `Tmax` timer would have
+//! been armed or canceled) and injects [`Frame::Flush`] at exactly the
+//! virtual instant the timer would have fired. Captures and flushes are
+//! interleaved in virtual-time order — ties broken like the simulator's
+//! event queue (earlier-scheduled first) — so a converged cluster walks
+//! the same state trajectory as `NetWorld` under the same workload.
+//!
+//! Control operations are strictly serialized: the harness sends one
+//! capture/flush/query at a time and, whenever an operation can have
+//! emitted protocol traffic, waits for the cluster to **quiesce**
+//! (every node's sent/received frame counters globally balanced and
+//! stable) before proceeding. That preserves the simulator's causal
+//! delivery order — two gateways' `GroupIndex` messages can never race
+//! each other on different TCP connections — and is also what makes the
+//! blocking RPC pattern deadlock-free (see `crate::node`).
+
+use crate::node::{Node, NodeConfig, NodeReport};
+use crate::proto::{CostWire, Frame};
+use moods::{ObjectId, Path, SiteId};
+use peertrack::config::GroupConfig;
+use peertrack::window::{WindowBuffer, WindowEvent};
+use simnet::SimTime;
+use std::io;
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+use transport::{Backoff, ConnCache};
+use workload::CaptureEvent;
+
+/// How long [`LoopbackCluster::quiesce`] and membership convergence may
+/// take before the harness declares the cluster wedged.
+const SETTLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A running loopback cluster of daemon nodes.
+pub struct LoopbackCluster {
+    nodes: Vec<Node>,
+    addrs: Vec<SocketAddr>,
+    ctl: ConnCache,
+    mirrors: Vec<WindowBuffer>,
+    /// Open-window deadline per site plus its arming sequence number
+    /// (the simulator's timer-id order; ties fire in arming order).
+    deadlines: Vec<Option<(SimTime, u64)>>,
+    next_arm: u64,
+    t_max: SimTime,
+}
+
+impl LoopbackCluster {
+    /// Start `n` nodes (sites `0..n`) with the default group config.
+    pub fn start(n: usize, seed: u64) -> io::Result<LoopbackCluster> {
+        LoopbackCluster::start_with(n, seed, GroupConfig::default())
+    }
+
+    /// Start `n` nodes with an explicit group config. Site 0 bootstraps;
+    /// the rest join through it one at a time, and the call returns only
+    /// once every node reports full membership (so every ring replica is
+    /// identical before any traffic flows).
+    pub fn start_with(n: usize, seed: u64, group: GroupConfig) -> io::Result<LoopbackCluster> {
+        assert!(n >= 1, "cluster needs at least one node");
+        let mut cluster = LoopbackCluster {
+            nodes: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
+            ctl: ConnCache::new(Backoff::default()),
+            mirrors: (0..n).map(|i| WindowBuffer::new(SiteId(i as u32), group.n_max)).collect(),
+            deadlines: vec![None; n],
+            next_arm: 0,
+            t_max: group.t_max,
+        };
+        for i in 0..n {
+            let mut cfg = NodeConfig::loopback(
+                SiteId(i as u32),
+                seed,
+                if i == 0 { None } else { Some(cluster.addrs[0]) },
+            );
+            cfg.group = group;
+            let node = Node::spawn(cfg)?;
+            cluster.addrs.push(node.addr());
+            cluster.nodes.push(node);
+            cluster.wait_members(i + 1)?;
+        }
+        Ok(cluster)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for an empty cluster (never constructed by [`start`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The listener address of site `i`.
+    pub fn addr(&self, i: usize) -> SocketAddr {
+        self.addrs[i]
+    }
+
+    fn ctl_request(&mut self, site: SiteId, frame: &Frame) -> io::Result<Frame> {
+        let addr = self.addrs[site.0 as usize];
+        let raw = self.ctl.request(addr, &frame.encode())?;
+        Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    fn statuses(&mut self) -> io::Result<Vec<(u32, u64, u64)>> {
+        let mut out = Vec::with_capacity(self.nodes.len());
+        for i in 0..self.nodes.len() {
+            match self.ctl_request(SiteId(i as u32), &Frame::Status)? {
+                Frame::StatusResp { members, sent, received, .. } => {
+                    out.push((members, sent, received));
+                }
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unexpected status reply: {other:?}"),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Poll until every running node reports `expect` members.
+    fn wait_members(&mut self, expect: usize) -> io::Result<()> {
+        let start = Instant::now();
+        loop {
+            let ok = self.statuses()?.iter().all(|&(m, _, _)| m as usize == expect);
+            if ok {
+                return Ok(());
+            }
+            if start.elapsed() > SETTLE_TIMEOUT {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("membership did not converge to {expect}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Wait until the protocol plane is drained: the cluster-wide sums
+    /// of sent and received frames are equal and stable across two
+    /// consecutive polls.
+    pub fn quiesce(&mut self) -> io::Result<()> {
+        let start = Instant::now();
+        let mut prev: Option<(u64, u64)> = None;
+        loop {
+            let sums = self.statuses()?.iter().fold((0u64, 0u64), |(s, r), &(_, ns, nr)| {
+                (s + ns, r + nr)
+            });
+            if sums.0 == sums.1 && prev == Some(sums) {
+                return Ok(());
+            }
+            prev = Some(sums);
+            if start.elapsed() > SETTLE_TIMEOUT {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("protocol plane did not quiesce: {sums:?}"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Drive a workload schedule to completion: captures in time order,
+    /// window flushes injected at the instants the simulator's `Tmax`
+    /// timers would fire, trailing windows closed at their deadlines.
+    /// Returns with the cluster quiescent.
+    pub fn run_schedule(&mut self, events: &[CaptureEvent]) -> io::Result<()> {
+        let mut evs: Vec<&CaptureEvent> = events.iter().collect();
+        evs.sort_by_key(|e| e.at); // stable: ties keep injection order
+        let mut i = 0;
+        loop {
+            let due = self
+                .deadlines
+                .iter()
+                .enumerate()
+                .filter_map(|(s, d)| d.map(|(t, seq)| (t, seq, s)))
+                .min();
+            match (due, evs.get(i)) {
+                // A timer fires strictly before the next capture. At a
+                // tie the capture runs first: it was scheduled at t=0,
+                // before the timer was armed, and the simulator's event
+                // queue breaks ties by schedule order.
+                (Some((t, _, s)), Some(e)) if t < e.at => self.fire_flush(s, t)?,
+                (_, Some(e)) => {
+                    let e = *e;
+                    i += 1;
+                    self.fire_capture(e)?;
+                }
+                (Some((t, _, s)), None) => self.fire_flush(s, t)?,
+                (None, None) => break,
+            }
+        }
+        self.quiesce()
+    }
+
+    fn fire_capture(&mut self, e: &CaptureEvent) -> io::Result<()> {
+        let idx = e.site.0 as usize;
+        let mut flushed_by_count = false;
+        for &o in &e.objects {
+            match self.mirrors[idx].push(o, e.at) {
+                WindowEvent::ArmTimer => {
+                    self.deadlines[idx] = Some((e.at + self.t_max, self.next_arm));
+                    self.next_arm += 1;
+                }
+                WindowEvent::Buffered => {}
+                WindowEvent::FlushByCount(_) => {
+                    self.deadlines[idx] = None;
+                    flushed_by_count = true;
+                }
+            }
+        }
+        let reply = self
+            .ctl_request(e.site, &Frame::Capture { at: e.at, objects: e.objects.clone() })?;
+        expect_ack(reply)?;
+        if flushed_by_count {
+            self.quiesce()?;
+        }
+        Ok(())
+    }
+
+    fn fire_flush(&mut self, idx: usize, now: SimTime) -> io::Result<()> {
+        self.deadlines[idx] = None;
+        let batch = self.mirrors[idx].flush(now);
+        let reply = self.ctl_request(SiteId(idx as u32), &Frame::Flush { now })?;
+        expect_ack(reply)?;
+        if batch.is_some() {
+            self.quiesce()?;
+        }
+        Ok(())
+    }
+
+    /// `L(o, t)` asked at `origin`, over the real sockets.
+    pub fn locate(
+        &mut self,
+        origin: SiteId,
+        object: ObjectId,
+        t: SimTime,
+    ) -> io::Result<(Option<SiteId>, CostWire, bool)> {
+        match self.ctl_request(origin, &Frame::Locate { object, t })? {
+            Frame::LocateResp { answer, cost, complete } => Ok((answer, cost, complete)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected locate reply: {other:?}"),
+            )),
+        }
+    }
+
+    /// `TR(o, t0, t1)` asked at `origin`, over the real sockets.
+    pub fn trace(
+        &mut self,
+        origin: SiteId,
+        object: ObjectId,
+        t0: SimTime,
+        t1: SimTime,
+    ) -> io::Result<(Path, CostWire, bool)> {
+        match self.ctl_request(origin, &Frame::Trace { object, t0, t1 })? {
+            Frame::TraceResp { path, cost, complete } => Ok((path, cost, complete)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected trace reply: {other:?}"),
+            )),
+        }
+    }
+
+    /// Stop every node and collect its report (metrics, anomalies,
+    /// latency recorder), in site order.
+    pub fn shutdown(mut self) -> io::Result<Vec<NodeReport>> {
+        let mut reports = Vec::with_capacity(self.nodes.len());
+        let nodes = std::mem::take(&mut self.nodes);
+        for node in nodes {
+            let reply = self.ctl_request(node.site(), &Frame::Shutdown)?;
+            expect_ack(reply)?;
+            reports.push(node.join());
+        }
+        self.ctl.close_all();
+        Ok(reports)
+    }
+}
+
+fn expect_ack(reply: Frame) -> io::Result<()> {
+    match reply {
+        Frame::Ack => Ok(()),
+        other => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("expected ack, got {other:?}"),
+        )),
+    }
+}

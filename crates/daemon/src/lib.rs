@@ -1,0 +1,30 @@
+//! `peertrackd`: one PeerTrack/Chord node served over real sockets.
+//!
+//! The simulator (`peertrack::NetWorld`) holds every site in one
+//! process and charges costs to a virtual clock. This crate is the
+//! real-network execution path for the *same* protocol state machines:
+//! each [`node::Node`] owns one site's window buffer, IOP repository
+//! and gateway store, talks to its peers through
+//! [`transport`](../transport/index.html) framed TCP, and keeps the
+//! simulator's accounting model (messages / model-bytes / overlay
+//! hops per [`simnet::metrics::MsgClass`]) so a loopback cluster can
+//! be verified **against the simulator oracle** — same workload, same
+//! seeds, same counts.
+//!
+//! Layout:
+//!
+//! * [`proto`] — the socket wire format ([`proto::Frame`]);
+//! * [`node`] — the node engine and its handle;
+//! * [`cluster`] — the in-process loopback cluster harness;
+//! * `peertrackd` (binary) — CLI wrapper to run one node per process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod node;
+pub mod proto;
+
+pub use cluster::LoopbackCluster;
+pub use node::{Node, NodeConfig, NodeHandle, NodeReport};
+pub use proto::{CostWire, Frame, ProtoError};

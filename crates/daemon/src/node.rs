@@ -1,0 +1,1025 @@
+//! One PeerTrack/Chord node served over real sockets.
+//!
+//! [`Node::spawn`] binds a listener and runs a single-threaded engine
+//! that owns this site's slice of the state the simulator's `NetWorld`
+//! keeps globally: the Chord routing replica, the capture window, the
+//! IOP repository and the gateway shards. Per-connection reader threads
+//! (from [`transport::Server`]) feed decoded frames into the engine's
+//! queue; the engine processes them strictly serially, so every state
+//! transition is as atomic as the simulator's event handlers.
+//!
+//! **Accounting bridge.** The engine charges the *model* cost the
+//! simulator would charge — `Msg::wire_size()` bytes (not encoded frame
+//! length), overlay hops from the Chord lookup, one message per
+//! protocol send, queries bulk-charged at the origin — into its own
+//! [`simnet::metrics::Metrics`]. Self-sends are handled inline and
+//! uncharged, exactly like `NetWorld::dispatch`. Merging every node's
+//! metrics therefore reproduces the simulator's global tally for the
+//! same workload (asserted by `tests/tests/cluster_parity.rs`).
+//!
+//! **Routing.** Lookups run the iterative protocol for real: the origin
+//! drives [`chord::LookupDriver`] and asks each hop over the network
+//! ([`Frame::LookupStep`]); every node answers from its own replica.
+//! Replicas are rebuilt deterministically from the sorted membership
+//! (bootstrap-lowest-site, ascending joins, full stabilization), so a
+//! converged cluster routes identically to the simulator's single ring.
+//!
+//! **Deadlock-freedom.** Only control-plane handlers (capture, flush,
+//! locate, trace) issue blocking RPCs, and RPC handlers themselves
+//! never block on further RPCs (depth 1). Control requests must be
+//! serialized across the cluster (the harness awaits each ack); the
+//! asynchronous protocol plane (`GroupIndex`, M2/M3) never blocks.
+//!
+//! **Virtual time.** There are no `Tmax` timers off-sim: the driver
+//! carries explicit virtual instants ([`Frame::Capture`]`.at`) and
+//! closes windows with [`Frame::Flush`]`{now}` when the simulator's
+//! timer would have fired. Wall-clock exists only in the latency
+//! histograms ([`obs::Recorder::record_latency`]).
+
+use crate::proto::{CostWire, Frame, ProtoError};
+use chord::{answer_step, LookupDriver, LookupResult, LookupState, Ring};
+use ids::{Id, Prefix};
+use moods::{ObjectId, Path, SiteId, Visit};
+use obs::Recorder;
+use peertrack::config::GroupConfig;
+use peertrack::grouping::group_batch;
+use peertrack::messages::{Msg, Wire};
+use peertrack::query::QUERY_MSG_BYTES;
+use peertrack::store::{GatewayStore, IndexEntry, IopRecord, IopStore, Link};
+use peertrack::window::{WindowBatch, WindowBuffer, WindowEvent};
+use peertrack::world::Anomalies;
+use simnet::metrics::{Metrics, MsgClass};
+use simnet::SimTime;
+use std::collections::{BTreeMap, HashSet};
+use std::io;
+use std::net::SocketAddr;
+use std::sync::mpsc::{channel, Receiver};
+use std::thread::JoinHandle;
+use std::time::{SystemTime, UNIX_EPOCH};
+use transport::{Backoff, ConnCache, Incoming, Server};
+
+/// The ring identity of a site, matching the simulator's derivation
+/// (`peertrack::net::Builder`) so lookups hash identically.
+pub fn chord_id_for(seed: u64, site: SiteId) -> Id {
+    let i = site.0 as usize;
+    Id::hash_str(&format!("site-{seed}-{i}"))
+}
+
+/// Wall clock in µs since the Unix epoch (latency envelopes only —
+/// never used for protocol decisions).
+fn wall_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}
+
+/// Static configuration of one daemon node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// This site's id (also its Chord `app_index`).
+    pub site: SiteId,
+    /// Cluster-wide seed: determines every site's ring identity.
+    pub seed: u64,
+    /// Group-indexing parameters. The daemon supports the paper's
+    /// experiment regime: group mode with `SizeEstimation::Exact`
+    /// semantics (`Lp` from the known membership count).
+    pub group: GroupConfig,
+    /// Listen address, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub listen: String,
+    /// Existing member to join through (`None` = this node bootstraps
+    /// the cluster).
+    pub bootstrap: Option<SocketAddr>,
+}
+
+impl NodeConfig {
+    /// Loopback config with an ephemeral port.
+    pub fn loopback(site: SiteId, seed: u64, bootstrap: Option<SocketAddr>) -> NodeConfig {
+        NodeConfig {
+            site,
+            seed,
+            group: GroupConfig::default(),
+            listen: "127.0.0.1:0".to_string(),
+            bootstrap,
+        }
+    }
+}
+
+/// Everything a node hands back when it shuts down.
+pub struct NodeReport {
+    /// The site that ran.
+    pub site: SiteId,
+    /// Model accounting (merge across nodes to compare with the
+    /// simulator's global tally).
+    pub metrics: Metrics,
+    /// Protocol anomaly counters (all zero in a clean run).
+    pub anomalies: Anomalies,
+    /// Protocol situations the daemon does not implement (refresh
+    /// fetches, delegation, individual mode); zero within the supported
+    /// regime — the parity test asserts it.
+    pub unsupported: u64,
+    /// Wall-clock delivery-latency histograms per message class, plus
+    /// origin-side query latencies under [`MsgClass::Query`].
+    pub recorder: Recorder,
+    /// Protocol-plane frames sent to other nodes.
+    pub sent: u64,
+    /// Protocol-plane frames received.
+    pub received: u64,
+}
+
+/// A running node: its address plus the engine thread's handle.
+pub struct Node {
+    site: SiteId,
+    addr: SocketAddr,
+    engine: Option<JoinHandle<NodeReport>>,
+}
+
+impl Node {
+    /// Bind the listener, join through the bootstrap peer (if any) and
+    /// start the engine thread.
+    pub fn spawn(cfg: NodeConfig) -> io::Result<Node> {
+        let (tx, rx) = channel::<Incoming>();
+        let server = Server::bind(&cfg.listen, tx)?;
+        let addr = server.local_addr();
+        let site = cfg.site;
+        let engine = std::thread::Builder::new()
+            .name(format!("peertrackd-{}", site.0))
+            .spawn(move || Engine::new(cfg, addr, server, rx).run())?;
+        Ok(Node { site, addr, engine: Some(engine) })
+    }
+
+    /// The site this node serves.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The bound listener address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the engine to exit (send [`Frame::Shutdown`] first) and
+    /// collect its report.
+    pub fn join(mut self) -> NodeReport {
+        self.engine
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("engine thread panicked")
+    }
+}
+
+/// `NodeHandle` is the public alias used by the harness and binary.
+pub type NodeHandle = Node;
+
+/// Origin-side query cost accumulator (mirrors the private
+/// `peertrack::query::QueryCost::step`).
+#[derive(Clone, Copy, Debug, Default)]
+struct Cost {
+    messages: u64,
+    hops: u64,
+    bytes: u64,
+}
+
+impl Cost {
+    fn step(&mut self, n: u64) {
+        self.messages += n;
+        self.hops += n;
+        self.bytes += n * QUERY_MSG_BYTES as u64;
+    }
+
+    fn wire(&self) -> CostWire {
+        CostWire { messages: self.messages, hops: self.hops, bytes: self.bytes }
+    }
+}
+
+/// Traversal anchor (mirrors `peertrack::query::Anchor`).
+enum Anchor {
+    Record(SiteId),
+    Latest(Link),
+}
+
+struct Engine {
+    site: SiteId,
+    seed: u64,
+    group: GroupConfig,
+    addr: SocketAddr,
+    server: Server,
+    rx: Receiver<Incoming>,
+    conns: ConnCache,
+    /// Site → listener address, self included. Sorted iteration keeps
+    /// ring rebuilds deterministic.
+    members: BTreeMap<SiteId, SocketAddr>,
+    ring: Ring,
+    lp: usize,
+    window: WindowBuffer,
+    iop: IopStore,
+    gateway: GatewayStore,
+    hosted: HashSet<Prefix>,
+    metrics: Metrics,
+    recorder: Recorder,
+    next_seq: u64,
+    /// `(sender, seq)` pairs already processed (duplicate suppression,
+    /// mirroring the simulator's per-site `seen_seqs`).
+    seen: HashSet<(u32, u64)>,
+    sent: u64,
+    received: u64,
+    anomalies: Anomalies,
+    unsupported: u64,
+}
+
+impl Engine {
+    fn new(cfg: NodeConfig, addr: SocketAddr, server: Server, rx: Receiver<Incoming>) -> Engine {
+        let mut members = BTreeMap::new();
+        members.insert(cfg.site, addr);
+        let mut e = Engine {
+            site: cfg.site,
+            seed: cfg.seed,
+            group: cfg.group,
+            addr,
+            server,
+            rx,
+            conns: ConnCache::new(Backoff::default()),
+            members,
+            ring: Ring::new(),
+            lp: cfg.group.l_min,
+            window: WindowBuffer::new(cfg.site, cfg.group.n_max),
+            iop: IopStore::new(),
+            gateway: GatewayStore::new(),
+            hosted: HashSet::new(),
+            metrics: Metrics::new(),
+            recorder: Recorder::new(),
+            next_seq: 1,
+            seen: HashSet::new(),
+            sent: 0,
+            received: 0,
+            anomalies: Anomalies::default(),
+            unsupported: 0,
+        };
+        if let Some(bootstrap) = cfg.bootstrap {
+            e.join_via(bootstrap);
+        }
+        e.rebuild_ring();
+        e
+    }
+
+    /// Join the cluster through an existing member (blocking RPC).
+    fn join_via(&mut self, bootstrap: SocketAddr) {
+        let req = Frame::JoinReq { site: self.site, addr: self.addr.to_string() };
+        match self.conns.request(bootstrap, &req.encode()).map_err(io::Error::other).and_then(
+            |raw| Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        ) {
+            Ok(Frame::JoinResp { peers }) => {
+                for (site, addr) in peers {
+                    if let Ok(a) = addr.parse() {
+                        self.members.insert(site, a);
+                    }
+                }
+            }
+            _ => {
+                // Leave membership as-is; the bootstrap's PeerJoined
+                // broadcast (or a retried join by the operator) repairs
+                // it. Count the oddity so tests notice.
+                self.unsupported += 1;
+            }
+        }
+    }
+
+    /// Rebuild the local ring replica from the sorted membership,
+    /// exactly like the simulator's builder: the lowest site bootstraps,
+    /// the rest join ascending, then full stabilization. Every node
+    /// derives the identical ring, and `Lp` follows the membership count
+    /// (the `SizeEstimation::Exact` policy).
+    fn rebuild_ring(&mut self) {
+        let mut ring = Ring::new();
+        let sites: Vec<SiteId> = self.members.keys().copied().collect();
+        let ids: Vec<Id> = sites.iter().map(|s| chord_id_for(self.seed, *s)).collect();
+        ring.bootstrap(ids[0], sites[0].0 as usize);
+        for (k, s) in sites.iter().enumerate().skip(1) {
+            ring.join(ids[0], ids[k], s.0 as usize).expect("replica join");
+        }
+        ring.stabilize_all();
+        self.ring = ring;
+        self.lp = self.group.scheme.lp_clamped(self.ring.len(), self.group.l_min);
+    }
+
+    fn my_chord_id(&self) -> Id {
+        chord_id_for(self.seed, self.site)
+    }
+
+    fn site_of_chord(&self, id: &Id) -> SiteId {
+        SiteId(self.ring.app_index_of(id).expect("ring member") as u32)
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn run(mut self) -> NodeReport {
+        while let Ok(mut incoming) = self.rx.recv() {
+            let frame = match Frame::decode(&incoming.frame) {
+                Ok(f) => f,
+                Err(ProtoError::Codec(_)) | Err(_) => {
+                    self.unsupported += 1;
+                    continue;
+                }
+            };
+            match frame {
+                Frame::Protocol { sender, hops, sent_us, wire } => {
+                    self.on_protocol(sender, hops, sent_us, wire);
+                }
+                Frame::JoinReq { site, addr } => {
+                    let reply = self.on_join_req(site, &addr);
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::PeerJoined { site, addr } => {
+                    if let Ok(a) = addr.parse() {
+                        self.members.insert(site, a);
+                        self.rebuild_ring();
+                    }
+                }
+                Frame::JoinResp { .. } => self.unsupported += 1,
+                Frame::Capture { at, objects } => {
+                    self.on_capture(at, &objects);
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                }
+                Frame::Flush { now } => {
+                    self.on_flush(now);
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                }
+                Frame::Locate { object, t } => {
+                    let started = wall_us();
+                    let (answer, cost, complete) = self.locate(object, t);
+                    self.account_query(&cost, started);
+                    let reply =
+                        Frame::LocateResp { answer, cost: cost.wire(), complete };
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Trace { object, t0, t1 } => {
+                    let started = wall_us();
+                    let (path, cost, complete) = self.trace(object, t0, t1);
+                    self.account_query(&cost, started);
+                    let reply = Frame::TraceResp { path, cost: cost.wire(), complete };
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Status => {
+                    let reply = Frame::StatusResp {
+                        site: self.site,
+                        members: self.members.len() as u32,
+                        sent: self.sent,
+                        received: self.received,
+                    };
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Shutdown => {
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                    break;
+                }
+                Frame::LookupStep { key } => {
+                    let me = self.my_chord_id();
+                    let node = self.ring.get(&me).expect("self in replica");
+                    let answer = answer_step(node, &key, |id| self.ring.contains(id));
+                    let _ = incoming.reply.send(&Frame::StepResp(answer).encode());
+                }
+                Frame::GatewayProbe { object } => {
+                    let link = self.local_gateway_probe(object);
+                    let _ = incoming.reply.send(&Frame::LinkResp(link).encode());
+                }
+                Frame::IopKnows { object } => {
+                    let reply = Frame::BoolResp(self.iop.knows(object));
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::RecAt { object, time } => {
+                    let rec = self.iop.record_at(object, time).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::RecLatestAtOrBefore { object, t } => {
+                    let rec = self.iop.latest_at_or_before(object, t).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::RecFirst { object } => {
+                    let rec = self.iop.all(object).first().copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::RecLatest { object } => {
+                    let rec = self.iop.latest(object).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                // Response frames arriving outside a request context.
+                Frame::Ack
+                | Frame::LocateResp { .. }
+                | Frame::TraceResp { .. }
+                | Frame::StatusResp { .. }
+                | Frame::StepResp(_)
+                | Frame::LinkResp(_)
+                | Frame::BoolResp(_)
+                | Frame::RecResp(_) => self.unsupported += 1,
+            }
+        }
+        self.server.shutdown();
+        self.conns.close_all();
+        NodeReport {
+            site: self.site,
+            metrics: self.metrics,
+            anomalies: self.anomalies,
+            unsupported: self.unsupported,
+            recorder: self.recorder,
+            sent: self.sent,
+            received: self.received,
+        }
+    }
+
+    fn on_join_req(&mut self, site: SiteId, addr: &str) -> Frame {
+        let Ok(parsed) = addr.parse::<SocketAddr>() else {
+            self.unsupported += 1;
+            return Frame::JoinResp { peers: Vec::new() };
+        };
+        self.members.insert(site, parsed);
+        self.rebuild_ring();
+        // Tell everyone else about the newcomer (fire-and-forget,
+        // daemon-plane: not charged, not counted as protocol traffic).
+        let others: Vec<SocketAddr> = self
+            .members
+            .iter()
+            .filter(|(s, _)| **s != self.site && **s != site)
+            .map(|(_, a)| *a)
+            .collect();
+        let news = Frame::PeerJoined { site, addr: addr.to_string() }.encode();
+        for peer in others {
+            let _ = self.conns.send(peer, &news);
+        }
+        Frame::JoinResp {
+            peers: self.members.iter().map(|(s, a)| (*s, a.to_string())).collect(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Protocol plane (ported from `NetWorld::handle`)
+    // ------------------------------------------------------------------
+
+    fn on_protocol(&mut self, sender: SiteId, _hops: u32, sent_us: u64, wire: Wire) {
+        self.received += 1;
+        self.recorder
+            .record_latency(wire.msg.class(), wall_us().saturating_sub(sent_us));
+        if wire.seq != 0 && !self.seen.insert((sender.0, wire.seq)) {
+            self.anomalies.duplicates_suppressed += 1;
+            return;
+        }
+        self.handle_msg(wire.msg);
+    }
+
+    fn handle_msg(&mut self, msg: Msg) {
+        match msg {
+            Msg::SetTo { updates } => {
+                for (o, arrived, link) in updates {
+                    if !self.iop.set_to(o, arrived, link) {
+                        self.anomalies.dangling_iop_updates += 1;
+                    }
+                }
+            }
+            Msg::SetFrom { updates } => {
+                for (o, arrived, link) in updates {
+                    if !self.iop.set_from(o, arrived, link) {
+                        self.anomalies.dangling_iop_updates += 1;
+                    }
+                }
+            }
+            Msg::GroupIndex { prefix, site, members } => {
+                self.handle_group_index(prefix, site, members);
+            }
+            // Individual mode, triangle delegation and split/merge
+            // migration are simulator-only paths (they never trigger in
+            // the stable-`Lp`, under-threshold regime the daemon
+            // supports); receiving one means the regime was violated.
+            Msg::Arrival { .. } | Msg::Delegate { .. } | Msg::Migrate { .. } => {
+                self.unsupported += 1;
+            }
+            Msg::Ack { .. } => self.unsupported += 1,
+        }
+    }
+
+    /// Deliver a protocol message: self-sends are handled inline and
+    /// uncharged; networked sends are sequenced and charged the model
+    /// cost at the sender — both exactly as `NetWorld::dispatch`.
+    fn dispatch(&mut self, to: SiteId, hops: u32, msg: Msg) {
+        if to == self.site {
+            self.handle_msg(msg);
+            return;
+        }
+        let class = msg.class();
+        let bytes = msg.wire_size();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.metrics.record(class, bytes, hops);
+        let frame = Frame::Protocol {
+            sender: self.site,
+            hops,
+            sent_us: wall_us(),
+            wire: Wire { seq, msg },
+        };
+        let Some(&addr) = self.members.get(&to) else {
+            self.anomalies.dropped_to_dead += 1;
+            return;
+        };
+        match self.conns.send(addr, &frame.encode()) {
+            Ok(()) => self.sent += 1,
+            Err(_) => self.anomalies.dropped_to_dead += 1,
+        }
+    }
+
+    /// Ported `NetWorld::handle_group_index` (the Fig. 5 `index`
+    /// algorithm) against this node's local shard slice.
+    fn handle_group_index(
+        &mut self,
+        prefix: Prefix,
+        site: SiteId,
+        members: Vec<(ObjectId, SimTime)>,
+    ) {
+        let unknown: Vec<ObjectId> = {
+            let shard = self.gateway.shard_mut(prefix);
+            members.iter().map(|&(o, _)| o).filter(|o| shard.get(o).is_none()).collect()
+        };
+        if !unknown.is_empty() {
+            let missing: HashSet<ObjectId> = unknown.into_iter().collect();
+            self.check_refresh_unneeded(prefix, &missing);
+        }
+
+        let mut m2: BTreeMap<SiteId, Vec<(ObjectId, SimTime, Link)>> = BTreeMap::new();
+        let mut m3: Vec<(ObjectId, SimTime, Option<Link>)> = Vec::with_capacity(members.len());
+        {
+            let shard = self.gateway.shard_mut(prefix);
+            for &(o, t) in &members {
+                let prev = shard.get(&o).copied();
+                if let Some(p) = prev {
+                    if p.time > t {
+                        self.anomalies.out_of_order_arrivals += 1;
+                        continue;
+                    }
+                }
+                shard.upsert(o, IndexEntry { site, time: t, prev: prev.map(|p| p.link()) });
+                let new_link = Link { site, time: t };
+                if let Some(p) = prev {
+                    m2.entry(p.site).or_default().push((o, p.time, new_link));
+                }
+                m3.push((o, t, prev.map(|p| p.link())));
+            }
+        }
+        self.hosted.insert(prefix);
+
+        for (dest, updates) in m2 {
+            self.dispatch(dest, 1, Msg::SetTo { updates });
+        }
+        if !m3.is_empty() {
+            self.dispatch(site, 1, Msg::SetFrom { updates: m3 });
+        }
+        self.maybe_delegate(prefix);
+    }
+
+    /// The Fig. 5 refresh walk, reduced to its in-regime form: with a
+    /// stable `Lp` at `Lmin`, no delegation and no split/merge, the
+    /// ascent never iterates and no descent child is ever hosted, so
+    /// every probe is a free existence check (the simulator charges
+    /// nothing either, `count_existence_checks = false`). If a probe
+    /// *would* find a hosted prefix, a real entry-moving fetch RPC would
+    /// be required — the daemon doesn't implement it, and counts the
+    /// situation instead so parity tests fail loudly rather than drift.
+    fn check_refresh_unneeded(&mut self, prefix: Prefix, missing: &HashSet<ObjectId>) {
+        let mut l = prefix.len();
+        while l > self.group.l_min {
+            l -= 1;
+            if self.hosted.contains(&prefix.truncate(l)) {
+                self.unsupported += 1;
+            }
+        }
+        if prefix.len() < ids::prefix::MAX_PREFIX_BITS {
+            for one in [false, true] {
+                let child = prefix.child(one);
+                if missing.iter().any(|o| child.matches(&o.id()))
+                    && self.hosted.contains(&child)
+                {
+                    self.unsupported += 1;
+                }
+            }
+        }
+    }
+
+    /// Delegation threshold check (Fig. 5 `update_index` lines 2–4).
+    /// Crossing it off-sim is unsupported — counted, not silently
+    /// skipped.
+    fn maybe_delegate(&mut self, prefix: Prefix) {
+        let Some(threshold) = self.group.delegate_threshold else { return };
+        if prefix.len() >= ids::prefix::MAX_PREFIX_BITS {
+            return;
+        }
+        if self.gateway.shard_mut(prefix).len() > threshold {
+            self.unsupported += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Capture path (ported from `NetWorld::capture_now` / `index_batch`)
+    // ------------------------------------------------------------------
+
+    fn on_capture(&mut self, at: SimTime, objects: &[ObjectId]) {
+        for &o in objects {
+            self.iop.capture(o, at);
+        }
+        for &o in objects {
+            match self.window.push(o, at) {
+                // Timers are the driver's job off-sim (explicit Flush).
+                WindowEvent::ArmTimer | WindowEvent::Buffered => {}
+                WindowEvent::FlushByCount(batch) => self.index_batch(batch),
+            }
+        }
+    }
+
+    fn on_flush(&mut self, now: SimTime) {
+        if let Some(batch) = self.window.flush(now) {
+            self.index_batch(batch);
+        }
+    }
+
+    fn index_batch(&mut self, batch: WindowBatch) {
+        for group in group_batch(&batch.observations, self.lp) {
+            let key = group.prefix.gateway_id();
+            let Some(r) = self.lookup(key) else {
+                self.unsupported += 1;
+                continue;
+            };
+            let owner = self.site_of_chord(&r.owner);
+            let msg =
+                Msg::GroupIndex { prefix: group.prefix, site: self.site, members: group.members };
+            self.dispatch(owner, r.hops, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Distributed lookup (origin drives, peers answer)
+    // ------------------------------------------------------------------
+
+    /// Iterative Chord lookup over the network. Each hop's routing
+    /// decision comes from that node's own replica via
+    /// [`Frame::LookupStep`]; the local step is answered in-process.
+    /// Returns `None` on transport failure or routing loop.
+    fn lookup(&mut self, key: Id) -> Option<LookupResult> {
+        let me = self.my_chord_id();
+        let mut driver = LookupDriver::new(me, key, self.ring.len());
+        loop {
+            match driver.state() {
+                LookupState::Ask(node) => {
+                    let answer = if node == me {
+                        let state = self.ring.get(&node).expect("self in replica");
+                        answer_step(state, &key, |id| self.ring.contains(id))
+                    } else {
+                        let site = self.site_of_chord(&node);
+                        match self.rpc(site, &Frame::LookupStep { key }) {
+                            Ok(Frame::StepResp(a)) => a,
+                            _ => return None,
+                        }
+                    };
+                    driver.answer(answer);
+                }
+                LookupState::Done(result) => return Some(result),
+                LookupState::Failed(_) => return None,
+            }
+        }
+    }
+
+    /// Blocking request/response to a peer's engine.
+    fn rpc(&mut self, site: SiteId, req: &Frame) -> io::Result<Frame> {
+        let &addr = self
+            .members
+            .get(&site)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer"))?;
+        let raw = self.conns.request(addr, &req.encode())?;
+        Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (ported from `peertrack::query`, reads via RPC)
+    // ------------------------------------------------------------------
+
+    fn account_query(&mut self, cost: &Cost, started_us: u64) {
+        self.metrics
+            .record_bulk(MsgClass::Query, cost.messages, cost.bytes, cost.hops);
+        self.recorder
+            .record_latency(MsgClass::Query, wall_us().saturating_sub(started_us));
+    }
+
+    /// §IV-A.3 lookup at this gateway, reduced to the in-regime form:
+    /// current-`Lp` shard only. A miss with hosted neighbours (never in
+    /// regime) would need further routed probes — counted as
+    /// unsupported, mirroring [`Engine::check_refresh_unneeded`].
+    fn local_gateway_probe(&mut self, object: ObjectId) -> Option<Link> {
+        let p = Prefix::of_id(&object.id(), self.lp);
+        if let Some(e) = self.gateway.prefixes.get(&p).and_then(|s| s.get(&object)) {
+            return Some(e.link());
+        }
+        let mut l = p.len();
+        while l > self.group.l_min {
+            l -= 1;
+            if self.hosted.contains(&p.truncate(l)) {
+                self.unsupported += 1;
+            }
+        }
+        if p.len() < ids::prefix::MAX_PREFIX_BITS {
+            let child = p.child(object.id().bit(p.len()));
+            if self.hosted.contains(&child) {
+                self.unsupported += 1;
+            }
+        }
+        None
+    }
+
+    fn remote_knows(&mut self, site: SiteId, object: ObjectId) -> bool {
+        if site == self.site {
+            return self.iop.knows(object);
+        }
+        matches!(self.rpc(site, &Frame::IopKnows { object }), Ok(Frame::BoolResp(true)))
+    }
+
+    fn gateway_probe(&mut self, site: SiteId, object: ObjectId) -> Option<Link> {
+        if site == self.site {
+            return self.local_gateway_probe(object);
+        }
+        match self.rpc(site, &Frame::GatewayProbe { object }) {
+            Ok(Frame::LinkResp(l)) => l,
+            _ => None,
+        }
+    }
+
+    /// Read a visit record at whichever site holds it. Auxiliary reads
+    /// at the query's current cursor site are uncharged, like the
+    /// simulator's direct state reads; only cursor *moves* pay
+    /// (`fetch_record`'s `cost.step(1)`).
+    fn rec_at(&mut self, site: SiteId, object: ObjectId, time: SimTime) -> Option<IopRecord> {
+        if site == self.site {
+            return self.iop.record_at(object, time).copied();
+        }
+        match self.rpc(site, &Frame::RecAt { object, time }) {
+            Ok(Frame::RecResp(r)) => r,
+            _ => None,
+        }
+    }
+
+    fn rec_latest_at_or_before(
+        &mut self,
+        site: SiteId,
+        object: ObjectId,
+        t: SimTime,
+    ) -> Option<IopRecord> {
+        if site == self.site {
+            return self.iop.latest_at_or_before(object, t).copied();
+        }
+        match self.rpc(site, &Frame::RecLatestAtOrBefore { object, t }) {
+            Ok(Frame::RecResp(r)) => r,
+            _ => None,
+        }
+    }
+
+    fn rec_first(&mut self, site: SiteId, object: ObjectId) -> Option<IopRecord> {
+        if site == self.site {
+            return self.iop.all(object).first().copied();
+        }
+        match self.rpc(site, &Frame::RecFirst { object }) {
+            Ok(Frame::RecResp(r)) => r,
+            _ => None,
+        }
+    }
+
+    fn rec_latest(&mut self, site: SiteId, object: ObjectId) -> Option<IopRecord> {
+        if site == self.site {
+            return self.iop.latest(object).copied();
+        }
+        match self.rpc(site, &Frame::RecLatest { object }) {
+            Ok(Frame::RecResp(r)) => r,
+            _ => None,
+        }
+    }
+
+    /// Phase 1 of a query (`peertrack::query::discover`): find an
+    /// anchor, checking the local repository, then every node along the
+    /// routing path, then the gateway. Returns the anchor plus the site
+    /// the query's cursor rests at.
+    fn discover(&mut self, object: ObjectId, cost: &mut Cost) -> (Option<Anchor>, SiteId) {
+        if self.iop.knows(object) {
+            return (Some(Anchor::Record(self.site)), self.site);
+        }
+        let key = Prefix::of_id(&object.id(), self.lp).gateway_id();
+        let Some(r) = self.lookup(key) else {
+            return (None, self.site);
+        };
+        for nid in r.path.iter().skip(1) {
+            cost.step(1);
+            let site = self.site_of_chord(nid);
+            if *nid != r.owner && self.remote_knows(site, object) {
+                return (Some(Anchor::Record(site)), site);
+            }
+            if *nid == r.owner {
+                let link = self.gateway_probe(site, object);
+                return (link.map(Anchor::Latest), site);
+            }
+        }
+        // Path was just the origin: the origin owns the key.
+        let site = self.site_of_chord(&r.owner);
+        let link = self.gateway_probe(site, object);
+        (link.map(Anchor::Latest), site)
+    }
+
+    /// Walk one link with cursor accounting (`query::fetch_record`).
+    fn fetch_record(
+        &mut self,
+        current: &mut SiteId,
+        target: Link,
+        object: ObjectId,
+        cost: &mut Cost,
+    ) -> Option<IopRecord> {
+        if *current != target.site {
+            cost.step(1);
+            *current = target.site;
+        }
+        self.rec_at(target.site, object, target.time)
+    }
+
+    /// `L(o, t)` with this node as origin (ported `query::locate_raw`).
+    fn locate(&mut self, object: ObjectId, t: SimTime) -> (Option<SiteId>, Cost, bool) {
+        let mut cost = Cost::default();
+        let (anchor, mut current) = self.discover(object, &mut cost);
+        let Some(anchor) = anchor else {
+            return (None, cost, true);
+        };
+        match anchor {
+            Anchor::Latest(link) => {
+                if t >= link.time {
+                    return (Some(link.site), cost, true);
+                }
+                let mut cur = link;
+                loop {
+                    let Some(rec) = self.fetch_record(&mut current, cur, object, &mut cost)
+                    else {
+                        return (None, cost, false);
+                    };
+                    if cur.time <= t {
+                        return (Some(cur.site), cost, true);
+                    }
+                    match rec.from {
+                        None => return (None, cost, true),
+                        Some(prev) => {
+                            if prev.time <= t {
+                                return (Some(prev.site), cost, true);
+                            }
+                            cur = prev;
+                        }
+                    }
+                }
+            }
+            Anchor::Record(site) => {
+                if let Some(rec) = self.rec_latest_at_or_before(site, object, t) {
+                    match rec.to {
+                        None => return (Some(site), cost, true),
+                        Some(next) if t < next.time => return (Some(site), cost, true),
+                        Some(next) => {
+                            let mut cur = next;
+                            loop {
+                                let Some(r) =
+                                    self.fetch_record(&mut current, cur, object, &mut cost)
+                                else {
+                                    return (None, cost, false);
+                                };
+                                match r.to {
+                                    None => return (Some(cur.site), cost, true),
+                                    Some(nn) if t < nn.time => {
+                                        return (Some(cur.site), cost, true)
+                                    }
+                                    Some(nn) => cur = nn,
+                                }
+                            }
+                        }
+                    }
+                }
+                let Some(first) = self.rec_first(site, object) else {
+                    return (None, cost, false);
+                };
+                match first.from {
+                    None => (None, cost, true),
+                    Some(prev) => {
+                        let mut cur = prev;
+                        loop {
+                            if cur.time <= t {
+                                return (Some(cur.site), cost, true);
+                            }
+                            let Some(rec) =
+                                self.fetch_record(&mut current, cur, object, &mut cost)
+                            else {
+                                return (None, cost, false);
+                            };
+                            match rec.from {
+                                None => return (None, cost, true),
+                                Some(p) => cur = p,
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// `TR(o, t0, t1)` with this node as origin (ported
+    /// `query::trace_raw`).
+    fn trace(&mut self, object: ObjectId, t0: SimTime, t1: SimTime) -> (Path, Cost, bool) {
+        let mut cost = Cost::default();
+        if t0 > t1 {
+            return (Vec::new(), cost, true);
+        }
+        let (anchor, mut current) = self.discover(object, &mut cost);
+        let Some(anchor) = anchor else {
+            return (Vec::new(), cost, true);
+        };
+        let mut complete = true;
+
+        let start = match anchor {
+            Anchor::Latest(link) => link,
+            Anchor::Record(site) => {
+                let Some(rec) = self.rec_latest(site, object) else {
+                    return (Vec::new(), cost, false);
+                };
+                Link { site, time: rec.arrived }
+            }
+        };
+
+        let mut after: Vec<Visit> = Vec::new();
+        let mut anchor_from: Option<Link> = None;
+        let mut cur = start;
+        loop {
+            let Some(rec) = self.fetch_record(&mut current, cur, object, &mut cost) else {
+                complete = false;
+                break;
+            };
+            if cur == start {
+                anchor_from = rec.from;
+            }
+            after.push(Visit {
+                site: cur.site,
+                arrived: cur.time,
+                departed: rec.to.map(|x| x.time),
+            });
+            match rec.to {
+                Some(next) if next.time <= t1 => cur = next,
+                _ => break,
+            }
+        }
+
+        let mut before: Vec<Visit> = Vec::new();
+        if start.time > t0 {
+            let mut back = anchor_from;
+            while let Some(l) = back {
+                let Some(rec) = self.fetch_record(&mut current, l, object, &mut cost) else {
+                    complete = false;
+                    break;
+                };
+                before.push(Visit {
+                    site: l.site,
+                    arrived: l.time,
+                    departed: rec.to.map(|x| x.time),
+                });
+                if l.time <= t0 {
+                    break;
+                }
+                back = rec.from;
+            }
+        }
+
+        before.reverse();
+        before.extend(after);
+        let path: Path = before.into_iter().filter(|v| v.overlaps(t0, t1)).collect();
+        (path, cost, complete)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chord_ids_match_simulator_derivation() {
+        // The sim derives ring ids as hash("site-{seed}-{index}"); the
+        // daemon must produce identical ids or hop counts diverge.
+        for seed in [0u64, 42, 0x9E3779B9] {
+            for i in 0..8u32 {
+                assert_eq!(
+                    chord_id_for(seed, SiteId(i)),
+                    Id::hash_str(&format!("site-{seed}-{i}"))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_step_mirrors_query_cost() {
+        let mut c = Cost::default();
+        c.step(3);
+        assert_eq!(c.messages, 3);
+        assert_eq!(c.hops, 3);
+        assert_eq!(c.bytes, 3 * QUERY_MSG_BYTES as u64);
+    }
+}

@@ -1,0 +1,160 @@
+//! Daemon mechanics over real loopback sockets: membership
+//! convergence, identical ring replicas, a hand-driven movement with
+//! explicit flushes, and query answers read back over the wire.
+//!
+//! The full simulator-oracle comparison lives in the workspace-level
+//! `tests/tests/cluster_parity.rs`; this file checks the daemon layer
+//! in isolation so failures point at the right layer.
+
+use daemon::node::chord_id_for;
+use daemon::proto::Frame;
+use daemon::{LoopbackCluster, Node, NodeConfig};
+use moods::SiteId;
+use simnet::SimTime;
+use transport::{Backoff, ConnCache};
+use workload::{epc_object, CaptureEvent};
+
+fn can_bind() -> bool {
+    std::net::TcpListener::bind("127.0.0.1:0").is_ok()
+}
+
+macro_rules! require_sockets {
+    () => {
+        if !can_bind() {
+            eprintln!("SKIP: sandbox forbids binding loopback sockets");
+            return;
+        }
+    };
+}
+
+fn us(t: u64) -> SimTime {
+    SimTime::from_micros(t)
+}
+
+#[test]
+fn three_nodes_converge_and_agree_on_the_ring() {
+    require_sockets!();
+    let seed = 7;
+    let n0 = Node::spawn(NodeConfig::loopback(SiteId(0), seed, None)).expect("spawn 0");
+    let n1 =
+        Node::spawn(NodeConfig::loopback(SiteId(1), seed, Some(n0.addr()))).expect("spawn 1");
+    let n2 =
+        Node::spawn(NodeConfig::loopback(SiteId(2), seed, Some(n0.addr()))).expect("spawn 2");
+
+    // Every node must converge to 3 members, including the bootstrap
+    // (which learns of 1 and 2 only through their join requests) and
+    // node 1 (which learns of 2 only through the PeerJoined broadcast).
+    let mut ctl = ConnCache::new(Backoff::default());
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    let nodes = [&n0, &n1, &n2];
+    loop {
+        let mut members = [0u32; 3];
+        for (i, n) in nodes.iter().enumerate() {
+            let raw = ctl.request(n.addr(), &Frame::Status.encode()).expect("status");
+            match Frame::decode(&raw).expect("status decode") {
+                Frame::StatusResp { members: m, .. } => members[i] = m,
+                other => panic!("unexpected status reply {other:?}"),
+            }
+        }
+        if members == [3, 3, 3] {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "membership stuck at {members:?}");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+
+    // Same derivation the simulator uses for ring identities.
+    for (i, n) in nodes.iter().enumerate() {
+        assert_eq!(chord_id_for(seed, n.site()), chord_id_for(seed, SiteId(i as u32)));
+    }
+
+    for n in [n0, n1, n2] {
+        let addr = n.addr();
+        let raw = ctl.request(addr, &Frame::Shutdown.encode()).expect("shutdown rpc");
+        assert!(matches!(Frame::decode(&raw), Ok(Frame::Ack)));
+        let report = n.join();
+        assert_eq!(report.unsupported, 0, "site {} hit an unsupported path", report.site.0);
+    }
+}
+
+#[test]
+fn movement_is_queryable_over_the_wire() {
+    require_sockets!();
+    let mut cluster = LoopbackCluster::start(3, 11).expect("cluster");
+    let o = epc_object(0, 1);
+
+    // o: site 0 @1s → site 1 @2s → site 2 @3s, windows closed by Tmax
+    // (500ms after each capture opens a window).
+    let events = vec![
+        CaptureEvent { at: us(1_000_000), site: SiteId(0), objects: vec![o] },
+        CaptureEvent { at: us(2_000_000), site: SiteId(1), objects: vec![o] },
+        CaptureEvent { at: us(3_000_000), site: SiteId(2), objects: vec![o] },
+    ];
+    cluster.run_schedule(&events).expect("schedule");
+
+    // Locate at every instant of interest, from every origin.
+    for origin in 0..3 {
+        let origin = SiteId(origin);
+        let probes = [
+            (us(500_000), None),
+            (us(1_000_000), Some(SiteId(0))),
+            (us(1_999_999), Some(SiteId(0))),
+            (us(2_500_000), Some(SiteId(1))),
+            (us(9_000_000), Some(SiteId(2))),
+        ];
+        for (t, want) in probes {
+            let (got, _cost, complete) = cluster.locate(origin, o, t).expect("locate");
+            assert!(complete, "locate incomplete at {t:?}");
+            assert_eq!(got, want, "locate({t:?}) from {origin}");
+        }
+
+        let (path, _cost, complete) =
+            cluster.trace(origin, o, us(0), us(10_000_000)).expect("trace");
+        assert!(complete);
+        let sites: Vec<u32> = path.iter().map(|v| v.site.0).collect();
+        assert_eq!(sites, vec![0, 1, 2], "full trace from {origin}");
+        assert_eq!(path[0].departed, Some(us(2_000_000)));
+        assert_eq!(path[2].departed, None);
+    }
+
+    let reports = cluster.shutdown().expect("shutdown");
+    for r in &reports {
+        assert_eq!(r.anomalies, Default::default(), "site {}", r.site.0);
+        assert_eq!(r.unsupported, 0, "site {}", r.site.0);
+    }
+    // The movement demands real traffic: three GroupIndex messages (one
+    // per window), their M3 self/remote updates, and two M2 back-links.
+    let group_total: u64 = reports
+        .iter()
+        .map(|r| r.metrics.messages_of(simnet::metrics::MsgClass::GroupIndex))
+        .sum();
+    assert!(group_total >= 1, "no GroupIndex traffic crossed the wire");
+}
+
+#[test]
+fn count_triggered_flush_needs_no_timer() {
+    require_sockets!();
+    let mut group = peertrack::config::GroupConfig::default();
+    group.n_max = 2; // second capture in a window flushes by count
+    let mut cluster = LoopbackCluster::start_with(3, 13, group).expect("cluster");
+    let a = epc_object(0, 1);
+    let b = epc_object(0, 2);
+
+    let events = vec![
+        CaptureEvent { at: us(1_000_000), site: SiteId(0), objects: vec![a, b] },
+        CaptureEvent { at: us(2_000_000), site: SiteId(1), objects: vec![a, b] },
+    ];
+    cluster.run_schedule(&events).expect("schedule");
+
+    let (got, _, complete) = cluster.locate(SiteId(2), a, us(1_500_000)).expect("locate");
+    assert!(complete);
+    assert_eq!(got, Some(SiteId(0)));
+    let (got, _, complete) = cluster.locate(SiteId(2), b, us(9_000_000)).expect("locate");
+    assert!(complete);
+    assert_eq!(got, Some(SiteId(1)));
+
+    for r in cluster.shutdown().expect("shutdown") {
+        assert_eq!(r.anomalies, Default::default());
+        assert_eq!(r.unsupported, 0);
+    }
+}

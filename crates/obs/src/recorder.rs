@@ -86,6 +86,15 @@ impl Recorder {
         &self.class_latency[class as usize]
     }
 
+    /// Record one delivery latency sample (µs) directly, bypassing the
+    /// [`TraceSink`] send/deliver pairing. The real-network daemon uses
+    /// this: off-sim there is no event queue to observe, so the receiver
+    /// computes wall-clock latency from the sender's envelope timestamp
+    /// and feeds it here — the same histograms, the same exporters.
+    pub fn record_latency(&mut self, class: MsgClass, micros: u64) {
+        self.class_latency[class as usize].record(micros);
+    }
+
     /// All non-empty per-class latency histograms, in `ALL_CLASSES`
     /// order.
     pub fn class_latencies(&self) -> impl Iterator<Item = (MsgClass, &Histogram)> {

@@ -16,7 +16,7 @@
 //! length-prefixed with `u32`. `Option<Link>` is fixed-width (presence
 //! byte + 12 bytes, zeroed when absent) so record sizes are predictable.
 
-use crate::messages::Msg;
+use crate::messages::{Msg, ENTRY_BYTES, LINK_BYTES, OBJECT_ID_BYTES, TIME_BYTES};
 use crate::store::{IndexEntry, Link};
 use crate::bytebuf::{ByteBuf, Bytes};
 use ids::Prefix;
@@ -25,6 +25,15 @@ use simnet::SimTime;
 
 /// Codec protocol version.
 pub const VERSION: u8 = 1;
+
+/// Maximum element count a decoded vector may claim. A hostile length
+/// prefix (up to 4 GiB expressible in the `u32`) must be rejected by
+/// *arithmetic*, before any allocation is sized from it. The bound is
+/// far above anything the protocol produces (`n_max` windows are ≤ a
+/// few thousand observations) yet small enough that even a
+/// maximum-length claim times the largest element never overflows or
+/// reserves pathological memory.
+pub const MAX_VECTOR_LEN: usize = 1 << 20;
 
 /// Decoding failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +46,8 @@ pub enum DecodeError {
     BadVersion(u8),
     /// Malformed prefix field.
     BadPrefix(String),
+    /// A vector length prefix exceeds [`MAX_VECTOR_LEN`].
+    TooLong(u32),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -46,6 +57,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadTag(t) => write!(f, "unknown message tag {t}"),
             DecodeError::BadVersion(v) => write!(f, "unsupported codec version {v}"),
             DecodeError::BadPrefix(e) => write!(f, "bad prefix: {e}"),
+            DecodeError::TooLong(n) => {
+                write!(f, "vector length {n} exceeds limit {MAX_VECTOR_LEN}")
+            }
         }
     }
 }
@@ -239,9 +253,23 @@ fn get_opt_prefix(buf: &mut Bytes) -> Result<Option<Prefix>, DecodeError> {
     Prefix::from_wire_bytes(&raw).map(Some).map_err(DecodeError::BadPrefix)
 }
 
-fn get_len(buf: &mut Bytes) -> Result<usize, DecodeError> {
+/// Read a vector length prefix and validate it against both the hard
+/// [`MAX_VECTOR_LEN`] cap and the bytes actually remaining (each element
+/// occupies at least `elem_bytes`), so the subsequent `Vec::with_capacity`
+/// is sized from *verified* input. The order matters: an absurd claim is
+/// `TooLong` even when the buffer is also short.
+fn get_len(buf: &mut Bytes, elem_bytes: usize) -> Result<usize, DecodeError> {
     need(buf, 4)?;
-    Ok(buf.get_u32() as usize)
+    let n = buf.get_u32();
+    if n as usize > MAX_VECTOR_LEN {
+        return Err(DecodeError::TooLong(n));
+    }
+    // MAX_VECTOR_LEN · max element size stays far below usize::MAX, so
+    // this product cannot overflow.
+    if (n as usize) * elem_bytes > buf.remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(n as usize)
 }
 
 /// Decode a message; returns the message and the header sequence number.
@@ -264,24 +292,24 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
         TAG_GROUP_INDEX => {
             let prefix = get_prefix(&mut raw)?;
             let site = get_site(&mut raw)?;
-            let n = get_len(&mut raw)?;
-            let mut members = Vec::with_capacity(n.min(1 << 20));
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + TIME_BYTES)?;
+            let mut members = Vec::with_capacity(n);
             for _ in 0..n {
                 members.push((get_object(&mut raw)?, get_time(&mut raw)?));
             }
             Msg::GroupIndex { prefix, site, members }
         }
         TAG_SET_TO => {
-            let n = get_len(&mut raw)?;
-            let mut updates = Vec::with_capacity(n.min(1 << 20));
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + TIME_BYTES + LINK_BYTES)?;
+            let mut updates = Vec::with_capacity(n);
             for _ in 0..n {
                 updates.push((get_object(&mut raw)?, get_time(&mut raw)?, get_link(&mut raw)?));
             }
             Msg::SetTo { updates }
         }
         TAG_SET_FROM => {
-            let n = get_len(&mut raw)?;
-            let mut updates = Vec::with_capacity(n.min(1 << 20));
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + TIME_BYTES + 1 + LINK_BYTES)?;
+            let mut updates = Vec::with_capacity(n);
             for _ in 0..n {
                 updates.push((
                     get_object(&mut raw)?,
@@ -293,8 +321,8 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
         }
         TAG_DELEGATE => {
             let prefix = get_prefix(&mut raw)?;
-            let n = get_len(&mut raw)?;
-            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + ENTRY_BYTES)?;
+            let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 entries.push((get_object(&mut raw)?, get_entry(&mut raw)?));
             }
@@ -302,8 +330,8 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
         }
         TAG_MIGRATE => {
             let prefix = get_opt_prefix(&mut raw)?;
-            let n = get_len(&mut raw)?;
-            let mut entries = Vec::with_capacity(n.min(1 << 20));
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + ENTRY_BYTES)?;
+            let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
                 entries.push((get_object(&mut raw)?, get_entry(&mut raw)?));
             }
@@ -423,6 +451,35 @@ mod tests {
     }
 
     #[test]
+    fn decode_rejects_hostile_length_prefix_without_allocating() {
+        // A 4 GiB-worth length claim must fail by arithmetic, not by an
+        // allocation attempt — for every vector-carrying tag.
+        for tag in [TAG_GROUP_INDEX, TAG_SET_TO, TAG_SET_FROM, TAG_DELEGATE, TAG_MIGRATE] {
+            let mut raw = ByteBuf::new();
+            put_header(&mut raw, tag, 0);
+            if matches!(tag, TAG_GROUP_INDEX | TAG_DELEGATE | TAG_MIGRATE) {
+                put_prefix(&mut raw, &Prefix::from_bit_str("01"));
+            }
+            if tag == TAG_GROUP_INDEX {
+                put_site(&mut raw, SiteId(1));
+            }
+            raw.put_u32(u32::MAX); // claims ~4 Gi elements
+            let err = decode(raw.freeze()).unwrap_err();
+            assert_eq!(err, DecodeError::TooLong(u32::MAX), "tag {tag}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_length_exceeding_remaining_bytes() {
+        // A length under the cap but larger than the buffer could hold
+        // must be Truncated *before* the element loop allocates.
+        let mut raw = ByteBuf::new();
+        put_header(&mut raw, TAG_SET_TO, 0);
+        raw.put_u32((MAX_VECTOR_LEN - 1) as u32);
+        assert_eq!(decode(raw.freeze()).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
     fn decode_rejects_truncated_body() {
         let m = Msg::SetTo { updates: vec![(obj(1), SimTime::from_micros(5), link(2, 9))] };
         let full = encode(&m, 0);
@@ -460,6 +517,27 @@ mod tests {
             // Hostile input must produce an error, never a panic or an
             // unbounded allocation.
             let _ = decode(Bytes::from(raw));
+        }
+
+        #[test]
+        fn prop_mutated_encodings_never_panic(
+            which in 0usize..10,
+            mutations in prop::collection::vec((any::<u16>(), any::<u8>()), 1..32),
+            seq in any::<u64>(),
+        ) {
+            // Fuzz-style: start from a *valid* encoding and flip bytes at
+            // random offsets. Decoding the corrupted frame must either
+            // succeed (the mutation hit a don't-care byte) or return a
+            // DecodeError — never panic, never attempt a hostile-sized
+            // allocation (the TooLong/Truncated guards in get_len).
+            let samples = samples();
+            let base = encode(&samples[which % samples.len()], seq);
+            let mut bytes = base.as_slice().to_vec();
+            for (off, val) in &mutations {
+                let i = *off as usize % bytes.len();
+                bytes[i] ^= *val;
+            }
+            let _ = decode(Bytes::from(bytes));
         }
 
         #[test]

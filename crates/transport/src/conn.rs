@@ -1,0 +1,181 @@
+//! Outbound connection cache with reconnect + exponential backoff.
+//!
+//! Each daemon keeps one cached `TcpStream` per peer it talks to
+//! (protocol messages are small and frequent; re-dialing per message
+//! would dominate). A send that fails invalidates the cached stream
+//! and redials under a [`Backoff`] schedule — the same
+//! `timeout · factor^(attempt−1)` shape as `peertrack::RetryConfig`,
+//! so the wall-clock retry plane and the simulated one are tuned with
+//! the same vocabulary.
+
+use crate::frame::{read_frame, write_frame};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Reconnect schedule: attempt `k` (1-based) is preceded by a wait of
+/// `base · factor^(k−2)` (no wait before the first attempt). Mirrors
+/// `RetryConfig { timeout, backoff, max_attempts }`.
+#[derive(Clone, Copy, Debug)]
+pub struct Backoff {
+    /// Wait before the second attempt.
+    pub base: Duration,
+    /// Wait multiplier per successive attempt (1 = constant).
+    pub factor: u32,
+    /// Total dial attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        // RetryConfig's defaults: 200 ms timeout, doubling, 6 attempts.
+        Backoff { base: Duration::from_millis(200), factor: 2, max_attempts: 6 }
+    }
+}
+
+impl Backoff {
+    /// A schedule for loopback tests: quick, few attempts.
+    pub fn fast() -> Backoff {
+        Backoff { base: Duration::from_millis(10), factor: 2, max_attempts: 3 }
+    }
+
+    /// Wait before attempt `attempt` (1-based; zero before the first).
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        if attempt <= 1 {
+            return Duration::ZERO;
+        }
+        let factor = self.factor.saturating_pow(attempt - 2);
+        self.base.saturating_mul(factor)
+    }
+}
+
+/// Per-peer cache of outbound framed connections.
+pub struct ConnCache {
+    conns: HashMap<SocketAddr, TcpStream>,
+    backoff: Backoff,
+}
+
+impl ConnCache {
+    /// An empty cache using the given reconnect schedule.
+    pub fn new(backoff: Backoff) -> ConnCache {
+        ConnCache { conns: HashMap::new(), backoff }
+    }
+
+    /// The cached (or freshly dialed) stream for `addr`.
+    fn stream(&mut self, addr: SocketAddr) -> io::Result<&mut TcpStream> {
+        if !self.conns.contains_key(&addr) {
+            let stream = self.dial(addr)?;
+            self.conns.insert(addr, stream);
+        }
+        Ok(self.conns.get_mut(&addr).expect("just inserted"))
+    }
+
+    /// Dial `addr` under the backoff schedule.
+    fn dial(&self, addr: SocketAddr) -> io::Result<TcpStream> {
+        let mut last_err = None;
+        for attempt in 1..=self.backoff.max_attempts {
+            std::thread::sleep(self.backoff.delay_before(attempt));
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::Other, "zero dial attempts configured")
+        }))
+    }
+
+    /// `true` when a cached stream's peer has hung up. A TCP write
+    /// after the peer closed often *succeeds* locally (the RST arrives
+    /// later), silently losing the frame — so staleness is probed with
+    /// a non-blocking `peek` (EOF ⇒ stale, `WouldBlock` ⇒ alive)
+    /// instead of being inferred from a write error. `peek` never
+    /// consumes, so a buffered RPC reply is left intact.
+    fn is_stale(stream: &TcpStream) -> bool {
+        if stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let mut probe = [0u8; 1];
+        let result = stream.peek(&mut probe);
+        let restored = stream.set_nonblocking(false).is_ok();
+        let alive = matches!(result, Ok(n) if n > 0)
+            || matches!(&result, Err(e) if e.kind() == io::ErrorKind::WouldBlock);
+        !(alive && restored)
+    }
+
+    /// Send one framed payload to `addr`, reconnecting if the cached
+    /// stream has gone stale (peer restarted, half-closed TCP).
+    pub fn send(&mut self, addr: SocketAddr, payload: &[u8]) -> io::Result<()> {
+        if let Some(stream) = self.conns.get_mut(&addr) {
+            if Self::is_stale(stream) {
+                self.conns.remove(&addr);
+            }
+        }
+        if let Ok(stream) = self.stream(addr) {
+            if write_frame(stream, payload).is_ok() {
+                return Ok(());
+            }
+        }
+        // Stale or unreachable: drop the cached stream and redial once
+        // (the dial itself already retries under the backoff schedule).
+        self.conns.remove(&addr);
+        let stream = self.stream(addr)?;
+        write_frame(stream, payload)
+    }
+
+    /// Blocking request/response: send one frame, then read one frame
+    /// back *on the same stream*. The peer must reply in arrival order
+    /// on this connection (the daemon's engine thread guarantees it).
+    /// A peer that closes instead of replying is `ConnectionAborted`.
+    pub fn request(&mut self, addr: SocketAddr, payload: &[u8]) -> io::Result<Vec<u8>> {
+        self.send(addr, payload)?;
+        let stream = self.stream(addr)?;
+        match read_frame(stream)? {
+            Some(reply) => Ok(reply),
+            None => {
+                self.conns.remove(&addr);
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionAborted,
+                    "peer closed before replying",
+                ))
+            }
+        }
+    }
+
+    /// Drop every cached connection (half-close our side). Idempotent.
+    pub fn close_all(&mut self) {
+        for (_, stream) in self.conns.drain() {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+    }
+}
+
+impl Drop for ConnCache {
+    fn drop(&mut self) {
+        self.close_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_mirrors_retry_config_shape() {
+        let b = Backoff { base: Duration::from_millis(100), factor: 2, max_attempts: 4 };
+        assert_eq!(b.delay_before(1), Duration::ZERO);
+        assert_eq!(b.delay_before(2), Duration::from_millis(100));
+        assert_eq!(b.delay_before(3), Duration::from_millis(200));
+        assert_eq!(b.delay_before(4), Duration::from_millis(400));
+    }
+
+    #[test]
+    fn backoff_factor_one_is_constant() {
+        let b = Backoff { base: Duration::from_millis(50), factor: 1, max_attempts: 8 };
+        assert_eq!(b.delay_before(2), b.delay_before(7));
+    }
+}

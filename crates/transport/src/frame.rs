@@ -1,0 +1,130 @@
+//! Length-prefixed framing over a byte stream.
+//!
+//! Layout: a 4-byte big-endian length `n`, then exactly `n` payload
+//! bytes. TCP gives us an ordered byte stream but no message
+//! boundaries; the prefix restores them. The codec's own header and
+//! vector-length hardening sits *inside* the payload — this layer only
+//! guarantees that whole payloads come out exactly as they went in, or
+//! that the caller gets a clean error.
+
+use std::io::{self, Read, Write};
+
+/// Hard cap on a single frame's payload. A peer announcing more than
+/// this (the `u32` prefix can claim up to 4 GiB) is protocol-violating
+/// or hostile; the frame is rejected *before* any buffer is sized from
+/// the claim. Generous relative to real traffic: the largest protocol
+/// message is a full-window `GroupIndex` (`n_max ≤` a few thousand
+/// observations × 28 B ≈ 100 KiB).
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Write one frame: length prefix, payload, flush.
+///
+/// Returns `InvalidInput` if the payload exceeds [`MAX_FRAME_BYTES`]
+/// (the symmetric guard — a conforming sender can never produce a
+/// frame a conforming reader must reject).
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_BYTES", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one frame.
+///
+/// * `Ok(Some(payload))` — a whole frame arrived.
+/// * `Ok(None)` — the stream ended *cleanly on a frame boundary*
+///   (EOF before the first prefix byte): the peer closed normally.
+/// * `Err(UnexpectedEof)` — the stream died mid-frame (inside the
+///   prefix or the payload): a dropped connection, surfaced as an
+///   error rather than a silently truncated message.
+/// * `Err(InvalidData)` — the prefix claims more than
+///   [`MAX_FRAME_BYTES`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    if !read_exact_or_clean_eof(r, &mut prefix)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(prefix) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame prefix claims {len} bytes (limit {MAX_FRAME_BYTES})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Like `read_exact`, but distinguishes EOF *before the first byte*
+/// (clean close, returns `Ok(false)`) from EOF after a partial read
+/// (mid-frame drop, returns `UnexpectedEof`). Retries on `Interrupted`
+/// like `read_exact` does.
+fn read_exact_or_clean_eof<R: Read>(r: &mut R, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "stream closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_in_memory() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        write_frame(&mut wire, &[0xAB; 1000]).unwrap();
+        let mut r = Cursor::new(wire);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![0xAB; 1000]);
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversize_claim_rejected_before_allocation() {
+        let mut r = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        let err = read_frame(&mut r).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversize_payload_refused_on_write() {
+        let mut sink = Vec::new();
+        let err = write_frame(&mut sink, &vec![0u8; MAX_FRAME_BYTES + 1]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert!(sink.is_empty(), "nothing may reach the wire");
+    }
+
+    #[test]
+    fn eof_mid_prefix_and_mid_payload_are_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload").unwrap();
+        for cut in 1..wire.len() {
+            let mut r = Cursor::new(wire[..cut].to_vec());
+            let err = read_frame(&mut r).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "cut at {cut}");
+        }
+    }
+}

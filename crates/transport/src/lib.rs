@@ -1,0 +1,30 @@
+//! Real-socket transport for the PeerTrack daemon.
+//!
+//! The simulator moves messages as Rust values through an event queue;
+//! this crate is the first layer where they cross a process boundary
+//! for real. It is deliberately tiny and std-only (hermetic policy —
+//! no tokio, no mio): blocking `TcpStream`s, one reader thread per
+//! accepted connection, and a 4-byte big-endian length prefix around
+//! each [`peertrack::codec`]-encoded payload.
+//!
+//! Three pieces:
+//!
+//! * [`frame`] — `write_frame`/`read_frame` with a [`frame::MAX_FRAME_BYTES`]
+//!   guard mirroring the codec's own `MAX_VECTOR_LEN` hardening: a
+//!   hostile length prefix is rejected by arithmetic before any
+//!   allocation is sized from it.
+//! * [`conn`] — [`conn::ConnCache`], a per-peer cache of outbound
+//!   connections with reconnect + exponential backoff
+//!   ([`conn::Backoff`], the same `timeout · factor^(attempt−1)` shape
+//!   as `peertrack::RetryConfig`), plus blocking request/response.
+//! * [`server`] — [`server::Server`], a listener whose accepted
+//!   connections feed decoded frames into an `mpsc` channel, with
+//!   idempotent graceful shutdown that joins every thread it spawned.
+
+pub mod conn;
+pub mod frame;
+pub mod server;
+
+pub use conn::{Backoff, ConnCache};
+pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use server::{Incoming, Reply, Server};

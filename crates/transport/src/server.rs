@@ -1,0 +1,159 @@
+//! Frame server: a listener whose accepted connections feed whole
+//! frames into an `mpsc` channel.
+//!
+//! Thread model (documented in DESIGN.md §11): one accept thread per
+//! server, one reader thread per accepted connection. Readers decode
+//! frames and push [`Incoming`] events — the frame plus a [`Reply`]
+//! handle cloned from the connection — so a single consumer thread
+//! (the daemon's engine) owns all protocol state and writes replies
+//! back over the originating connection without locking.
+//!
+//! Shutdown is explicit, idempotent and complete: it closes the
+//! listener (a self-connect unblocks `accept`), half-closes every live
+//! connection (unblocking the readers), and joins every thread the
+//! server spawned — no leaked threads or sockets, asserted by the
+//! loopback harness.
+
+use crate::frame::{read_frame, write_frame};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One received frame, with a handle for replying on its connection.
+pub struct Incoming {
+    /// The address of the sending peer (its ephemeral client port, not
+    /// its listener — peer identity rides inside the payload).
+    pub peer: SocketAddr,
+    /// The frame payload.
+    pub frame: Vec<u8>,
+    /// Write-half of the originating connection.
+    pub reply: Reply,
+}
+
+/// Write-half of an accepted connection, for request/response frames.
+pub struct Reply {
+    stream: TcpStream,
+}
+
+impl Reply {
+    /// Send one framed reply back over the originating connection.
+    pub fn send(&mut self, payload: &[u8]) -> io::Result<()> {
+        write_frame(&mut self.stream, payload)
+    }
+}
+
+/// A listening frame server. Dropping it shuts it down.
+pub struct Server {
+    local_addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    shared: Arc<SharedState>,
+}
+
+/// State shared with the accept thread: live connections (for shutdown
+/// to half-close) and reader join handles.
+#[derive(Default)]
+struct SharedState {
+    conns: Mutex<Vec<TcpStream>>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Server {
+    /// Bind `addr` (use port 0 for an ephemeral port; see
+    /// [`local_addr`](Server::local_addr)) and start accepting.
+    /// Received frames flow into `tx`; the server stops pushing when
+    /// the receiver hangs up.
+    pub fn bind(addr: &str, tx: Sender<Incoming>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(SharedState::default());
+
+        let accept_handle = {
+            let stopping = Arc::clone(&stopping);
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, tx, stopping, shared))
+        };
+
+        Ok(Server { local_addr, stopping, accept_handle: Some(accept_handle), shared })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop accepting, unblock and join every thread. Idempotent:
+    /// the second and later calls are no-ops.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock accept() with a throwaway self-connection; the accept
+        // loop sees the flag and exits without serving it.
+        TcpStream::connect(self.local_addr).ok();
+        if let Some(h) = self.accept_handle.take() {
+            h.join().ok();
+        }
+        // No new readers can appear now; unblock and join the rest.
+        for conn in self.shared.conns.lock().expect("conns lock").drain(..) {
+            conn.shutdown(std::net::Shutdown::Both).ok();
+        }
+        let readers: Vec<_> =
+            self.shared.readers.lock().expect("readers lock").drain(..).collect();
+        for h in readers {
+            h.join().ok();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Incoming>,
+    stopping: Arc<AtomicBool>,
+    shared: Arc<SharedState>,
+) {
+    loop {
+        let (stream, peer) = match listener.accept() {
+            Ok(pair) => pair,
+            Err(_) if stopping.load(Ordering::SeqCst) => break,
+            Err(_) => continue,
+        };
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        stream.set_nodelay(true).ok();
+        let Ok(for_shutdown) = stream.try_clone() else { continue };
+        shared.conns.lock().expect("conns lock").push(for_shutdown);
+        let tx = tx.clone();
+        let handle = std::thread::spawn(move || reader_loop(stream, peer, tx));
+        shared.readers.lock().expect("readers lock").push(handle);
+    }
+}
+
+fn reader_loop(mut stream: TcpStream, peer: SocketAddr, tx: Sender<Incoming>) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(frame)) => {
+                let Ok(reply_stream) = stream.try_clone() else { break };
+                let incoming = Incoming { peer, frame, reply: Reply { stream: reply_stream } };
+                if tx.send(incoming).is_err() {
+                    break; // consumer gone: stop reading
+                }
+            }
+            // Clean close, mid-frame drop, or our own shutdown: the
+            // connection is done either way. Protocol-level recovery
+            // (redial, retry) belongs to the sending side's ConnCache.
+            Ok(None) | Err(_) => break,
+        }
+    }
+}

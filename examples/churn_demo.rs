@@ -85,5 +85,10 @@ fn main() {
     );
     assert_eq!(lp_est, net.current_lp(), "estimated Lp must agree with the truth");
 
+    // The whole session's traffic, class by class: indexing, IOP link
+    // updates, split/merge migration and handoff all itemized through
+    // the shared reporter.
+    bench::report::print_class_traffic("traffic by message class", net.metrics());
+
     println!("done.");
 }

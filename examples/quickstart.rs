@@ -68,5 +68,9 @@ fn main() {
     );
     assert_eq!(route, ["n0", "n5", "n9"]);
 
+    // What crossed the (virtual) wire, class by class — rendered by the
+    // same shared reporter the experiment binaries use.
+    bench::report::print_class_traffic("traffic by message class", net.metrics());
+
     println!("done.");
 }

@@ -49,6 +49,22 @@ cmp results/latency_histograms.csv /tmp/verify_latency_histograms.csv
 rm -f /tmp/verify_trace_demo.json /tmp/verify_latency_histograms.csv
 echo "OK: trace exports byte-identical across invocations."
 
+echo "== loopback cluster smoke (real sockets) =="
+# Five daemon nodes on ephemeral loopback ports run a real movement and
+# answer queries over the wire, inside a hard timeout so a wedged
+# cluster fails the gate instead of hanging it. Sandboxes that forbid
+# binding sockets skip this stage loudly (same probe the socket tests
+# use).
+if ./target/release/peertrackd --probe-bind; then
+    timeout 120 cargo test -q --offline -p daemon --test loopback \
+        || { echo "loopback cluster smoke failed (or timed out)" >&2; exit 1; }
+    timeout 180 cargo test -q --offline -p integration-tests --test cluster_parity \
+        || { echo "cluster/simulator parity failed (or timed out)" >&2; exit 1; }
+    echo "OK: loopback cluster runs, queries answer, accounting matches the simulator."
+else
+    echo "WARNING: sandbox forbids binding loopback sockets; cluster smoke SKIPPED." >&2
+fi
+
 echo "== dependency policy: path-only =="
 # Any dependency line carrying a version requirement or registry/git
 # source is a policy violation. In-tree deps look like
@@ -79,3 +95,11 @@ echo "OK: all Cargo.toml dependencies are path-only."
 grep -q 'crates/obs' Cargo.toml \
     || { echo "crates/obs missing from the workspace manifest" >&2; exit 1; }
 echo "OK: crates/obs is in the workspace."
+
+# So must the real-network path (transport framing + the daemon), which
+# the parity test verifies against the simulator oracle.
+for c in transport daemon; do
+    grep -q "crates/$c" Cargo.toml \
+        || { echo "crates/$c missing from the workspace manifest" >&2; exit 1; }
+done
+echo "OK: crates/transport and crates/daemon are in the workspace."
