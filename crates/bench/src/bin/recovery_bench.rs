@@ -1,0 +1,189 @@
+//! Crash-recovery bench: what durability costs on disk and how fast a
+//! node comes back, as a function of snapshot cadence.
+//!
+//! A socket-free WAL universe (the same `daemon::Core` state machine
+//! the live engine runs, driven record-by-record with outbound traffic
+//! delivered as `Protocol` records) generates one site's real log for
+//! the §V workload at several volumes. Each log is then persisted into
+//! a scratch [`durable::DataDir`] under different snapshot cadences —
+//! `0` meaning *never* (pure log) — and recovered cold, measuring:
+//!
+//! * `wal_bytes` / `snapshot_bytes` — the disk footprint at rest;
+//! * `recover_ms` — wall-clock from `DataDir::open` to a live `Core`
+//!   (snapshot decode + tail replay), verified byte-identical to the
+//!   state the log described.
+//!
+//! Deterministic except for the timing columns. Writes
+//! `results/recovery.csv`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin recovery_bench
+//! ```
+
+use bench::report::{print_table, results_path, write_csv};
+use daemon::{Core, WalRecord};
+use durable::{DataDir, FsyncMode};
+use moods::SiteId;
+use peertrack::config::GroupConfig;
+use simnet::SimTime;
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::Instant;
+use workload::paper::PaperWorkload;
+
+const SITES: usize = 5;
+const SEED: u64 = 21;
+const VOLUMES: [usize; 4] = [50, 100, 200, 400];
+const CADENCES: [u64; 4] = [0, 8, 32, 128];
+
+fn addr_of(i: usize) -> SocketAddr {
+    format!("10.0.0.{}:7000", i + 1).parse().expect("synthetic addr")
+}
+
+/// Drive the full workload through `SITES` cores, delivering every
+/// outbound message as a logged `Protocol` record, and return each
+/// site's complete WAL.
+fn generate_logs(volume: usize, group: GroupConfig) -> Vec<Vec<WalRecord>> {
+    let mut cores: Vec<Core> =
+        (0..SITES).map(|i| Core::new(SiteId(i as u32), SEED, group, addr_of(i))).collect();
+    let mut logs: Vec<Vec<WalRecord>> = vec![Vec::new(); SITES];
+
+    let log_apply = |cores: &mut Vec<Core>, logs: &mut Vec<Vec<WalRecord>>,
+                     site: usize, rec: WalRecord| {
+        logs[site].push(rec.clone());
+        cores[site].apply_record(&rec);
+        let mut queue: VecDeque<(SiteId, WalRecord)> = VecDeque::new();
+        let enqueue = |q: &mut VecDeque<(SiteId, WalRecord)>, from: SiteId, core: &mut Core| {
+            for out in core.take_outbox() {
+                q.push_back((out.to, WalRecord::Protocol { sender: from, wire: out.wire }));
+            }
+        };
+        enqueue(&mut queue, SiteId(site as u32), &mut cores[site]);
+        while let Some((to, rec)) = queue.pop_front() {
+            let t = to.0 as usize;
+            logs[t].push(rec.clone());
+            cores[t].apply_record(&rec);
+            enqueue(&mut queue, to, &mut cores[t]);
+        }
+    };
+
+    for i in 0..SITES {
+        for j in 0..SITES {
+            let rec =
+                WalRecord::Member { site: SiteId(j as u32), addr: addr_of(j).to_string() };
+            log_apply(&mut cores, &mut logs, i, rec);
+        }
+    }
+    let events = PaperWorkload {
+        sites: SITES,
+        objects_per_site: volume,
+        grouped_movement: true,
+        seed: SEED,
+        ..PaperWorkload::default()
+    }
+    .generate();
+    let mut sorted: Vec<&workload::CaptureEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| e.at);
+    let mut last = SimTime::ZERO;
+    for ev in &sorted {
+        last = ev.at;
+        let rec = WalRecord::Capture { at: ev.at, objects: ev.objects.clone() };
+        log_apply(&mut cores, &mut logs, ev.site.0 as usize, rec);
+    }
+    for i in 0..SITES {
+        log_apply(&mut cores, &mut logs, i, WalRecord::Flush { now: last + group.t_max });
+    }
+    logs
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pt-recovery-bench-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+struct Row {
+    volume: usize,
+    records: usize,
+    snapshot_every: u64,
+    wal_bytes: u64,
+    snapshot_bytes: u64,
+    recover_ms: f64,
+}
+
+/// Persist `records` under the given cadence, then recover cold.
+fn measure(volume: usize, records: &[WalRecord], snapshot_every: u64) -> Row {
+    let group = GroupConfig::default();
+    let site = SiteId(0);
+    let dir = scratch(&format!("{volume}-{snapshot_every}"));
+
+    // The node's live life: append + apply, snapshot on cadence.
+    let (mut data, _) = DataDir::open(&dir, FsyncMode::Batch).expect("open scratch dir");
+    let mut live = Core::new(site, SEED, group, addr_of(0));
+    let mut since = 0u64;
+    for rec in records {
+        data.append(&rec.encode()).expect("append");
+        live.replay(rec);
+        since += 1;
+        if snapshot_every > 0 && since >= snapshot_every {
+            data.install_snapshot(&live.snapshot_body()).expect("snapshot");
+            since = 0;
+        }
+    }
+    data.sync().expect("final sync");
+    let wal_bytes = data.wal_bytes().expect("wal size");
+    let snapshot_bytes =
+        std::fs::metadata(dir.join("snapshot.bin")).map(|m| m.len()).unwrap_or(0);
+    drop(data);
+
+    // The crash: cold recovery from the directory alone.
+    let t0 = Instant::now();
+    let (_, recovery) = DataDir::open(&dir, FsyncMode::Batch).expect("reopen");
+    let mut recovered = match &recovery.snapshot {
+        Some((_, body)) => Core::from_snapshot(site, SEED, group, body).expect("snapshot loads"),
+        None => Core::new(site, SEED, group, addr_of(0)),
+    };
+    for entry in &recovery.tail {
+        recovered.replay(&WalRecord::decode(&entry.payload).expect("payload decodes"));
+    }
+    let recover_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        recovered.state_bytes(true),
+        live.state_bytes(true),
+        "recovery must reproduce the live state exactly"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    Row { volume, records: records.len(), snapshot_every, wal_bytes, snapshot_bytes, recover_ms }
+}
+
+fn main() {
+    let mut rows: Vec<Row> = Vec::new();
+    for volume in VOLUMES {
+        let logs = generate_logs(volume, GroupConfig::default());
+        let site0 = &logs[0];
+        for cadence in CADENCES {
+            rows.push(measure(volume, site0, cadence));
+        }
+    }
+
+    let header =
+        ["objects_per_site", "records", "snapshot_every", "wal_bytes", "snapshot_bytes", "recover_ms"];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.volume.to_string(),
+                r.records.to_string(),
+                r.snapshot_every.to_string(),
+                r.wal_bytes.to_string(),
+                r.snapshot_bytes.to_string(),
+                format!("{:.3}", r.recover_ms),
+            ]
+        })
+        .collect();
+    print_table("Crash recovery: disk footprint and restart time (site 0)", &header, &table);
+    write_csv(results_path("recovery.csv"), &header, &table).expect("write recovery.csv");
+    println!("wrote {}", results_path("recovery.csv").display());
+}

@@ -2,7 +2,7 @@
 //! running one from the command line.
 //!
 //! ```text
-//! peertrackd --site 0 --seed 42 --listen 127.0.0.1:7400
+//! peertrackd --site 0 --seed 42 --listen 127.0.0.1:7400 --data-dir /var/lib/pt/0
 //! peertrackd --site 1 --seed 42 --listen 127.0.0.1:7401 --bootstrap 127.0.0.1:7400
 //! peertrackd ctl 127.0.0.1:7400 capture 1000000 1:7 1:8
 //! peertrackd ctl 127.0.0.1:7400 flush 1500000
@@ -20,12 +20,30 @@
 
 use daemon::proto::Frame;
 use daemon::{Node, NodeConfig};
+use durable::FsyncMode;
 use moods::SiteId;
 use simnet::metrics::ALL_CLASSES;
 use simnet::SimTime;
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use transport::{Backoff, ConnCache};
+
+// The library forbids unsafe; the binary needs exactly one unsafe line
+// to register POSIX signal dispositions. The handler only stores to an
+// atomic (async-signal-safe); a watcher thread does the real work.
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+static STOP_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_stop_signal(_signum: i32) {
+    STOP_REQUESTED.store(true, Ordering::SeqCst);
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,10 +75,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
 fn print_usage() {
     println!(
-        "usage:\n  peertrackd --site N --seed S --listen ADDR [--bootstrap ADDR]\n  \
+        "usage:\n  peertrackd --site N --seed S --listen ADDR [--bootstrap ADDR]\n           \
+         [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]\n  \
          peertrackd ctl ADDR (status | capture AT_US OBJ... | flush NOW_US | \
-         locate OBJ T_US | trace OBJ T0_US T1_US | shutdown)\n  \
-         peertrackd --probe-bind\n\nOBJ is HOME:SERIAL; times are virtual µs."
+         locate OBJ T_US | trace OBJ T0_US T1_US | shutdown | crash)\n  \
+         peertrackd --probe-bind\n\nOBJ is HOME:SERIAL; times are virtual µs.\n\
+         Without --data-dir the node is in-memory only (crash loses state);\n\
+         with it, every mutation is write-ahead logged and recovered on restart.\n\
+         SIGINT/SIGTERM trigger the same clean shutdown as `ctl ... shutdown`."
     );
 }
 
@@ -73,6 +95,9 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut seed: u64 = 0;
     let mut listen = "127.0.0.1:0".to_string();
     let mut bootstrap: Option<SocketAddr> = None;
+    let mut data_dir: Option<std::path::PathBuf> = None;
+    let mut fsync = FsyncMode::Batch;
+    let mut snapshot_every = daemon::node::DEFAULT_SNAPSHOT_EVERY;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -86,15 +111,49 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                 bootstrap =
                     Some(val("--bootstrap")?.parse().map_err(|e| format!("bootstrap: {e}"))?)
             }
+            "--data-dir" => data_dir = Some(val("--data-dir")?.into()),
+            "--fsync" => fsync = FsyncMode::parse(&val("--fsync")?)?,
+            "--snapshot-every" => {
+                snapshot_every = parse(&val("--snapshot-every")?, "snapshot-every")?;
+                if snapshot_every == 0 {
+                    return Err("--snapshot-every must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
     let site = SiteId(site.ok_or("--site is required")?);
 
-    let cfg = NodeConfig { site, seed, group: Default::default(), listen, bootstrap };
+    let cfg = NodeConfig {
+        site,
+        seed,
+        group: Default::default(),
+        listen,
+        bootstrap,
+        data_dir,
+        fsync,
+        snapshot_every,
+    };
     let node = Node::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
     println!("peertrackd site {} listening on {}", site.0, node.addr());
-    let report = node.join(); // blocks until a Shutdown frame arrives
+
+    // SIGINT/SIGTERM ask the node for the same clean shutdown a ctl
+    // Shutdown frame does — flush, final snapshot, connections closed —
+    // by dialing our own listener from a watcher thread.
+    unsafe {
+        signal(SIGINT, on_stop_signal as *const () as usize);
+        signal(SIGTERM, on_stop_signal as *const () as usize);
+    }
+    let own_addr = node.addr();
+    std::thread::spawn(move || {
+        while !STOP_REQUESTED.load(Ordering::SeqCst) {
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+        let mut conns = ConnCache::new(Backoff::fast());
+        let _ = conns.request(own_addr, &Frame::Shutdown.encode());
+    });
+
+    let report = node.join(); // blocks until a Shutdown frame (or signal) arrives
 
     println!("site {} shut down", report.site.0);
     println!("  protocol frames: {} sent, {} received", report.sent, report.received);
@@ -134,6 +193,7 @@ fn ctl(args: &[String]) -> Result<ExitCode, String> {
     let frame = match cmd.as_str() {
         "status" => Frame::Status,
         "shutdown" => Frame::Shutdown,
+        "crash" => Frame::Crash,
         "capture" => {
             let at = time_arg(rest.first(), "capture AT_US")?;
             if rest.len() < 2 {

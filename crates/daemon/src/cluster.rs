@@ -22,12 +22,14 @@
 
 use crate::node::{Node, NodeConfig, NodeReport};
 use crate::proto::{CostWire, Frame};
+use durable::FsyncMode;
 use moods::{ObjectId, Path, SiteId};
 use peertrack::config::GroupConfig;
 use peertrack::window::{WindowBuffer, WindowEvent};
 use simnet::SimTime;
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 use transport::{Backoff, ConnCache};
 use workload::CaptureEvent;
@@ -36,9 +38,46 @@ use workload::CaptureEvent;
 /// take before the harness declares the cluster wedged.
 const SETTLE_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// A running loopback cluster of daemon nodes.
+/// Durable-storage settings shared by every node of a durable cluster
+/// (kept so [`LoopbackCluster::restart`] can respawn with the same).
+#[derive(Clone, Debug)]
+struct DurableSetup {
+    root: PathBuf,
+    fsync: FsyncMode,
+    snapshot_every: u64,
+}
+
+/// A resumable position in a capture schedule: the sorted events plus
+/// how many have fired. The cluster's window mirrors and timer
+/// deadlines carry the rest of the mid-schedule state, so a harness can
+/// run part of a schedule, crash and restart a node, and continue from
+/// exactly where it stopped.
+pub struct ScheduleCursor {
+    evs: Vec<CaptureEvent>,
+    i: usize,
+}
+
+impl ScheduleCursor {
+    /// Sort `events` into firing order (stable: ties keep injection
+    /// order, like the simulator's event queue) and point at the start.
+    pub fn new(events: &[CaptureEvent]) -> ScheduleCursor {
+        let mut evs = events.to_vec();
+        evs.sort_by_key(|e| e.at);
+        ScheduleCursor { evs, i: 0 }
+    }
+
+    /// Capture events not yet fired (pending timer flushes are tracked
+    /// by the cluster, so `0` here does not mean the schedule is done —
+    /// [`LoopbackCluster::run_cursor`] returning `0` does).
+    pub fn remaining(&self) -> usize {
+        self.evs.len() - self.i
+    }
+}
+
+/// A running loopback cluster of daemon nodes. `None` slots are
+/// crashed nodes awaiting [`LoopbackCluster::restart`].
 pub struct LoopbackCluster {
-    nodes: Vec<Node>,
+    nodes: Vec<Option<Node>>,
     addrs: Vec<SocketAddr>,
     ctl: ConnCache,
     mirrors: Vec<WindowBuffer>,
@@ -47,6 +86,9 @@ pub struct LoopbackCluster {
     deadlines: Vec<Option<(SimTime, u64)>>,
     next_arm: u64,
     t_max: SimTime,
+    seed: u64,
+    group: GroupConfig,
+    durable: Option<DurableSetup>,
 }
 
 impl LoopbackCluster {
@@ -60,6 +102,32 @@ impl LoopbackCluster {
     /// once every node reports full membership (so every ring replica is
     /// identical before any traffic flows).
     pub fn start_with(n: usize, seed: u64, group: GroupConfig) -> io::Result<LoopbackCluster> {
+        LoopbackCluster::start_inner(n, seed, group, None)
+    }
+
+    /// Start `n` *durable* nodes: site `i` logs to `root/site-i` under
+    /// the given fsync policy and snapshot cadence, and can be crashed
+    /// and restarted ([`LoopbackCluster::crash`] /
+    /// [`LoopbackCluster::restart`]).
+    pub fn start_durable(
+        n: usize,
+        seed: u64,
+        group: GroupConfig,
+        root: &std::path::Path,
+        fsync: FsyncMode,
+        snapshot_every: u64,
+    ) -> io::Result<LoopbackCluster> {
+        let setup =
+            DurableSetup { root: root.to_path_buf(), fsync, snapshot_every };
+        LoopbackCluster::start_inner(n, seed, group, Some(setup))
+    }
+
+    fn start_inner(
+        n: usize,
+        seed: u64,
+        group: GroupConfig,
+        durable: Option<DurableSetup>,
+    ) -> io::Result<LoopbackCluster> {
         assert!(n >= 1, "cluster needs at least one node");
         let mut cluster = LoopbackCluster {
             nodes: Vec::with_capacity(n),
@@ -69,20 +137,29 @@ impl LoopbackCluster {
             deadlines: vec![None; n],
             next_arm: 0,
             t_max: group.t_max,
+            seed,
+            group,
+            durable,
         };
         for i in 0..n {
-            let mut cfg = NodeConfig::loopback(
-                SiteId(i as u32),
-                seed,
-                if i == 0 { None } else { Some(cluster.addrs[0]) },
-            );
-            cfg.group = group;
-            let node = Node::spawn(cfg)?;
+            let bootstrap = if i == 0 { None } else { Some(cluster.addrs[0]) };
+            let node = Node::spawn(cluster.config_for(i, bootstrap))?;
             cluster.addrs.push(node.addr());
-            cluster.nodes.push(node);
+            cluster.nodes.push(Some(node));
             cluster.wait_members(i + 1)?;
         }
         Ok(cluster)
+    }
+
+    fn config_for(&self, i: usize, bootstrap: Option<SocketAddr>) -> NodeConfig {
+        let mut cfg = NodeConfig::loopback(SiteId(i as u32), self.seed, bootstrap);
+        cfg.group = self.group;
+        if let Some(setup) = &self.durable {
+            cfg.data_dir = Some(setup.root.join(format!("site-{i}")));
+            cfg.fsync = setup.fsync;
+            cfg.snapshot_every = setup.snapshot_every;
+        }
+        cfg
     }
 
     /// Number of nodes.
@@ -106,9 +183,14 @@ impl LoopbackCluster {
         Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
+    /// Status of every *live* node (crashed slots are skipped — their
+    /// counters are frozen on disk, not reachable over a socket).
     fn statuses(&mut self) -> io::Result<Vec<(u32, u64, u64)>> {
         let mut out = Vec::with_capacity(self.nodes.len());
         for i in 0..self.nodes.len() {
+            if self.nodes[i].is_none() {
+                continue;
+            }
             match self.ctl_request(SiteId(i as u32), &Frame::Status)? {
                 Frame::StatusResp { members, sent, received, .. } => {
                     out.push((members, sent, received));
@@ -171,32 +253,48 @@ impl LoopbackCluster {
     /// timers would fire, trailing windows closed at their deadlines.
     /// Returns with the cluster quiescent.
     pub fn run_schedule(&mut self, events: &[CaptureEvent]) -> io::Result<()> {
-        let mut evs: Vec<&CaptureEvent> = events.iter().collect();
-        evs.sort_by_key(|e| e.at); // stable: ties keep injection order
-        let mut i = 0;
-        loop {
+        let mut cursor = ScheduleCursor::new(events);
+        self.run_cursor(&mut cursor, usize::MAX)?;
+        Ok(())
+    }
+
+    /// Advance a [`ScheduleCursor`] by at most `max_ops` operations (an
+    /// operation is one capture injection or one timer flush), then
+    /// quiesce. Returns the number performed — less than `max_ops`
+    /// exactly when the schedule drained, `0` when it was already done.
+    /// Because every return is quiescent, any boundary is a safe place
+    /// to [`LoopbackCluster::crash`] a node.
+    pub fn run_cursor(
+        &mut self,
+        cursor: &mut ScheduleCursor,
+        max_ops: usize,
+    ) -> io::Result<usize> {
+        let mut ops = 0;
+        while ops < max_ops {
             let due = self
                 .deadlines
                 .iter()
                 .enumerate()
                 .filter_map(|(s, d)| d.map(|(t, seq)| (t, seq, s)))
                 .min();
-            match (due, evs.get(i)) {
+            match (due, cursor.evs.get(cursor.i)) {
                 // A timer fires strictly before the next capture. At a
                 // tie the capture runs first: it was scheduled at t=0,
                 // before the timer was armed, and the simulator's event
                 // queue breaks ties by schedule order.
                 (Some((t, _, s)), Some(e)) if t < e.at => self.fire_flush(s, t)?,
                 (_, Some(e)) => {
-                    let e = *e;
-                    i += 1;
-                    self.fire_capture(e)?;
+                    let e = e.clone();
+                    cursor.i += 1;
+                    self.fire_capture(&e)?;
                 }
                 (Some((t, _, s)), None) => self.fire_flush(s, t)?,
                 (None, None) => break,
             }
+            ops += 1;
         }
-        self.quiesce()
+        self.quiesce()?;
+        Ok(ops)
     }
 
     fn fire_capture(&mut self, e: &CaptureEvent) -> io::Result<()> {
@@ -268,12 +366,88 @@ impl LoopbackCluster {
         }
     }
 
-    /// Stop every node and collect its report (metrics, anomalies,
-    /// latency recorder), in site order.
+    /// Kill node `i` abruptly (no final snapshot, no WAL sync, volatile
+    /// state abandoned) and collect the report of its dead life. The
+    /// slot stays empty until [`LoopbackCluster::restart`].
+    pub fn crash(&mut self, i: usize) -> io::Result<NodeReport> {
+        let node = self.nodes[i].take().expect("crash of a live node");
+        let reply = self.ctl_request(SiteId(i as u32), &Frame::Crash)?;
+        expect_ack(reply)?;
+        Ok(node.join())
+    }
+
+    /// Restart a crashed node from its data directory. The node binds a
+    /// fresh ephemeral port, recovers snapshot + WAL tail, and rejoins
+    /// through any live peer; the call returns only once every live
+    /// peer resolves the site to its new address (so no subsequent
+    /// message dials the dead one). Durable clusters only.
+    pub fn restart(&mut self, i: usize) -> io::Result<()> {
+        assert!(self.nodes[i].is_none(), "restart of a live node");
+        assert!(self.durable.is_some(), "restart requires a durable cluster");
+        let bootstrap = self
+            .nodes
+            .iter()
+            .enumerate()
+            .find(|(j, n)| *j != i && n.is_some())
+            .map(|(j, _)| self.addrs[j]);
+        let node = Node::spawn(self.config_for(i, bootstrap))?;
+        self.addrs[i] = node.addr();
+        self.nodes[i] = Some(node);
+        self.wait_addr_convergence(i)
+    }
+
+    /// The canonical state encoding of node `i` (addresses excluded),
+    /// fetched over the socket.
+    pub fn state_dump(&mut self, i: usize) -> io::Result<Vec<u8>> {
+        match self.ctl_request(SiteId(i as u32), &Frame::StateDump)? {
+            Frame::StateResp(state) => Ok(state),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected state dump reply: {other:?}"),
+            )),
+        }
+    }
+
+    /// Poll every live peer until it resolves site `i` to the address
+    /// the cluster has on file (i.e. the rejoin broadcast landed).
+    fn wait_addr_convergence(&mut self, i: usize) -> io::Result<()> {
+        let want = self.addrs[i].to_string();
+        let peers: Vec<usize> = (0..self.nodes.len())
+            .filter(|&j| j != i && self.nodes[j].is_some())
+            .collect();
+        let start = Instant::now();
+        loop {
+            let mut ok = true;
+            for &j in &peers {
+                let resolve = Frame::Resolve { site: SiteId(i as u32) };
+                match self.ctl_request(SiteId(j as u32), &resolve)? {
+                    Frame::AddrResp(Some(a)) if a == want => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                return Ok(());
+            }
+            if start.elapsed() > SETTLE_TIMEOUT {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("peers did not learn site {i}'s new address"),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stop every live node and collect its report (metrics, anomalies,
+    /// latency recorder), in site order. Crashed, un-restarted nodes
+    /// already returned their report from [`LoopbackCluster::crash`].
     pub fn shutdown(mut self) -> io::Result<Vec<NodeReport>> {
         let mut reports = Vec::with_capacity(self.nodes.len());
         let nodes = std::mem::take(&mut self.nodes);
-        for node in nodes {
+        for node in nodes.into_iter().flatten() {
             let reply = self.ctl_request(node.site(), &Frame::Shutdown)?;
             expect_ack(reply)?;
             reports.push(node.join());

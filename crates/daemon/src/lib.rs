@@ -11,10 +11,18 @@
 //! be verified **against the simulator oracle** — same workload, same
 //! seeds, same counts.
 //!
+//! Nodes are durable when given a `--data-dir`: every state mutation
+//! is written ahead to a checksummed log ([`state::WalRecord`] via
+//! [`durable`]) and periodically folded into an atomic snapshot, so a
+//! killed node recovers its exact state — [`node::Core`] is the
+//! socket-free deterministic state machine both the live engine and
+//! the replay path share.
+//!
 //! Layout:
 //!
 //! * [`proto`] — the socket wire format ([`proto::Frame`]);
-//! * [`node`] — the node engine and its handle;
+//! * [`state`] — the WAL record vocabulary + canonical state encoding;
+//! * [`node`] — the replayable core, the socket engine and its handle;
 //! * [`cluster`] — the in-process loopback cluster harness;
 //! * `peertrackd` (binary) — CLI wrapper to run one node per process.
 
@@ -24,7 +32,9 @@
 pub mod cluster;
 pub mod node;
 pub mod proto;
+pub mod state;
 
-pub use cluster::LoopbackCluster;
-pub use node::{Node, NodeConfig, NodeHandle, NodeReport};
+pub use cluster::{LoopbackCluster, ScheduleCursor};
+pub use node::{Core, Node, NodeConfig, NodeHandle, NodeReport, Outbound};
 pub use proto::{CostWire, Frame, ProtoError};
+pub use state::WalRecord;

@@ -8,6 +8,21 @@
 //! queue; the engine processes them strictly serially, so every state
 //! transition is as atomic as the simulator's event handlers.
 //!
+//! **Core/engine split.** Since the durability work the node is two
+//! layers. [`Core`] is the deterministic state machine: it holds every
+//! replicated field and advances *only* through
+//! [`Core::apply_record`], whose input vocabulary
+//! ([`crate::state::WalRecord`]) is exactly what the write-ahead log
+//! stores. Outbound protocol messages leave the core through an
+//! `outbox` rather than a socket, so the same `apply` call serves both
+//! live execution (the engine drains the outbox onto TCP) and crash
+//! recovery (replay drops it — every peer already received those
+//! messages in the first life). [`Engine`] owns everything a replay
+//! must not touch: the listener, the connection cache, the wall-clock
+//! latency recorder and the [`durable::DataDir`]. Its single write
+//! path is `log_apply`: append to the WAL, then apply — state is never
+//! mutated by an event the log does not hold.
+//!
 //! **Accounting bridge.** The engine charges the *model* cost the
 //! simulator would charge — `Msg::wire_size()` bytes (not encoded frame
 //! length), overlay hops from the Chord lookup, one message per
@@ -17,12 +32,17 @@
 //! metrics therefore reproduces the simulator's global tally for the
 //! same workload (asserted by `tests/tests/cluster_parity.rs`).
 //!
-//! **Routing.** Lookups run the iterative protocol for real: the origin
-//! drives [`chord::LookupDriver`] and asks each hop over the network
-//! ([`Frame::LookupStep`]); every node answers from its own replica.
-//! Replicas are rebuilt deterministically from the sorted membership
-//! (bootstrap-lowest-site, ascending joins, full stabilization), so a
-//! converged cluster routes identically to the simulator's single ring.
+//! **Routing.** Query-driven lookups run the iterative protocol for
+//! real: the origin drives [`chord::LookupDriver`] and asks each hop
+//! over the network ([`Frame::LookupStep`]); every node answers from
+//! its own replica. Replicas are rebuilt deterministically from the
+//! sorted membership (bootstrap-lowest-site, ascending joins, full
+//! stabilization), so a converged cluster routes identically to the
+//! simulator's single ring — which is also why the *indexing* path
+//! (inside the core, where no sockets exist) may answer the same
+//! lookup from the local replica: on identical replicas the iterative
+//! walk and the local walk visit the same nodes and charge the same
+//! hops, a parity the cluster tests pin down.
 //!
 //! **Deadlock-freedom.** Only control-plane handlers (capture, flush,
 //! locate, trace) issue blocking RPCs, and RPC handlers themselves
@@ -37,7 +57,9 @@
 //! histograms ([`obs::Recorder::record_latency`]).
 
 use crate::proto::{CostWire, Frame, ProtoError};
+use crate::state::WalRecord;
 use chord::{answer_step, LookupDriver, LookupResult, LookupState, Ring};
+use durable::{DataDir, FsyncMode};
 use ids::{Id, Prefix};
 use moods::{ObjectId, Path, SiteId, Visit};
 use obs::Recorder;
@@ -53,6 +75,7 @@ use simnet::SimTime;
 use std::collections::{BTreeMap, HashSet};
 use std::io;
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::mpsc::{channel, Receiver};
 use std::thread::JoinHandle;
 use std::time::{SystemTime, UNIX_EPOCH};
@@ -74,6 +97,10 @@ fn wall_us() -> u64 {
         .unwrap_or(0)
 }
 
+/// Default snapshot cadence: install a snapshot and truncate the log
+/// every this many WAL records.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
 /// Static configuration of one daemon node.
 #[derive(Clone, Debug)]
 pub struct NodeConfig {
@@ -90,10 +117,18 @@ pub struct NodeConfig {
     /// Existing member to join through (`None` = this node bootstraps
     /// the cluster).
     pub bootstrap: Option<SocketAddr>,
+    /// Durable state directory. `None` (the default everywhere) keeps
+    /// the node fully in-memory — the pre-durability behaviour.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy; meaningful only with `data_dir`.
+    pub fsync: FsyncMode,
+    /// Install a snapshot (and compact the WAL) every this many logged
+    /// records; meaningful only with `data_dir`.
+    pub snapshot_every: u64,
 }
 
 impl NodeConfig {
-    /// Loopback config with an ephemeral port.
+    /// Loopback config with an ephemeral port (in-memory).
     pub fn loopback(site: SiteId, seed: u64, bootstrap: Option<SocketAddr>) -> NodeConfig {
         NodeConfig {
             site,
@@ -101,6 +136,9 @@ impl NodeConfig {
             group: GroupConfig::default(),
             listen: "127.0.0.1:0".to_string(),
             bootstrap,
+            data_dir: None,
+            fsync: FsyncMode::Never,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
         }
     }
 }
@@ -135,17 +173,21 @@ pub struct Node {
 }
 
 impl Node {
-    /// Bind the listener, join through the bootstrap peer (if any) and
-    /// start the engine thread.
+    /// Bind the listener, recover durable state (if a data dir is
+    /// configured), join through the bootstrap peer (if any) and start
+    /// the engine thread. Recovery failures — an unreadable data dir, a
+    /// corrupt snapshot — fail the spawn loudly rather than starting a
+    /// node with fabricated state.
     pub fn spawn(cfg: NodeConfig) -> io::Result<Node> {
         let (tx, rx) = channel::<Incoming>();
         let server = Server::bind(&cfg.listen, tx)?;
         let addr = server.local_addr();
         let site = cfg.site;
-        let engine = std::thread::Builder::new()
+        let engine = Engine::new(cfg, addr, server, rx)?;
+        let handle = std::thread::Builder::new()
             .name(format!("peertrackd-{}", site.0))
-            .spawn(move || Engine::new(cfg, addr, server, rx).run())?;
-        Ok(Node { site, addr, engine: Some(engine) })
+            .spawn(move || engine.run())?;
+        Ok(Node { site, addr, engine: Some(handle) })
     }
 
     /// The site this node serves.
@@ -158,8 +200,8 @@ impl Node {
         self.addr
     }
 
-    /// Wait for the engine to exit (send [`Frame::Shutdown`] first) and
-    /// collect its report.
+    /// Wait for the engine to exit (send [`Frame::Shutdown`] or
+    /// [`Frame::Crash`] first) and collect its report.
     pub fn join(mut self) -> NodeReport {
         self.engine
             .take()
@@ -199,90 +241,112 @@ enum Anchor {
     Latest(Link),
 }
 
-struct Engine {
-    site: SiteId,
-    seed: u64,
-    group: GroupConfig,
-    addr: SocketAddr,
-    server: Server,
-    rx: Receiver<Incoming>,
-    conns: ConnCache,
-    /// Site → listener address, self included. Sorted iteration keeps
-    /// ring rebuilds deterministic.
-    members: BTreeMap<SiteId, SocketAddr>,
-    ring: Ring,
-    lp: usize,
-    window: WindowBuffer,
-    iop: IopStore,
-    gateway: GatewayStore,
-    hosted: HashSet<Prefix>,
-    metrics: Metrics,
-    recorder: Recorder,
-    next_seq: u64,
-    /// `(sender, seq)` pairs already processed (duplicate suppression,
-    /// mirroring the simulator's per-site `seen_seqs`).
-    seen: HashSet<(u32, u64)>,
-    sent: u64,
-    received: u64,
-    anomalies: Anomalies,
-    unsupported: u64,
+/// A protocol message the core wants delivered. The core has already
+/// sequenced it, charged the model cost and counted it sent; the
+/// engine's only job is the socket write (and undoing the `sent` count
+/// if that write fails).
+#[derive(Clone, Debug)]
+pub struct Outbound {
+    /// Destination site.
+    pub to: SiteId,
+    /// Model overlay hops charged for this delivery.
+    pub hops: u32,
+    /// Sequenced protocol payload.
+    pub wire: Wire,
 }
 
-impl Engine {
-    fn new(cfg: NodeConfig, addr: SocketAddr, server: Server, rx: Receiver<Incoming>) -> Engine {
+/// The deterministic half of a node: every field that must survive a
+/// crash, advanced only by [`Core::apply_record`]. No sockets, no
+/// clocks, no filesystem — the same struct runs live under the engine
+/// and offline under WAL replay, and `tests/tests/crash_recovery.rs`
+/// holds the two byte-identical.
+pub struct Core {
+    pub(crate) site: SiteId,
+    pub(crate) seed: u64,
+    pub(crate) group: GroupConfig,
+    /// Site → listener address, self included. Sorted iteration keeps
+    /// ring rebuilds deterministic.
+    pub(crate) members: BTreeMap<SiteId, SocketAddr>,
+    pub(crate) ring: Ring,
+    pub(crate) lp: usize,
+    pub(crate) window: WindowBuffer,
+    pub(crate) iop: IopStore,
+    pub(crate) gateway: GatewayStore,
+    pub(crate) hosted: HashSet<Prefix>,
+    pub(crate) metrics: Metrics,
+    pub(crate) next_seq: u64,
+    /// `(sender, seq)` pairs already processed (duplicate suppression,
+    /// mirroring the simulator's per-site `seen_seqs`).
+    pub(crate) seen: HashSet<(u32, u64)>,
+    pub(crate) sent: u64,
+    pub(crate) received: u64,
+    pub(crate) anomalies: Anomalies,
+    /// Diagnostic only: bumped by un-logged read-side probes too, so it
+    /// is deliberately *excluded* from the canonical state encoding.
+    pub(crate) unsupported: u64,
+    /// Messages produced by the last `apply_record`, awaiting delivery.
+    pub(crate) outbox: Vec<Outbound>,
+}
+
+impl Core {
+    /// Fresh state for `site`: a one-member ring of itself.
+    pub fn new(site: SiteId, seed: u64, group: GroupConfig, addr: SocketAddr) -> Core {
         let mut members = BTreeMap::new();
-        members.insert(cfg.site, addr);
-        let mut e = Engine {
-            site: cfg.site,
-            seed: cfg.seed,
-            group: cfg.group,
-            addr,
-            server,
-            rx,
-            conns: ConnCache::new(Backoff::default()),
+        members.insert(site, addr);
+        let mut c = Core {
+            site,
+            seed,
+            group,
             members,
             ring: Ring::new(),
-            lp: cfg.group.l_min,
-            window: WindowBuffer::new(cfg.site, cfg.group.n_max),
+            lp: group.l_min,
+            window: WindowBuffer::new(site, group.n_max),
             iop: IopStore::new(),
             gateway: GatewayStore::new(),
             hosted: HashSet::new(),
             metrics: Metrics::new(),
-            recorder: Recorder::new(),
             next_seq: 1,
             seen: HashSet::new(),
             sent: 0,
             received: 0,
             anomalies: Anomalies::default(),
             unsupported: 0,
+            outbox: Vec::new(),
         };
-        if let Some(bootstrap) = cfg.bootstrap {
-            e.join_via(bootstrap);
-        }
-        e.rebuild_ring();
-        e
+        c.rebuild_ring();
+        c
     }
 
-    /// Join the cluster through an existing member (blocking RPC).
-    fn join_via(&mut self, bootstrap: SocketAddr) {
-        let req = Frame::JoinReq { site: self.site, addr: self.addr.to_string() };
-        match self.conns.request(bootstrap, &req.encode()).map_err(io::Error::other).and_then(
-            |raw| Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
-        ) {
-            Ok(Frame::JoinResp { peers }) => {
-                for (site, addr) in peers {
-                    if let Ok(a) = addr.parse() {
-                        self.members.insert(site, a);
-                    }
+    /// Apply one logged event. This is the node's *only* state-mutating
+    /// entry point; everything it emits lands in the outbox.
+    pub fn apply_record(&mut self, rec: &WalRecord) {
+        match rec {
+            WalRecord::Member { site, addr } => {
+                if let Ok(a) = addr.parse() {
+                    self.members.insert(*site, a);
+                    self.rebuild_ring();
                 }
             }
-            _ => {
-                // Leave membership as-is; the bootstrap's PeerJoined
-                // broadcast (or a retried join by the operator) repairs
-                // it. Count the oddity so tests notice.
-                self.unsupported += 1;
+            WalRecord::Capture { at, objects } => self.on_capture(*at, objects),
+            WalRecord::Flush { now } => self.on_flush(*now),
+            WalRecord::Protocol { sender, wire } => self.on_protocol(*sender, wire),
+            WalRecord::Query { messages, hops, bytes } => {
+                self.metrics.record_bulk(MsgClass::Query, *messages, *bytes, *hops);
             }
         }
+    }
+
+    /// Apply during recovery: identical transition, but the outbox is
+    /// discarded — every message this event produced was already
+    /// delivered (or accounted dropped) in the life that logged it.
+    pub fn replay(&mut self, rec: &WalRecord) {
+        self.apply_record(rec);
+        self.outbox.clear();
+    }
+
+    /// Drain the messages the last apply produced.
+    pub fn take_outbox(&mut self) -> Vec<Outbound> {
+        std::mem::take(&mut self.outbox)
     }
 
     /// Rebuild the local ring replica from the sorted membership,
@@ -290,7 +354,7 @@ impl Engine {
     /// the rest join ascending, then full stabilization. Every node
     /// derives the identical ring, and `Lp` follows the membership count
     /// (the `SizeEstimation::Exact` policy).
-    fn rebuild_ring(&mut self) {
+    pub(crate) fn rebuild_ring(&mut self) {
         let mut ring = Ring::new();
         let sites: Vec<SiteId> = self.members.keys().copied().collect();
         let ids: Vec<Id> = sites.iter().map(|s| chord_id_for(self.seed, *s)).collect();
@@ -312,160 +376,16 @@ impl Engine {
     }
 
     // ------------------------------------------------------------------
-    // Main loop
-    // ------------------------------------------------------------------
-
-    fn run(mut self) -> NodeReport {
-        while let Ok(mut incoming) = self.rx.recv() {
-            let frame = match Frame::decode(&incoming.frame) {
-                Ok(f) => f,
-                Err(ProtoError::Codec(_)) | Err(_) => {
-                    self.unsupported += 1;
-                    continue;
-                }
-            };
-            match frame {
-                Frame::Protocol { sender, hops, sent_us, wire } => {
-                    self.on_protocol(sender, hops, sent_us, wire);
-                }
-                Frame::JoinReq { site, addr } => {
-                    let reply = self.on_join_req(site, &addr);
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::PeerJoined { site, addr } => {
-                    if let Ok(a) = addr.parse() {
-                        self.members.insert(site, a);
-                        self.rebuild_ring();
-                    }
-                }
-                Frame::JoinResp { .. } => self.unsupported += 1,
-                Frame::Capture { at, objects } => {
-                    self.on_capture(at, &objects);
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                }
-                Frame::Flush { now } => {
-                    self.on_flush(now);
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                }
-                Frame::Locate { object, t } => {
-                    let started = wall_us();
-                    let (answer, cost, complete) = self.locate(object, t);
-                    self.account_query(&cost, started);
-                    let reply =
-                        Frame::LocateResp { answer, cost: cost.wire(), complete };
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Trace { object, t0, t1 } => {
-                    let started = wall_us();
-                    let (path, cost, complete) = self.trace(object, t0, t1);
-                    self.account_query(&cost, started);
-                    let reply = Frame::TraceResp { path, cost: cost.wire(), complete };
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Status => {
-                    let reply = Frame::StatusResp {
-                        site: self.site,
-                        members: self.members.len() as u32,
-                        sent: self.sent,
-                        received: self.received,
-                    };
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Shutdown => {
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                    break;
-                }
-                Frame::LookupStep { key } => {
-                    let me = self.my_chord_id();
-                    let node = self.ring.get(&me).expect("self in replica");
-                    let answer = answer_step(node, &key, |id| self.ring.contains(id));
-                    let _ = incoming.reply.send(&Frame::StepResp(answer).encode());
-                }
-                Frame::GatewayProbe { object } => {
-                    let link = self.local_gateway_probe(object);
-                    let _ = incoming.reply.send(&Frame::LinkResp(link).encode());
-                }
-                Frame::IopKnows { object } => {
-                    let reply = Frame::BoolResp(self.iop.knows(object));
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::RecAt { object, time } => {
-                    let rec = self.iop.record_at(object, time).copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::RecLatestAtOrBefore { object, t } => {
-                    let rec = self.iop.latest_at_or_before(object, t).copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::RecFirst { object } => {
-                    let rec = self.iop.all(object).first().copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::RecLatest { object } => {
-                    let rec = self.iop.latest(object).copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                // Response frames arriving outside a request context.
-                Frame::Ack
-                | Frame::LocateResp { .. }
-                | Frame::TraceResp { .. }
-                | Frame::StatusResp { .. }
-                | Frame::StepResp(_)
-                | Frame::LinkResp(_)
-                | Frame::BoolResp(_)
-                | Frame::RecResp(_) => self.unsupported += 1,
-            }
-        }
-        self.server.shutdown();
-        self.conns.close_all();
-        NodeReport {
-            site: self.site,
-            metrics: self.metrics,
-            anomalies: self.anomalies,
-            unsupported: self.unsupported,
-            recorder: self.recorder,
-            sent: self.sent,
-            received: self.received,
-        }
-    }
-
-    fn on_join_req(&mut self, site: SiteId, addr: &str) -> Frame {
-        let Ok(parsed) = addr.parse::<SocketAddr>() else {
-            self.unsupported += 1;
-            return Frame::JoinResp { peers: Vec::new() };
-        };
-        self.members.insert(site, parsed);
-        self.rebuild_ring();
-        // Tell everyone else about the newcomer (fire-and-forget,
-        // daemon-plane: not charged, not counted as protocol traffic).
-        let others: Vec<SocketAddr> = self
-            .members
-            .iter()
-            .filter(|(s, _)| **s != self.site && **s != site)
-            .map(|(_, a)| *a)
-            .collect();
-        let news = Frame::PeerJoined { site, addr: addr.to_string() }.encode();
-        for peer in others {
-            let _ = self.conns.send(peer, &news);
-        }
-        Frame::JoinResp {
-            peers: self.members.iter().map(|(s, a)| (*s, a.to_string())).collect(),
-        }
-    }
-
-    // ------------------------------------------------------------------
     // Protocol plane (ported from `NetWorld::handle`)
     // ------------------------------------------------------------------
 
-    fn on_protocol(&mut self, sender: SiteId, _hops: u32, sent_us: u64, wire: Wire) {
+    fn on_protocol(&mut self, sender: SiteId, wire: &Wire) {
         self.received += 1;
-        self.recorder
-            .record_latency(wire.msg.class(), wall_us().saturating_sub(sent_us));
         if wire.seq != 0 && !self.seen.insert((sender.0, wire.seq)) {
             self.anomalies.duplicates_suppressed += 1;
             return;
         }
-        self.handle_msg(wire.msg);
+        self.handle_msg(wire.msg.clone());
     }
 
     fn handle_msg(&mut self, msg: Msg) {
@@ -499,8 +419,9 @@ impl Engine {
     }
 
     /// Deliver a protocol message: self-sends are handled inline and
-    /// uncharged; networked sends are sequenced and charged the model
-    /// cost at the sender — both exactly as `NetWorld::dispatch`.
+    /// uncharged; networked sends are sequenced, charged the model cost
+    /// and counted sent — both exactly as `NetWorld::dispatch` — then
+    /// queued on the outbox for the engine (live) or dropped (replay).
     fn dispatch(&mut self, to: SiteId, hops: u32, msg: Msg) {
         if to == self.site {
             self.handle_msg(msg);
@@ -511,20 +432,12 @@ impl Engine {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.metrics.record(class, bytes, hops);
-        let frame = Frame::Protocol {
-            sender: self.site,
-            hops,
-            sent_us: wall_us(),
-            wire: Wire { seq, msg },
-        };
-        let Some(&addr) = self.members.get(&to) else {
+        if !self.members.contains_key(&to) {
             self.anomalies.dropped_to_dead += 1;
             return;
-        };
-        match self.conns.send(addr, &frame.encode()) {
-            Ok(()) => self.sent += 1,
-            Err(_) => self.anomalies.dropped_to_dead += 1,
         }
+        self.sent += 1;
+        self.outbox.push(Outbound { to, hops, wire: Wire { seq, msg } });
     }
 
     /// Ported `NetWorld::handle_group_index` (the Fig. 5 `index`
@@ -639,17 +552,331 @@ impl Engine {
         }
     }
 
+    /// Route each group to its gateway. The owner and hop count come
+    /// from the *local* replica — identical, on a converged membership,
+    /// to what the networked iterative lookup would return, and usable
+    /// during replay where no peer exists to ask.
     fn index_batch(&mut self, batch: WindowBatch) {
+        let me = self.my_chord_id();
         for group in group_batch(&batch.observations, self.lp) {
             let key = group.prefix.gateway_id();
-            let Some(r) = self.lookup(key) else {
+            let Ok(r) = self.ring.lookup(me, key) else {
                 self.unsupported += 1;
                 continue;
             };
             let owner = self.site_of_chord(&r.owner);
             let msg =
                 Msg::GroupIndex { prefix: group.prefix, site: self.site, members: group.members };
-            self.dispatch(owner, r.hops, msg);
+            self.dispatch(owner, r.hops as u32, msg);
+        }
+    }
+}
+
+struct Engine {
+    addr: SocketAddr,
+    server: Server,
+    rx: Receiver<Incoming>,
+    conns: ConnCache,
+    recorder: Recorder,
+    core: Core,
+    /// Durable storage; `None` = in-memory node (`log_apply` degrades
+    /// to plain apply).
+    data: Option<DataDir>,
+    snapshot_every: u64,
+    records_since_snapshot: u64,
+}
+
+impl Engine {
+    /// Build a node engine: recover state from the data dir (if any),
+    /// correct the self-address on file, then join through the
+    /// bootstrap. Runs on the spawning thread so recovery errors fail
+    /// `Node::spawn` instead of killing a detached thread.
+    fn new(
+        cfg: NodeConfig,
+        addr: SocketAddr,
+        server: Server,
+        rx: Receiver<Incoming>,
+    ) -> io::Result<Engine> {
+        let mut core = Core::new(cfg.site, cfg.seed, cfg.group, addr);
+        let mut data = None;
+        if let Some(dir) = &cfg.data_dir {
+            let (d, recovery) = DataDir::open(dir, cfg.fsync)?;
+            if let Some((_, body)) = &recovery.snapshot {
+                core = Core::from_snapshot(cfg.site, cfg.seed, cfg.group, body)?;
+            }
+            for entry in &recovery.tail {
+                let rec = WalRecord::decode(&entry.payload).map_err(|e| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("WAL record {} undecodable: {e}", entry.lsn),
+                    )
+                })?;
+                core.replay(&rec);
+            }
+            data = Some(d);
+        }
+        let mut engine = Engine {
+            addr,
+            server,
+            rx,
+            conns: ConnCache::new(Backoff::default()),
+            recorder: Recorder::new(),
+            core,
+            data,
+            snapshot_every: cfg.snapshot_every.max(1),
+            records_since_snapshot: 0,
+        };
+        // A recovered core remembers the listener address of its
+        // previous life; this life bound a fresh port.
+        if engine.core.members.get(&cfg.site) != Some(&addr) {
+            engine.log_apply(WalRecord::Member { site: cfg.site, addr: addr.to_string() });
+        }
+        if let Some(bootstrap) = cfg.bootstrap {
+            engine.join_via(bootstrap);
+        }
+        Ok(engine)
+    }
+
+    /// The single live write path: log the event, apply it, deliver
+    /// what it produced, maybe snapshot. A WAL append failure is fatal
+    /// by design — running on past an unlogged mutation would make the
+    /// next recovery silently diverge.
+    fn log_apply(&mut self, rec: WalRecord) {
+        if let Some(d) = self.data.as_mut() {
+            d.append(&rec.encode())
+                .expect("WAL append failed; refusing to mutate unlogged state");
+        }
+        self.core.apply_record(&rec);
+        self.pump_outbox();
+        if self.data.is_some() {
+            self.records_since_snapshot += 1;
+            if self.records_since_snapshot >= self.snapshot_every {
+                self.install_snapshot();
+            }
+        }
+    }
+
+    /// Deliver everything the core queued. On a send failure the core
+    /// has already counted the message sent — undo that and count the
+    /// drop, keeping cluster-wide sent/received sums balanced (which is
+    /// what the harness's quiesce watches).
+    fn pump_outbox(&mut self) {
+        for out in self.core.take_outbox() {
+            let Some(&peer) = self.core.members.get(&out.to) else {
+                self.core.sent -= 1;
+                self.core.anomalies.dropped_to_dead += 1;
+                continue;
+            };
+            let frame = Frame::Protocol {
+                sender: self.core.site,
+                hops: out.hops,
+                sent_us: wall_us(),
+                wire: out.wire,
+            };
+            if self.conns.send(peer, &frame.encode()).is_err() {
+                self.core.sent -= 1;
+                self.core.anomalies.dropped_to_dead += 1;
+            }
+        }
+    }
+
+    fn install_snapshot(&mut self) {
+        let body = self.core.snapshot_body();
+        if let Some(d) = self.data.as_mut() {
+            d.install_snapshot(&body)
+                .expect("snapshot install failed; refusing to run with a broken log");
+        }
+        self.records_since_snapshot = 0;
+    }
+
+    /// Join the cluster through an existing member (blocking RPC).
+    fn join_via(&mut self, bootstrap: SocketAddr) {
+        let req = Frame::JoinReq { site: self.core.site, addr: self.addr.to_string() };
+        match self.conns.request(bootstrap, &req.encode()).map_err(io::Error::other).and_then(
+            |raw| Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        ) {
+            Ok(Frame::JoinResp { peers }) => {
+                for (site, addr) in peers {
+                    if addr.parse::<SocketAddr>().is_ok() {
+                        self.log_apply(WalRecord::Member { site, addr });
+                    }
+                }
+            }
+            _ => {
+                // Leave membership as-is; the bootstrap's PeerJoined
+                // broadcast (or a retried join by the operator) repairs
+                // it. Count the oddity so tests notice.
+                self.core.unsupported += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Main loop
+    // ------------------------------------------------------------------
+
+    fn run(mut self) -> NodeReport {
+        let mut clean = true;
+        while let Ok(mut incoming) = self.rx.recv() {
+            let frame = match Frame::decode(&incoming.frame) {
+                Ok(f) => f,
+                Err(ProtoError::Codec(_)) | Err(_) => {
+                    self.core.unsupported += 1;
+                    continue;
+                }
+            };
+            match frame {
+                Frame::Protocol { sender, hops: _, sent_us, wire } => {
+                    self.recorder
+                        .record_latency(wire.msg.class(), wall_us().saturating_sub(sent_us));
+                    self.log_apply(WalRecord::Protocol { sender, wire });
+                }
+                Frame::JoinReq { site, addr } => {
+                    let reply = self.on_join_req(site, &addr);
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::PeerJoined { site, addr } => {
+                    if addr.parse::<SocketAddr>().is_ok() {
+                        self.log_apply(WalRecord::Member { site, addr });
+                    }
+                }
+                Frame::JoinResp { .. } => self.core.unsupported += 1,
+                Frame::Capture { at, objects } => {
+                    self.log_apply(WalRecord::Capture { at, objects });
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                }
+                Frame::Flush { now } => {
+                    self.log_apply(WalRecord::Flush { now });
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                }
+                Frame::Locate { object, t } => {
+                    let started = wall_us();
+                    let (answer, cost, complete) = self.locate(object, t);
+                    self.account_query(&cost, started);
+                    let reply =
+                        Frame::LocateResp { answer, cost: cost.wire(), complete };
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Trace { object, t0, t1 } => {
+                    let started = wall_us();
+                    let (path, cost, complete) = self.trace(object, t0, t1);
+                    self.account_query(&cost, started);
+                    let reply = Frame::TraceResp { path, cost: cost.wire(), complete };
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Status => {
+                    let reply = Frame::StatusResp {
+                        site: self.core.site,
+                        members: self.core.members.len() as u32,
+                        sent: self.core.sent,
+                        received: self.core.received,
+                    };
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Shutdown => {
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                    break;
+                }
+                Frame::Crash => {
+                    // Die like a kill -9 would: ack (so the harness can
+                    // sequence the fault), then abandon everything
+                    // volatile. No final snapshot, no WAL sync, no
+                    // orderly connection teardown beyond process exit.
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                    clean = false;
+                    break;
+                }
+                Frame::StateDump => {
+                    let reply = Frame::StateResp(self.core.state_bytes(false));
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::Resolve { site } => {
+                    let addr = self.core.members.get(&site).map(|a| a.to_string());
+                    let _ = incoming.reply.send(&Frame::AddrResp(addr).encode());
+                }
+                Frame::LookupStep { key } => {
+                    let me = self.core.my_chord_id();
+                    let node = self.core.ring.get(&me).expect("self in replica");
+                    let answer = answer_step(node, &key, |id| self.core.ring.contains(id));
+                    let _ = incoming.reply.send(&Frame::StepResp(answer).encode());
+                }
+                Frame::GatewayProbe { object } => {
+                    let link = self.local_gateway_probe(object);
+                    let _ = incoming.reply.send(&Frame::LinkResp(link).encode());
+                }
+                Frame::IopKnows { object } => {
+                    let reply = Frame::BoolResp(self.core.iop.knows(object));
+                    let _ = incoming.reply.send(&reply.encode());
+                }
+                Frame::RecAt { object, time } => {
+                    let rec = self.core.iop.record_at(object, time).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::RecLatestAtOrBefore { object, t } => {
+                    let rec = self.core.iop.latest_at_or_before(object, t).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::RecFirst { object } => {
+                    let rec = self.core.iop.all(object).first().copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::RecLatest { object } => {
+                    let rec = self.core.iop.latest(object).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                // Response frames arriving outside a request context.
+                Frame::Ack
+                | Frame::LocateResp { .. }
+                | Frame::TraceResp { .. }
+                | Frame::StatusResp { .. }
+                | Frame::StepResp(_)
+                | Frame::LinkResp(_)
+                | Frame::BoolResp(_)
+                | Frame::RecResp(_)
+                | Frame::StateResp(_)
+                | Frame::AddrResp(_) => self.core.unsupported += 1,
+            }
+        }
+        if clean && self.data.is_some() {
+            // Orderly shutdown: fold the whole log into one snapshot so
+            // the next start replays nothing, and leave the WAL synced
+            // and empty.
+            self.install_snapshot();
+        }
+        self.server.shutdown();
+        self.conns.close_all();
+        NodeReport {
+            site: self.core.site,
+            metrics: self.core.metrics,
+            anomalies: self.core.anomalies,
+            unsupported: self.core.unsupported,
+            recorder: self.recorder,
+            sent: self.core.sent,
+            received: self.core.received,
+        }
+    }
+
+    fn on_join_req(&mut self, site: SiteId, addr: &str) -> Frame {
+        if addr.parse::<SocketAddr>().is_err() {
+            self.core.unsupported += 1;
+            return Frame::JoinResp { peers: Vec::new() };
+        }
+        self.log_apply(WalRecord::Member { site, addr: addr.to_string() });
+        // Tell everyone else about the newcomer (fire-and-forget,
+        // daemon-plane: not charged, not counted as protocol traffic).
+        let others: Vec<SocketAddr> = self
+            .core
+            .members
+            .iter()
+            .filter(|(s, _)| **s != self.core.site && **s != site)
+            .map(|(_, a)| *a)
+            .collect();
+        let news = Frame::PeerJoined { site, addr: addr.to_string() }.encode();
+        for peer in others {
+            let _ = self.conns.send(peer, &news);
+        }
+        Frame::JoinResp {
+            peers: self.core.members.iter().map(|(s, a)| (*s, a.to_string())).collect(),
         }
     }
 
@@ -662,16 +889,16 @@ impl Engine {
     /// [`Frame::LookupStep`]; the local step is answered in-process.
     /// Returns `None` on transport failure or routing loop.
     fn lookup(&mut self, key: Id) -> Option<LookupResult> {
-        let me = self.my_chord_id();
-        let mut driver = LookupDriver::new(me, key, self.ring.len());
+        let me = self.core.my_chord_id();
+        let mut driver = LookupDriver::new(me, key, self.core.ring.len());
         loop {
             match driver.state() {
                 LookupState::Ask(node) => {
                     let answer = if node == me {
-                        let state = self.ring.get(&node).expect("self in replica");
-                        answer_step(state, &key, |id| self.ring.contains(id))
+                        let state = self.core.ring.get(&node).expect("self in replica");
+                        answer_step(state, &key, |id| self.core.ring.contains(id))
                     } else {
-                        let site = self.site_of_chord(&node);
+                        let site = self.core.site_of_chord(&node);
                         match self.rpc(site, &Frame::LookupStep { key }) {
                             Ok(Frame::StepResp(a)) => a,
                             _ => return None,
@@ -688,6 +915,7 @@ impl Engine {
     /// Blocking request/response to a peer's engine.
     fn rpc(&mut self, site: SiteId, req: &Frame) -> io::Result<Frame> {
         let &addr = self
+            .core
             .members
             .get(&site)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer"))?;
@@ -699,9 +927,15 @@ impl Engine {
     // Queries (ported from `peertrack::query`, reads via RPC)
     // ------------------------------------------------------------------
 
+    /// Charge a finished query. The model cost goes through the WAL —
+    /// query traffic mutates the metrics, and metrics are recovered
+    /// state — while the wall-clock latency stays engine-side.
     fn account_query(&mut self, cost: &Cost, started_us: u64) {
-        self.metrics
-            .record_bulk(MsgClass::Query, cost.messages, cost.bytes, cost.hops);
+        self.log_apply(WalRecord::Query {
+            messages: cost.messages,
+            hops: cost.hops,
+            bytes: cost.bytes,
+        });
         self.recorder
             .record_latency(MsgClass::Query, wall_us().saturating_sub(started_us));
     }
@@ -709,37 +943,37 @@ impl Engine {
     /// §IV-A.3 lookup at this gateway, reduced to the in-regime form:
     /// current-`Lp` shard only. A miss with hosted neighbours (never in
     /// regime) would need further routed probes — counted as
-    /// unsupported, mirroring [`Engine::check_refresh_unneeded`].
+    /// unsupported, mirroring [`Core::check_refresh_unneeded`].
     fn local_gateway_probe(&mut self, object: ObjectId) -> Option<Link> {
-        let p = Prefix::of_id(&object.id(), self.lp);
-        if let Some(e) = self.gateway.prefixes.get(&p).and_then(|s| s.get(&object)) {
+        let p = Prefix::of_id(&object.id(), self.core.lp);
+        if let Some(e) = self.core.gateway.prefixes.get(&p).and_then(|s| s.get(&object)) {
             return Some(e.link());
         }
         let mut l = p.len();
-        while l > self.group.l_min {
+        while l > self.core.group.l_min {
             l -= 1;
-            if self.hosted.contains(&p.truncate(l)) {
-                self.unsupported += 1;
+            if self.core.hosted.contains(&p.truncate(l)) {
+                self.core.unsupported += 1;
             }
         }
         if p.len() < ids::prefix::MAX_PREFIX_BITS {
             let child = p.child(object.id().bit(p.len()));
-            if self.hosted.contains(&child) {
-                self.unsupported += 1;
+            if self.core.hosted.contains(&child) {
+                self.core.unsupported += 1;
             }
         }
         None
     }
 
     fn remote_knows(&mut self, site: SiteId, object: ObjectId) -> bool {
-        if site == self.site {
-            return self.iop.knows(object);
+        if site == self.core.site {
+            return self.core.iop.knows(object);
         }
         matches!(self.rpc(site, &Frame::IopKnows { object }), Ok(Frame::BoolResp(true)))
     }
 
     fn gateway_probe(&mut self, site: SiteId, object: ObjectId) -> Option<Link> {
-        if site == self.site {
+        if site == self.core.site {
             return self.local_gateway_probe(object);
         }
         match self.rpc(site, &Frame::GatewayProbe { object }) {
@@ -753,8 +987,8 @@ impl Engine {
     /// simulator's direct state reads; only cursor *moves* pay
     /// (`fetch_record`'s `cost.step(1)`).
     fn rec_at(&mut self, site: SiteId, object: ObjectId, time: SimTime) -> Option<IopRecord> {
-        if site == self.site {
-            return self.iop.record_at(object, time).copied();
+        if site == self.core.site {
+            return self.core.iop.record_at(object, time).copied();
         }
         match self.rpc(site, &Frame::RecAt { object, time }) {
             Ok(Frame::RecResp(r)) => r,
@@ -768,8 +1002,8 @@ impl Engine {
         object: ObjectId,
         t: SimTime,
     ) -> Option<IopRecord> {
-        if site == self.site {
-            return self.iop.latest_at_or_before(object, t).copied();
+        if site == self.core.site {
+            return self.core.iop.latest_at_or_before(object, t).copied();
         }
         match self.rpc(site, &Frame::RecLatestAtOrBefore { object, t }) {
             Ok(Frame::RecResp(r)) => r,
@@ -778,8 +1012,8 @@ impl Engine {
     }
 
     fn rec_first(&mut self, site: SiteId, object: ObjectId) -> Option<IopRecord> {
-        if site == self.site {
-            return self.iop.all(object).first().copied();
+        if site == self.core.site {
+            return self.core.iop.all(object).first().copied();
         }
         match self.rpc(site, &Frame::RecFirst { object }) {
             Ok(Frame::RecResp(r)) => r,
@@ -788,8 +1022,8 @@ impl Engine {
     }
 
     fn rec_latest(&mut self, site: SiteId, object: ObjectId) -> Option<IopRecord> {
-        if site == self.site {
-            return self.iop.latest(object).copied();
+        if site == self.core.site {
+            return self.core.iop.latest(object).copied();
         }
         match self.rpc(site, &Frame::RecLatest { object }) {
             Ok(Frame::RecResp(r)) => r,
@@ -802,16 +1036,16 @@ impl Engine {
     /// routing path, then the gateway. Returns the anchor plus the site
     /// the query's cursor rests at.
     fn discover(&mut self, object: ObjectId, cost: &mut Cost) -> (Option<Anchor>, SiteId) {
-        if self.iop.knows(object) {
-            return (Some(Anchor::Record(self.site)), self.site);
+        if self.core.iop.knows(object) {
+            return (Some(Anchor::Record(self.core.site)), self.core.site);
         }
-        let key = Prefix::of_id(&object.id(), self.lp).gateway_id();
+        let key = Prefix::of_id(&object.id(), self.core.lp).gateway_id();
         let Some(r) = self.lookup(key) else {
-            return (None, self.site);
+            return (None, self.core.site);
         };
         for nid in r.path.iter().skip(1) {
             cost.step(1);
-            let site = self.site_of_chord(nid);
+            let site = self.core.site_of_chord(nid);
             if *nid != r.owner && self.remote_knows(site, object) {
                 return (Some(Anchor::Record(site)), site);
             }
@@ -821,7 +1055,7 @@ impl Engine {
             }
         }
         // Path was just the origin: the origin owns the key.
-        let site = self.site_of_chord(&r.owner);
+        let site = self.core.site_of_chord(&r.owner);
         let link = self.gateway_probe(site, object);
         (link.map(Anchor::Latest), site)
     }
@@ -1021,5 +1255,45 @@ mod tests {
         assert_eq!(c.messages, 3);
         assert_eq!(c.hops, 3);
         assert_eq!(c.bytes, 3 * QUERY_MSG_BYTES as u64);
+    }
+
+    #[test]
+    fn replay_discards_outbox_but_keeps_state() {
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let seed = 7;
+        let mk = || {
+            let mut c = Core::new(SiteId(0), seed, GroupConfig::default(), addr);
+            for s in 1..4u32 {
+                c.apply_record(&WalRecord::Member {
+                    site: SiteId(s),
+                    addr: format!("127.0.0.1:{}", 7400 + s),
+                });
+            }
+            c.outbox.clear();
+            c
+        };
+        let objects: Vec<ObjectId> =
+            (0..6u64).map(|n| ObjectId(Id::hash(&n.to_be_bytes()))).collect();
+        let records = vec![
+            WalRecord::Capture {
+                at: SimTime::from_micros(1_000),
+                objects: objects.clone(),
+            },
+            WalRecord::Flush { now: SimTime::from_micros(2_000) },
+        ];
+
+        let mut live = mk();
+        let mut replayed = mk();
+        let mut emitted = 0;
+        for rec in &records {
+            live.apply_record(rec);
+            emitted += live.take_outbox().len();
+            replayed.replay(rec);
+        }
+        assert!(emitted > 0, "flush must have produced GroupIndex traffic");
+        assert!(replayed.outbox.is_empty());
+        // Identical transitions: full state (addresses included) agrees.
+        assert_eq!(live.state_bytes(true), replayed.state_bytes(true));
+        assert_eq!(live.sent, replayed.sent);
     }
 }

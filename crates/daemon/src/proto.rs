@@ -153,6 +153,22 @@ pub enum Frame {
     Status,
     /// Orderly shutdown request. Replied with Ack, then the node exits.
     Shutdown,
+    /// Abrupt-death request (fault injection): replied with Ack, then
+    /// the node exits **without** flushing, snapshotting or closing
+    /// anything — volatile state is abandoned exactly as a `kill -9`
+    /// would abandon it. Recovery must come from the data dir alone.
+    Crash,
+    /// Dump the node's canonical state encoding (addresses excluded, so
+    /// dumps compare equal across a restart onto a new port). Replied
+    /// with [`Frame::StateResp`].
+    StateDump,
+    /// "What listener address do you have for `site`?" — harnesses poll
+    /// this to watch a restarted peer's new address propagate. Replied
+    /// with [`Frame::AddrResp`].
+    Resolve {
+        /// The site being resolved.
+        site: SiteId,
+    },
 
     // -------------------------------------------------- rpc plane
     /// One iterative-lookup step: "where next for `key`, from your
@@ -236,6 +252,10 @@ pub enum Frame {
     BoolResp(bool),
     /// Reply to the `Rec*` fetches.
     RecResp(Option<IopRecord>),
+    /// Reply to [`Frame::StateDump`]: the opaque canonical encoding.
+    StateResp(Vec<u8>),
+    /// Reply to [`Frame::Resolve`]: the listener address on file.
+    AddrResp(Option<String>),
 }
 
 const K_PROTOCOL: u8 = 1;
@@ -255,6 +275,9 @@ const K_REC_AT: u8 = 14;
 const K_REC_LAOB: u8 = 15;
 const K_REC_FIRST: u8 = 16;
 const K_REC_LATEST: u8 = 17;
+const K_CRASH: u8 = 18;
+const K_STATE_DUMP: u8 = 19;
+const K_RESOLVE: u8 = 20;
 const K_ACK: u8 = 32;
 const K_LOCATE_RESP: u8 = 33;
 const K_TRACE_RESP: u8 = 34;
@@ -263,16 +286,18 @@ const K_STEP_RESP: u8 = 36;
 const K_LINK_RESP: u8 = 37;
 const K_BOOL_RESP: u8 = 38;
 const K_REC_RESP: u8 = 39;
+const K_STATE_RESP: u8 = 40;
+const K_ADDR_RESP: u8 = 41;
 
 fn put_id(buf: &mut ByteBuf, id: &Id) {
     buf.put_slice(&id.0);
 }
 
-fn put_object(buf: &mut ByteBuf, o: &ObjectId) {
+pub(crate) fn put_object(buf: &mut ByteBuf, o: &ObjectId) {
     put_id(buf, &o.0);
 }
 
-fn put_time(buf: &mut ByteBuf, t: SimTime) {
+pub(crate) fn put_time(buf: &mut ByteBuf, t: SimTime) {
     buf.put_u64(t.as_micros());
 }
 
@@ -287,7 +312,7 @@ fn put_opt_link(buf: &mut ByteBuf, l: &Option<Link>) {
     }
 }
 
-fn put_str(buf: &mut ByteBuf, s: &str) {
+pub(crate) fn put_str(buf: &mut ByteBuf, s: &str) {
     buf.put_u32(s.len() as u32);
     buf.put_slice(s.as_bytes());
 }
@@ -355,6 +380,12 @@ impl Frame {
             }
             Frame::Status => buf.put_u8(K_STATUS),
             Frame::Shutdown => buf.put_u8(K_SHUTDOWN),
+            Frame::Crash => buf.put_u8(K_CRASH),
+            Frame::StateDump => buf.put_u8(K_STATE_DUMP),
+            Frame::Resolve { site } => {
+                buf.put_u8(K_RESOLVE);
+                buf.put_u32(site.0);
+            }
             Frame::LookupStep { key } => {
                 buf.put_u8(K_LOOKUP_STEP);
                 put_id(&mut buf, key);
@@ -455,6 +486,21 @@ impl Frame {
                     None => buf.put_u8(0),
                 }
             }
+            Frame::StateResp(state) => {
+                buf.put_u8(K_STATE_RESP);
+                buf.put_u32(state.len() as u32);
+                buf.put_slice(state);
+            }
+            Frame::AddrResp(addr) => {
+                buf.put_u8(K_ADDR_RESP);
+                match addr {
+                    Some(a) => {
+                        buf.put_u8(1);
+                        put_str(&mut buf, a);
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
         }
         buf.freeze().as_slice().to_vec()
     }
@@ -513,6 +559,9 @@ impl Frame {
             },
             K_STATUS => Frame::Status,
             K_SHUTDOWN => Frame::Shutdown,
+            K_CRASH => Frame::Crash,
+            K_STATE_DUMP => Frame::StateDump,
+            K_RESOLVE => Frame::Resolve { site: SiteId(get_u32(&mut buf)?) },
             K_LOOKUP_STEP => Frame::LookupStep { key: get_id(&mut buf)? },
             K_GATEWAY_PROBE => Frame::GatewayProbe { object: get_object(&mut buf)? },
             K_IOP_KNOWS => Frame::IopKnows { object: get_object(&mut buf)? },
@@ -571,6 +620,21 @@ impl Frame {
                     Frame::RecResp(None)
                 }
             }
+            K_STATE_RESP => {
+                // State dumps may exceed MAX_LEN elements; bound by the
+                // frame itself (1 byte per element).
+                let n = get_u32(&mut buf)? as usize;
+                if n > buf.remaining() {
+                    return Err(ProtoError::Truncated);
+                }
+                let state = buf.slice(..n);
+                Frame::StateResp(state.as_slice().to_vec())
+            }
+            K_ADDR_RESP => {
+                let addr =
+                    if get_u8(&mut buf)? == 1 { Some(get_str(&mut buf)?) } else { None };
+                Frame::AddrResp(addr)
+            }
             other => return Err(ProtoError::BadKind(other)),
         };
         Ok(frame)
@@ -585,22 +649,22 @@ fn need(buf: &Bytes, n: usize) -> Result<(), ProtoError> {
     }
 }
 
-fn get_u8(buf: &mut Bytes) -> Result<u8, ProtoError> {
+pub(crate) fn get_u8(buf: &mut Bytes) -> Result<u8, ProtoError> {
     need(buf, 1)?;
     Ok(buf.get_u8())
 }
 
-fn get_u32(buf: &mut Bytes) -> Result<u32, ProtoError> {
+pub(crate) fn get_u32(buf: &mut Bytes) -> Result<u32, ProtoError> {
     need(buf, 4)?;
     Ok(buf.get_u32())
 }
 
-fn get_u64(buf: &mut Bytes) -> Result<u64, ProtoError> {
+pub(crate) fn get_u64(buf: &mut Bytes) -> Result<u64, ProtoError> {
     need(buf, 8)?;
     Ok(buf.get_u64())
 }
 
-fn get_time(buf: &mut Bytes) -> Result<SimTime, ProtoError> {
+pub(crate) fn get_time(buf: &mut Bytes) -> Result<SimTime, ProtoError> {
     Ok(SimTime::from_micros(get_u64(buf)?))
 }
 
@@ -611,7 +675,7 @@ fn get_id(buf: &mut Bytes) -> Result<Id, ProtoError> {
     Ok(Id(raw))
 }
 
-fn get_object(buf: &mut Bytes) -> Result<ObjectId, ProtoError> {
+pub(crate) fn get_object(buf: &mut Bytes) -> Result<ObjectId, ProtoError> {
     Ok(ObjectId(get_id(buf)?))
 }
 
@@ -626,7 +690,7 @@ fn get_opt_link(buf: &mut Bytes) -> Result<Option<Link>, ProtoError> {
 /// Bounded length prefix: mirrors the codec hardening — a hostile
 /// prefix is rejected by arithmetic (`n · elem_bytes > remaining`)
 /// before it can size an allocation.
-fn get_len(buf: &mut Bytes, elem_bytes: usize) -> Result<usize, ProtoError> {
+pub(crate) fn get_len(buf: &mut Bytes, elem_bytes: usize) -> Result<usize, ProtoError> {
     let n = get_u32(buf)?;
     if n as usize > MAX_LEN {
         return Err(ProtoError::TooLong(n));
@@ -637,7 +701,7 @@ fn get_len(buf: &mut Bytes, elem_bytes: usize) -> Result<usize, ProtoError> {
     Ok(n as usize)
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String, ProtoError> {
+pub(crate) fn get_str(buf: &mut Bytes) -> Result<String, ProtoError> {
     let n = get_len(buf, 1)?;
     let mut raw = vec![0u8; n];
     buf.copy_to_slice(&mut raw);
@@ -688,6 +752,9 @@ mod tests {
             Frame::Trace { object: obj(9), t0: t(1), t1: t(1000) },
             Frame::Status,
             Frame::Shutdown,
+            Frame::Crash,
+            Frame::StateDump,
+            Frame::Resolve { site: SiteId(3) },
             Frame::LookupStep { key: Id::hash_str("k") },
             Frame::GatewayProbe { object: obj(1) },
             Frame::IopKnows { object: obj(1) },
@@ -722,6 +789,10 @@ mod tests {
                 to: Some(Link { site: SiteId(2), time: t(9) }),
             })),
             Frame::RecResp(None),
+            Frame::StateResp(vec![0xAB, 0xCD, 0xEF, 0x00, 0x01]),
+            Frame::StateResp(Vec::new()),
+            Frame::AddrResp(Some("127.0.0.1:7401".into())),
+            Frame::AddrResp(None),
         ]
     }
 

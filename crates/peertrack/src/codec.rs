@@ -17,7 +17,7 @@
 //! byte + 12 bytes, zeroed when absent) so record sizes are predictable.
 
 use crate::messages::{Msg, ENTRY_BYTES, LINK_BYTES, OBJECT_ID_BYTES, TIME_BYTES};
-use crate::store::{IndexEntry, Link};
+use crate::store::{GatewayStore, IndexEntry, IopRecord, IopStore, Link};
 use crate::bytebuf::{ByteBuf, Bytes};
 use ids::Prefix;
 use moods::{ObjectId, SiteId};
@@ -346,6 +346,144 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
     Ok((msg, seq))
 }
 
+// ----------------------------------------------------------------------
+// State records (durable snapshots)
+// ----------------------------------------------------------------------
+//
+// The daemon's crash-recovery layer snapshots a node's in-memory state
+// with the same wire vocabulary as the protocol messages. Encodings are
+// **canonical**: hash-map contents are emitted in sorted key order, so
+// two semantically equal stores produce byte-identical encodings — which
+// is what lets `tests/tests/crash_recovery.rs` compare a recovered node
+// against its pre-crash self with `assert_eq!` on bytes.
+
+/// Append a canonical encoding of an IOP repository.
+pub fn put_state_iop(buf: &mut ByteBuf, iop: &IopStore) {
+    let mut objects: Vec<&ObjectId> = iop.iter().map(|(o, _)| o).collect();
+    objects.sort();
+    buf.put_u32(objects.len() as u32);
+    for o in objects {
+        put_object(buf, o);
+        let records = iop.all(*o);
+        buf.put_u32(records.len() as u32);
+        for r in records {
+            put_time(buf, r.arrived);
+            put_opt_link(buf, &r.from);
+            put_opt_link(buf, &r.to);
+        }
+    }
+}
+
+/// Decode an IOP repository (inverse of [`put_state_iop`]).
+pub fn get_state_iop(buf: &mut Bytes) -> Result<IopStore, DecodeError> {
+    let mut iop = IopStore::new();
+    let n = get_len(buf, OBJECT_ID_BYTES + 4)?;
+    for _ in 0..n {
+        let object = get_object(buf)?;
+        let m = get_len(buf, TIME_BYTES + 2 * (1 + LINK_BYTES))?;
+        let mut records = Vec::with_capacity(m);
+        for _ in 0..m {
+            records.push(IopRecord {
+                arrived: get_time(buf)?,
+                from: get_opt_link(buf)?,
+                to: get_opt_link(buf)?,
+            });
+        }
+        iop.insert_history(object, records);
+    }
+    Ok(iop)
+}
+
+fn put_entry_map(buf: &mut ByteBuf, entries: &std::collections::HashMap<ObjectId, IndexEntry>) {
+    let mut objects: Vec<&ObjectId> = entries.keys().collect();
+    objects.sort();
+    buf.put_u32(objects.len() as u32);
+    for o in objects {
+        put_object(buf, o);
+        put_entry(buf, &entries[o]);
+    }
+}
+
+fn get_entry_map(
+    buf: &mut Bytes,
+) -> Result<std::collections::HashMap<ObjectId, IndexEntry>, DecodeError> {
+    let n = get_len(buf, OBJECT_ID_BYTES + ENTRY_BYTES)?;
+    let mut map = std::collections::HashMap::with_capacity(n);
+    for _ in 0..n {
+        map.insert(get_object(buf)?, get_entry(buf)?);
+    }
+    Ok(map)
+}
+
+/// Append a canonical encoding of a gateway store (individual-mode
+/// entries plus every group-mode prefix shard).
+pub fn put_state_gateway(buf: &mut ByteBuf, g: &GatewayStore) {
+    put_entry_map(buf, &g.objects);
+    let mut prefixes: Vec<&Prefix> = g.prefixes.keys().collect();
+    prefixes.sort();
+    buf.put_u32(prefixes.len() as u32);
+    for p in prefixes {
+        put_prefix(buf, p);
+        let shard = &g.prefixes[p];
+        buf.put_u8(u8::from(shard.delegated));
+        put_entry_map(buf, &shard.entries);
+    }
+}
+
+/// Decode a gateway store (inverse of [`put_state_gateway`]). Shard
+/// recency order is rebuilt from the entries' update times.
+pub fn get_state_gateway(buf: &mut Bytes) -> Result<GatewayStore, DecodeError> {
+    let mut g = GatewayStore::new();
+    g.objects = get_entry_map(buf)?;
+    let n = get_len(buf, 9 + 1 + 4)?;
+    for _ in 0..n {
+        let prefix = get_prefix(buf)?;
+        let delegated = {
+            need(buf, 1)?;
+            buf.get_u8() == 1
+        };
+        let entries = get_entry_map(buf)?;
+        let shard = g.shard_mut(prefix);
+        shard.delegated = delegated;
+        for (o, e) in entries {
+            shard.upsert(o, e);
+        }
+    }
+    Ok(g)
+}
+
+/// Append an open capture window's contents (observations are already
+/// an ordered sequence — no sorting involved).
+pub fn put_state_window(buf: &mut ByteBuf, w: &crate::window::WindowBuffer) {
+    put_time(buf, w.opened());
+    let obs = w.observations();
+    buf.put_u32(obs.len() as u32);
+    for (o, t) in obs {
+        put_object(buf, o);
+        put_time(buf, *t);
+    }
+}
+
+/// Decode a capture window for `site` flushing at `n_max` (inverse of
+/// [`put_state_window`]).
+pub fn get_state_window(
+    buf: &mut Bytes,
+    site: SiteId,
+    n_max: usize,
+) -> Result<crate::window::WindowBuffer, DecodeError> {
+    let opened = get_time(buf)?;
+    let n = get_len(buf, OBJECT_ID_BYTES + TIME_BYTES)?;
+    if n >= n_max {
+        // A window this full would have flushed before it was captured.
+        return Err(DecodeError::TooLong(n as u32));
+    }
+    let mut obs = Vec::with_capacity(n);
+    for _ in 0..n {
+        obs.push((get_object(buf)?, get_time(buf)?));
+    }
+    Ok(crate::window::WindowBuffer::restore(site, n_max, obs, opened))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -487,6 +625,88 @@ mod tests {
             let sliced = full.slice(..cut);
             assert!(matches!(decode(sliced), Err(DecodeError::Truncated)), "cut at {cut}");
         }
+    }
+
+    #[test]
+    fn state_iop_roundtrip_is_canonical() {
+        // Two stores with the same content built in different insertion
+        // orders must encode byte-identically (canonical order), and
+        // the roundtrip must preserve every record.
+        let build = |order: &[u64]| {
+            let mut iop = IopStore::new();
+            for &n in order {
+                iop.capture(obj(n), SimTime::from_micros(10 * n));
+                iop.set_from(obj(n), SimTime::from_micros(10 * n), (n % 2 == 0).then(|| link(1, n)));
+            }
+            iop
+        };
+        let a = build(&[1, 2, 3, 4]);
+        let b = build(&[4, 2, 3, 1]);
+        let enc = |iop: &IopStore| {
+            let mut buf = ByteBuf::new();
+            put_state_iop(&mut buf, iop);
+            buf.freeze()
+        };
+        assert_eq!(enc(&a), enc(&b), "insertion order leaked into the encoding");
+        let mut bytes = enc(&a);
+        let back = get_state_iop(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0);
+        assert_eq!(enc(&back), enc(&a));
+        for n in 1..=4 {
+            assert_eq!(back.all(obj(n)), a.all(obj(n)));
+        }
+    }
+
+    #[test]
+    fn state_gateway_roundtrip_is_canonical() {
+        let build = |order: &[u64]| {
+            let mut g = GatewayStore::new();
+            g.objects.insert(obj(9), entry(1, 1, None));
+            for &n in order {
+                let p = Prefix::from_bit_str(if n % 2 == 0 { "01" } else { "10" });
+                g.shard_mut(p).upsert(obj(n), entry(n as u32, n, Some(link(2, n))));
+            }
+            g.shard_mut(Prefix::from_bit_str("01")).delegated = true;
+            g
+        };
+        let enc = |g: &GatewayStore| {
+            let mut buf = ByteBuf::new();
+            put_state_gateway(&mut buf, g);
+            buf.freeze()
+        };
+        let a = build(&[1, 2, 3, 4, 5]);
+        let b = build(&[5, 3, 1, 4, 2]);
+        assert_eq!(enc(&a), enc(&b));
+        let mut bytes = enc(&a);
+        let back = get_state_gateway(&mut bytes).unwrap();
+        assert_eq!(bytes.remaining(), 0);
+        assert_eq!(enc(&back), enc(&a));
+        assert!(back.prefixes[&Prefix::from_bit_str("01")].delegated);
+        // Recency order survives: the earliest record in shard "01"
+        // (objects 2, 4 at times 2, 4) is object 2.
+        let mut back = back;
+        let earliest = back.shard_mut(Prefix::from_bit_str("01")).take_earliest(1);
+        assert_eq!(earliest[0].0, obj(2));
+    }
+
+    #[test]
+    fn state_window_roundtrip_and_full_window_rejected() {
+        let mut w = crate::window::WindowBuffer::new(SiteId(3), 8);
+        w.push(obj(1), SimTime::from_micros(100));
+        w.push(obj(2), SimTime::from_micros(150));
+        let mut buf = ByteBuf::new();
+        put_state_window(&mut buf, &w);
+        let mut bytes = buf.freeze();
+        let back = get_state_window(&mut bytes, SiteId(3), 8).unwrap();
+        assert_eq!(back.observations(), w.observations());
+        assert_eq!(back.opened(), w.opened());
+
+        // The same bytes against a smaller n_max claim a window that
+        // could never have existed — loud error, not a panic later.
+        let mut buf = ByteBuf::new();
+        put_state_window(&mut buf, &w);
+        let mut bytes = buf.freeze();
+        assert!(get_state_window(&mut bytes, SiteId(3), 2).is_err());
     }
 
     proptiny! {

@@ -143,6 +143,24 @@ impl IopStore {
         self.records.values().map(Vec::len).sum()
     }
 
+    /// Iterate every `(object, visit history)` pair, in hash order —
+    /// callers needing a canonical order (state snapshots) sort the
+    /// keys themselves.
+    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &Vec<IopRecord>)> {
+        self.records.iter()
+    }
+
+    /// Install a full visit history for one object (state recovery —
+    /// the inverse of [`IopStore::iter`]). Records must be in arrival
+    /// order; replaces any existing history for the object.
+    pub fn insert_history(&mut self, object: ObjectId, records: Vec<IopRecord>) {
+        debug_assert!(
+            records.windows(2).all(|w| w[0].arrived <= w[1].arrived),
+            "history must be in arrival order"
+        );
+        self.records.insert(object, records);
+    }
+
     /// Is the repository empty?
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()

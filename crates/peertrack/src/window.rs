@@ -61,6 +61,32 @@ impl WindowBuffer {
         self.buf.is_empty()
     }
 
+    /// The buffered observations of the open cycle, in arrival order
+    /// (state snapshots).
+    pub fn observations(&self) -> &[(ObjectId, SimTime)] {
+        &self.buf
+    }
+
+    /// When the open cycle started (meaningful only when non-empty).
+    pub fn opened(&self) -> SimTime {
+        self.opened
+    }
+
+    /// Reconstruct a buffer mid-cycle (state recovery — the inverse of
+    /// [`WindowBuffer::observations`]/[`WindowBuffer::opened`]). The
+    /// restored buffer must be strictly below the flush threshold: a
+    /// full window would already have flushed before it was captured.
+    pub fn restore(
+        site: SiteId,
+        n_max: usize,
+        observations: Vec<(ObjectId, SimTime)>,
+        opened: SimTime,
+    ) -> WindowBuffer {
+        assert!(n_max > 0, "n_max must be positive");
+        assert!(observations.len() < n_max, "restored window would already have flushed");
+        WindowBuffer { site, n_max, buf: observations, opened }
+    }
+
     /// Feed one capture. Returns the action the runtime must take.
     pub fn push(&mut self, object: ObjectId, now: SimTime) -> WindowEvent {
         let first = self.buf.is_empty();

@@ -54,12 +54,23 @@ impl Backoff {
 pub struct ConnCache {
     conns: HashMap<SocketAddr, TcpStream>,
     backoff: Backoff,
+    /// Consecutive *failed dials* per peer (each dial is a full backoff
+    /// schedule). Reset to zero by the next successful dial, so a peer
+    /// that restarts — even on the same address — starts with a clean
+    /// slate instead of inheriting its predecessor's failure history.
+    failure_streaks: HashMap<SocketAddr, u32>,
 }
 
 impl ConnCache {
     /// An empty cache using the given reconnect schedule.
     pub fn new(backoff: Backoff) -> ConnCache {
-        ConnCache { conns: HashMap::new(), backoff }
+        ConnCache { conns: HashMap::new(), backoff, failure_streaks: HashMap::new() }
+    }
+
+    /// How many consecutive dials to `addr` have exhausted their backoff
+    /// schedule without connecting. Zero after any successful dial.
+    pub fn failure_streak(&self, addr: SocketAddr) -> u32 {
+        self.failure_streaks.get(&addr).copied().unwrap_or(0)
     }
 
     /// The cached (or freshly dialed) stream for `addr`.
@@ -71,19 +82,21 @@ impl ConnCache {
         Ok(self.conns.get_mut(&addr).expect("just inserted"))
     }
 
-    /// Dial `addr` under the backoff schedule.
-    fn dial(&self, addr: SocketAddr) -> io::Result<TcpStream> {
+    /// Dial `addr` under the backoff schedule, updating its streak.
+    fn dial(&mut self, addr: SocketAddr) -> io::Result<TcpStream> {
         let mut last_err = None;
         for attempt in 1..=self.backoff.max_attempts {
             std::thread::sleep(self.backoff.delay_before(attempt));
             match TcpStream::connect(addr) {
                 Ok(stream) => {
                     stream.set_nodelay(true).ok();
+                    self.failure_streaks.remove(&addr);
                     return Ok(stream);
                 }
                 Err(e) => last_err = Some(e),
             }
         }
+        *self.failure_streaks.entry(addr).or_insert(0) += 1;
         Err(last_err.unwrap_or_else(|| {
             io::Error::new(io::ErrorKind::Other, "zero dial attempts configured")
         }))
@@ -177,5 +190,45 @@ mod tests {
     fn backoff_factor_one_is_constant() {
         let b = Backoff { base: Duration::from_millis(50), factor: 1, max_attempts: 8 };
         assert_eq!(b.delay_before(2), b.delay_before(7));
+    }
+
+    /// A peer that comes back (same address, new process — the restart
+    /// path) must clear its dial-failure streak, or health heuristics
+    /// built on the streak would keep treating the reborn peer as dead.
+    #[test]
+    fn failure_streak_resets_after_successful_reconnect() {
+        use std::net::TcpListener;
+
+        // Reserve a loopback port, then free it so dials fail.
+        let addr = match TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l.local_addr().unwrap(),
+            Err(_) => {
+                eprintln!("skipping: loopback sockets unavailable here");
+                return;
+            }
+        };
+
+        let mut cache = ConnCache::new(Backoff {
+            base: Duration::from_millis(1),
+            factor: 1,
+            max_attempts: 2,
+        });
+        assert_eq!(cache.failure_streak(addr), 0);
+        assert!(cache.send(addr, b"down").is_err());
+        // send() dials twice (initial + the redial-once path).
+        let streak = cache.failure_streak(addr);
+        assert!(streak > 0, "failed dials must be counted");
+        assert!(cache.send(addr, b"still down").is_err());
+        assert!(cache.failure_streak(addr) > streak, "streak must grow while down");
+
+        // The peer returns on the same address.
+        let listener = TcpListener::bind(addr).expect("rebind reserved port");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            crate::frame::read_frame(&mut s).expect("read frame")
+        });
+        cache.send(addr, b"hello again").expect("peer is back");
+        assert_eq!(cache.failure_streak(addr), 0, "success clears the streak");
+        assert_eq!(server.join().unwrap().as_deref(), Some(&b"hello again"[..]));
     }
 }

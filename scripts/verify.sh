@@ -61,8 +61,20 @@ if ./target/release/peertrackd --probe-bind; then
     timeout 180 cargo test -q --offline -p integration-tests --test cluster_parity \
         || { echo "cluster/simulator parity failed (or timed out)" >&2; exit 1; }
     echo "OK: loopback cluster runs, queries answer, accounting matches the simulator."
+
+    echo "== kill-and-recover smoke (durable data dirs) =="
+    # A node crashed mid-schedule (no final snapshot) must restart from
+    # its WAL+snapshot byte-identical and keep answering correctly; the
+    # same test file also holds the snapshot-anywhere ≡ pure-replay and
+    # corruption-prefix properties. Hard timeout: a wedged recovery
+    # fails the gate instead of hanging it.
+    timeout 180 cargo test -q --offline -p integration-tests --test crash_recovery \
+        || { echo "crash recovery smoke failed (or timed out)" >&2; exit 1; }
+    echo "OK: crashed node recovered byte-identical and answers match the oracle."
 else
-    echo "WARNING: sandbox forbids binding loopback sockets; cluster smoke SKIPPED." >&2
+    echo "WARNING: sandbox forbids binding loopback sockets; cluster and" >&2
+    echo "         kill-and-recover smokes SKIPPED (socket-free recovery" >&2
+    echo "         properties still ran in the test stage above)." >&2
 fi
 
 echo "== dependency policy: path-only =="
@@ -96,10 +108,11 @@ grep -q 'crates/obs' Cargo.toml \
     || { echo "crates/obs missing from the workspace manifest" >&2; exit 1; }
 echo "OK: crates/obs is in the workspace."
 
-# So must the real-network path (transport framing + the daemon), which
-# the parity test verifies against the simulator oracle.
-for c in transport daemon; do
+# So must the real-network path (transport framing + the daemon) and
+# the durability layer under it (WAL + snapshots), which the crash
+# recovery test verifies against the simulator oracle.
+for c in transport daemon durable; do
     grep -q "crates/$c" Cargo.toml \
         || { echo "crates/$c missing from the workspace manifest" >&2; exit 1; }
 done
-echo "OK: crates/transport and crates/daemon are in the workspace."
+echo "OK: crates/transport, crates/daemon and crates/durable are in the workspace."
