@@ -150,6 +150,24 @@ impl Ring {
             .or_else(|| self.nodes.keys().next().copied())
     }
 
+    /// Ground-truth chain of up to `k` distinct live nodes starting at
+    /// `key`'s successor and walking clockwise — the *replica set* of
+    /// the key range ending at `key`. When `key` is itself a member, the
+    /// chain starts with that member (a node is the first holder of its
+    /// own range). Shorter than `k` only when the ring has fewer nodes.
+    pub fn successors_of(&self, key: &Id, k: usize) -> Vec<Id> {
+        let Some(first) = self.successor_of(key) else {
+            return Vec::new();
+        };
+        let mut chain = Vec::with_capacity(k.min(self.nodes.len()));
+        let mut cur = first;
+        for _ in 0..k.min(self.nodes.len()) {
+            chain.push(cur);
+            cur = self.successor_of(&cur.succ()).expect("non-empty");
+        }
+        chain
+    }
+
     /// Ground-truth predecessor of a *member* id: the previous live node
     /// counter-clockwise.
     fn predecessor_of(&self, id: &Id) -> Option<Id> {

@@ -9,6 +9,7 @@
 //! peertrackd ctl 127.0.0.1:7401 locate 1:7 2000000
 //! peertrackd ctl 127.0.0.1:7401 trace 1:7 0 9000000
 //! peertrackd ctl 127.0.0.1:7400 status
+//! peertrackd ctl 127.0.0.1:7400 dead 2   # site 2 is gone forever
 //! peertrackd ctl 127.0.0.1:7400 shutdown
 //! peertrackd --probe-bind        # exit 0 iff loopback sockets work here
 //! ```
@@ -76,12 +77,15 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 fn print_usage() {
     println!(
         "usage:\n  peertrackd --site N --seed S --listen ADDR [--bootstrap ADDR]\n           \
-         [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]\n  \
+         [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]\n           \
+         [--replicas K]\n  \
          peertrackd ctl ADDR (status | capture AT_US OBJ... | flush NOW_US | \
-         locate OBJ T_US | trace OBJ T0_US T1_US | shutdown | crash)\n  \
+         locate OBJ T_US | trace OBJ T0_US T1_US | dead SITE | shutdown | crash)\n  \
          peertrackd --probe-bind\n\nOBJ is HOME:SERIAL; times are virtual µs.\n\
          Without --data-dir the node is in-memory only (crash loses state);\n\
          with it, every mutation is write-ahead logged and recovered on restart.\n\
+         --replicas K copies every site's records onto its K-1 ring successors\n\
+         (must match across the cluster; default 1 = no replication).\n\
          SIGINT/SIGTERM trigger the same clean shutdown as `ctl ... shutdown`."
     );
 }
@@ -98,6 +102,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut data_dir: Option<std::path::PathBuf> = None;
     let mut fsync = FsyncMode::Batch;
     let mut snapshot_every = daemon::node::DEFAULT_SNAPSHOT_EVERY;
+    let mut replicas: usize = 1;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -119,6 +124,12 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--snapshot-every must be at least 1".into());
                 }
             }
+            "--replicas" => {
+                replicas = parse(&val("--replicas")?, "replicas")?;
+                if replicas == 0 {
+                    return Err("--replicas must be at least 1".into());
+                }
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -133,6 +144,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         data_dir,
         fsync,
         snapshot_every,
+        replicas,
     };
     let node = Node::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
     println!("peertrackd site {} listening on {}", site.0, node.addr());
@@ -212,6 +224,18 @@ fn ctl(args: &[String]) -> Result<ExitCode, String> {
             object: object_arg(rest.first().ok_or("trace needs OBJ")?)?,
             t0: time_arg(rest.get(1), "trace T0_US")?,
             t1: time_arg(rest.get(2), "trace T1_US")?,
+        },
+        // Declare a site permanently dead (kill-forever): send to every
+        // *survivor* after the victim's process is gone. The receiver
+        // removes the site from its ring, promotes the heir for its
+        // gateway shards, and re-replicates — see DESIGN.md §13.
+        "dead" => Frame::PeerDead {
+            site: SiteId(
+                rest.first()
+                    .ok_or("dead needs SITE")?
+                    .parse()
+                    .map_err(|e| format!("dead SITE: {e}"))?,
+            ),
         },
         other => return Err(format!("unknown ctl command {other}")),
     };

@@ -38,6 +38,14 @@ use workload::CaptureEvent;
 /// take before the harness declares the cluster wedged.
 const SETTLE_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Checked conversion from a harness vector index to a wire [`SiteId`].
+/// Every site-indexed structure here is a `Vec`, so an index that does
+/// not fit `u32` is a harness bug — fail loudly instead of letting
+/// `as u32` silently truncate into some *other* site's id.
+fn site_id(i: usize) -> SiteId {
+    SiteId(u32::try_from(i).unwrap_or_else(|_| panic!("site index {i} exceeds u32::MAX")))
+}
+
 /// Durable-storage settings shared by every node of a durable cluster
 /// (kept so [`LoopbackCluster::restart`] can respawn with the same).
 #[derive(Clone, Debug)]
@@ -89,6 +97,13 @@ pub struct LoopbackCluster {
     seed: u64,
     group: GroupConfig,
     durable: Option<DurableSetup>,
+    replicas: usize,
+    /// Final sent/received counters of permanently killed nodes
+    /// ([`LoopbackCluster::kill_forever`]): their frames stay in the
+    /// cluster-wide balance [`LoopbackCluster::quiesce`] checks even
+    /// though the nodes no longer answer [`Frame::Status`].
+    dead_sent: u64,
+    dead_received: u64,
 }
 
 impl LoopbackCluster {
@@ -102,7 +117,21 @@ impl LoopbackCluster {
     /// once every node reports full membership (so every ring replica is
     /// identical before any traffic flows).
     pub fn start_with(n: usize, seed: u64, group: GroupConfig) -> io::Result<LoopbackCluster> {
-        LoopbackCluster::start_inner(n, seed, group, None)
+        LoopbackCluster::start_inner(n, seed, group, None, 1)
+    }
+
+    /// Start `n` nodes with replication factor `k`: every site's
+    /// repository and gateway shards are copied onto its `k−1` ring
+    /// successors, and up to `k−1` nodes can be
+    /// [`LoopbackCluster::kill_forever`]'d with oracle-exact queries
+    /// surviving. `k = 1` is identical to [`LoopbackCluster::start_with`].
+    pub fn start_replicated(
+        n: usize,
+        seed: u64,
+        group: GroupConfig,
+        k: usize,
+    ) -> io::Result<LoopbackCluster> {
+        LoopbackCluster::start_inner(n, seed, group, None, k)
     }
 
     /// Start `n` *durable* nodes: site `i` logs to `root/site-i` under
@@ -119,7 +148,7 @@ impl LoopbackCluster {
     ) -> io::Result<LoopbackCluster> {
         let setup =
             DurableSetup { root: root.to_path_buf(), fsync, snapshot_every };
-        LoopbackCluster::start_inner(n, seed, group, Some(setup))
+        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1)
     }
 
     fn start_inner(
@@ -127,19 +156,23 @@ impl LoopbackCluster {
         seed: u64,
         group: GroupConfig,
         durable: Option<DurableSetup>,
+        replicas: usize,
     ) -> io::Result<LoopbackCluster> {
         assert!(n >= 1, "cluster needs at least one node");
         let mut cluster = LoopbackCluster {
             nodes: Vec::with_capacity(n),
             addrs: Vec::with_capacity(n),
             ctl: ConnCache::new(Backoff::default()),
-            mirrors: (0..n).map(|i| WindowBuffer::new(SiteId(i as u32), group.n_max)).collect(),
+            mirrors: (0..n).map(|i| WindowBuffer::new(site_id(i), group.n_max)).collect(),
             deadlines: vec![None; n],
             next_arm: 0,
             t_max: group.t_max,
             seed,
             group,
             durable,
+            replicas: replicas.max(1),
+            dead_sent: 0,
+            dead_received: 0,
         };
         for i in 0..n {
             let bootstrap = if i == 0 { None } else { Some(cluster.addrs[0]) };
@@ -152,13 +185,14 @@ impl LoopbackCluster {
     }
 
     fn config_for(&self, i: usize, bootstrap: Option<SocketAddr>) -> NodeConfig {
-        let mut cfg = NodeConfig::loopback(SiteId(i as u32), self.seed, bootstrap);
+        let mut cfg = NodeConfig::loopback(site_id(i), self.seed, bootstrap);
         cfg.group = self.group;
         if let Some(setup) = &self.durable {
             cfg.data_dir = Some(setup.root.join(format!("site-{i}")));
             cfg.fsync = setup.fsync;
             cfg.snapshot_every = setup.snapshot_every;
         }
+        cfg.replicas = self.replicas;
         cfg
     }
 
@@ -191,7 +225,7 @@ impl LoopbackCluster {
             if self.nodes[i].is_none() {
                 continue;
             }
-            match self.ctl_request(SiteId(i as u32), &Frame::Status)? {
+            match self.ctl_request(site_id(i), &Frame::Status)? {
                 Frame::StatusResp { members, sent, received, .. } => {
                     out.push((members, sent, received));
                 }
@@ -231,9 +265,10 @@ impl LoopbackCluster {
         let start = Instant::now();
         let mut prev: Option<(u64, u64)> = None;
         loop {
-            let sums = self.statuses()?.iter().fold((0u64, 0u64), |(s, r), &(_, ns, nr)| {
-                (s + ns, r + nr)
-            });
+            let sums = self.statuses()?.iter().fold(
+                (self.dead_sent, self.dead_received),
+                |(s, r), &(_, ns, nr)| (s + ns, r + nr),
+            );
             if sums.0 == sums.1 && prev == Some(sums) {
                 return Ok(());
             }
@@ -325,7 +360,7 @@ impl LoopbackCluster {
     fn fire_flush(&mut self, idx: usize, now: SimTime) -> io::Result<()> {
         self.deadlines[idx] = None;
         let batch = self.mirrors[idx].flush(now);
-        let reply = self.ctl_request(SiteId(idx as u32), &Frame::Flush { now })?;
+        let reply = self.ctl_request(site_id(idx), &Frame::Flush { now })?;
         expect_ack(reply)?;
         if batch.is_some() {
             self.quiesce()?;
@@ -371,9 +406,39 @@ impl LoopbackCluster {
     /// slot stays empty until [`LoopbackCluster::restart`].
     pub fn crash(&mut self, i: usize) -> io::Result<NodeReport> {
         let node = self.nodes[i].take().expect("crash of a live node");
-        let reply = self.ctl_request(SiteId(i as u32), &Frame::Crash)?;
+        let reply = self.ctl_request(site_id(i), &Frame::Crash)?;
         expect_ack(reply)?;
         Ok(node.join())
+    }
+
+    /// Kill node `i` **forever**: flush its open capture window (its
+    /// observations must reach the index before it dies, exactly like
+    /// the simulator's `kill_forever`), quiesce, crash it, then
+    /// broadcast [`Frame::PeerDead`] so every survivor drops it from
+    /// the membership, fails its key ranges over to the heir and
+    /// re-establishes replica placement. The slot stays empty for good
+    /// — no restart. Requires a replicated cluster (`k > 1`).
+    pub fn kill_forever(&mut self, i: usize) -> io::Result<NodeReport> {
+        assert!(self.replicas > 1, "kill_forever requires a replicated cluster");
+        if let Some((t, _)) = self.deadlines[i] {
+            self.fire_flush(i, t)?;
+        }
+        self.quiesce()?;
+        let node = self.nodes[i].take().expect("kill_forever of a live node");
+        let reply = self.ctl_request(site_id(i), &Frame::Crash)?;
+        expect_ack(reply)?;
+        let report = node.join();
+        self.dead_sent += report.sent;
+        self.dead_received += report.received;
+        let live: Vec<usize> =
+            (0..self.nodes.len()).filter(|&j| self.nodes[j].is_some()).collect();
+        for &j in &live {
+            let reply = self.ctl_request(site_id(j), &Frame::PeerDead { site: site_id(i) })?;
+            expect_ack(reply)?;
+        }
+        self.wait_members(live.len())?;
+        self.quiesce()?;
+        Ok(report)
     }
 
     /// Restart a crashed node from its data directory. The node binds a
@@ -399,7 +464,7 @@ impl LoopbackCluster {
     /// The canonical state encoding of node `i` (addresses excluded),
     /// fetched over the socket.
     pub fn state_dump(&mut self, i: usize) -> io::Result<Vec<u8>> {
-        match self.ctl_request(SiteId(i as u32), &Frame::StateDump)? {
+        match self.ctl_request(site_id(i), &Frame::StateDump)? {
             Frame::StateResp(state) => Ok(state),
             other => Err(io::Error::new(
                 io::ErrorKind::InvalidData,
@@ -419,8 +484,8 @@ impl LoopbackCluster {
         loop {
             let mut ok = true;
             for &j in &peers {
-                let resolve = Frame::Resolve { site: SiteId(i as u32) };
-                match self.ctl_request(SiteId(j as u32), &resolve)? {
+                let resolve = Frame::Resolve { site: site_id(i) };
+                match self.ctl_request(site_id(j), &resolve)? {
                     Frame::AddrResp(Some(a)) if a == want => {}
                     _ => {
                         ok = false;

@@ -67,7 +67,9 @@ use peertrack::config::GroupConfig;
 use peertrack::grouping::group_batch;
 use peertrack::messages::{Msg, Wire};
 use peertrack::query::QUERY_MSG_BYTES;
-use peertrack::store::{GatewayStore, IndexEntry, IopRecord, IopStore, Link};
+use peertrack::bytebuf::ByteBuf;
+use peertrack::codec;
+use peertrack::store::{GatewayStore, IndexEntry, IopRecord, IopStore, Link, PrefixIndex};
 use peertrack::window::{WindowBatch, WindowBuffer, WindowEvent};
 use peertrack::world::Anomalies;
 use simnet::metrics::{Metrics, MsgClass};
@@ -125,6 +127,13 @@ pub struct NodeConfig {
     /// Install a snapshot (and compact the WAL) every this many logged
     /// records; meaningful only with `data_dir`.
     pub snapshot_every: u64,
+    /// Replication factor `K`: every site's IOP repository and gateway
+    /// shards are copied onto its `K−1` ring successors, and the
+    /// cluster survives up to `K−1` permanent losses with oracle-exact
+    /// queries. `1` (the default) disables replication entirely — the
+    /// pre-replication behaviour, byte-identical state encodings
+    /// included. Must match across the cluster, like `seed`.
+    pub replicas: usize,
 }
 
 impl NodeConfig {
@@ -139,6 +148,7 @@ impl NodeConfig {
             data_dir: None,
             fsync: FsyncMode::Never,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            replicas: 1,
         }
     }
 }
@@ -286,6 +296,20 @@ pub struct Core {
     pub(crate) unsupported: u64,
     /// Messages produced by the last `apply_record`, awaiting delivery.
     pub(crate) outbox: Vec<Outbound>,
+    /// Replication factor `K` (config, not logged state — it must match
+    /// across the cluster and across restarts, like `seed`). `1`
+    /// disables every replication path below.
+    pub(crate) replicas: usize,
+    /// Sites declared permanently dead ([`WalRecord::Dead`]); never
+    /// rejoin, and IOP updates aimed at them are redirected to their
+    /// replica holders.
+    pub(crate) dead: std::collections::BTreeSet<SiteId>,
+    /// This node's replica copies of other primaries' IOP repositories,
+    /// keyed by primary. Sorted iteration keeps the state encoding
+    /// canonical.
+    pub(crate) replica_iop: BTreeMap<SiteId, IopStore>,
+    /// This node's replica copies of other primaries' gateway stores.
+    pub(crate) replica_gateway: BTreeMap<SiteId, GatewayStore>,
 }
 
 impl Core {
@@ -312,6 +336,10 @@ impl Core {
             anomalies: Anomalies::default(),
             unsupported: 0,
             outbox: Vec::new(),
+            replicas: 1,
+            dead: std::collections::BTreeSet::new(),
+            replica_iop: BTreeMap::new(),
+            replica_gateway: BTreeMap::new(),
         };
         c.rebuild_ring();
         c
@@ -322,9 +350,13 @@ impl Core {
     pub fn apply_record(&mut self, rec: &WalRecord) {
         match rec {
             WalRecord::Member { site, addr } => {
+                if self.dead.contains(site) {
+                    return; // kill-forever: a dead site never rejoins
+                }
                 if let Ok(a) = addr.parse() {
                     self.members.insert(*site, a);
                     self.rebuild_ring();
+                    self.replica_maintenance();
                 }
             }
             WalRecord::Capture { at, objects } => self.on_capture(*at, objects),
@@ -333,6 +365,7 @@ impl Core {
             WalRecord::Query { messages, hops, bytes } => {
                 self.metrics.record_bulk(MsgClass::Query, *messages, *bytes, *hops);
             }
+            WalRecord::Dead { site } => self.on_dead(*site),
         }
     }
 
@@ -364,7 +397,18 @@ impl Core {
         }
         ring.stabilize_all();
         self.ring = ring;
-        self.lp = self.group.scheme.lp_clamped(self.ring.len(), self.group.l_min);
+        // `Lp` is clamped against the *ever-joined* count (live members
+        // plus permanent deaths), so it grows as members join but never
+        // shrinks when one dies. The simulator re-clamps on the live
+        // count and runs the §IV-A.2 splitting–merging migration; the
+        // daemon's supported regime is stable-`Lp`, so after a permanent
+        // loss it keeps the finer granularity instead. Both inputs are
+        // in the canonical state, so live nodes and snapshot-recovered
+        // ones derive the same value and routing stays agreed.
+        self.lp = self
+            .group
+            .scheme
+            .lp_clamped(self.ring.len() + self.dead.len(), self.group.l_min);
     }
 
     fn my_chord_id(&self) -> Id {
@@ -385,24 +429,32 @@ impl Core {
             self.anomalies.duplicates_suppressed += 1;
             return;
         }
-        self.handle_msg(wire.msg.clone());
+        self.handle_msg(sender, wire.msg.clone());
     }
 
-    fn handle_msg(&mut self, msg: Msg) {
+    fn handle_msg(&mut self, sender: SiteId, msg: Msg) {
         match msg {
             Msg::SetTo { updates } => {
+                let mut touched = Vec::with_capacity(updates.len());
                 for (o, arrived, link) in updates {
-                    if !self.iop.set_to(o, arrived, link) {
+                    if self.iop.set_to(o, arrived, link) {
+                        touched.push((o, arrived));
+                    } else {
                         self.anomalies.dangling_iop_updates += 1;
                     }
                 }
+                self.replicate_iop(&touched);
             }
             Msg::SetFrom { updates } => {
+                let mut touched = Vec::with_capacity(updates.len());
                 for (o, arrived, link) in updates {
-                    if !self.iop.set_from(o, arrived, link) {
+                    if self.iop.set_from(o, arrived, link) {
+                        touched.push((o, arrived));
+                    } else {
                         self.anomalies.dangling_iop_updates += 1;
                     }
                 }
+                self.replicate_iop(&touched);
             }
             Msg::GroupIndex { prefix, site, members } => {
                 self.handle_group_index(prefix, site, members);
@@ -415,6 +467,77 @@ impl Core {
                 self.unsupported += 1;
             }
             Msg::Ack { .. } => self.unsupported += 1,
+            // ---------------------------------------------- replication
+            // (mirrors `NetWorld::handle`'s Repl* arms)
+            Msg::ReplIop { primary, updates } => {
+                let store = self.replica_iop.entry(primary).or_default();
+                for (o, rec) in updates {
+                    store.upsert_record(o, rec);
+                }
+            }
+            Msg::ReplShard { primary, prefix, entries, delegated } => {
+                let gw = self.replica_gateway.entry(primary).or_default();
+                match prefix {
+                    Some(p) => {
+                        if entries.is_empty() && !delegated {
+                            gw.prefixes.remove(&p);
+                        } else {
+                            let shard = gw.shard_mut(p);
+                            *shard = PrefixIndex::new();
+                            shard.delegated = delegated;
+                            for (o, e) in entries {
+                                shard.upsert(o, e);
+                            }
+                        }
+                    }
+                    None => {
+                        gw.objects = entries.into_iter().collect();
+                    }
+                }
+            }
+            Msg::ReplDigest { primary, digest } => {
+                if Id::hash(&self.replica_state_bytes(primary)) != digest {
+                    self.dispatch(sender, 1, Msg::ReplSyncReq { primary });
+                }
+            }
+            Msg::ReplSyncReq { primary } => {
+                debug_assert_eq!(primary, self.site, "sync request misrouted");
+                let state = self.store_state_bytes();
+                self.dispatch(sender, 1, Msg::ReplState { primary, state });
+            }
+            Msg::ReplState { primary, state } => {
+                // Network data: a malformed state is counted, not fatal.
+                let mut bytes = peertrack::bytebuf::Bytes::from(state);
+                match (
+                    peertrack::codec::get_state_iop(&mut bytes),
+                    peertrack::codec::get_state_gateway(&mut bytes),
+                ) {
+                    (Ok(iop), Ok(gw)) => {
+                        self.replica_iop.insert(primary, iop);
+                        self.replica_gateway.insert(primary, gw);
+                    }
+                    _ => self.unsupported += 1,
+                }
+            }
+            Msg::ReplIopPatch { primary, set_to, set_from } => {
+                let store = self.replica_iop.entry(primary).or_default();
+                for (o, arrived, link) in set_to {
+                    let mut rec = store
+                        .record_at(o, arrived)
+                        .copied()
+                        .unwrap_or(IopRecord { arrived, from: None, to: None });
+                    rec.to = Some(link);
+                    store.upsert_record(o, rec);
+                }
+                for (o, arrived, from_link) in set_from {
+                    let mut rec = store
+                        .record_at(o, arrived)
+                        .copied()
+                        .unwrap_or(IopRecord { arrived, from: None, to: None });
+                    rec.from = from_link;
+                    store.upsert_record(o, rec);
+                }
+            }
         }
     }
 
@@ -424,7 +547,17 @@ impl Core {
     /// queued on the outbox for the engine (live) or dropped (replay).
     fn dispatch(&mut self, to: SiteId, hops: u32, msg: Msg) {
         if to == self.site {
-            self.handle_msg(msg);
+            self.handle_msg(self.site, msg);
+            return;
+        }
+        // An IOP update aimed at a permanently failed site is repaired
+        // onto the holders of its replica repository instead of being
+        // dropped on the floor (replication mode only).
+        if self.replicas > 1
+            && self.dead.contains(&to)
+            && matches!(msg, Msg::SetTo { .. } | Msg::SetFrom { .. })
+        {
+            self.redirect_to_replicas(to, msg);
             return;
         }
         let class = msg.class();
@@ -486,6 +619,7 @@ impl Core {
             self.dispatch(site, 1, Msg::SetFrom { updates: m3 });
         }
         self.maybe_delegate(prefix);
+        self.replicate_shard(prefix);
     }
 
     /// The Fig. 5 refresh walk, reduced to its in-regime form: with a
@@ -537,6 +671,9 @@ impl Core {
         for &o in objects {
             self.iop.capture(o, at);
         }
+        let capture_keys: Vec<(ObjectId, SimTime)> =
+            objects.iter().map(|&o| (o, at)).collect();
+        self.replicate_iop(&capture_keys);
         for &o in objects {
             match self.window.push(o, at) {
                 // Timers are the driver's job off-sim (explicit Flush).
@@ -549,6 +686,17 @@ impl Core {
     fn on_flush(&mut self, now: SimTime) {
         if let Some(batch) = self.window.flush(now) {
             self.index_batch(batch);
+            // Anti-entropy: with no off-sim timers, each flush doubles
+            // as the write-burst boundary — follow it with a digest of
+            // this primary's stores so a replica that missed a fan-out
+            // frame pulls the full state ([`Msg::ReplSyncReq`]).
+            if self.replicas > 1 {
+                let digest = Id::hash(&self.store_state_bytes());
+                let primary = self.site;
+                for h in self.replica_peer_sites() {
+                    self.dispatch(h, 1, Msg::ReplDigest { primary, digest });
+                }
+            }
         }
     }
 
@@ -568,6 +716,235 @@ impl Core {
             let msg =
                 Msg::GroupIndex { prefix: group.prefix, site: self.site, members: group.members };
             self.dispatch(owner, r.hops as u32, msg);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // K-successor replication (ported from `NetWorld`'s replication
+    // engine; DESIGN.md §13). Every entry point below no-ops when
+    // `replicas <= 1`, so the default path sends nothing and the state
+    // encoding stays byte-identical to the pre-replication node.
+    // ------------------------------------------------------------------
+
+    /// This site's replica set: its K−1 live ring successors, in ring
+    /// order. Empty when replication is off.
+    fn replica_peer_sites(&self) -> Vec<SiteId> {
+        if self.replicas <= 1 {
+            return Vec::new();
+        }
+        // `successors_of` of a member id starts with the member itself.
+        self.ring
+            .successors_of(&self.my_chord_id(), self.replicas)
+            .into_iter()
+            .skip(1)
+            .filter_map(|id| self.ring.app_index_of(&id))
+            .map(|i| SiteId(i as u32))
+            .filter(|&s| s != self.site)
+            .collect()
+    }
+
+    /// The holders of a **dead** site's replica copies: the first K−1
+    /// nodes clockwise from its ring id, on the post-removal ring —
+    /// exactly its successor set at the moment of death (absent further
+    /// churn). Patches and read probes go only to these; touching a
+    /// non-holder would plant partial records that corrupt trace walks.
+    pub(crate) fn holders_of_dead(&self, dead: SiteId) -> Vec<SiteId> {
+        if self.replicas <= 1 {
+            return Vec::new();
+        }
+        let key = chord_id_for(self.seed, dead);
+        self.ring
+            .successors_of(&key, self.replicas - 1)
+            .into_iter()
+            .filter_map(|id| self.ring.app_index_of(&id))
+            .map(|i| SiteId(i as u32))
+            .collect()
+    }
+
+    /// Canonical byte encoding of this site's primary stores (IOP then
+    /// gateway) — the unit digests and full-state sync hash and ship.
+    fn store_state_bytes(&self) -> Vec<u8> {
+        let mut buf = ByteBuf::new();
+        codec::put_state_iop(&mut buf, &self.iop);
+        codec::put_state_gateway(&mut buf, &self.gateway);
+        buf.freeze().as_slice().to_vec()
+    }
+
+    /// Canonical encoding of this node's replica copy of `primary`'s
+    /// stores (empty stores when no copy exists yet).
+    fn replica_state_bytes(&self, primary: SiteId) -> Vec<u8> {
+        let empty_iop = IopStore::new();
+        let empty_gw = GatewayStore::new();
+        let iop = self.replica_iop.get(&primary).unwrap_or(&empty_iop);
+        let gw = self.replica_gateway.get(&primary).unwrap_or(&empty_gw);
+        let mut buf = ByteBuf::new();
+        codec::put_state_iop(&mut buf, iop);
+        codec::put_state_gateway(&mut buf, gw);
+        buf.freeze().as_slice().to_vec()
+    }
+
+    /// Fan one or more IOP record updates out to the replica set.
+    /// `keys` are `(object, arrival time)` record keys; the full
+    /// records are read back from the primary store so replicas always
+    /// receive the post-update state.
+    fn replicate_iop(&mut self, keys: &[(ObjectId, SimTime)]) {
+        if self.replicas <= 1 || keys.is_empty() {
+            return;
+        }
+        let updates: Vec<(ObjectId, IopRecord)> = keys
+            .iter()
+            .filter_map(|&(o, t)| self.iop.record_at(o, t).map(|r| (o, *r)))
+            .collect();
+        if updates.is_empty() {
+            return;
+        }
+        let primary = self.site;
+        for h in self.replica_peer_sites() {
+            self.dispatch(h, 1, Msg::ReplIop { primary, updates: updates.clone() });
+        }
+    }
+
+    /// Ship the full current content of one gateway shard to the
+    /// replica set. Full-shard replace semantics let removals propagate
+    /// without tombstones: an empty shard drops the replica copy.
+    fn replicate_shard(&mut self, prefix: Prefix) {
+        if self.replicas <= 1 {
+            return;
+        }
+        let (mut entries, delegated): (Vec<(ObjectId, IndexEntry)>, bool) =
+            match self.gateway.prefixes.get(&prefix) {
+                Some(shard) => {
+                    (shard.entries.iter().map(|(o, e)| (*o, *e)).collect(), shard.delegated)
+                }
+                None => (Vec::new(), false),
+            };
+        // Sorted: message contents feed the canonical encoding at the
+        // replica and must be hasher-independent.
+        entries.sort_by_key(|(o, _)| *o);
+        let primary = self.site;
+        for h in self.replica_peer_sites() {
+            let msg =
+                Msg::ReplShard { primary, prefix: Some(prefix), entries: entries.clone(), delegated };
+            self.dispatch(h, 1, msg);
+        }
+    }
+
+    /// Redirect an M2/M3 IOP update whose destination is permanently
+    /// dead to the live holders of that site's replica repository, as a
+    /// [`Msg::ReplIopPatch`]. With no surviving holder the update is
+    /// lost and counted, as before.
+    fn redirect_to_replicas(&mut self, dead: SiteId, msg: Msg) {
+        let holders = self.holders_of_dead(dead);
+        if holders.is_empty() {
+            self.anomalies.dropped_to_dead += 1;
+            return;
+        }
+        let (set_to, set_from) = match msg {
+            Msg::SetTo { updates } => (updates, Vec::new()),
+            Msg::SetFrom { updates } => (Vec::new(), updates),
+            other => unreachable!("only IOP updates are redirected, got {other:?}"),
+        };
+        for h in holders {
+            let patch = Msg::ReplIopPatch {
+                primary: dead,
+                set_to: set_to.clone(),
+                set_from: set_from.clone(),
+            };
+            self.dispatch(h, 1, patch);
+        }
+    }
+
+    /// Apply a kill-forever declaration: drop the member, rebuild the
+    /// ring, and — with replication on — fail its key ranges over. The
+    /// heir (the dead id's first live successor) merges its replica
+    /// copy of the dead gateway into its primary stores; everyone drops
+    /// the now-stale gateway copies (the **IOP** copies stay — they are
+    /// the read-fallback data); placement is re-established on the
+    /// shrunken ring.
+    fn on_dead(&mut self, site: SiteId) {
+        if site == self.site || self.members.remove(&site).is_none() {
+            return;
+        }
+        self.dead.insert(site);
+        self.rebuild_ring();
+        if self.replicas <= 1 {
+            return;
+        }
+        let dead_chord = chord_id_for(self.seed, site);
+        if self.ring.successor_of(&dead_chord) == Some(self.my_chord_id()) {
+            self.promote_dead_primary(site);
+        }
+        self.replica_gateway.remove(&site);
+        self.replica_maintenance();
+    }
+
+    /// Failover merge at the heir (mirrors the simulator's
+    /// `promote_dead_primary`): fold the replica copy of the dead
+    /// site's *gateway* stores into this node's primary stores, keeping
+    /// whichever entry is newer where both exist.
+    fn promote_dead_primary(&mut self, dead: SiteId) {
+        let Some(gw) = self.replica_gateway.remove(&dead) else { return };
+        let mut objs: Vec<(ObjectId, IndexEntry)> = gw.objects.into_iter().collect();
+        objs.sort_by_key(|(o, _)| *o);
+        for (o, e) in objs {
+            match self.gateway.objects.get(&o) {
+                // A racing index update here already holds a newer
+                // visit — keep it.
+                Some(ex) if ex.time >= e.time => {}
+                _ => {
+                    self.gateway.objects.insert(o, e);
+                }
+            }
+        }
+        let mut prefixes: Vec<(Prefix, PrefixIndex)> = gw.prefixes.into_iter().collect();
+        prefixes.sort_by_key(|(p, _)| *p);
+        for (p, shard) in prefixes {
+            let mut es: Vec<(ObjectId, IndexEntry)> =
+                shard.entries.iter().map(|(o, e)| (*o, *e)).collect();
+            es.sort_by_key(|(o, _)| *o);
+            let dst = self.gateway.shard_mut(p);
+            dst.delegated |= shard.delegated;
+            for (o, e) in es {
+                match dst.get(&o) {
+                    Some(ex) if ex.time >= e.time => {}
+                    _ => dst.upsert(o, e),
+                }
+            }
+            self.hosted.insert(p);
+        }
+    }
+
+    /// Re-establish the placement invariant after a membership change:
+    /// drop copies of *live* primaries this node no longer succeeds
+    /// (dead primaries' copies stay — they are the read fallback), and
+    /// push this node's own full store state to its current holders.
+    fn replica_maintenance(&mut self) {
+        if self.replicas <= 1 {
+            return;
+        }
+        let held: Vec<SiteId> = self
+            .replica_iop
+            .keys()
+            .chain(self.replica_gateway.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for primary in held {
+            if self.dead.contains(&primary) || !self.members.contains_key(&primary) {
+                continue;
+            }
+            let holder_chain = self.ring.successors_of(&chord_id_for(self.seed, primary), self.replicas);
+            let me = self.my_chord_id();
+            if !holder_chain.iter().skip(1).any(|id| *id == me) {
+                self.replica_iop.remove(&primary);
+                self.replica_gateway.remove(&primary);
+            }
+        }
+        let state = self.store_state_bytes();
+        let primary = self.site;
+        for h in self.replica_peer_sites() {
+            self.dispatch(h, 1, Msg::ReplState { primary, state: state.clone() });
         }
     }
 }
@@ -598,11 +975,17 @@ impl Engine {
         rx: Receiver<Incoming>,
     ) -> io::Result<Engine> {
         let mut core = Core::new(cfg.site, cfg.seed, cfg.group, addr);
+        core.replicas = cfg.replicas.max(1);
         let mut data = None;
         if let Some(dir) = &cfg.data_dir {
             let (d, recovery) = DataDir::open(dir, cfg.fsync)?;
             if let Some((_, body)) = &recovery.snapshot {
                 core = Core::from_snapshot(cfg.site, cfg.seed, cfg.group, body)?;
+                // The replication factor is config, not logged state —
+                // it must be restored before the tail replays, or
+                // recovered fan-out accounting diverges from the live
+                // run.
+                core.replicas = cfg.replicas.max(1);
             }
             for entry in &recovery.tail {
                 let rec = WalRecord::decode(&entry.payload).map_err(|e| {
@@ -740,6 +1123,10 @@ impl Engine {
                         self.log_apply(WalRecord::Member { site, addr });
                     }
                 }
+                Frame::PeerDead { site } => {
+                    self.log_apply(WalRecord::Dead { site });
+                    let _ = incoming.reply.send(&Frame::Ack.encode());
+                }
                 Frame::JoinResp { .. } => self.core.unsupported += 1,
                 Frame::Capture { at, objects } => {
                     self.log_apply(WalRecord::Capture { at, objects });
@@ -822,6 +1209,15 @@ impl Engine {
                 }
                 Frame::RecLatest { object } => {
                     let rec = self.core.iop.latest(object).copied();
+                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
+                }
+                Frame::ReplRecAt { primary, object, time } => {
+                    let rec = self
+                        .core
+                        .replica_iop
+                        .get(&primary)
+                        .and_then(|st| st.record_at(object, time))
+                        .copied();
                     let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
                 }
                 // Response frames arriving outside a request context.
@@ -1072,7 +1468,35 @@ impl Engine {
             cost.step(1);
             *current = target.site;
         }
-        self.rec_at(target.site, object, target.time)
+        if target.site == self.core.site || self.core.members.contains_key(&target.site) {
+            return self.rec_at(target.site, object, target.time);
+        }
+        // The target site is permanently gone: probe the live holders
+        // of its replica repository, each probe a charged cursor move
+        // (mirrors `NetWorld::iop_record`'s read fallback).
+        for holder in self.core.holders_of_dead(target.site) {
+            cost.step(1);
+            let rec = if holder == self.core.site {
+                self.core
+                    .replica_iop
+                    .get(&target.site)
+                    .and_then(|st| st.record_at(object, target.time))
+                    .copied()
+            } else {
+                match self.rpc(
+                    holder,
+                    &Frame::ReplRecAt { primary: target.site, object, time: target.time },
+                ) {
+                    Ok(Frame::RecResp(r)) => r,
+                    _ => None,
+                }
+            };
+            if let Some(r) = rec {
+                *current = holder;
+                return Some(r);
+            }
+        }
+        None
     }
 
     /// `L(o, t)` with this node as origin (ported `query::locate_raw`).

@@ -116,6 +116,14 @@ pub enum Frame {
         /// Its listener address.
         addr: String,
     },
+    /// Harness→member broadcast: `site` is **permanently dead** (the
+    /// kill-forever fault model). Receivers drop it from the
+    /// membership, fail over its key ranges to the heir and
+    /// re-establish replica placement. Replied with Ack.
+    PeerDead {
+        /// The dead site.
+        site: SiteId,
+    },
 
     // -------------------------------------------------- control plane
     /// Inject a capture at virtual instant `at` (the cluster drives
@@ -211,6 +219,18 @@ pub enum Frame {
         /// The object.
         object: ObjectId,
     },
+    /// Replica probe: fetch, from the receiver's **replica copy** of
+    /// dead `primary`'s repository, the IOP record whose arrival time
+    /// is exactly `time`. Queries fall back to this when a trace walks
+    /// through a permanently-lost site. Replied with [`Frame::RecResp`].
+    ReplRecAt {
+        /// The dead primary whose replica copy is being probed.
+        primary: SiteId,
+        /// The object.
+        object: ObjectId,
+        /// Exact arrival time of the wanted record.
+        time: SimTime,
+    },
 
     // -------------------------------------------------- responses
     /// Generic acknowledgement.
@@ -278,6 +298,8 @@ const K_REC_LATEST: u8 = 17;
 const K_CRASH: u8 = 18;
 const K_STATE_DUMP: u8 = 19;
 const K_RESOLVE: u8 = 20;
+const K_PEER_DEAD: u8 = 21;
+const K_REPL_REC_AT: u8 = 22;
 const K_ACK: u8 = 32;
 const K_LOCATE_RESP: u8 = 33;
 const K_TRACE_RESP: u8 = 34;
@@ -355,6 +377,10 @@ impl Frame {
                 buf.put_u32(site.0);
                 put_str(&mut buf, addr);
             }
+            Frame::PeerDead { site } => {
+                buf.put_u8(K_PEER_DEAD);
+                buf.put_u32(site.0);
+            }
             Frame::Capture { at, objects } => {
                 buf.put_u8(K_CAPTURE);
                 put_time(&mut buf, *at);
@@ -415,6 +441,12 @@ impl Frame {
             Frame::RecLatest { object } => {
                 buf.put_u8(K_REC_LATEST);
                 put_object(&mut buf, object);
+            }
+            Frame::ReplRecAt { primary, object, time } => {
+                buf.put_u8(K_REPL_REC_AT);
+                buf.put_u32(primary.0);
+                put_object(&mut buf, object);
+                put_time(&mut buf, *time);
             }
             Frame::Ack => buf.put_u8(K_ACK),
             Frame::LocateResp { answer, cost, complete } => {
@@ -539,6 +571,7 @@ impl Frame {
                 let addr = get_str(&mut buf)?;
                 Frame::PeerJoined { site, addr }
             }
+            K_PEER_DEAD => Frame::PeerDead { site: SiteId(get_u32(&mut buf)?) },
             K_CAPTURE => {
                 let at = get_time(&mut buf)?;
                 let n = get_len(&mut buf, ID_BYTES)?;
@@ -574,6 +607,11 @@ impl Frame {
             },
             K_REC_FIRST => Frame::RecFirst { object: get_object(&mut buf)? },
             K_REC_LATEST => Frame::RecLatest { object: get_object(&mut buf)? },
+            K_REPL_REC_AT => Frame::ReplRecAt {
+                primary: SiteId(get_u32(&mut buf)?),
+                object: get_object(&mut buf)?,
+                time: get_time(&mut buf)?,
+            },
             K_ACK => Frame::Ack,
             K_LOCATE_RESP => {
                 let present = get_u8(&mut buf)? == 1;
@@ -746,6 +784,7 @@ mod tests {
                 peers: vec![(SiteId(0), "127.0.0.1:1".into()), (SiteId(4), "127.0.0.1:2".into())],
             },
             Frame::PeerJoined { site: SiteId(2), addr: "[::1]:80".into() },
+            Frame::PeerDead { site: SiteId(6) },
             Frame::Capture { at: t(99), objects: vec![obj(7), obj(8)] },
             Frame::Flush { now: t(100) },
             Frame::Locate { object: obj(9), t: t(55) },
@@ -762,6 +801,7 @@ mod tests {
             Frame::RecLatestAtOrBefore { object: obj(1), t: t(3) },
             Frame::RecFirst { object: obj(1) },
             Frame::RecLatest { object: obj(1) },
+            Frame::ReplRecAt { primary: SiteId(6), object: obj(1), time: t(3) },
             Frame::Ack,
             Frame::LocateResp {
                 answer: Some(SiteId(2)),

@@ -40,7 +40,7 @@ use peertrack::messages::Wire;
 use peertrack::world::Anomalies;
 use simnet::metrics::{Metrics, ALL_CLASSES};
 use simnet::SimTime;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::io;
 use std::net::SocketAddr;
 
@@ -86,6 +86,14 @@ pub enum WalRecord {
         /// Model payload bytes charged.
         bytes: u64,
     },
+    /// A site was declared **permanently dead** (kill-forever). The
+    /// receiver drops it from the membership; with replication on, the
+    /// heir merges its replica copy of the dead site's gateway shards
+    /// and placement is re-established on the shrunken ring.
+    Dead {
+        /// The dead site.
+        site: SiteId,
+    },
 }
 
 const R_MEMBER: u8 = 1;
@@ -93,6 +101,7 @@ const R_CAPTURE: u8 = 2;
 const R_FLUSH: u8 = 3;
 const R_PROTOCOL: u8 = 4;
 const R_QUERY: u8 = 5;
+const R_DEAD: u8 = 6;
 
 impl WalRecord {
     /// Serialize to a WAL payload.
@@ -129,6 +138,10 @@ impl WalRecord {
                 buf.put_u64(*hops);
                 buf.put_u64(*bytes);
             }
+            WalRecord::Dead { site } => {
+                buf.put_u8(R_DEAD);
+                buf.put_u32(site.0);
+            }
         }
         buf.freeze().as_slice().to_vec()
     }
@@ -163,13 +176,14 @@ impl WalRecord {
                 hops: proto::get_u64(&mut buf)?,
                 bytes: proto::get_u64(&mut buf)?,
             },
+            R_DEAD => WalRecord::Dead { site: SiteId(proto::get_u32(&mut buf)?) },
             other => return Err(ProtoError::BadKind(other)),
         };
         Ok(rec)
     }
 }
 
-const STATE_VERSION: u8 = 1;
+const STATE_VERSION: u8 = 2;
 
 impl Core {
     /// The canonical deterministic encoding of the full replicated
@@ -222,6 +236,22 @@ impl Core {
             a.refresh_failures,
         ] {
             buf.put_u64(v);
+        }
+        // v2: the permanently-dead set and this node's replica copies,
+        // sorted by primary (BTree iteration order is already sorted).
+        buf.put_u32(self.dead.len() as u32);
+        for s in &self.dead {
+            buf.put_u32(s.0);
+        }
+        buf.put_u32(self.replica_iop.len() as u32);
+        for (primary, store) in &self.replica_iop {
+            buf.put_u32(primary.0);
+            codec::put_state_iop(&mut buf, store);
+        }
+        buf.put_u32(self.replica_gateway.len() as u32);
+        for (primary, store) in &self.replica_gateway {
+            buf.put_u32(primary.0);
+            codec::put_state_gateway(&mut buf, store);
         }
         buf.freeze().as_slice().to_vec()
     }
@@ -321,6 +351,25 @@ fn decode_state(
         duplicates_suppressed: proto::get_u64(&mut buf).map_err(err)?,
         refresh_failures: proto::get_u64(&mut buf).map_err(err)?,
     };
+    let dn = proto::get_len(&mut buf, 4).map_err(err)?;
+    let mut dead = BTreeSet::new();
+    for _ in 0..dn {
+        dead.insert(SiteId(proto::get_u32(&mut buf).map_err(err)?));
+    }
+    let rin = proto::get_len(&mut buf, 4).map_err(err)?;
+    let mut replica_iop = BTreeMap::new();
+    for _ in 0..rin {
+        let primary = SiteId(proto::get_u32(&mut buf).map_err(err)?);
+        let store = codec::get_state_iop(&mut buf).map_err(|e| e.to_string())?;
+        replica_iop.insert(primary, store);
+    }
+    let rgn = proto::get_len(&mut buf, 4).map_err(err)?;
+    let mut replica_gateway = BTreeMap::new();
+    for _ in 0..rgn {
+        let primary = SiteId(proto::get_u32(&mut buf).map_err(err)?);
+        let store = codec::get_state_gateway(&mut buf).map_err(|e| e.to_string())?;
+        replica_gateway.insert(primary, store);
+    }
     if buf.remaining() != 0 {
         return Err(format!("{} trailing bytes after state", buf.remaining()));
     }
@@ -343,6 +392,10 @@ fn decode_state(
         anomalies,
         unsupported: 0,
         outbox: Vec::new(),
+        replicas: 1,
+        dead,
+        replica_iop,
+        replica_gateway,
     };
     core.rebuild_ring();
     Ok(core)
@@ -382,6 +435,7 @@ mod tests {
                 },
             },
             WalRecord::Query { messages: 5, hops: 7, bytes: 160 },
+            WalRecord::Dead { site: SiteId(2) },
         ]
     }
 

@@ -194,18 +194,20 @@ mod tests {
     }
 
     // The ISSUE's corruption property at the storage layer: arbitrary
-    // truncation or a single bit flip anywhere in the WAL yields, on
+    // truncation, a single bit flip anywhere in the WAL, or a forged
+    // length field (up to a near-`u32::MAX` hostile claim) yields, on
     // reopen, a strict *prefix* of the original records — never garbage,
-    // never a reordering, never a record that was not appended.
+    // never a reordering, never a record that was not appended, and
+    // never an allocation sized from the lie.
     proptiny! {
         #[test]
         fn prop_damaged_wal_recovers_to_a_prefix(
             payload_lens in prop::collection::vec(0usize..40, 1..12),
             damage_at in any::<u16>(),
-            flip_bit in 0u8..8,
-            truncate_instead in any::<bool>(),
+            damage_kind in 0u8..10, // 0..8 flip that bit, 8 truncate, 9 forge a length field
+            forged_len in any::<u32>(),
         ) {
-            let dir = tmp(&format!("prop-{payload_lens:?}-{damage_at}-{flip_bit}-{truncate_instead}"));
+            let dir = tmp(&format!("prop-{payload_lens:?}-{damage_at}-{damage_kind}-{forged_len}"));
             let originals: Vec<Vec<u8>> = payload_lens
                 .iter()
                 .enumerate()
@@ -219,11 +221,23 @@ mod tests {
             }
             let wal_path = dir.join(WAL_FILE);
             let mut raw = std::fs::read(&wal_path).unwrap();
-            let pos = damage_at as usize % raw.len();
-            if truncate_instead {
-                raw.truncate(pos);
-            } else {
-                raw[pos] ^= 1 << flip_bit;
+            let mut forged_at = None;
+            match damage_kind {
+                8 => raw.truncate(damage_at as usize % raw.len()),
+                9 => {
+                    // Overwrite record `i`'s whole length field with an
+                    // arbitrary claim — the crc-colliding-garbage shape
+                    // the length cap must reject by arithmetic alone.
+                    let i = damage_at as usize % originals.len();
+                    let off: usize =
+                        payload_lens[..i].iter().map(|n| 16 + n).sum();
+                    raw[off..off + 4].copy_from_slice(&forged_len.to_be_bytes());
+                    forged_at = Some((i, payload_lens[i]));
+                }
+                bit => {
+                    let pos = damage_at as usize % raw.len();
+                    raw[pos] ^= 1 << bit;
+                }
             }
             std::fs::write(&wal_path, &raw).unwrap();
 
@@ -232,6 +246,16 @@ mod tests {
             for (i, e) in rec.tail.iter().enumerate() {
                 prop_assert_eq!(e.lsn, i as u64 + 1);
                 prop_assert_eq!(&e.payload, &originals[i]);
+            }
+            // A length field that actually lies (differs from what
+            // append() wrote) kills its record and everything after it.
+            if let Some((i, true_len)) = forged_at {
+                if forged_len as usize != 8 + true_len {
+                    prop_assert!(
+                        rec.tail.len() <= i,
+                        "record with forged length survived recovery"
+                    );
+                }
             }
             std::fs::remove_dir_all(&dir).ok();
         }

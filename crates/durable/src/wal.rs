@@ -98,8 +98,22 @@ impl Wal {
         while raw.len() - pos >= 8 {
             let len = u32::from_be_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
             let crc = u32::from_be_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
-            if len < 8 || len > MAX_RECORD_BYTES || raw.len() - pos - 8 < len {
-                break; // torn tail or hostile length
+            if len < 8 || len > MAX_RECORD_BYTES {
+                // A hostile/corrupt length field. The cap check runs
+                // *before* `len` feeds any slice arithmetic, so a record
+                // claiming near-`u32::MAX` bytes is rejected here rather
+                // than sizing an allocation — and unlike a torn tail
+                // (which a crash produces routinely and recovery prunes
+                // in silence), no append() ever wrote this, so say so.
+                eprintln!(
+                    "wal: {}: record at byte {pos} claims a {len}-byte body \
+                     (valid range is 8..={MAX_RECORD_BYTES}); truncating log here",
+                    path.display()
+                );
+                break;
+            }
+            if raw.len() - pos - 8 < len {
+                break; // torn tail (crash mid-write)
             }
             let body = &raw[pos + 8..pos + 8 + len];
             if crc32(body) != crc {
@@ -107,7 +121,14 @@ impl Wal {
             }
             let lsn = u64::from_be_bytes(body[..8].try_into().unwrap());
             if lsn <= last_lsn {
-                break; // non-monotonic: not something append() produces
+                // Checksummed yet out of order: not something append()
+                // produces, so flag it like the hostile length above.
+                eprintln!(
+                    "wal: {}: record at byte {pos} has non-monotonic lsn \
+                     {lsn} (after {last_lsn}); truncating log here",
+                    path.display()
+                );
+                break;
             }
             last_lsn = lsn;
             entries.push(WalEntry { lsn, payload: body[8..].to_vec() });
@@ -261,6 +282,43 @@ mod tests {
         assert_eq!(entries[1].payload, vec![1u8; 32]);
         // New appends continue past the lost suffix's numbering.
         assert_eq!(wal.next_lsn(), 3);
+    }
+
+    /// A record whose length field claims an absurd (but `u32`-valid)
+    /// body must be rejected by the cap check — keeping the records
+    /// before it and truncating the file at the lie — without ever
+    /// using the claimed length to slice or allocate.
+    #[test]
+    fn hostile_length_field_truncates_at_the_lie() {
+        let path = tmp("hostile-len");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut wal, _) = Wal::open(&path, FsyncMode::Never, 1).unwrap();
+            wal.append(b"kept").unwrap();
+        }
+        let good_len = std::fs::metadata(&path).unwrap().len();
+        // Forge a header claiming a ~4 GiB body (crc irrelevant: the
+        // length check must fire first).
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&(u32::MAX - 5).to_be_bytes());
+        raw.extend_from_slice(&0xDEAD_BEEFu32.to_be_bytes());
+        raw.extend_from_slice(&[0x77; 24]);
+        std::fs::write(&path, &raw).unwrap();
+
+        let (wal, entries) = Wal::open(&path, FsyncMode::Never, 1).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].payload, b"kept".to_vec());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len, "lie truncated");
+        drop(wal);
+
+        // Same for a body length below the 8-byte lsn minimum.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&3u32.to_be_bytes());
+        raw.extend_from_slice(&[0u8; 12]);
+        std::fs::write(&path, &raw).unwrap();
+        let (_, entries) = Wal::open(&path, FsyncMode::Never, 1).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), good_len);
     }
 
     #[test]

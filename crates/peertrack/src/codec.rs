@@ -73,6 +73,12 @@ const TAG_SET_FROM: u8 = 4;
 const TAG_DELEGATE: u8 = 5;
 const TAG_MIGRATE: u8 = 6;
 const TAG_ACK: u8 = 7;
+const TAG_REPL_IOP: u8 = 8;
+const TAG_REPL_SHARD: u8 = 9;
+const TAG_REPL_DIGEST: u8 = 10;
+const TAG_REPL_SYNC_REQ: u8 = 11;
+const TAG_REPL_STATE: u8 = 12;
+const TAG_REPL_IOP_PATCH: u8 = 13;
 
 fn put_header(buf: &mut ByteBuf, tag: u8, seq: u64) {
     buf.put_u8(tag);
@@ -191,6 +197,59 @@ pub fn encode(msg: &Msg, seq: u64) -> Bytes {
         Msg::Ack { acked } => {
             put_header(&mut buf, TAG_ACK, seq);
             buf.put_u64(*acked);
+        }
+        Msg::ReplIop { primary, updates } => {
+            put_header(&mut buf, TAG_REPL_IOP, seq);
+            put_site(&mut buf, *primary);
+            buf.put_u32(updates.len() as u32);
+            for (o, r) in updates {
+                put_object(&mut buf, o);
+                put_time(&mut buf, r.arrived);
+                put_opt_link(&mut buf, &r.from);
+                put_opt_link(&mut buf, &r.to);
+            }
+        }
+        Msg::ReplShard { primary, prefix, entries, delegated } => {
+            put_header(&mut buf, TAG_REPL_SHARD, seq);
+            put_site(&mut buf, *primary);
+            put_opt_prefix(&mut buf, prefix);
+            buf.put_u8(u8::from(*delegated));
+            buf.put_u32(entries.len() as u32);
+            for (o, e) in entries {
+                put_object(&mut buf, o);
+                put_entry(&mut buf, e);
+            }
+        }
+        Msg::ReplDigest { primary, digest } => {
+            put_header(&mut buf, TAG_REPL_DIGEST, seq);
+            put_site(&mut buf, *primary);
+            buf.put_slice(&digest.0);
+        }
+        Msg::ReplSyncReq { primary } => {
+            put_header(&mut buf, TAG_REPL_SYNC_REQ, seq);
+            put_site(&mut buf, *primary);
+        }
+        Msg::ReplState { primary, state } => {
+            put_header(&mut buf, TAG_REPL_STATE, seq);
+            put_site(&mut buf, *primary);
+            buf.put_u32(state.len() as u32);
+            buf.put_slice(state);
+        }
+        Msg::ReplIopPatch { primary, set_to, set_from } => {
+            put_header(&mut buf, TAG_REPL_IOP_PATCH, seq);
+            put_site(&mut buf, *primary);
+            buf.put_u32(set_to.len() as u32);
+            for (o, arrived, link) in set_to {
+                put_object(&mut buf, o);
+                put_time(&mut buf, *arrived);
+                put_link(&mut buf, link);
+            }
+            buf.put_u32(set_from.len() as u32);
+            for (o, arrived, from) in set_from {
+                put_object(&mut buf, o);
+                put_time(&mut buf, *arrived);
+                put_opt_link(&mut buf, from);
+            }
         }
     }
     buf.freeze()
@@ -340,6 +399,66 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
         TAG_ACK => {
             need(&raw, 8)?;
             Msg::Ack { acked: raw.get_u64() }
+        }
+        TAG_REPL_IOP => {
+            let primary = get_site(&mut raw)?;
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + TIME_BYTES + 2 * (1 + LINK_BYTES))?;
+            let mut updates = Vec::with_capacity(n);
+            for _ in 0..n {
+                let o = get_object(&mut raw)?;
+                let rec = IopRecord {
+                    arrived: get_time(&mut raw)?,
+                    from: get_opt_link(&mut raw)?,
+                    to: get_opt_link(&mut raw)?,
+                };
+                updates.push((o, rec));
+            }
+            Msg::ReplIop { primary, updates }
+        }
+        TAG_REPL_SHARD => {
+            let primary = get_site(&mut raw)?;
+            let prefix = get_opt_prefix(&mut raw)?;
+            need(&raw, 1)?;
+            let delegated = raw.get_u8() == 1;
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + ENTRY_BYTES)?;
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                entries.push((get_object(&mut raw)?, get_entry(&mut raw)?));
+            }
+            Msg::ReplShard { primary, prefix, entries, delegated }
+        }
+        TAG_REPL_DIGEST => {
+            let primary = get_site(&mut raw)?;
+            need(&raw, 20)?;
+            let mut digest = [0u8; 20];
+            raw.copy_to_slice(&mut digest);
+            Msg::ReplDigest { primary, digest: ids::Id(digest) }
+        }
+        TAG_REPL_SYNC_REQ => Msg::ReplSyncReq { primary: get_site(&mut raw)? },
+        TAG_REPL_STATE => {
+            let primary = get_site(&mut raw)?;
+            let n = get_len(&mut raw, 1)?;
+            let mut state = vec![0u8; n];
+            raw.copy_to_slice(&mut state);
+            Msg::ReplState { primary, state }
+        }
+        TAG_REPL_IOP_PATCH => {
+            let primary = get_site(&mut raw)?;
+            let n = get_len(&mut raw, OBJECT_ID_BYTES + TIME_BYTES + LINK_BYTES)?;
+            let mut set_to = Vec::with_capacity(n);
+            for _ in 0..n {
+                set_to.push((get_object(&mut raw)?, get_time(&mut raw)?, get_link(&mut raw)?));
+            }
+            let m = get_len(&mut raw, OBJECT_ID_BYTES + TIME_BYTES + 1 + LINK_BYTES)?;
+            let mut set_from = Vec::with_capacity(m);
+            for _ in 0..m {
+                set_from.push((
+                    get_object(&mut raw)?,
+                    get_time(&mut raw)?,
+                    get_opt_link(&mut raw)?,
+                ));
+            }
+            Msg::ReplIopPatch { primary, set_to, set_from }
         }
         other => return Err(DecodeError::BadTag(other)),
     };
@@ -532,6 +651,32 @@ mod tests {
             },
             Msg::Ack { acked: 0 },
             Msg::Ack { acked: u64::MAX },
+            Msg::ReplIop {
+                primary: SiteId(7),
+                updates: vec![(
+                    obj(5),
+                    IopRecord {
+                        arrived: SimTime::from_micros(11),
+                        from: Some(link(1, 2)),
+                        to: None,
+                    },
+                )],
+            },
+            Msg::ReplShard {
+                primary: SiteId(8),
+                prefix: Some(Prefix::from_bit_str("110")),
+                entries: vec![(obj(6), entry(2, 3, Some(link(4, 5))))],
+                delegated: true,
+            },
+            Msg::ReplShard { primary: SiteId(8), prefix: None, entries: vec![], delegated: false },
+            Msg::ReplDigest { primary: SiteId(9), digest: ids::Id::hash(b"digest") },
+            Msg::ReplSyncReq { primary: SiteId(10) },
+            Msg::ReplState { primary: SiteId(11), state: vec![1, 2, 3, 4, 5] },
+            Msg::ReplIopPatch {
+                primary: SiteId(12),
+                set_to: vec![(obj(7), SimTime::from_micros(3), link(1, 4))],
+                set_from: vec![(obj(7), SimTime::from_micros(4), Some(link(2, 3))), (obj(8), SimTime::from_micros(5), None)],
+            },
         ]
     }
 
@@ -560,12 +705,19 @@ mod tests {
         for m in samples() {
             let encoded = encode(&m, 0).len();
             let vectors = match &m {
-                Msg::Arrival { .. } | Msg::Ack { .. } => 0,
+                Msg::Arrival { .. }
+                | Msg::Ack { .. }
+                | Msg::ReplDigest { .. }
+                | Msg::ReplSyncReq { .. } => 0,
                 Msg::GroupIndex { .. }
                 | Msg::SetTo { .. }
                 | Msg::SetFrom { .. }
                 | Msg::Delegate { .. }
-                | Msg::Migrate { .. } => 1,
+                | Msg::Migrate { .. }
+                | Msg::ReplIop { .. }
+                | Msg::ReplShard { .. }
+                | Msg::ReplState { .. } => 1,
+                Msg::ReplIopPatch { .. } => 2,
             };
             assert_eq!(
                 encoded,
@@ -592,14 +744,31 @@ mod tests {
     fn decode_rejects_hostile_length_prefix_without_allocating() {
         // A 4 GiB-worth length claim must fail by arithmetic, not by an
         // allocation attempt — for every vector-carrying tag.
-        for tag in [TAG_GROUP_INDEX, TAG_SET_TO, TAG_SET_FROM, TAG_DELEGATE, TAG_MIGRATE] {
+        for tag in [
+            TAG_GROUP_INDEX,
+            TAG_SET_TO,
+            TAG_SET_FROM,
+            TAG_DELEGATE,
+            TAG_MIGRATE,
+            TAG_REPL_IOP,
+            TAG_REPL_SHARD,
+            TAG_REPL_STATE,
+            TAG_REPL_IOP_PATCH,
+        ] {
             let mut raw = ByteBuf::new();
             put_header(&mut raw, tag, 0);
+            if matches!(tag, TAG_REPL_IOP | TAG_REPL_SHARD | TAG_REPL_STATE | TAG_REPL_IOP_PATCH) {
+                put_site(&mut raw, SiteId(1));
+            }
             if matches!(tag, TAG_GROUP_INDEX | TAG_DELEGATE | TAG_MIGRATE) {
                 put_prefix(&mut raw, &Prefix::from_bit_str("01"));
             }
             if tag == TAG_GROUP_INDEX {
                 put_site(&mut raw, SiteId(1));
+            }
+            if tag == TAG_REPL_SHARD {
+                put_opt_prefix(&mut raw, &None);
+                raw.put_u8(0);
             }
             raw.put_u32(u32::MAX); // claims ~4 Gi elements
             let err = decode(raw.freeze()).unwrap_err();
@@ -741,7 +910,7 @@ mod tests {
 
         #[test]
         fn prop_mutated_encodings_never_panic(
-            which in 0usize..10,
+            which in 0usize..16,
             mutations in prop::collection::vec((any::<u16>(), any::<u8>()), 1..32),
             seq in any::<u64>(),
         ) {
@@ -780,7 +949,7 @@ mod tests {
 
         #[test]
         fn prop_every_variant_roundtrips_and_sizes_agree(
-            variant in 0u8..8,
+            variant in 0u8..14,
             seeds in prop::collection::vec((any::<u64>(), any::<u64>()), 0..24),
             bits in "[01]{0,20}",
             site in any::<u32>(),
@@ -829,10 +998,61 @@ mod tests {
                     prefix: None,
                     entries: seeds.iter().map(|(o, t)| (obj(*o), entry(site, *t, None))).collect(),
                 },
-                _ => Msg::Ack { acked: seeds.first().map_or(0, |s| s.0) },
+                7 => Msg::Ack { acked: seeds.first().map_or(0, |s| s.0) },
+                8 => Msg::ReplIop {
+                    primary: SiteId(site),
+                    updates: seeds
+                        .iter()
+                        .map(|(o, t)| {
+                            (obj(*o), IopRecord {
+                                arrived: SimTime::from_micros(*t),
+                                from: (o % 2 == 0).then(|| link(site, *t)),
+                                to: (t % 2 == 0).then(|| link(site ^ 1, *o)),
+                            })
+                        })
+                        .collect(),
+                },
+                9 => Msg::ReplShard {
+                    primary: SiteId(site),
+                    prefix: (site % 2 == 0).then_some(prefix),
+                    entries: seeds
+                        .iter()
+                        .map(|(o, t)| (obj(*o), entry(site, *t, (o % 2 == 0).then(|| link(1, 2)))))
+                        .collect(),
+                    delegated: site % 3 == 0,
+                },
+                10 => Msg::ReplDigest {
+                    primary: SiteId(site),
+                    digest: ids::Id::hash(&seq.to_be_bytes()),
+                },
+                11 => Msg::ReplSyncReq { primary: SiteId(site) },
+                12 => Msg::ReplState {
+                    primary: SiteId(site),
+                    state: seeds.iter().map(|(o, _)| *o as u8).collect(),
+                },
+                _ => Msg::ReplIopPatch {
+                    primary: SiteId(site),
+                    set_to: seeds
+                        .iter()
+                        .map(|(o, t)| (obj(*o), SimTime::from_micros(*t), link(site, *o)))
+                        .collect(),
+                    set_from: seeds
+                        .iter()
+                        .map(|(o, t)| {
+                            (obj(*t), SimTime::from_micros(*o), (o % 2 == 0).then(|| link(site, *t)))
+                        })
+                        .collect(),
+                },
             };
             let raw = encode(&m, seq);
-            let vectors = usize::from(!matches!(m, Msg::Arrival { .. } | Msg::Ack { .. }));
+            let vectors = match m {
+                Msg::Arrival { .. }
+                | Msg::Ack { .. }
+                | Msg::ReplDigest { .. }
+                | Msg::ReplSyncReq { .. } => 0,
+                Msg::ReplIopPatch { .. } => 2,
+                _ => 1,
+            };
             prop_assert_eq!(raw.len(), m.wire_size() + 4 * vectors);
             let (back, got_seq) = decode(raw).unwrap();
             prop_assert_eq!(got_seq, seq);

@@ -185,6 +185,60 @@ impl Default for RetryConfig {
     }
 }
 
+/// K-successor replication of IOP and group-index state. With
+/// `replicas = K > 1`, every key range a node owns is mirrored onto its
+/// `K−1` Chord successors: writes fan out to the replica set (the
+/// primary acks after its local apply), replicas converge via periodic
+/// digest exchange over the canonical state encoding, reads fall back
+/// to replicas when the primary is gone, and a permanent failure
+/// promotes the next successor. `replicas = 1` (the default) is the
+/// seed behaviour: no replica stores, no extra messages or timers, and
+/// figure CSVs stay byte-identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReplicationConfig {
+    /// Total copies of each key range, primary included. 1 disables
+    /// replication entirely.
+    pub replicas: usize,
+    /// How long after a mutation the primary schedules a digest
+    /// exchange with its replica set (anti-entropy). One-shot: armed by
+    /// a write, re-armed by the next write after it fires.
+    pub anti_entropy_period: SimTime,
+}
+
+impl ReplicationConfig {
+    /// The disabled configuration (single copy, the seed behaviour).
+    pub fn disabled() -> ReplicationConfig {
+        ReplicationConfig { replicas: 1, anti_entropy_period: SimTime::from_millis(500) }
+    }
+
+    /// `K` total copies with the default anti-entropy period.
+    pub fn with_replicas(k: usize) -> ReplicationConfig {
+        ReplicationConfig { replicas: k, ..ReplicationConfig::disabled() }
+    }
+
+    /// Is replication on (more than one copy)?
+    pub fn enabled(&self) -> bool {
+        self.replicas > 1
+    }
+
+    /// Validate parameter ranges; called by the network builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.replicas == 0 {
+            return Err("replicas must be >= 1 (1 disables replication)".into());
+        }
+        if self.replicas > 1 && self.anti_entropy_period == SimTime::ZERO {
+            return Err("anti_entropy_period must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        ReplicationConfig::disabled()
+    }
+}
+
 /// Full network configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -194,6 +248,8 @@ pub struct Config {
     pub seed: u64,
     /// At-least-once delivery layer (off by default).
     pub retry: RetryConfig,
+    /// K-successor replication (off by default: one copy).
+    pub replication: ReplicationConfig,
     /// Charge one extra `Lookup` message per ascent/descent *existence
     /// check* during refresh, instead of assuming nodes track which
     /// prefix lengths are populated from the `Lp` reconfiguration
@@ -208,6 +264,7 @@ impl Default for Config {
             mode: IndexingMode::group_default(),
             seed: 0x9E3779B9,
             retry: RetryConfig::disabled(),
+            replication: ReplicationConfig::disabled(),
             count_existence_checks: false,
         }
     }
@@ -242,6 +299,20 @@ mod tests {
     fn mode_predicates() {
         assert!(IndexingMode::group_default().is_group());
         assert!(!IndexingMode::Individual.is_group());
+    }
+
+    #[test]
+    fn replication_validation() {
+        assert!(ReplicationConfig::disabled().validate().is_ok());
+        assert!(!ReplicationConfig::disabled().enabled());
+        assert!(ReplicationConfig::with_replicas(3).validate().is_ok());
+        assert!(ReplicationConfig::with_replicas(3).enabled());
+        assert!(ReplicationConfig::with_replicas(0).validate().is_err());
+        let bad = ReplicationConfig {
+            replicas: 2,
+            anti_entropy_period: SimTime::ZERO,
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -6,8 +6,8 @@
 //! (20-byte object ids, 8-byte timestamps, 4-byte site ids — the sizes a
 //! compact binary codec would produce).
 
-use crate::store::{IndexEntry, Link};
-use ids::Prefix;
+use crate::store::{IndexEntry, IopRecord, Link};
+use ids::{Id, Prefix};
 use moods::{ObjectId, SiteId};
 use simnet::SimTime;
 
@@ -85,6 +85,66 @@ pub enum Msg {
         /// Sequence number being acknowledged.
         acked: u64,
     },
+    /// Replication write fan-out (IOP half): the primary pushes full
+    /// visit records to each of its `K−1` successor replicas, which
+    /// upsert them keyed by `(object, arrived)`.
+    ReplIop {
+        /// The primary whose repository these records belong to.
+        primary: SiteId,
+        /// `(object, full visit record)` pairs.
+        updates: Vec<(ObjectId, IopRecord)>,
+    },
+    /// Replication write fan-out (index half): the full current content
+    /// of one gateway shard, replacing the replica's copy wholesale
+    /// (an empty `entries` drops it). Full-shard replace — rather than
+    /// per-entry upsert — is what lets removals (refresh fetches,
+    /// delegation, split/merge drains) propagate without tombstones.
+    ReplShard {
+        /// The primary whose shard this is.
+        primary: SiteId,
+        /// Which shard: a group-mode prefix, or `None` for the
+        /// individual-mode object map.
+        prefix: Option<Prefix>,
+        /// The shard's entire content.
+        entries: Vec<(ObjectId, IndexEntry)>,
+        /// The shard's Data-Triangle delegation flag.
+        delegated: bool,
+    },
+    /// Anti-entropy round-trip, step 1: the primary sends a digest of
+    /// its canonical store encoding to each replica. A replica whose
+    /// copy hashes differently answers with [`Msg::ReplSyncReq`].
+    ReplDigest {
+        /// The primary initiating the exchange.
+        primary: SiteId,
+        /// Hash of the primary's canonical store bytes.
+        digest: Id,
+    },
+    /// Anti-entropy step 2: a replica that detected divergence asks the
+    /// primary for its full state.
+    ReplSyncReq {
+        /// The primary being asked.
+        primary: SiteId,
+    },
+    /// Anti-entropy step 3: the primary's full store state in the
+    /// canonical encoding; the replica replaces its copy wholesale.
+    ReplState {
+        /// The primary whose state this is.
+        primary: SiteId,
+        /// Canonical encoding of the primary's IOP + gateway stores.
+        state: Vec<u8>,
+    },
+    /// IOP link updates (M2/M3) redirected to the replica set because
+    /// the primary is permanently gone: holders patch their replica
+    /// copy of the dead site's repository so locate/trace chain walks
+    /// stay oracle-exact after the failure.
+    ReplIopPatch {
+        /// The (dead) primary whose replica copies are patched.
+        primary: SiteId,
+        /// M2-shaped updates: `(object, arrival time, new to-link)`.
+        set_to: Vec<(ObjectId, SimTime, Link)>,
+        /// M3-shaped updates: `(object, arrival time, from-link)`.
+        set_from: Vec<(ObjectId, SimTime, Option<Link>)>,
+    },
 }
 
 /// Link-level envelope: every networked delivery carries a sender-unique
@@ -137,6 +197,26 @@ impl Msg {
                     PREFIX_BYTES + entries.len() * (OBJECT_ID_BYTES + ENTRY_BYTES)
                 }
                 Msg::Ack { .. } => TIME_BYTES, // the echoed u64 seq
+                Msg::ReplIop { updates, .. } => {
+                    // A full record: arrival time + two optional links.
+                    SITE_BYTES
+                        + updates.len()
+                            * (OBJECT_ID_BYTES + TIME_BYTES + 2 * (1 + LINK_BYTES))
+                }
+                Msg::ReplShard { entries, .. } => {
+                    SITE_BYTES
+                        + PREFIX_BYTES
+                        + 1 // delegated flag
+                        + entries.len() * (OBJECT_ID_BYTES + ENTRY_BYTES)
+                }
+                Msg::ReplDigest { .. } => SITE_BYTES + OBJECT_ID_BYTES,
+                Msg::ReplSyncReq { .. } => SITE_BYTES,
+                Msg::ReplState { state, .. } => SITE_BYTES + state.len(),
+                Msg::ReplIopPatch { set_to, set_from, .. } => {
+                    SITE_BYTES
+                        + set_to.len() * (OBJECT_ID_BYTES + TIME_BYTES + LINK_BYTES)
+                        + set_from.len() * (OBJECT_ID_BYTES + TIME_BYTES + 1 + LINK_BYTES)
+                }
             }
     }
 
@@ -149,6 +229,15 @@ impl Msg {
             Msg::Delegate { .. } => simnet::MsgClass::Delegate,
             Msg::Migrate { .. } => simnet::MsgClass::SplitMerge,
             Msg::Ack { .. } => simnet::MsgClass::Ack,
+            // All replication traffic rides the gossip class: it is
+            // background state maintenance, not indexing work, and the
+            // paper's cost figures never charge for it.
+            Msg::ReplIop { .. }
+            | Msg::ReplShard { .. }
+            | Msg::ReplDigest { .. }
+            | Msg::ReplSyncReq { .. }
+            | Msg::ReplState { .. }
+            | Msg::ReplIopPatch { .. } => simnet::MsgClass::Gossip,
         }
     }
 
@@ -230,6 +319,33 @@ mod tests {
         assert_eq!(set_from.class(), simnet::MsgClass::IopUpdate);
         assert!(set_to.wire_size() > HEADER_BYTES);
         assert!(set_from.wire_size() > HEADER_BYTES);
+    }
+
+    #[test]
+    fn replication_messages_charge_gossip() {
+        let rec = IopRecord { arrived: ms(1), from: None, to: None };
+        let msgs = [
+            Msg::ReplIop { primary: SiteId(1), updates: vec![(obj(1), rec)] },
+            Msg::ReplShard {
+                primary: SiteId(1),
+                prefix: Some(Prefix::from_bit_str("01")),
+                entries: vec![],
+                delegated: false,
+            },
+            Msg::ReplDigest { primary: SiteId(1), digest: Id::hash(b"x") },
+            Msg::ReplSyncReq { primary: SiteId(1) },
+            Msg::ReplState { primary: SiteId(1), state: vec![0u8; 64] },
+            Msg::ReplIopPatch {
+                primary: SiteId(1),
+                set_to: vec![(obj(1), ms(1), Link { site: SiteId(2), time: ms(2) })],
+                set_from: vec![(obj(1), ms(2), None)],
+            },
+        ];
+        for m in &msgs {
+            assert_eq!(m.class(), simnet::MsgClass::Gossip);
+            assert!(m.wire_size() >= HEADER_BYTES + SITE_BYTES);
+            assert_eq!(m.single_object(), None);
+        }
     }
 
     #[test]

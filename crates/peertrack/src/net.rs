@@ -5,7 +5,7 @@
 //! drain the indexing traffic, run MOODS queries with latency/message
 //! accounting, and churn nodes in and out.
 
-use crate::config::{Config, IndexingMode, RetryConfig};
+use crate::config::{Config, IndexingMode, ReplicationConfig, RetryConfig};
 use crate::messages::Wire;
 use crate::query::{self, QueryStats};
 use crate::spans;
@@ -78,6 +78,17 @@ impl Builder {
         self
     }
 
+    /// Replicate every site's repository and index shards onto its
+    /// K−1 Chord successors (`k` = K). `1` — the default — disables
+    /// replication entirely: such runs are byte-identical to builds
+    /// without a replication layer at all. With `k ≥ 2` the network
+    /// supports [`TraceableNetwork::kill_forever`], and locate/trace
+    /// answers survive up to `k − 1` permanent losses per key range.
+    pub fn replicas(mut self, k: usize) -> Builder {
+        self.config.replication = ReplicationConfig::with_replicas(k);
+        self
+    }
+
     /// Install a trace sink (e.g. `obs::SharedRecorder`) from the very
     /// first event — construction/warm-up traffic included. For traces
     /// that start clean at time zero, build without one and call
@@ -105,6 +116,9 @@ impl Builder {
         }
         if let Err(e) = self.config.retry.validate() {
             panic!("invalid retry configuration: {e}");
+        }
+        if let Err(e) = self.config.replication.validate() {
+            panic!("invalid replication configuration: {e}");
         }
         let n_max = match self.config.mode {
             IndexingMode::Group(g) => g.n_max,
@@ -144,6 +158,13 @@ impl Builder {
         }
         world.ring.stabilize_all();
         world.refresh_lp(&mut sim);
+        if world.config.replication.enabled() {
+            // Establish the initial K-successor placement (the states
+            // are empty, but the holder sets must exist from the
+            // start so every later write finds its replica set).
+            world.replica_maintenance(&mut sim);
+            sim.run_until_quiescent(&mut world);
+        }
         // Construction traffic is warm-up; measurements start clean.
         sim.metrics_mut().reset();
 
@@ -393,6 +414,7 @@ impl TraceableNetwork {
         self.run_until_quiescent();
         self.sim.span_close(lp_span);
         self.sim.span_close(join_span);
+        self.replica_settle();
         site
     }
 
@@ -445,6 +467,7 @@ impl TraceableNetwork {
         self.run_until_quiescent();
         self.sim.span_close(lp_span);
         self.sim.span_close(leave_span);
+        self.replica_settle();
     }
 
     /// An organization crashes mid-protocol: no flush, no handoff.
@@ -489,6 +512,76 @@ impl TraceableNetwork {
         // hosted prefixes whose only copy died with the node.
         self.run_until_quiescent();
         self.world.rebuild_hosted();
+        self.replica_settle();
+    }
+
+    /// An organization fails **permanently** — the kill-forever fault
+    /// model. Requires the network to have been built with
+    /// [`Builder::replicas`] ≥ 2 (and [`Builder::faults`], like
+    /// [`crash_site`](TraceableNetwork::crash_site)): the dead site's
+    /// repository records stay readable through its successors'
+    /// replica copies, and its index ranges fail over to the next
+    /// successor. As long as at most K−1 members of any key's replica
+    /// set are lost forever, every locate/trace answer remains exactly
+    /// what the movement oracle predicts — the schedule auditor's
+    /// kill-forever op asserts precisely that.
+    ///
+    /// The victim's open capture window is flushed and in-flight
+    /// traffic drained *before* the kill: a permanent loss erases a
+    /// node, not the observations it already published. Compare
+    /// [`crash_site`](TraceableNetwork::crash_site), which models the
+    /// unreplicated mid-protocol crash and loses both.
+    pub fn kill_forever(&mut self, site: SiteId) {
+        let idx = site.0 as usize;
+        assert!(
+            self.world.config.replication.enabled(),
+            "kill_forever requires Builder::replicas >= 2"
+        );
+        assert!(self.sim.has_faults(), "kill_forever requires Builder::faults");
+        assert!(self.world.sites[idx].alive, "site {site} already gone");
+        assert!(self.world.live_sites() > 1, "last site cannot be killed");
+
+        // Publish what the victim observed: replication protects
+        // indexed data, not a window that never flushed.
+        self.world.flush_site_window(&mut self.sim, idx);
+        self.run_until_quiescent();
+
+        let chord_id = self.world.sites[idx].chord_id;
+        self.world.sites[idx].alive = false;
+        self.sim.crash_node(idx);
+        self.world.ring.fail(chord_id);
+        let messages = self
+            .world
+            .ring
+            .stabilize_until_converged(ids::ID_BITS + 1)
+            .expect("post-kill stabilization must converge");
+        self.sim.metrics_mut().record_bulk(
+            MsgClass::Overlay,
+            messages,
+            messages * 32,
+            messages,
+        );
+        // Failover before the Lp refresh: the heir must serve the dead
+        // site's ranges as primary data when split/merge re-levels.
+        self.world.promote_dead_primary(idx);
+        self.world.refresh_lp(&mut self.sim);
+        self.world.invalidate_gateway_caches();
+        self.run_until_quiescent();
+        self.world.rebuild_hosted();
+        // Close the replication hole: every live primary's state back
+        // onto exactly its K−1 current successors.
+        self.replica_settle();
+    }
+
+    /// Re-establish the K-successor placement invariant after a
+    /// membership change and drain the sync traffic. No-op when
+    /// replication is disabled.
+    fn replica_settle(&mut self) {
+        if !self.world.config.replication.enabled() {
+            return;
+        }
+        self.world.replica_maintenance(&mut self.sim);
+        self.run_until_quiescent();
     }
 }
 

@@ -224,8 +224,22 @@ fn fetch_record(
     }
     let state = &world.sites[target.site.0 as usize];
     if !state.alive {
-        // The organization left and took its repository with it (§I:
-        // sovereignty); this segment of the path is unreachable.
+        // The organization is gone. With replication the record
+        // survives on the dead site's successors — probe the live
+        // holders of its repository copies, one message each. Without
+        // replication no site holds a copy, the loop body never runs,
+        // and this is exactly the seed's unreachable-segment outcome
+        // (§I: sovereignty — the repository departed with its owner).
+        for holder in world.sites.iter().filter(|h| h.alive) {
+            let Some(copy) = holder.replica_iop.get(&target.site) else {
+                continue;
+            };
+            cost.step(1);
+            if let Some(rec) = copy.record_at(object, target.time) {
+                *current = holder.site;
+                return Some(*rec);
+            }
+        }
         return None;
     }
     state.iop.record_at(object, target.time).copied()

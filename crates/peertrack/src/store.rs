@@ -161,6 +161,23 @@ impl IopStore {
         self.records.insert(object, records);
     }
 
+    /// Install or replace one visit record, keyed by `(object,
+    /// arrived)` — the replication write path. Unlike [`capture`] this
+    /// tolerates out-of-order arrival of replica updates: a record with
+    /// the same arrival time is replaced in place (link fields may have
+    /// been filled in since), otherwise the record is inserted at its
+    /// sorted position.
+    ///
+    /// [`capture`]: IopStore::capture
+    pub fn upsert_record(&mut self, object: ObjectId, rec: IopRecord) {
+        let v = self.records.entry(object).or_default();
+        match v.iter().position(|r| r.arrived >= rec.arrived) {
+            Some(i) if v[i].arrived == rec.arrived => v[i] = rec,
+            Some(i) => v.insert(i, rec),
+            None => v.push(rec),
+        }
+    }
+
     /// Is the repository empty?
     pub fn is_empty(&self) -> bool {
         self.records.is_empty()
@@ -318,6 +335,20 @@ mod tests {
         assert_eq!(iop.latest_at_or_before(obj(1), ms(40)).unwrap().arrived, ms(10));
         assert_eq!(iop.latest_at_or_before(obj(1), ms(5)), None);
         assert_eq!(iop.len(), 2);
+    }
+
+    #[test]
+    fn upsert_record_replaces_or_inserts_sorted() {
+        let mut iop = IopStore::new();
+        iop.upsert_record(obj(1), IopRecord { arrived: ms(50), from: None, to: None });
+        // Out-of-order replica update lands at its sorted position.
+        iop.upsert_record(obj(1), IopRecord { arrived: ms(10), from: None, to: None });
+        assert_eq!(iop.all(obj(1)).iter().map(|r| r.arrived).collect::<Vec<_>>(), [ms(10), ms(50)]);
+        // Same-key upsert replaces in place (link fields updated).
+        let link = Link { site: SiteId(7), time: ms(60) };
+        iop.upsert_record(obj(1), IopRecord { arrived: ms(10), from: None, to: Some(link) });
+        assert_eq!(iop.all(obj(1)).len(), 2);
+        assert_eq!(iop.record_at(obj(1), ms(10)).unwrap().to, Some(link));
     }
 
     #[test]

@@ -20,11 +20,13 @@
 //! * changes of `Lp` run the splitting–merging process (§IV-A.2) when
 //!   `eager_split_merge` is set.
 
+use crate::bytebuf::{ByteBuf, Bytes};
+use crate::codec;
 use crate::config::{Config, GroupConfig, IndexingMode, SizeEstimation};
 use crate::grouping::group_batch;
 use crate::messages::{Msg, Wire, ENTRY_BYTES, HEADER_BYTES, OBJECT_ID_BYTES, PREFIX_BYTES};
 use crate::spans;
-use crate::store::{GatewayStore, IndexEntry, IopStore, Link, PrefixIndex};
+use crate::store::{GatewayStore, IndexEntry, IopRecord, IopStore, Link, PrefixIndex};
 use crate::window::{WindowBatch, WindowBuffer, WindowEvent};
 use chord::Ring;
 use ids::{Id, Prefix};
@@ -40,6 +42,10 @@ pub(crate) const TAG_WINDOW: u64 = 1;
 pub(crate) const TAG_CAPTURE: u64 = 2;
 /// Ack timeout for a sequenced delivery; value = sequence number.
 pub(crate) const TAG_RETRY: u64 = 3;
+/// One-shot anti-entropy digest exchange; value = site index. Armed by
+/// a replicated write, never periodic — a quiescent network stays
+/// quiescent.
+pub(crate) const TAG_ANTIENTROPY: u64 = 4;
 
 fn timer_kind(tag: u64, value: u64) -> u64 {
     debug_assert!(value < (1 << TAG_SHIFT));
@@ -70,6 +76,16 @@ pub struct SiteState {
     /// IOP upserts are not idempotent, so at-least-once delivery plus
     /// this filter gives exactly-once processing.
     seen_seqs: HashSet<u64>,
+    /// Replica copies of other primaries' IOP repositories, keyed by
+    /// the primary's site id. Held only when `Config.replication` puts
+    /// this site in the primary's successor set; kept separate from the
+    /// primary stores so index-placement invariants keep holding on the
+    /// primary copies alone.
+    pub replica_iop: HashMap<SiteId, IopStore>,
+    /// Replica copies of other primaries' gateway stores, same keying.
+    pub replica_gateway: HashMap<SiteId, GatewayStore>,
+    /// Pending one-shot anti-entropy timer, if a write armed one.
+    antientropy_timer: Option<TimerId>,
 }
 
 /// Counters for conditions that should not occur in well-formed runs.
@@ -193,6 +209,9 @@ impl NetWorld {
             gateway: GatewayStore::new(),
             gateway_cache: HashMap::new(),
             seen_seqs: HashSet::new(),
+            replica_iop: HashMap::new(),
+            replica_gateway: HashMap::new(),
+            antientropy_timer: None,
         });
         site
     }
@@ -252,6 +271,9 @@ impl NetWorld {
         for &o in objects {
             self.sites[idx].iop.capture(o, now);
         }
+        let capture_keys: Vec<(ObjectId, SimTime)> =
+            objects.iter().map(|&o| (o, now)).collect();
+        self.replicate_iop(sim, idx, &capture_keys);
         let tracing = sim.tracing();
         match self.config.mode {
             IndexingMode::Individual => {
@@ -387,6 +409,16 @@ impl NetWorld {
             self.handle(sim, to, from, Wire::unsequenced(msg));
             return;
         }
+        // An IOP update aimed at a permanently failed site is repaired
+        // onto the holders of its replica repository instead of being
+        // dropped on the floor (replication mode only).
+        if self.replication_on()
+            && !self.sites[to].alive
+            && matches!(msg, Msg::SetTo { .. } | Msg::SetFrom { .. })
+        {
+            self.redirect_to_replicas(sim, from, to, msg);
+            return;
+        }
         let class = msg.class();
         let bytes = msg.wire_size();
         let seq = self.next_seq;
@@ -466,29 +498,39 @@ impl NetWorld {
                 self.handle_group_index(sim, to, prefix, site, members);
             }
             Msg::SetTo { updates } => {
+                let mut touched = Vec::with_capacity(updates.len());
                 for (o, arrived, link) in updates {
-                    if !self.sites[to].iop.set_to(o, arrived, link) {
+                    if self.sites[to].iop.set_to(o, arrived, link) {
+                        touched.push((o, arrived));
+                    } else {
                         self.anomalies.dangling_iop_updates += 1;
                     }
                 }
+                self.replicate_iop(sim, to, &touched);
             }
             Msg::SetFrom { updates } => {
+                let mut touched = Vec::with_capacity(updates.len());
                 for (o, arrived, link) in updates {
-                    if !self.sites[to].iop.set_from(o, arrived, link) {
+                    if self.sites[to].iop.set_from(o, arrived, link) {
+                        touched.push((o, arrived));
+                    } else {
                         self.anomalies.dangling_iop_updates += 1;
                     }
                 }
+                self.replicate_iop(sim, to, &touched);
             }
             Msg::Delegate { prefix, entries } => {
                 for (o, e) in entries {
                     self.merge_entry(sim, to, prefix, o, e);
                 }
+                self.replicate_shard(sim, to, Some(prefix));
             }
             Msg::Migrate { prefix, entries } => match prefix {
                 Some(p) => {
                     for (o, e) in entries {
                         self.merge_entry(sim, to, p, o, e);
                     }
+                    self.replicate_shard(sim, to, Some(p));
                 }
                 None => {
                     for (o, e) in entries {
@@ -500,9 +542,74 @@ impl NetWorld {
                             }
                         }
                     }
+                    self.replicate_shard(sim, to, None);
                 }
             },
             Msg::Ack { .. } => unreachable!("acks handled before dispatch"),
+            Msg::ReplIop { primary, updates } => {
+                let store = self.sites[to].replica_iop.entry(primary).or_default();
+                for (o, rec) in updates {
+                    store.upsert_record(o, rec);
+                }
+            }
+            Msg::ReplShard { primary, prefix, entries, delegated } => {
+                let gw = self.sites[to].replica_gateway.entry(primary).or_default();
+                match prefix {
+                    Some(p) => {
+                        if entries.is_empty() && !delegated {
+                            gw.prefixes.remove(&p);
+                        } else {
+                            let shard = gw.shard_mut(p);
+                            *shard = PrefixIndex::new();
+                            shard.delegated = delegated;
+                            for (o, e) in entries {
+                                shard.upsert(o, e);
+                            }
+                        }
+                    }
+                    None => {
+                        gw.objects = entries.into_iter().collect();
+                    }
+                }
+            }
+            Msg::ReplDigest { primary, digest } => {
+                let mine = Id::hash(&self.replica_state_bytes(to, primary));
+                if mine != digest {
+                    self.dispatch(sim, to, from, 1, Msg::ReplSyncReq { primary });
+                }
+            }
+            Msg::ReplSyncReq { primary } => {
+                debug_assert_eq!(self.sites[to].site, primary, "sync request misrouted");
+                let state = self.store_state_bytes(to);
+                self.dispatch(sim, to, from, 1, Msg::ReplState { primary, state });
+            }
+            Msg::ReplState { primary, state } => {
+                let mut bytes = Bytes::from(state);
+                let iop = codec::get_state_iop(&mut bytes).expect("well-formed replica state");
+                let gw =
+                    codec::get_state_gateway(&mut bytes).expect("well-formed replica state");
+                self.sites[to].replica_iop.insert(primary, iop);
+                self.sites[to].replica_gateway.insert(primary, gw);
+            }
+            Msg::ReplIopPatch { primary, set_to, set_from } => {
+                let store = self.sites[to].replica_iop.entry(primary).or_default();
+                for (o, arrived, link) in set_to {
+                    let mut rec = store
+                        .record_at(o, arrived)
+                        .copied()
+                        .unwrap_or(IopRecord { arrived, from: None, to: None });
+                    rec.to = Some(link);
+                    store.upsert_record(o, rec);
+                }
+                for (o, arrived, from_link) in set_from {
+                    let mut rec = store
+                        .record_at(o, arrived)
+                        .copied()
+                        .unwrap_or(IopRecord { arrived, from: None, to: None });
+                    rec.from = from_link;
+                    store.upsert_record(o, rec);
+                }
+            }
         }
         let _ = from;
     }
@@ -553,6 +660,7 @@ impl NetWorld {
         }
         let entry = IndexEntry { site, time, prev: prev.map(|p| p.link()) };
         self.sites[gw].gateway.objects.insert(object, entry);
+        self.replicate_shard(sim, gw, None);
 
         let new_link = Link { site, time };
         if let Some(p) = prev {
@@ -630,6 +738,10 @@ impl NetWorld {
         }
 
         self.maybe_delegate(sim, gw, prefix);
+        // One shard replication covers both the index upserts above and
+        // any shrink `maybe_delegate` just performed (the delegation
+        // receivers replicate their own shards on receipt).
+        self.replicate_shard(sim, gw, Some(prefix));
     }
 
     /// Install one handed-off index entry (shard migration or triangle
@@ -835,6 +947,11 @@ impl NetWorld {
                 shard.upsert(*o, *e);
                 missing.remove(o);
             }
+            // The source shard shrank (possibly to nothing); ship the
+            // new content to its replica set. The destination shard is
+            // replicated once by `handle_group_index` after all
+            // refresh fetches land.
+            self.replicate_shard(sim, owner, Some(p));
         }
     }
 
@@ -961,6 +1078,7 @@ impl NetWorld {
             };
             self.sites[idx].gateway.prefixes.remove(&p);
             self.hosted.remove(&p);
+            self.replicate_shard(sim, idx, Some(p)); // now empty: replicas drop it
             if entries.is_empty() {
                 continue;
             }
@@ -1013,6 +1131,7 @@ impl NetWorld {
             };
             self.sites[idx].gateway.prefixes.remove(&p);
             self.hosted.remove(&p);
+            self.replicate_shard(sim, idx, Some(p)); // now empty: replicas drop it
             if entries.is_empty() {
                 continue;
             }
@@ -1057,6 +1176,7 @@ impl NetWorld {
         if !entries.is_empty() {
             let msg = Msg::Migrate { prefix: None, entries };
             self.dispatch(sim, from_idx, to_idx, 1, msg);
+            self.replicate_shard(sim, from_idx, None);
         }
 
         // Group-mode shards move whole, by their gateway key; sorted
@@ -1076,6 +1196,7 @@ impl NetWorld {
                 .remove(&p)
                 .expect("listed above");
             let entries = shard.drain_all();
+            self.replicate_shard(sim, from_idx, Some(p)); // now gone at the source
             if entries.is_empty() {
                 continue;
             }
@@ -1109,6 +1230,289 @@ impl NetWorld {
     pub fn shard(&self, site: SiteId, p: &Prefix) -> Option<&PrefixIndex> {
         self.sites[self.site_idx(site)].gateway.prefixes.get(p)
     }
+
+    // ------------------------------------------------------------------
+    // K-successor replication
+    // ------------------------------------------------------------------
+    //
+    // With `Config.replication.replicas = K > 1`, every site's stores
+    // (IOP repository + gateway shards) are mirrored onto its K−1 ring
+    // successors. Writes fan out eagerly (`replicate_iop` /
+    // `replicate_shard`), a one-shot anti-entropy timer follows each
+    // write burst with a digest exchange over the canonical state
+    // encoding, reads fall back to replica copies when the primary is
+    // gone, and a permanent failure promotes the first successor. Every
+    // entry point below no-ops when `replicas <= 1`, so the default
+    // path sends no messages, arms no timers and draws no RNG values —
+    // committed figure CSVs stay byte-identical.
+
+    fn replication_on(&self) -> bool {
+        self.config.replication.enabled()
+    }
+
+    /// Live site indices of `idx`'s replica set (its K−1 ring
+    /// successors), in ring order. Empty when replication is off.
+    fn replica_peer_idxs(&self, idx: usize) -> Vec<usize> {
+        let k = self.config.replication.replicas;
+        if k <= 1 {
+            return Vec::new();
+        }
+        // `successors_of` of a member id starts with the member itself.
+        self.ring
+            .successors_of(&self.sites[idx].chord_id, k)
+            .into_iter()
+            .skip(1)
+            .filter_map(|id| self.ring.app_index_of(&id))
+            .filter(|&h| h != idx)
+            .collect()
+    }
+
+    /// Canonical byte encoding of a site's primary stores (IOP then
+    /// gateway) — the unit both digests and full-state sync hash and
+    /// ship. Same sorted-key encoders the daemon's snapshots use, so
+    /// semantically equal stores encode byte-identically.
+    fn store_state_bytes(&self, idx: usize) -> Vec<u8> {
+        let mut buf = ByteBuf::new();
+        codec::put_state_iop(&mut buf, &self.sites[idx].iop);
+        codec::put_state_gateway(&mut buf, &self.sites[idx].gateway);
+        buf.freeze().as_slice().to_vec()
+    }
+
+    /// Canonical encoding of `holder`'s replica copy of `primary`'s
+    /// stores (empty stores when the holder has no copy yet).
+    fn replica_state_bytes(&self, holder: usize, primary: SiteId) -> Vec<u8> {
+        let empty_iop = IopStore::new();
+        let empty_gw = GatewayStore::new();
+        let iop = self.sites[holder].replica_iop.get(&primary).unwrap_or(&empty_iop);
+        let gw = self.sites[holder].replica_gateway.get(&primary).unwrap_or(&empty_gw);
+        let mut buf = ByteBuf::new();
+        codec::put_state_iop(&mut buf, iop);
+        codec::put_state_gateway(&mut buf, gw);
+        buf.freeze().as_slice().to_vec()
+    }
+
+    /// Arm the one-shot anti-entropy timer for `idx` unless one is
+    /// already pending. Called from every replicated write.
+    fn arm_antientropy(&mut self, sim: &mut Sim<Wire>, idx: usize) {
+        if self.sites[idx].antientropy_timer.is_some() {
+            return;
+        }
+        let period = self.config.replication.anti_entropy_period;
+        let t = sim.set_timer(idx, period, timer_kind(TAG_ANTIENTROPY, idx as u64));
+        self.sites[idx].antientropy_timer = Some(t);
+    }
+
+    /// Fan one or more IOP record updates out to `idx`'s replica set.
+    /// `keys` are `(object, arrival time)` record keys; the full
+    /// records are read back from the primary store so replicas always
+    /// receive the post-update state.
+    fn replicate_iop(&mut self, sim: &mut Sim<Wire>, idx: usize, keys: &[(ObjectId, SimTime)]) {
+        if !self.replication_on() || keys.is_empty() {
+            return;
+        }
+        let updates: Vec<(ObjectId, IopRecord)> = keys
+            .iter()
+            .filter_map(|&(o, t)| self.sites[idx].iop.record_at(o, t).map(|r| (o, *r)))
+            .collect();
+        if updates.is_empty() {
+            return;
+        }
+        let primary = self.sites[idx].site;
+        for h in self.replica_peer_idxs(idx) {
+            let msg = Msg::ReplIop { primary, updates: updates.clone() };
+            self.dispatch(sim, idx, h, 1, msg);
+        }
+        self.arm_antientropy(sim, idx);
+    }
+
+    /// Ship the full current content of one of `idx`'s gateway shards
+    /// (`None` = the individual-mode object map) to its replica set.
+    /// Full-shard replace semantics let removals propagate without
+    /// tombstones: an empty shard drops the replica copy.
+    fn replicate_shard(&mut self, sim: &mut Sim<Wire>, idx: usize, prefix: Option<Prefix>) {
+        if !self.replication_on() {
+            return;
+        }
+        let (mut entries, delegated): (Vec<(ObjectId, IndexEntry)>, bool) = match prefix {
+            Some(p) => match self.sites[idx].gateway.prefixes.get(&p) {
+                Some(shard) => (
+                    shard.entries.iter().map(|(o, e)| (*o, *e)).collect(),
+                    shard.delegated,
+                ),
+                None => (Vec::new(), false),
+            },
+            None => (
+                self.sites[idx].gateway.objects.iter().map(|(o, e)| (*o, *e)).collect(),
+                false,
+            ),
+        };
+        // Sorted: message contents feed the canonical encoding at the
+        // replica and must be hasher-independent.
+        entries.sort_by_key(|(o, _)| *o);
+        let primary = self.sites[idx].site;
+        for h in self.replica_peer_idxs(idx) {
+            let msg = Msg::ReplShard { primary, prefix, entries: entries.clone(), delegated };
+            self.dispatch(sim, idx, h, 1, msg);
+        }
+        self.arm_antientropy(sim, idx);
+    }
+
+    /// Redirect an M2/M3 IOP update whose destination is permanently
+    /// dead to the live holders of that site's replica repository, as a
+    /// [`Msg::ReplIopPatch`]. Without replication (or with no surviving
+    /// holder) the update is lost and counted, as before.
+    fn redirect_to_replicas(&mut self, sim: &mut Sim<Wire>, from: usize, to: usize, msg: Msg) {
+        let primary = self.sites[to].site;
+        let holders: Vec<usize> = (0..self.sites.len())
+            .filter(|&h| h != to && self.sites[h].alive)
+            .filter(|&h| self.sites[h].replica_iop.contains_key(&primary))
+            .collect();
+        if holders.is_empty() {
+            self.anomalies.dropped_to_dead += 1;
+            return;
+        }
+        let (set_to, set_from) = match msg {
+            Msg::SetTo { updates } => (updates, Vec::new()),
+            Msg::SetFrom { updates } => (Vec::new(), updates),
+            other => unreachable!("only IOP updates are redirected, got {other:?}"),
+        };
+        for h in holders {
+            let patch = Msg::ReplIopPatch {
+                primary,
+                set_to: set_to.clone(),
+                set_from: set_from.clone(),
+            };
+            self.dispatch(sim, from, h, 1, patch);
+        }
+    }
+
+    /// Read a visit record, falling back to replica copies when the
+    /// primary site is gone. With `replicas = 1` this is exactly the
+    /// primary-only read the seed performed.
+    pub fn iop_record(
+        &self,
+        site: SiteId,
+        object: ObjectId,
+        arrived: SimTime,
+    ) -> Option<IopRecord> {
+        let s = &self.sites[self.site_idx(site)];
+        if s.alive {
+            return s.iop.record_at(object, arrived).copied();
+        }
+        if !self.replication_on() {
+            return None;
+        }
+        self.sites
+            .iter()
+            .filter(|h| h.alive)
+            .filter_map(|h| h.replica_iop.get(&site))
+            .find_map(|st| st.record_at(object, arrived))
+            .copied()
+    }
+
+    /// The live sites currently holding replica copies for `site`,
+    /// in site-index order — the observable holder set the replication
+    /// property checks against the ring's ground truth.
+    pub fn replica_holders(&self, site: SiteId) -> Vec<SiteId> {
+        self.sites
+            .iter()
+            .filter(|h| h.alive && h.site != site)
+            .filter(|h| {
+                h.replica_iop.contains_key(&site) || h.replica_gateway.contains_key(&site)
+            })
+            .map(|h| h.site)
+            .collect()
+    }
+
+    /// Re-establish the replica placement invariant after a membership
+    /// change: every live primary's state is held by exactly its K−1
+    /// current ring successors. Stale copies at ex-holders are dropped
+    /// locally (each node knows the new membership from stabilization);
+    /// current holders receive a full-state sync. Copies keyed by
+    /// *dead* primaries are left in place — they are the read-fallback
+    /// data that keeps locate/trace oracle-exact after a permanent
+    /// loss.
+    pub(crate) fn replica_maintenance(&mut self, sim: &mut Sim<Wire>) {
+        if !self.replication_on() {
+            return;
+        }
+        for idx in 0..self.sites.len() {
+            if !self.sites[idx].alive {
+                continue;
+            }
+            let holder_idxs = self.replica_peer_idxs(idx);
+            let primary = self.sites[idx].site;
+            for h in 0..self.sites.len() {
+                if h == idx || holder_idxs.contains(&h) {
+                    continue;
+                }
+                self.sites[h].replica_iop.remove(&primary);
+                self.sites[h].replica_gateway.remove(&primary);
+            }
+            let state = self.store_state_bytes(idx);
+            for &h in &holder_idxs {
+                let msg = Msg::ReplState { primary, state: state.clone() };
+                self.dispatch(sim, idx, h, 1, msg);
+            }
+        }
+    }
+
+    /// Failover: the first live successor of a permanently failed
+    /// primary merges its replica copy of the dead site's *gateway*
+    /// stores into its own primary stores — the ring now routes the
+    /// dead site's key ranges to it, so the index data must be served
+    /// as primary data. The dead site's IOP replica copies stay where
+    /// they are (repository records are keyed by the site that observed
+    /// them; reads reach them via [`NetWorld::iop_record`] fallback).
+    /// Call after `ring.fail` + stabilization.
+    pub(crate) fn promote_dead_primary(&mut self, dead_idx: usize) {
+        if !self.replication_on() {
+            return;
+        }
+        let dead = self.sites[dead_idx].site;
+        let dead_chord = self.sites[dead_idx].chord_id;
+        let Some(heir_id) = self.ring.successor_of(&dead_chord) else {
+            return;
+        };
+        let Some(heir) = self.ring.app_index_of(&heir_id) else {
+            return;
+        };
+        if let Some(gw) = self.sites[heir].replica_gateway.remove(&dead) {
+            let mut objs: Vec<(ObjectId, IndexEntry)> = gw.objects.into_iter().collect();
+            objs.sort_by_key(|(o, _)| *o);
+            for (o, e) in objs {
+                match self.sites[heir].gateway.objects.get(&o) {
+                    // A racing index update at the heir already holds a
+                    // newer visit — keep it.
+                    Some(ex) if ex.time >= e.time => {}
+                    _ => {
+                        self.sites[heir].gateway.objects.insert(o, e);
+                    }
+                }
+            }
+            let mut prefixes: Vec<(Prefix, PrefixIndex)> = gw.prefixes.into_iter().collect();
+            prefixes.sort_by_key(|(p, _)| *p);
+            for (p, shard) in prefixes {
+                let mut es: Vec<(ObjectId, IndexEntry)> =
+                    shard.entries.iter().map(|(o, e)| (*o, *e)).collect();
+                es.sort_by_key(|(o, _)| *o);
+                let dst = self.sites[heir].gateway.shard_mut(p);
+                dst.delegated |= shard.delegated;
+                for (o, e) in es {
+                    match dst.get(&o) {
+                        Some(ex) if ex.time >= e.time => {}
+                        _ => dst.upsert(o, e),
+                    }
+                }
+                self.hosted.insert(p);
+            }
+        }
+        // The heir owns the ranges now; other holders' copies of the
+        // dead gateway are stale bootstrap data, not serving state.
+        for s in &mut self.sites {
+            s.replica_gateway.remove(&dead);
+        }
+    }
 }
 
 impl World<Wire> for NetWorld {
@@ -1140,6 +1544,19 @@ impl World<Wire> for NetWorld {
             }
             TAG_RETRY => {
                 self.handle_retry_timeout(sim, value);
+            }
+            TAG_ANTIENTROPY => {
+                let idx = value as usize;
+                debug_assert_eq!(idx, node);
+                self.sites[idx].antientropy_timer = None;
+                if !self.sites[idx].alive || !self.replication_on() {
+                    return;
+                }
+                let digest = Id::hash(&self.store_state_bytes(idx));
+                let primary = self.sites[idx].site;
+                for h in self.replica_peer_idxs(idx) {
+                    self.dispatch(sim, idx, h, 1, Msg::ReplDigest { primary, digest });
+                }
             }
             other => panic!("unknown timer tag {other}"),
         }

@@ -41,11 +41,15 @@ impl Backoff {
     }
 
     /// Wait before attempt `attempt` (1-based; zero before the first).
+    /// Total: the exponent saturates at zero so an out-of-contract
+    /// `attempt` of 0 or 1 yields `Duration::ZERO` / `base` instead of
+    /// underflowing (panic in debug, a wrapped 4-billion-power schedule
+    /// in release).
     pub fn delay_before(&self, attempt: u32) -> Duration {
         if attempt <= 1 {
             return Duration::ZERO;
         }
-        let factor = self.factor.saturating_pow(attempt - 2);
+        let factor = self.factor.saturating_pow(attempt.saturating_sub(2));
         self.base.saturating_mul(factor)
     }
 }
@@ -184,6 +188,18 @@ mod tests {
         assert_eq!(b.delay_before(2), Duration::from_millis(100));
         assert_eq!(b.delay_before(3), Duration::from_millis(200));
         assert_eq!(b.delay_before(4), Duration::from_millis(400));
+    }
+
+    /// Regression: `delay_before` takes `attempt - 2` as an exponent.
+    /// Attempts 0 and 1 must hit the zero-delay fast path (never the
+    /// subtraction), and attempt 2 must be exactly `base` (exponent 0)
+    /// — the three smallest inputs bracket the underflow site.
+    #[test]
+    fn backoff_small_attempts_never_underflow() {
+        let b = Backoff { base: Duration::from_millis(100), factor: 2, max_attempts: 4 };
+        assert_eq!(b.delay_before(0), Duration::ZERO);
+        assert_eq!(b.delay_before(1), Duration::ZERO);
+        assert_eq!(b.delay_before(2), Duration::from_millis(100));
     }
 
     #[test]

@@ -18,9 +18,18 @@ cargo build --offline --benches
 
 echo "== schedule auditor (fast budget) =="
 # Random op schedules under 5% drop with retries on must preserve every
-# invariant; a reduced case budget keeps this inside tier-1 time. The
-# full-budget run is `AUDIT_CASES=50` (the test's default).
+# invariant, and — with K-successor replication on — random schedules
+# that mix in permanent kills must stay oracle-exact (the kill-forever
+# op, DESIGN.md §13). A reduced case budget keeps this inside tier-1
+# time; the full-budget run is the tests' default (`AUDIT_CASES`
+# unset).
 AUDIT_CASES=15 cargo test -q --offline -p integration-tests --test schedule_audit
+
+echo "== replication placement + failover (simulator, fast budget) =="
+# Kill-forever in the simulator: oracle-exact answers after ≤ K−1
+# permanent losses, the replicas(1) no-op equivalence, and the
+# K-successor placement property over random membership churn.
+AUDIT_CASES=8 cargo test -q --offline -p integration-tests --test replication
 
 echo "== tracing-off byte-identity: figure CSVs =="
 # The observability layer must be zero-cost when no sink is installed:
@@ -71,6 +80,37 @@ if ./target/release/peertrackd --probe-bind; then
     timeout 180 cargo test -q --offline -p integration-tests --test crash_recovery \
         || { echo "crash recovery smoke failed (or timed out)" >&2; exit 1; }
     echo "OK: crashed node recovered byte-identical and answers match the oracle."
+
+    echo "== kill-forever failover (--replicas, real sockets) =="
+    # An 8-node cluster with K = 3 replication loses two nodes
+    # *permanently* (no restart); every survivor's locate/trace must
+    # stay oracle-exact with zero protocol anomalies (DESIGN.md §13).
+    timeout 180 cargo test -q --offline -p integration-tests --test replication_cluster \
+        || { echo "kill-forever failover failed (or timed out)" >&2; exit 1; }
+    # And the flag itself: a replicated daemon must come up and answer
+    # ctl, and a zero replica count must be rejected loudly.
+    ./target/release/peertrackd --replicas 0 --site 0 --seed 1 --listen 127.0.0.1:0 \
+        2>/dev/null && { echo "peertrackd accepted --replicas 0" >&2; exit 1; }
+    repl_out=$(mktemp)
+    ./target/release/peertrackd --site 0 --seed 1 --listen 127.0.0.1:0 --replicas 3 \
+        > "$repl_out" &
+    repl_pid=$!
+    repl_addr=""
+    for _ in $(seq 50); do
+        repl_addr=$(sed -n 's/.*listening on //p' "$repl_out")
+        [[ -n "$repl_addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$repl_addr" ]] || {
+        echo "peertrackd --replicas 3 never came up" >&2
+        kill "$repl_pid" 2>/dev/null || true
+        exit 1
+    }
+    ./target/release/peertrackd ctl "$repl_addr" status > /dev/null
+    ./target/release/peertrackd ctl "$repl_addr" shutdown > /dev/null
+    wait "$repl_pid" || true
+    rm -f "$repl_out"
+    echo "OK: two permanent losses survived; --replicas daemon answers ctl."
 else
     echo "WARNING: sandbox forbids binding loopback sockets; cluster and" >&2
     echo "         kill-and-recover smokes SKIPPED (socket-free recovery" >&2

@@ -87,6 +87,17 @@ pub enum Op {
         /// Joined-site selector.
         sel: u16,
     },
+    /// A live organization (founder or joined, never the query origin)
+    /// fails **permanently** — the kill-forever fault model. With
+    /// replication on ([`AuditConfig::replicas`] = K) the first K−1
+    /// kills of a run are true kills whose data must stay fully
+    /// readable (no taints: locate/trace are held to oracle
+    /// exactness); past the budget, or with replication off, the op
+    /// degrades to an ordinary crash with crash taints.
+    Kill {
+        /// Live-site selector (resolved over live sites except 0).
+        sel: u16,
+    },
 }
 
 const TAG_CAPTURE: u64 = 0;
@@ -96,7 +107,8 @@ const TAG_QUIESCE: u64 = 3;
 const TAG_JOIN: u64 = 4;
 const TAG_LEAVE: u64 = 5;
 const TAG_CRASH: u64 = 6;
-const NUM_TAGS: u64 = 7;
+const TAG_KILL: u64 = 7;
+const NUM_TAGS: u64 = 8;
 
 /// Encode an op as one schedule word: tag in the top byte, operands in
 /// the low 32 bits.
@@ -109,6 +121,7 @@ pub fn encode(op: Op) -> u64 {
         Op::Join => (TAG_JOIN, 0, 0),
         Op::Leave { sel } => (TAG_LEAVE, sel, 0),
         Op::Crash { sel } => (TAG_CRASH, sel, 0),
+        Op::Kill { sel } => (TAG_KILL, sel, 0),
     };
     (tag << 56) | ((a as u64) << 16) | b as u64
 }
@@ -125,7 +138,8 @@ pub fn decode(word: u64) -> Op {
         TAG_QUIESCE => Op::Quiesce,
         TAG_JOIN => Op::Join,
         TAG_LEAVE => Op::Leave { sel: a },
-        _ => Op::Crash { sel: a },
+        TAG_CRASH => Op::Crash { sel: a },
+        _ => Op::Kill { sel: a },
     }
 }
 
@@ -160,6 +174,11 @@ pub fn shrink_word(word: u64) -> Vec<u64> {
         Op::Crash { sel } => {
             let mut c = vec![Op::Leave { sel }, Op::Capture { site: sel }];
             c.extend(halves(sel).into_iter().map(|sel| Op::Crash { sel }));
+            c
+        }
+        Op::Kill { sel } => {
+            let mut c = vec![Op::Crash { sel }, Op::Leave { sel }, Op::Capture { site: sel }];
+            c.extend(halves(sel).into_iter().map(|sel| Op::Kill { sel }));
             c
         }
     };
@@ -201,6 +220,9 @@ pub struct AuditConfig {
     pub drop: f64,
     /// Retry layer configuration.
     pub retry: RetryConfig,
+    /// Replication factor K (1 disables replication; then every
+    /// [`Op::Kill`] degrades to a crash).
+    pub replicas: usize,
 }
 
 impl AuditConfig {
@@ -213,7 +235,14 @@ impl AuditConfig {
             fault_seed: 0xFA01_7501,
             drop,
             retry: RetryConfig::disabled(),
+            replicas: 1,
         }
+    }
+
+    /// A fault-free network with K-successor replication on — the
+    /// configuration the kill-forever invariant is asserted against.
+    pub fn replicated(k: usize) -> AuditConfig {
+        AuditConfig { replicas: k, ..AuditConfig::lossy_no_retries(0.0) }
     }
 
     /// The same lossy network with the retry layer on (longer attempt
@@ -291,6 +320,17 @@ fn crash_taints(
     }
     taint.extend(net.world.sites[vidx].gateway.objects.keys().copied());
 
+    // Replica copies the victim holds for already-dead primaries are
+    // load-bearing: they are the read fallback that keeps the dead
+    // site's records answerable, and a crash can erase the last copy
+    // (a kill inside the K−1 budget re-establishes placement; a crash
+    // by definition loses data). Everything in them is suspect.
+    for (primary, store) in &net.world.sites[vidx].replica_iop {
+        if !net.world.sites[primary.0 as usize].alive {
+            taint.extend(store.iter().map(|(o, _)| *o));
+        }
+    }
+
     let max_len = net
         .world
         .sites
@@ -340,6 +380,7 @@ fn run_schedule_inner(
         .sites(cfg.founders)
         .seed(cfg.seed)
         .mode(audit_mode())
+        .replicas(cfg.replicas.max(1))
         .faults(FaultConfig::uniform_drop(cfg.fault_seed, cfg.drop))
         .retry(cfg.retry);
     if let Some(rec) = trace {
@@ -351,6 +392,7 @@ fn run_schedule_inner(
     let mut created: Vec<ObjectId> = Vec::new();
     let mut joined: Vec<SiteId> = Vec::new();
     let mut dead: BTreeSet<SiteId> = BTreeSet::new();
+    let mut killed: BTreeSet<SiteId> = BTreeSet::new();
     let mut locate_taint: HashSet<ObjectId> = HashSet::new();
     let mut clock = SimTime::ZERO;
     let mut next_obj = 0u64;
@@ -403,6 +445,30 @@ fn run_schedule_inner(
                 crash_taints(&net, &oracle, &created, s, &mut locate_taint);
                 dead.insert(s);
                 net.crash_site(s);
+            }
+            Op::Kill { sel } => {
+                // Any live site except the query origin may be lost.
+                let targets: Vec<SiteId> =
+                    live_sites_of(&net).into_iter().filter(|s| s.0 != 0).collect();
+                if targets.is_empty() {
+                    continue;
+                }
+                let s = targets[sel as usize % targets.len()];
+                joined.retain(|&j| j != s);
+                if cfg.replicas > 1 && killed.len() < cfg.replicas - 1 {
+                    // A true kill, inside the tolerated budget: the data
+                    // must survive through replicas, so NO taints — the
+                    // invariants hold this run to oracle exactness.
+                    killed.insert(s);
+                    net.kill_forever(s);
+                } else {
+                    // Budget exhausted (a K-th loss can erase a whole
+                    // replica set) or replication off: degrade to the
+                    // crash fault model, taints and all.
+                    crash_taints(&net, &oracle, &created, s, &mut locate_taint);
+                    dead.insert(s);
+                    net.crash_site(s);
+                }
             }
         }
         ops_applied += 1;
@@ -645,16 +711,22 @@ fn walk_iop_chain(
     let mut walked: Vec<Visit> = Vec::new();
     let mut expected_to: Option<peertrack::store::Link> = None;
     for _ in 0..truth.len() + 2 {
-        let idx = cur.site.0 as usize;
-        if !net.world.sites[idx].alive {
-            v.push(format!("iop: chain of untainted {o:?} leads to dead site {}", cur.site));
-            return;
-        }
-        let Some(rec) = net.world.sites[idx].iop.record_at(o, cur.time) else {
-            v.push(format!(
-                "iop: chain of {o:?} dangles — no record at ({}, {})",
-                cur.site, cur.time
-            ));
+        // Read through the replica-aware lookup: a record at a
+        // permanently-killed site must still be readable from its
+        // holders — that IS the kill-forever invariant.
+        let Some(rec) = net.world.iop_record(cur.site, o, cur.time) else {
+            if !net.world.sites[cur.site.0 as usize].alive {
+                v.push(format!(
+                    "iop: chain of untainted {o:?} leads to dead site {} and no replica \
+                     holds its record at {}",
+                    cur.site, cur.time
+                ));
+            } else {
+                v.push(format!(
+                    "iop: chain of {o:?} dangles — no record at ({}, {})",
+                    cur.site, cur.time
+                ));
+            }
             return;
         };
         if ordering_clean && rec.to.map(|l| (l.site, l.time)) != expected_to.map(|l| (l.site, l.time))
@@ -707,6 +779,7 @@ mod tests {
             Op::Join,
             Op::Leave { sel: 2 },
             Op::Crash { sel: 5 },
+            Op::Kill { sel: 4 },
         ];
         for op in ops {
             assert_eq!(decode(encode(op)), op);
@@ -737,6 +810,63 @@ mod tests {
         assert!(c.contains(&encode(Op::Capture { site: 4 })), "and to a capture");
         assert!(!c.contains(&crash));
         assert!(shrink_word(encode(Op::Quiesce)).is_empty());
+        let kill = encode(Op::Kill { sel: 3 });
+        assert!(shrink_word(kill).contains(&encode(Op::Crash { sel: 3 })), "kill demotes to crash");
+    }
+
+    #[test]
+    fn kill_forever_schedule_audits_clean() {
+        // The tentpole invariant, always asserted: with K = 3 and a
+        // fault-free plane, a schedule that loses two sites permanently
+        // — with writes landing before, between, and after the kills —
+        // must still audit oracle-exact, with zero anomalies. No taints
+        // are granted for kills inside the K−1 budget.
+        let cfg = AuditConfig::replicated(3);
+        let words: Vec<u64> = [
+            Op::Capture { site: 0 },
+            Op::Capture { site: 2 },
+            Op::Capture { site: 4 },
+            Op::MoveObj { site: 1, obj: 0 },
+            Op::MoveObj { site: 3, obj: 1 },
+            Op::MoveObj { site: 5, obj: 2 },
+            Op::Quiesce,
+            Op::Join,
+            Op::Kill { sel: 1 },
+            Op::MoveObj { site: 2, obj: 0 },
+            Op::MoveObj { site: 4, obj: 2 },
+            Op::Quiesce,
+            Op::Kill { sel: 2 },
+            Op::MoveObj { site: 0, obj: 1 },
+            Op::Quiesce,
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let report = run_schedule(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.objects, 3);
+        assert_eq!(report.anomalies, peertrack::world::Anomalies::default());
+        assert_eq!(report.fault_stats.dropped, 0);
+    }
+
+    #[test]
+    fn kill_without_replication_degrades_to_crash() {
+        // With replicas = 1 a Kill is a Crash: the run may degrade but
+        // must do so *detectably* — the auditor grants the usual crash
+        // taints and still forbids fabricated answers.
+        let cfg = AuditConfig { drop: 0.0, ..AuditConfig::lossy_no_retries(0.0) };
+        let words: Vec<u64> = [
+            Op::Capture { site: 1 },
+            Op::MoveObj { site: 3, obj: 0 },
+            Op::Quiesce,
+            Op::Kill { sel: 0 },
+            Op::Quiesce,
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let report = run_schedule(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! K-successor replication and kill-forever failover.
+//!
+//! The kill-forever fault model: a site fails *permanently* — no
+//! restart, no recovery of its disk. With `Builder::replicas(K)` every
+//! site's repository records and gateway shards are copied onto its
+//! K−1 Chord successors, so after any ≤ K−1 permanent losses every
+//! locate/trace answer must still match the MOODS movement oracle
+//! exactly, with zero anomalies. These tests assert that, plus the
+//! placement invariant itself: every key range held by exactly its K
+//! live successors after membership churn quiesces.
+
+use moods::{MovementLog, ObjectId, SiteId, Trace};
+use peertrack::{Builder, GroupConfig, IndexingMode, TraceableNetwork};
+use detrand::{rngs::StdRng, Rng, SeedableRng};
+use simnet::time::{ms, secs};
+use simnet::{FaultConfig, SimTime};
+
+fn obj(n: u64) -> ObjectId {
+    ObjectId::from_raw(&n.to_be_bytes())
+}
+
+fn group_mode() -> IndexingMode {
+    IndexingMode::Group(GroupConfig { n_max: 256, t_max: ms(200), ..GroupConfig::default() })
+}
+
+fn replicated(sites: usize, seed: u64, k: usize) -> TraceableNetwork {
+    Builder::new()
+        .sites(sites)
+        .seed(seed)
+        .mode(group_mode())
+        .replicas(k)
+        .faults(FaultConfig::none(seed ^ 0xFA17))
+        .build()
+}
+
+/// Assert every recorded movement is answered oracle-exactly.
+fn audit_against_oracle(net: &mut TraceableNetwork, log: &MovementLog, origin: SiteId) {
+    let objects: Vec<ObjectId> = log.objects().collect();
+    for o in objects {
+        let truth = log.trace(o, SimTime::ZERO, SimTime::INFINITY);
+        let (path, stats) = net.trace(origin, o, SimTime::ZERO, SimTime::INFINITY);
+        assert!(stats.complete, "trace of {o:?} flagged incomplete");
+        assert_eq!(path, truth, "trace of {o:?} diverged from the oracle");
+        for v in &truth {
+            let (loc, lstats) = net.locate(origin, o, v.arrived);
+            assert!(lstats.complete, "locate of {o:?} flagged incomplete");
+            assert_eq!(loc, Some(v.site), "locate of {o:?} at {:?} wrong", v.arrived);
+        }
+    }
+}
+
+#[test]
+fn kill_forever_preserves_locate_and_trace() {
+    // K = 3: the network must survive the permanent loss of any 2
+    // sites with oracle-exact answers.
+    let mut net = replicated(12, 41, 3);
+    let mut log = MovementLog::new();
+
+    // Thread objects through sites 4 and 7 (the victims) so both the
+    // repository records *at* the victims and the links *through* them
+    // depend on replica copies after the kills.
+    for (n, path) in [
+        (0u64, vec![1u32, 4, 7, 2]),
+        (1, vec![4, 7, 4, 9]),
+        (2, vec![7, 3, 4, 11]),
+        (3, vec![10, 5, 7, 4]),
+    ] {
+        let o = obj(n);
+        for (i, s) in path.iter().enumerate() {
+            let t = secs(10 + i as u64 * 100);
+            net.schedule_capture(t, SiteId(*s), vec![o]);
+            log.record(o, SiteId(*s), t);
+        }
+    }
+    net.run_until_quiescent();
+
+    net.kill_forever(SiteId(4));
+    audit_against_oracle(&mut net, &log, SiteId(0));
+
+    net.kill_forever(SiteId(7));
+    audit_against_oracle(&mut net, &log, SiteId(0));
+
+    assert_eq!(net.anomalies(), peertrack::world::Anomalies::default());
+}
+
+#[test]
+fn kill_forever_survives_writes_to_dead_predecessors() {
+    // An object's previous site dies, then the object moves on: the M2
+    // SetTo aimed at the dead repository must be redirected to its
+    // replica holders, not counted as dropped_to_dead — the trace
+    // still threads through the dead site's visit.
+    let mut net = replicated(10, 42, 3);
+    let mut log = MovementLog::new();
+    let o = obj(9);
+    net.schedule_capture(secs(10), SiteId(3), vec![o]);
+    log.record(o, SiteId(3), secs(10));
+    net.schedule_capture(secs(100), SiteId(6), vec![o]);
+    log.record(o, SiteId(6), secs(100));
+    net.run_until_quiescent();
+
+    net.kill_forever(SiteId(6));
+
+    // Moving on from the dead site: the gateway's M2 targets site 6.
+    net.capture(SiteId(2), &[o]);
+    log.record(o, SiteId(2), net.now());
+    net.run_until_quiescent();
+
+    audit_against_oracle(&mut net, &log, SiteId(0));
+    assert_eq!(net.anomalies(), peertrack::world::Anomalies::default());
+}
+
+#[test]
+fn replicas_one_changes_nothing() {
+    // `replicas(1)` must be indistinguishable from a build without the
+    // replication layer: same traffic, same answers, at the same seed.
+    let run = |with_knob: bool| {
+        let mut b = Builder::new().sites(16).seed(7).mode(group_mode());
+        if with_knob {
+            b = b.replicas(1);
+        }
+        let mut net = b.build();
+        let mut log = MovementLog::new();
+        for n in 0..6u64 {
+            let o = obj(n);
+            for (i, s) in [1u32, 5, 9, 13].iter().enumerate() {
+                let t = secs(10 + n * 7 + i as u64 * 50);
+                net.schedule_capture(t, SiteId(*s), vec![o]);
+                log.record(o, SiteId(*s), t);
+            }
+        }
+        net.run_until_quiescent();
+        let counts: Vec<(u64, u64, u64)> = simnet::metrics::ALL_CLASSES
+            .iter()
+            .map(|&c| {
+                let m = net.metrics();
+                (m.messages_of(c), m.bytes_of(c), m.hops_of(c))
+            })
+            .collect();
+        let (p, _) = net.trace(SiteId(0), obj(2), SimTime::ZERO, SimTime::INFINITY);
+        (counts, p)
+    };
+    assert_eq!(run(false), run(true));
+}
+
+/// The placement invariant, as a property over membership schedules:
+/// once joins and leaves quiesce, every live primary's replica copies
+/// sit on exactly its K−1 live ring successors (`AUDIT_CASES`
+/// overrides the budget; `scripts/verify.sh` uses a reduced one).
+#[test]
+fn prop_every_range_held_by_its_k_successors() {
+    let cases = std::env::var("AUDIT_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
+    proptiny::run(
+        "prop_every_range_held_by_its_k_successors",
+        &proptiny::Config::with_cases(cases),
+        &(2usize..5, 5usize..10, 0u64..1 << 20, proptiny::collection::vec(0u8..3, 1..7)),
+        |(k, founders, seed, churn): (usize, usize, u64, Vec<u8>)| {
+            let mut net = replicated(founders, seed, k);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+
+            // A little data so the copies are non-trivial.
+            for n in 0..4u64 {
+                let site = SiteId(rng.gen_range(0..founders as u32));
+                net.schedule_capture(secs(1 + n), site, vec![obj(n)]);
+            }
+            net.run_until_quiescent();
+
+            let mut joined: Vec<SiteId> = Vec::new();
+            for op in churn {
+                if op != 1 || joined.is_empty() {
+                    joined.push(net.join_site());
+                } else {
+                    let i = rng.gen_range(0..joined.len());
+                    net.leave_site(joined.swap_remove(i));
+                }
+            }
+
+            // Ground truth from the ring; observed from the stores.
+            for s in 0..net.world.sites.len() {
+                if !net.world.sites[s].alive {
+                    continue;
+                }
+                let primary = net.world.sites[s].site;
+                let chord_id = net.world.sites[s].chord_id;
+                let mut want: Vec<SiteId> = net
+                    .ring()
+                    .successors_of(&chord_id, k)
+                    .into_iter()
+                    .skip(1) // the primary heads its own chain
+                    .map(|id| {
+                        let idx = net.ring().app_index_of(&id).expect("member");
+                        net.world.sites[idx].site
+                    })
+                    .collect();
+                want.sort_by_key(|s| s.0);
+                want.dedup();
+                let held = net.world.replica_holders(primary);
+                proptiny::prop_assert_eq!(
+                    held,
+                    want,
+                    "primary {primary}: holders diverged from the K-successor rule \
+                     (k={k}, founders={founders}, seed={seed})"
+                );
+            }
+            proptiny::CaseResult::Pass
+        },
+    );
+}

@@ -51,6 +51,24 @@ fn schedule_words(max_len: usize) -> ScheduleStrategy<u64> {
         .with_op_shrink(|w| shrink_word(*w))
 }
 
+/// The same vocabulary with permanent kills mixed in, for the
+/// replicated-network property.
+fn schedule_words_with_kills(max_len: usize) -> ScheduleStrategy<u64> {
+    schedule(1..max_len)
+        .with_op(10, |rng| encode(Op::Capture { site: detrand::Rng::gen_range(rng, 0..32u16) }))
+        .with_op(8, |rng| {
+            encode(Op::MoveObj {
+                site: detrand::Rng::gen_range(rng, 0..32u16),
+                obj: detrand::Rng::gen_range(rng, 0..64u16),
+            })
+        })
+        .with_op(4, |rng| encode(Op::Advance { ms: detrand::Rng::gen_range(rng, 20..700u16) }))
+        .with_op(2, |_| encode(Op::Quiesce))
+        .with_op(2, |_| encode(Op::Join))
+        .with_op(3, |rng| encode(Op::Kill { sel: detrand::Rng::gen_range(rng, 0..16u16) }))
+        .with_op_shrink(|w| shrink_word(*w))
+}
+
 /// Recover the word list from proptiny's `Debug`-rendered minimal
 /// counterexample, e.g. `([72057594037927936, 3],)`.
 fn words_from_minimal(minimal: &str) -> Vec<u64> {
@@ -124,6 +142,34 @@ fn schedules_with_retries_preserve_all_invariants() {
             prop_assert!(
                 report.violations.is_empty(),
                 "invariants violated despite retries: {:?}\nschedule: {}\n({})",
+                report.violations,
+                format_schedule(&words),
+                describe(&words)
+            );
+            proptiny::CaseResult::Pass
+        },
+    );
+}
+
+/// The kill-forever invariant as a property over random schedules: on a
+/// fault-free plane with K-successor replication, any schedule whose
+/// permanent losses stay within the K−1 budget (the auditor degrades
+/// the rest to crashes) must keep every locate and trace oracle-exact —
+/// kills earn **no** taints (`AUDIT_CASES` overrides the budget;
+/// `scripts/verify.sh` uses a reduced fast-mode budget).
+#[test]
+fn kill_forever_schedules_stay_oracle_exact() {
+    let cases = std::env::var("AUDIT_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32);
+    proptiny::run(
+        "kill_forever_schedules_stay_oracle_exact",
+        &proptiny::Config::with_cases(cases),
+        &(2usize..=4, schedule_words_with_kills(30)),
+        |(k, words): (usize, Vec<u64>)| {
+            let cfg = AuditConfig::replicated(k);
+            let report = run_schedule(&cfg, &words);
+            prop_assert!(
+                report.violations.is_empty(),
+                "kill-forever (K={k}) violated the tracking invariants: {:?}\nschedule: {}\n({})",
                 report.violations,
                 format_schedule(&words),
                 describe(&words)
