@@ -1,0 +1,533 @@
+//! Open-loop load generator for the daemon's event-loop core.
+//!
+//! Drives an N-node loopback cluster with capture traffic at a target
+//! arrival rate and reports sustained captures/sec and locates/sec with
+//! p50/p95/p99 ack latencies from the shared `obs` histograms. Two
+//! client disciplines, selectable with `--mode`:
+//!
+//! * **serial** — closed-loop request-at-a-time: each client writes one
+//!   `Capture`, blocks for its `Ack`, then sends the next. This is the
+//!   discipline the pre-event-loop daemon forced on every client (one
+//!   outstanding request per connection), so it doubles as the
+//!   before/after baseline: every request pays a full engine wakeup and
+//!   its own fsync batch-of-one.
+//! * **pipelined** — open-loop: each client paces `Capture` frames at
+//!   the target rate *without waiting for acks* (a reader thread drains
+//!   responses concurrently, matching them FIFO to send stamps — valid
+//!   because the engine guarantees per-connection response order). The
+//!   engine drains many requests per poll wakeup and amortizes one
+//!   fsync across the whole batch; the throughput ratio over `serial`
+//!   is the group-commit win.
+//!
+//! After the capture phase each node's open window is flushed and the
+//! cluster quiesced, then a closed-loop locate phase queries each
+//! site's objects from a *different* site, exercising the distributed
+//! query path (nested-pump RPCs) under the same engine.
+//!
+//! The run's trajectory is committed as `results/BENCH_daemon.json`
+//! (override with `--json`); `scripts/bench_daemon.sh` is the
+//! repeatable invocation. With `--min-captures-per-sec F` the binary
+//! exits nonzero when the pipelined rate lands under the floor — the
+//! verify.sh smoke gate. Without loopback sockets it skips loudly and
+//! exits 0.
+//!
+//! ```text
+//! cargo run --release -p bench --bin daemon_load -- --mode both
+//! ```
+
+use bench::report::{print_table, results_path};
+use daemon::{Frame, LoopbackCluster};
+use durable::FsyncMode;
+use obs::Histogram;
+use peertrack::config::GroupConfig;
+use simnet::time::secs;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::{Duration, Instant};
+use transport::frame::{read_frame, write_frame};
+use workload::epc_object;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum RunMode {
+    Serial,
+    Pipelined,
+    Both,
+}
+
+#[derive(Clone)]
+struct Opts {
+    sites: usize,
+    seed: u64,
+    fsync: FsyncMode,
+    /// Target total capture-frame arrival rate (frames/sec, all sites).
+    rate: f64,
+    /// Capture-phase duration per mode (seconds).
+    duration: f64,
+    objects_per_frame: u64,
+    locates_per_site: u64,
+    /// Window count-flush threshold (`GroupConfig::n_max`): how many
+    /// buffered objects trigger an indexing flush mid-ingest. Larger
+    /// values keep the protocol plane quiet during the capture phase so
+    /// the measurement isolates the WAL/ack path.
+    n_max: usize,
+    mode: RunMode,
+    json: PathBuf,
+    min_captures_per_sec: Option<f64>,
+}
+
+impl Default for Opts {
+    fn default() -> Opts {
+        Opts {
+            sites: 8,
+            seed: 42,
+            fsync: FsyncMode::Batch,
+            // Well above the engine's single-core saturation point, so
+            // the open-loop writers keep the pipeline full and the
+            // measured rate is the sustained ceiling, not the pacing.
+            rate: 250_000.0,
+            duration: 2.0,
+            objects_per_frame: 1,
+            locates_per_site: 100,
+            n_max: GroupConfig::default().n_max,
+            mode: RunMode::Both,
+            json: results_path("BENCH_daemon.json"),
+            min_captures_per_sec: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: daemon_load [--sites N] [--seed S] [--fsync always|batch|never]\n\
+         \x20                 [--rate FRAMES_PER_SEC] [--secs DURATION]\n\
+         \x20                 [--objects-per-frame K] [--locates-per-site L] [--nmax N]\n\
+         \x20                 [--mode serial|pipelined|both] [--json PATH]\n\
+         \x20                 [--min-captures-per-sec FLOOR]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_opts() -> Opts {
+    let mut o = Opts::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--sites" => o.sites = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => o.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--fsync" => {
+                o.fsync = match val().as_str() {
+                    "always" => FsyncMode::Always,
+                    "batch" => FsyncMode::Batch,
+                    "never" => FsyncMode::Never,
+                    _ => usage(),
+                }
+            }
+            "--rate" => o.rate = val().parse().unwrap_or_else(|_| usage()),
+            "--secs" => o.duration = val().parse().unwrap_or_else(|_| usage()),
+            "--objects-per-frame" => {
+                o.objects_per_frame = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--locates-per-site" => {
+                o.locates_per_site = val().parse().unwrap_or_else(|_| usage())
+            }
+            "--nmax" => o.n_max = val().parse().unwrap_or_else(|_| usage()),
+            "--mode" => {
+                o.mode = match val().as_str() {
+                    "serial" => RunMode::Serial,
+                    "pipelined" => RunMode::Pipelined,
+                    "both" => RunMode::Both,
+                    _ => usage(),
+                }
+            }
+            "--json" => o.json = PathBuf::from(val()),
+            "--min-captures-per-sec" => {
+                o.min_captures_per_sec = Some(val().parse().unwrap_or_else(|_| usage()))
+            }
+            _ => usage(),
+        }
+    }
+    if o.sites == 0 || o.objects_per_frame == 0 || o.rate <= 0.0 || o.duration <= 0.0 {
+        usage();
+    }
+    o
+}
+
+/// One mode's measured trajectory.
+struct ModeResult {
+    captures: u64,
+    capture_wall: f64,
+    ack: Histogram,
+    locates: u64,
+    locate_hits: u64,
+    locate_wall: f64,
+    locate_lat: Histogram,
+    backpressure_parks: u64,
+}
+
+impl ModeResult {
+    fn captures_per_sec(&self) -> f64 {
+        self.captures as f64 / self.capture_wall.max(1e-9)
+    }
+
+    fn locates_per_sec(&self) -> f64 {
+        self.locates as f64 / self.locate_wall.max(1e-9)
+    }
+}
+
+fn expect_frame(stream: &mut TcpStream) -> io::Result<Frame> {
+    match read_frame(stream)? {
+        Some(raw) => Frame::decode(&raw)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        None => Err(io::Error::new(
+            io::ErrorKind::ConnectionAborted,
+            "node closed mid-bench",
+        )),
+    }
+}
+
+/// Capture frame `k` of `site`: `objects_per_frame` fresh objects at a
+/// strictly increasing virtual instant (1 ms apart, like a reader that
+/// scans a new pallet every millisecond).
+fn capture_frame(site: u32, k: u64, opf: u64) -> Frame {
+    Frame::Capture {
+        at: simnet::SimTime::from_micros(k * 1_000),
+        objects: (0..opf).map(|j| epc_object(site, k * opf + j)).collect(),
+    }
+}
+
+/// Closed-loop capture client: one outstanding request, ever.
+fn serial_capture_client(
+    addr: std::net::SocketAddr,
+    site: u32,
+    duration: f64,
+    opf: u64,
+) -> io::Result<(u64, Histogram)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut hist = Histogram::new();
+    let mut sent = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < duration {
+        let payload = capture_frame(site, sent, opf).encode();
+        let t0 = Instant::now();
+        write_frame(&mut stream, &payload)?;
+        expect_frame(&mut stream)?;
+        hist.record(t0.elapsed().as_micros() as u64);
+        sent += 1;
+    }
+    Ok((sent, hist))
+}
+
+/// Open-loop capture client: a writer paces frames at `rate` without
+/// waiting; a reader drains acks concurrently, pairing them FIFO with
+/// send stamps (sound because the engine preserves per-connection
+/// response order — the pipelining invariant this bench leans on).
+fn pipelined_capture_client(
+    addr: std::net::SocketAddr,
+    site: u32,
+    rate: f64,
+    duration: f64,
+    opf: u64,
+) -> io::Result<(u64, Histogram)> {
+    let mut wstream = TcpStream::connect(addr)?;
+    wstream.set_nodelay(true)?;
+    let mut rstream = wstream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<Instant>();
+
+    let reader = thread::spawn(move || -> io::Result<Histogram> {
+        let mut hist = Histogram::new();
+        while let Ok(stamp) = rx.recv() {
+            expect_frame(&mut rstream)?;
+            hist.record(stamp.elapsed().as_micros() as u64);
+        }
+        Ok(hist)
+    });
+
+    let mut sent = 0u64;
+    let start = Instant::now();
+    while start.elapsed().as_secs_f64() < duration {
+        // Open-loop pacing: frame k is due at start + k/rate. A stall
+        // (engine backpressure propagating through TCP) makes later
+        // frames late, never skipped — arrivals stay open-loop.
+        let due = start + Duration::from_secs_f64(sent as f64 / rate);
+        let now = Instant::now();
+        if due > now {
+            thread::sleep(due - now);
+        }
+        let payload = capture_frame(site, sent, opf).encode();
+        tx.send(Instant::now()).expect("reader outlives writer");
+        write_frame(&mut wstream, &payload)?;
+        sent += 1;
+    }
+    drop(tx);
+    let hist = reader.join().expect("reader thread panicked")?;
+    Ok((sent, hist))
+}
+
+/// Closed-loop locate client at `origin`, querying objects captured at
+/// `target` — every query crosses the cluster (nested-pump RPC path).
+fn locate_client(
+    addr: std::net::SocketAddr,
+    target: u32,
+    target_objects: u64,
+    count: u64,
+) -> io::Result<(u64, u64, Histogram)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut hist = Histogram::new();
+    let mut hits = 0u64;
+    for k in 0..count {
+        let object = epc_object(target, k % target_objects);
+        let payload = Frame::Locate { object, t: secs(7_200) }.encode();
+        let t0 = Instant::now();
+        write_frame(&mut stream, &payload)?;
+        let reply = expect_frame(&mut stream)?;
+        hist.record(t0.elapsed().as_micros() as u64);
+        if let Frame::LocateResp { answer: Some(s), .. } = reply {
+            if s.0 == target {
+                hits += 1;
+            }
+        }
+    }
+    Ok((count, hits, hist))
+}
+
+fn run_mode(pipelined: bool, o: &Opts) -> io::Result<ModeResult> {
+    let tag = if pipelined { "pipelined" } else { "serial" };
+    let root = std::env::temp_dir()
+        .join(format!("daemon-load-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let mut cluster = LoopbackCluster::start_durable(
+        o.sites,
+        o.seed,
+        GroupConfig { n_max: o.n_max, ..GroupConfig::default() },
+        &root,
+        o.fsync,
+        // Snapshots off the hot path: this bench measures the WAL
+        // group-commit plane, not compaction cadence.
+        1_000_000,
+    )?;
+
+    // -- capture phase ------------------------------------------------
+    let per_site_rate = o.rate / o.sites as f64;
+    let phase_start = Instant::now();
+    let handles: Vec<_> = (0..o.sites)
+        .map(|i| {
+            let addr = cluster.addr(i);
+            let (dur, opf) = (o.duration, o.objects_per_frame);
+            thread::spawn(move || {
+                if pipelined {
+                    pipelined_capture_client(addr, i as u32, per_site_rate, dur, opf)
+                } else {
+                    serial_capture_client(addr, i as u32, dur, opf)
+                }
+            })
+        })
+        .collect();
+    let mut sent_per_site = Vec::with_capacity(o.sites);
+    let mut ack = Histogram::new();
+    for h in handles {
+        let (sent, hist) = h.join().expect("capture client panicked")?;
+        sent_per_site.push(sent);
+        ack.merge(&hist);
+    }
+    let capture_wall = phase_start.elapsed().as_secs_f64();
+    let captures: u64 = sent_per_site.iter().sum();
+
+    // -- settle: flush open windows, drain protocol traffic -----------
+    for i in 0..o.sites {
+        let mut s = TcpStream::connect(cluster.addr(i))?;
+        s.set_nodelay(true)?;
+        write_frame(&mut s, &Frame::Flush { now: secs(3_600) }.encode())?;
+        expect_frame(&mut s)?;
+    }
+    cluster.quiesce()?;
+
+    // -- locate phase -------------------------------------------------
+    let phase_start = Instant::now();
+    let handles: Vec<_> = (0..o.sites)
+        .map(|i| {
+            let addr = cluster.addr(i);
+            let target = (i + 1) % o.sites;
+            let target_objects = sent_per_site[target] * o.objects_per_frame;
+            let count = o.locates_per_site;
+            thread::spawn(move || {
+                if target_objects == 0 {
+                    return Ok((0, 0, Histogram::new()));
+                }
+                locate_client(addr, target as u32, target_objects, count)
+            })
+        })
+        .collect();
+    let mut locates = 0u64;
+    let mut locate_hits = 0u64;
+    let mut locate_lat = Histogram::new();
+    for h in handles {
+        let (n, hits, hist) = h.join().expect("locate client panicked")?;
+        locates += n;
+        locate_hits += hits;
+        locate_lat.merge(&hist);
+    }
+    let locate_wall = phase_start.elapsed().as_secs_f64();
+
+    let reports = cluster.shutdown()?;
+    let backpressure_parks = reports.iter().map(|r| r.backpressure_parks).sum();
+    std::fs::remove_dir_all(&root).ok();
+
+    Ok(ModeResult {
+        captures,
+        capture_wall,
+        ack,
+        locates,
+        locate_hits,
+        locate_wall,
+        locate_lat,
+        backpressure_parks,
+    })
+}
+
+fn hist_json(h: &Histogram) -> String {
+    if h.is_empty() {
+        return r#"{"count":0}"#.to_string();
+    }
+    format!(
+        r#"{{"count":{},"p50":{},"p95":{},"p99":{},"mean":{:.1},"max":{}}}"#,
+        h.count(),
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.mean(),
+        h.max()
+    )
+}
+
+fn mode_json(r: &ModeResult, objects_per_frame: u64) -> String {
+    format!(
+        r#"{{"captures":{},"capture_wall_secs":{:.3},"captures_per_sec":{:.1},"objects_per_sec":{:.1},"ack_latency_us":{},"locates":{},"locate_hits":{},"locates_per_sec":{:.1},"locate_latency_us":{},"backpressure_parks":{}}}"#,
+        r.captures,
+        r.capture_wall,
+        r.captures_per_sec(),
+        r.captures_per_sec() * objects_per_frame as f64,
+        hist_json(&r.ack),
+        r.locates,
+        r.locate_hits,
+        r.locates_per_sec(),
+        hist_json(&r.locate_lat),
+        r.backpressure_parks
+    )
+}
+
+fn fsync_str(m: FsyncMode) -> &'static str {
+    match m {
+        FsyncMode::Always => "always",
+        FsyncMode::Batch => "batch",
+        FsyncMode::Never => "never",
+    }
+}
+
+fn mode_row(tag: &str, r: &ModeResult) -> Vec<String> {
+    vec![
+        tag.to_string(),
+        r.captures.to_string(),
+        format!("{:.0}", r.captures_per_sec()),
+        r.ack.p50().to_string(),
+        r.ack.p95().to_string(),
+        r.ack.p99().to_string(),
+        format!("{:.0}", r.locates_per_sec()),
+        r.locate_lat.p50().to_string(),
+        r.locate_lat.p99().to_string(),
+        r.backpressure_parks.to_string(),
+    ]
+}
+
+fn main() -> io::Result<()> {
+    let o = parse_opts();
+
+    if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+        eprintln!(
+            "SKIP: sandbox forbids binding loopback sockets; daemon_load \
+             needs a real cluster and has nothing to measure"
+        );
+        return Ok(());
+    }
+
+    let serial = match o.mode {
+        RunMode::Serial | RunMode::Both => Some(run_mode(false, &o)?),
+        RunMode::Pipelined => None,
+    };
+    let pipelined = match o.mode {
+        RunMode::Pipelined | RunMode::Both => Some(run_mode(true, &o)?),
+        RunMode::Serial => None,
+    };
+
+    let header = [
+        "mode", "captures", "cap/s", "ack_p50", "ack_p95", "ack_p99", "loc/s",
+        "loc_p50", "loc_p99", "parks",
+    ];
+    let mut rows = Vec::new();
+    if let Some(r) = &serial {
+        rows.push(mode_row("serial", r));
+    }
+    if let Some(r) = &pipelined {
+        rows.push(mode_row("pipelined", r));
+    }
+    print_table("daemon_load (latencies in µs)", &header, &rows);
+
+    let speedup = match (&serial, &pipelined) {
+        (Some(s), Some(p)) => Some(p.captures_per_sec() / s.captures_per_sec().max(1e-9)),
+        _ => None,
+    };
+    if let Some(x) = speedup {
+        println!("\npipelined/serial captures-per-sec speedup: {x:.2}x");
+    }
+
+    // Hand-rolled JSON (zero-dependency policy, like trace_demo.json).
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"bench\": \"daemon_load\",\n  \"config\": {{\"sites\":{},\"seed\":{},\"fsync\":\"{}\",\"rate_frames_per_sec\":{:.0},\"duration_secs\":{:.1},\"objects_per_frame\":{},\"locates_per_site\":{},\"n_max\":{}}},\n",
+        o.sites,
+        o.seed,
+        fsync_str(o.fsync),
+        o.rate,
+        o.duration,
+        o.objects_per_frame,
+        o.locates_per_site,
+        o.n_max
+    ));
+    json.push_str(&format!(
+        "  \"serial\": {},\n",
+        serial.as_ref().map_or("null".into(), |r| mode_json(r, o.objects_per_frame))
+    ));
+    json.push_str(&format!(
+        "  \"pipelined\": {},\n",
+        pipelined.as_ref().map_or("null".into(), |r| mode_json(r, o.objects_per_frame))
+    ));
+    json.push_str(&format!(
+        "  \"speedup_captures_per_sec\": {}\n}}\n",
+        speedup.map_or("null".to_string(), |x| format!("{x:.2}"))
+    ));
+    if let Some(dir) = o.json.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(&o.json)?;
+    f.write_all(json.as_bytes())?;
+    println!("wrote {}", o.json.display());
+
+    if let Some(floor) = o.min_captures_per_sec {
+        let measured = pipelined
+            .as_ref()
+            .or(serial.as_ref())
+            .map(|r| r.captures_per_sec())
+            .unwrap_or(0.0);
+        if measured < floor {
+            eprintln!("FAIL: {measured:.0} captures/sec under the {floor:.0} floor");
+            std::process::exit(1);
+        }
+        println!("floor ok: {measured:.0} >= {floor:.0} captures/sec");
+    }
+    Ok(())
+}

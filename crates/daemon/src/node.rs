@@ -3,10 +3,16 @@
 //! [`Node::spawn`] binds a listener and runs a single-threaded engine
 //! that owns this site's slice of the state the simulator's `NetWorld`
 //! keeps globally: the Chord routing replica, the capture window, the
-//! IOP repository and the gateway shards. Per-connection reader threads
-//! (from [`transport::Server`]) feed decoded frames into the engine's
-//! queue; the engine processes them strictly serially, so every state
-//! transition is as atomic as the simulator's event handlers.
+//! IOP repository and the gateway shards. The engine is a
+//! readiness-driven event loop over nonblocking sockets
+//! ([`transport::nio`], std-only): each poll wakeup drains whatever
+//! bytes the kernel has per connection, decodes as many whole frames
+//! as arrived (many requests in flight per connection), processes them
+//! strictly serially — every state transition as atomic as the
+//! simulator's event handlers — and then *commits the batch*: one WAL
+//! fsync covering every record the wakeup logged, after which (and
+//! never before) the batch's responses are released to their
+//! connections' write buffers. DESIGN.md §14 specifies the loop.
 //!
 //! **Core/engine split.** Since the durability work the node is two
 //! layers. [`Core`] is the deterministic state machine: it holds every
@@ -44,11 +50,17 @@
 //! walk and the local walk visit the same nodes and charge the same
 //! hops, a parity the cluster tests pin down.
 //!
-//! **Deadlock-freedom.** Only control-plane handlers (capture, flush,
-//! locate, trace) issue blocking RPCs, and RPC handlers themselves
-//! never block on further RPCs (depth 1). Control requests must be
-//! serialized across the cluster (the harness awaits each ack); the
-//! asynchronous protocol plane (`GroupIndex`, M2/M3) never blocks.
+//! **Deadlock-freedom.** While a query (locate/trace) waits for a peer
+//! RPC reply, the engine keeps pumping the event loop in *nested* mode:
+//! every read-only RPC (`LookupStep`, record reads, probes) and the
+//! whole asynchronous protocol plane are served immediately; only
+//! frames that would start another query (or stop the node) are
+//! deferred. Two nodes querying each other therefore both make
+//! progress — each answers the other's lookup steps from inside its own
+//! wait loop — and RPC recursion is bounded at depth 1 because a nested
+//! pump never starts a query. Per-connection response order is
+//! preserved by suspending the querying connection's inbox until its
+//! query completes.
 //!
 //! **Virtual time.** There are no `Tmax` timers off-sim: the driver
 //! carries explicit virtual instants ([`Frame::Capture`]`.at`) and
@@ -74,14 +86,14 @@ use peertrack::window::{WindowBatch, WindowBuffer, WindowEvent};
 use peertrack::world::Anomalies;
 use simnet::metrics::{Metrics, MsgClass};
 use simnet::SimTime;
-use std::collections::{BTreeMap, HashSet};
-use std::io;
-use std::net::SocketAddr;
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;
-use std::sync::mpsc::{channel, Receiver};
 use std::thread::JoinHandle;
-use std::time::{SystemTime, UNIX_EPOCH};
-use transport::{Backoff, ConnCache, Incoming, Server};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use transport::frame::write_frame;
+use transport::{Backoff, ConnCache, FrameAccum, NbConn, NbListener};
 
 /// The ring identity of a site, matching the simulator's derivation
 /// (`peertrack::net::Builder`) so lookups hash identically.
@@ -173,6 +185,11 @@ pub struct NodeReport {
     pub sent: u64,
     /// Protocol-plane frames received.
     pub received: u64,
+    /// Times a connection crossed the bounded-outbox limit
+    /// ([`OUTBOX_LIMIT_BYTES`]) and was parked — reads and request
+    /// processing suspended until the client drained its responses.
+    /// Zero unless some client stopped reading what it asked for.
+    pub backpressure_parks: u64,
 }
 
 /// A running node: its address plus the engine thread's handle.
@@ -189,11 +206,10 @@ impl Node {
     /// corrupt snapshot — fail the spawn loudly rather than starting a
     /// node with fabricated state.
     pub fn spawn(cfg: NodeConfig) -> io::Result<Node> {
-        let (tx, rx) = channel::<Incoming>();
-        let server = Server::bind(&cfg.listen, tx)?;
-        let addr = server.local_addr();
+        let listener = NbListener::bind(&cfg.listen)?;
+        let addr = listener.local_addr();
         let site = cfg.site;
-        let engine = Engine::new(cfg, addr, server, rx)?;
+        let engine = Engine::new(cfg, addr, listener)?;
         let handle = std::thread::Builder::new()
             .name(format!("peertrackd-{}", site.0))
             .spawn(move || engine.run())?;
@@ -949,10 +965,61 @@ impl Core {
     }
 }
 
+/// Per-connection inbox cap: decoded frames awaiting processing. With
+/// the bounded read chunk in [`transport::nio`] this caps per-connection
+/// memory while a pipelining client keeps the loop busy across wakeups;
+/// once full, the connection simply is not read until the loop catches
+/// up (TCP flow control pushes back on the client).
+pub const INBOX_CAP: usize = 256;
+
+/// Bounded per-connection outbox: once this many response bytes are
+/// queued and not yet accepted by the kernel, the connection is
+/// *parked* — no further reads or request processing — until the
+/// client drains its responses. Backpressure, never OOM, never a
+/// dropped response.
+pub const OUTBOX_LIMIT_BYTES: usize = 256 * 1024;
+
+/// Deadline for one peer RPC. The engine keeps pumping while it waits,
+/// so this only bounds how long a query stalls on an unreachable peer.
+const RPC_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Idle strategy: spin-yield this many empty wakeups, then sleep.
+const IDLE_SPINS: u32 = 64;
+const IDLE_SLEEP: Duration = Duration::from_micros(200);
+
+/// Which pump is running (see [`Engine::pump`]). `Nested` is the pump
+/// inside an RPC wait: it defers anything that would start another
+/// query or stop the node, which is what bounds RPC recursion at 1.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Main,
+    Nested,
+}
+
+/// What `handle_frame` did with a frame.
+enum Action {
+    Consumed,
+    /// Put it back — this frame class cannot run in the current mode.
+    Deferred(Frame),
+}
+
+/// One accepted connection: the nonblocking socket plus the decoded
+/// frames waiting their turn.
+struct EConn {
+    conn: NbConn,
+    inbox: VecDeque<Frame>,
+    /// True while over [`OUTBOX_LIMIT_BYTES`]: reads and processing are
+    /// suspended, only flushes run.
+    parked: bool,
+}
+
 struct Engine {
     addr: SocketAddr,
-    server: Server,
-    rx: Receiver<Incoming>,
+    listener: NbListener,
+    /// Accepted connections, slab-style: indices are stable (slots are
+    /// reused, never compacted) because staged replies and `busy_conn`
+    /// refer to them across nested pumps.
+    econns: Vec<Option<EConn>>,
     conns: ConnCache,
     recorder: Recorder,
     core: Core,
@@ -961,6 +1028,18 @@ struct Engine {
     data: Option<DataDir>,
     snapshot_every: u64,
     records_since_snapshot: u64,
+    /// True when the current batch holds WAL records whose fsync has
+    /// not happened yet (cleared by `commit`).
+    appended_in_batch: bool,
+    /// Responses produced this batch in production order, held back
+    /// until the batch fsync: ack-after-fsync is this buffer.
+    staged: Vec<(usize, Vec<u8>)>,
+    /// Connection whose query is suspended mid-RPC: nested pumps skip
+    /// its inbox so its responses stay in request order.
+    busy_conn: Option<usize>,
+    /// `Some(clean)` once Shutdown (`true`) or Crash (`false`) ran.
+    stop: Option<bool>,
+    parks: u64,
 }
 
 impl Engine {
@@ -968,12 +1047,7 @@ impl Engine {
     /// correct the self-address on file, then join through the
     /// bootstrap. Runs on the spawning thread so recovery errors fail
     /// `Node::spawn` instead of killing a detached thread.
-    fn new(
-        cfg: NodeConfig,
-        addr: SocketAddr,
-        server: Server,
-        rx: Receiver<Incoming>,
-    ) -> io::Result<Engine> {
+    fn new(cfg: NodeConfig, addr: SocketAddr, listener: NbListener) -> io::Result<Engine> {
         let mut core = Core::new(cfg.site, cfg.seed, cfg.group, addr);
         core.replicas = cfg.replicas.max(1);
         let mut data = None;
@@ -1000,14 +1074,19 @@ impl Engine {
         }
         let mut engine = Engine {
             addr,
-            server,
-            rx,
+            listener,
+            econns: Vec::new(),
             conns: ConnCache::new(Backoff::default()),
             recorder: Recorder::new(),
             core,
             data,
             snapshot_every: cfg.snapshot_every.max(1),
             records_since_snapshot: 0,
+            appended_in_batch: false,
+            staged: Vec::new(),
+            busy_conn: None,
+            stop: None,
+            parks: 0,
         };
         // A recovered core remembers the listener address of its
         // previous life; this life bound a fresh port.
@@ -1017,26 +1096,25 @@ impl Engine {
         if let Some(bootstrap) = cfg.bootstrap {
             engine.join_via(bootstrap);
         }
+        // Make the pre-loop appends durable before serving traffic.
+        engine.commit();
         Ok(engine)
     }
 
-    /// The single live write path: log the event, apply it, deliver
-    /// what it produced, maybe snapshot. A WAL append failure is fatal
-    /// by design — running on past an unlogged mutation would make the
+    /// The single live write path: log the event (group-commit append —
+    /// the fsync is deferred to this batch's `commit`), apply it,
+    /// deliver what it produced. A WAL append failure is fatal by
+    /// design — running on past an unlogged mutation would make the
     /// next recovery silently diverge.
     fn log_apply(&mut self, rec: WalRecord) {
         if let Some(d) = self.data.as_mut() {
-            d.append(&rec.encode())
+            d.append_deferred(&rec.encode())
                 .expect("WAL append failed; refusing to mutate unlogged state");
+            self.appended_in_batch = true;
+            self.records_since_snapshot += 1;
         }
         self.core.apply_record(&rec);
         self.pump_outbox();
-        if self.data.is_some() {
-            self.records_since_snapshot += 1;
-            if self.records_since_snapshot >= self.snapshot_every {
-                self.install_snapshot();
-            }
-        }
     }
 
     /// Deliver everything the core queued. On a send failure the core
@@ -1099,147 +1177,44 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn run(mut self) -> NodeReport {
-        let mut clean = true;
-        while let Ok(mut incoming) = self.rx.recv() {
-            let frame = match Frame::decode(&incoming.frame) {
-                Ok(f) => f,
-                Err(ProtoError::Codec(_)) | Err(_) => {
-                    self.core.unsupported += 1;
-                    continue;
+        let mut idle = 0u32;
+        while self.stop.is_none() {
+            if self.pump(Mode::Main) {
+                idle = 0;
+            } else {
+                // Adaptive idle: no poll(2) without libc, so spin-yield
+                // briefly (keeps RPC round trips fast under load), then
+                // sleep in short slices (keeps an idle 8-node cluster
+                // cheap).
+                idle += 1;
+                if idle < IDLE_SPINS {
+                    std::thread::yield_now();
+                } else {
+                    std::thread::sleep(IDLE_SLEEP);
                 }
-            };
-            match frame {
-                Frame::Protocol { sender, hops: _, sent_us, wire } => {
-                    self.recorder
-                        .record_latency(wire.msg.class(), wall_us().saturating_sub(sent_us));
-                    self.log_apply(WalRecord::Protocol { sender, wire });
-                }
-                Frame::JoinReq { site, addr } => {
-                    let reply = self.on_join_req(site, &addr);
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::PeerJoined { site, addr } => {
-                    if addr.parse::<SocketAddr>().is_ok() {
-                        self.log_apply(WalRecord::Member { site, addr });
-                    }
-                }
-                Frame::PeerDead { site } => {
-                    self.log_apply(WalRecord::Dead { site });
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                }
-                Frame::JoinResp { .. } => self.core.unsupported += 1,
-                Frame::Capture { at, objects } => {
-                    self.log_apply(WalRecord::Capture { at, objects });
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                }
-                Frame::Flush { now } => {
-                    self.log_apply(WalRecord::Flush { now });
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                }
-                Frame::Locate { object, t } => {
-                    let started = wall_us();
-                    let (answer, cost, complete) = self.locate(object, t);
-                    self.account_query(&cost, started);
-                    let reply =
-                        Frame::LocateResp { answer, cost: cost.wire(), complete };
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Trace { object, t0, t1 } => {
-                    let started = wall_us();
-                    let (path, cost, complete) = self.trace(object, t0, t1);
-                    self.account_query(&cost, started);
-                    let reply = Frame::TraceResp { path, cost: cost.wire(), complete };
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Status => {
-                    let reply = Frame::StatusResp {
-                        site: self.core.site,
-                        members: self.core.members.len() as u32,
-                        sent: self.core.sent,
-                        received: self.core.received,
-                    };
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Shutdown => {
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                    break;
-                }
-                Frame::Crash => {
-                    // Die like a kill -9 would: ack (so the harness can
-                    // sequence the fault), then abandon everything
-                    // volatile. No final snapshot, no WAL sync, no
-                    // orderly connection teardown beyond process exit.
-                    let _ = incoming.reply.send(&Frame::Ack.encode());
-                    clean = false;
-                    break;
-                }
-                Frame::StateDump => {
-                    let reply = Frame::StateResp(self.core.state_bytes(false));
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::Resolve { site } => {
-                    let addr = self.core.members.get(&site).map(|a| a.to_string());
-                    let _ = incoming.reply.send(&Frame::AddrResp(addr).encode());
-                }
-                Frame::LookupStep { key } => {
-                    let me = self.core.my_chord_id();
-                    let node = self.core.ring.get(&me).expect("self in replica");
-                    let answer = answer_step(node, &key, |id| self.core.ring.contains(id));
-                    let _ = incoming.reply.send(&Frame::StepResp(answer).encode());
-                }
-                Frame::GatewayProbe { object } => {
-                    let link = self.local_gateway_probe(object);
-                    let _ = incoming.reply.send(&Frame::LinkResp(link).encode());
-                }
-                Frame::IopKnows { object } => {
-                    let reply = Frame::BoolResp(self.core.iop.knows(object));
-                    let _ = incoming.reply.send(&reply.encode());
-                }
-                Frame::RecAt { object, time } => {
-                    let rec = self.core.iop.record_at(object, time).copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::RecLatestAtOrBefore { object, t } => {
-                    let rec = self.core.iop.latest_at_or_before(object, t).copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::RecFirst { object } => {
-                    let rec = self.core.iop.all(object).first().copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::RecLatest { object } => {
-                    let rec = self.core.iop.latest(object).copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                Frame::ReplRecAt { primary, object, time } => {
-                    let rec = self
-                        .core
-                        .replica_iop
-                        .get(&primary)
-                        .and_then(|st| st.record_at(object, time))
-                        .copied();
-                    let _ = incoming.reply.send(&Frame::RecResp(rec).encode());
-                }
-                // Response frames arriving outside a request context.
-                Frame::Ack
-                | Frame::LocateResp { .. }
-                | Frame::TraceResp { .. }
-                | Frame::StatusResp { .. }
-                | Frame::StepResp(_)
-                | Frame::LinkResp(_)
-                | Frame::BoolResp(_)
-                | Frame::RecResp(_)
-                | Frame::StateResp(_)
-                | Frame::AddrResp(_) => self.core.unsupported += 1,
             }
+            self.reap();
         }
-        if clean && self.data.is_some() {
+        if self.stop == Some(true) && self.data.is_some() {
             // Orderly shutdown: fold the whole log into one snapshot so
             // the next start replays nothing, and leave the WAL synced
             // and empty.
             self.install_snapshot();
         }
-        self.server.shutdown();
+        // Drain pending responses — the final ack among them — with a
+        // deadline so a vanished client cannot wedge the exit.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while self.econns.iter().flatten().any(|e| e.conn.queued_bytes() > 0)
+            && Instant::now() < deadline
+        {
+            for ec in self.econns.iter_mut().flatten() {
+                ec.conn.try_flush();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        for ec in self.econns.iter_mut().flatten() {
+            ec.conn.close();
+        }
         self.conns.close_all();
         NodeReport {
             site: self.core.site,
@@ -1249,7 +1224,310 @@ impl Engine {
             recorder: self.recorder,
             sent: self.core.sent,
             received: self.core.received,
+            backpressure_parks: self.parks,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // The event loop: intake → process → commit → flush
+    // ------------------------------------------------------------------
+
+    /// One poll wakeup. Returns `true` if anything at all happened
+    /// (the idle strategy watches this). `Nested` pumps run inside an
+    /// RPC wait — same structure, restricted processing.
+    fn pump(&mut self, mode: Mode) -> bool {
+        let mut activity = self.intake();
+        if self.stop.is_none() {
+            activity |= self.process(mode);
+        }
+        self.commit();
+        activity | self.flush_writes()
+    }
+
+    /// Accept pending connections and read every readable socket,
+    /// decoding complete frames into per-connection inboxes.
+    fn intake(&mut self) -> bool {
+        let mut activity = false;
+        for (stream, peer) in self.listener.accept_ready() {
+            let Ok(conn) = NbConn::new(stream, peer) else { continue };
+            let ec = EConn { conn, inbox: VecDeque::new(), parked: false };
+            match self.econns.iter_mut().find(|s| s.is_none()) {
+                Some(slot) => *slot = Some(ec),
+                None => self.econns.push(Some(ec)),
+            }
+            activity = true;
+        }
+        for idx in 0..self.econns.len() {
+            let Some(ec) = self.econns[idx].as_mut() else { continue };
+            if ec.parked || ec.conn.is_dead() || ec.inbox.len() >= INBOX_CAP {
+                continue;
+            }
+            if ec.conn.read_ready() {
+                activity = true;
+            }
+            while ec.inbox.len() < INBOX_CAP {
+                let Some(raw) = ec.conn.next_frame() else { break };
+                match Frame::decode(&raw) {
+                    Ok(f) => ec.inbox.push_back(f),
+                    Err(ProtoError::Codec(_)) | Err(_) => self.core.unsupported += 1,
+                }
+            }
+        }
+        activity
+    }
+
+    /// Handle queued frames, strictly serially, in arrival order per
+    /// connection. Parked connections and — in nested mode — the
+    /// querying connection are skipped; a deferred frame stops its
+    /// connection's queue (order preserved) without blocking others.
+    fn process(&mut self, mode: Mode) -> bool {
+        let mut activity = false;
+        let n = self.econns.len();
+        'conns: for idx in 0..n {
+            if self.stop.is_some() {
+                break;
+            }
+            if self.busy_conn == Some(idx) {
+                continue;
+            }
+            loop {
+                if self.stop.is_some() {
+                    break 'conns;
+                }
+                let frame = {
+                    let Some(ec) = self.econns[idx].as_mut() else { continue 'conns };
+                    if ec.parked {
+                        continue 'conns;
+                    }
+                    match ec.inbox.pop_front() {
+                        Some(f) => f,
+                        None => break,
+                    }
+                };
+                match self.handle_frame(idx, frame, mode) {
+                    Action::Consumed => activity = true,
+                    Action::Deferred(frame) => {
+                        if let Some(ec) = self.econns[idx].as_mut() {
+                            ec.inbox.push_front(frame);
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        activity
+    }
+
+    /// The group-commit point: one fsync covering every record this
+    /// batch appended, then — and never before — release the batch's
+    /// staged responses to their connections. A crash stop releases
+    /// without the fsync (process-crash model: the `write(2)` already
+    /// happened, and `Frame::Crash` simulates `kill -9`, not power
+    /// loss). Snapshot cadence also lands here, after the sync.
+    fn commit(&mut self) {
+        if self.appended_in_batch {
+            let crashing = self.stop == Some(false);
+            if !crashing {
+                if let Some(d) = self.data.as_mut() {
+                    d.sync().expect("WAL fsync failed; refusing to ack unsynced records");
+                }
+            }
+            self.appended_in_batch = false;
+            if !crashing
+                && self.stop.is_none()
+                && self.data.is_some()
+                && self.records_since_snapshot >= self.snapshot_every
+            {
+                self.install_snapshot();
+            }
+        }
+        for (idx, bytes) in std::mem::take(&mut self.staged) {
+            if let Some(ec) = self.econns[idx].as_mut() {
+                ec.conn.queue_frame(&bytes);
+            }
+        }
+    }
+
+    /// Write as much buffered output as the kernel accepts, and manage
+    /// backpressure parking around [`OUTBOX_LIMIT_BYTES`].
+    fn flush_writes(&mut self) -> bool {
+        let mut activity = false;
+        for ec in self.econns.iter_mut().flatten() {
+            let before = ec.conn.queued_bytes();
+            if before > 0 {
+                ec.conn.try_flush();
+                if ec.conn.queued_bytes() < before {
+                    activity = true;
+                }
+            }
+            let over = ec.conn.queued_bytes() > OUTBOX_LIMIT_BYTES;
+            if over && !ec.parked {
+                ec.parked = true;
+                self.parks += 1;
+            } else if !over && ec.parked {
+                ec.parked = false;
+                activity = true;
+            }
+        }
+        activity
+    }
+
+    /// Drop fully-finished dead connections. Only called between
+    /// top-level pumps — never from a nested pump, so slab indices held
+    /// across an RPC wait stay valid.
+    fn reap(&mut self) {
+        for slot in self.econns.iter_mut() {
+            if let Some(ec) = slot {
+                if ec.conn.is_dead() && ec.inbox.is_empty() {
+                    *slot = None;
+                }
+            }
+        }
+    }
+
+    /// Stage a response for release at this batch's commit point.
+    fn stage(&mut self, idx: usize, frame: Frame) {
+        self.staged.push((idx, frame.encode()));
+    }
+
+    fn handle_frame(&mut self, idx: usize, frame: Frame, mode: Mode) -> Action {
+        // A nested pump serves reads and the protocol plane, but never
+        // starts a second query (RPC recursion bound) and never stops
+        // the node mid-query.
+        if mode == Mode::Nested
+            && matches!(
+                frame,
+                Frame::Locate { .. } | Frame::Trace { .. } | Frame::Shutdown | Frame::Crash
+            )
+        {
+            return Action::Deferred(frame);
+        }
+        match frame {
+            Frame::Protocol { sender, hops: _, sent_us, wire } => {
+                self.recorder
+                    .record_latency(wire.msg.class(), wall_us().saturating_sub(sent_us));
+                self.log_apply(WalRecord::Protocol { sender, wire });
+            }
+            Frame::JoinReq { site, addr } => {
+                let reply = self.on_join_req(site, &addr);
+                self.stage(idx, reply);
+            }
+            Frame::PeerJoined { site, addr } => {
+                if addr.parse::<SocketAddr>().is_ok() {
+                    self.log_apply(WalRecord::Member { site, addr });
+                }
+            }
+            Frame::PeerDead { site } => {
+                self.log_apply(WalRecord::Dead { site });
+                self.stage(idx, Frame::Ack);
+            }
+            Frame::JoinResp { .. } => self.core.unsupported += 1,
+            Frame::Capture { at, objects } => {
+                self.log_apply(WalRecord::Capture { at, objects });
+                self.stage(idx, Frame::Ack);
+            }
+            Frame::Flush { now } => {
+                self.log_apply(WalRecord::Flush { now });
+                self.stage(idx, Frame::Ack);
+            }
+            Frame::Locate { object, t } => {
+                let started = wall_us();
+                self.busy_conn = Some(idx);
+                let (answer, cost, complete) = self.locate(object, t);
+                self.busy_conn = None;
+                self.account_query(&cost, started);
+                self.stage(idx, Frame::LocateResp { answer, cost: cost.wire(), complete });
+            }
+            Frame::Trace { object, t0, t1 } => {
+                let started = wall_us();
+                self.busy_conn = Some(idx);
+                let (path, cost, complete) = self.trace(object, t0, t1);
+                self.busy_conn = None;
+                self.account_query(&cost, started);
+                self.stage(idx, Frame::TraceResp { path, cost: cost.wire(), complete });
+            }
+            Frame::Status => {
+                self.stage(
+                    idx,
+                    Frame::StatusResp {
+                        site: self.core.site,
+                        members: self.core.members.len() as u32,
+                        sent: self.core.sent,
+                        received: self.core.received,
+                    },
+                );
+            }
+            Frame::Shutdown => {
+                self.stage(idx, Frame::Ack);
+                self.stop = Some(true);
+            }
+            Frame::Crash => {
+                // Die like a kill -9 would: ack (so the harness can
+                // sequence the fault), then abandon everything volatile.
+                // No final snapshot, no WAL sync beyond what earlier
+                // batches already committed.
+                self.stage(idx, Frame::Ack);
+                self.stop = Some(false);
+            }
+            Frame::StateDump => {
+                self.stage(idx, Frame::StateResp(self.core.state_bytes(false)));
+            }
+            Frame::Resolve { site } => {
+                let addr = self.core.members.get(&site).map(|a| a.to_string());
+                self.stage(idx, Frame::AddrResp(addr));
+            }
+            Frame::LookupStep { key } => {
+                let me = self.core.my_chord_id();
+                let node = self.core.ring.get(&me).expect("self in replica");
+                let answer = answer_step(node, &key, |id| self.core.ring.contains(id));
+                self.stage(idx, Frame::StepResp(answer));
+            }
+            Frame::GatewayProbe { object } => {
+                let link = self.local_gateway_probe(object);
+                self.stage(idx, Frame::LinkResp(link));
+            }
+            Frame::IopKnows { object } => {
+                let knows = self.core.iop.knows(object);
+                self.stage(idx, Frame::BoolResp(knows));
+            }
+            Frame::RecAt { object, time } => {
+                let rec = self.core.iop.record_at(object, time).copied();
+                self.stage(idx, Frame::RecResp(rec));
+            }
+            Frame::RecLatestAtOrBefore { object, t } => {
+                let rec = self.core.iop.latest_at_or_before(object, t).copied();
+                self.stage(idx, Frame::RecResp(rec));
+            }
+            Frame::RecFirst { object } => {
+                let rec = self.core.iop.all(object).first().copied();
+                self.stage(idx, Frame::RecResp(rec));
+            }
+            Frame::RecLatest { object } => {
+                let rec = self.core.iop.latest(object).copied();
+                self.stage(idx, Frame::RecResp(rec));
+            }
+            Frame::ReplRecAt { primary, object, time } => {
+                let rec = self
+                    .core
+                    .replica_iop
+                    .get(&primary)
+                    .and_then(|st| st.record_at(object, time))
+                    .copied();
+                self.stage(idx, Frame::RecResp(rec));
+            }
+            // Response frames arriving outside a request context.
+            Frame::Ack
+            | Frame::LocateResp { .. }
+            | Frame::TraceResp { .. }
+            | Frame::StatusResp { .. }
+            | Frame::StepResp(_)
+            | Frame::LinkResp(_)
+            | Frame::BoolResp(_)
+            | Frame::RecResp(_)
+            | Frame::StateResp(_)
+            | Frame::AddrResp(_) => self.core.unsupported += 1,
+        }
+        Action::Consumed
     }
 
     fn on_join_req(&mut self, site: SiteId, addr: &str) -> Frame {
@@ -1308,15 +1586,86 @@ impl Engine {
         }
     }
 
-    /// Blocking request/response to a peer's engine.
+    /// Request/response to a peer's engine. Blocking-style for the
+    /// caller, but while the reply is in flight the event loop keeps
+    /// pumping in nested mode — which is what lets two nodes query
+    /// each other simultaneously without deadlock (each answers the
+    /// other's lookup steps from inside its own wait). The stream is
+    /// checked out of the cache for the duration so nested sends to
+    /// the same peer cannot interleave with the reply bytes.
     fn rpc(&mut self, site: SiteId, req: &Frame) -> io::Result<Frame> {
         let &addr = self
             .core
             .members
             .get(&site)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer"))?;
-        let raw = self.conns.request(addr, &req.encode())?;
-        Frame::decode(&raw).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+        let payload = req.encode();
+        let mut stream = self.conns.checkout(addr)?;
+        if write_frame(&mut stream, &payload).is_err() {
+            // Stale after all: drop it and redial once (the dial itself
+            // retries under the backoff schedule).
+            stream.shutdown(std::net::Shutdown::Both).ok();
+            stream = self.conns.checkout(addr)?;
+            write_frame(&mut stream, &payload)?;
+        }
+        let result = self.pumped_read_frame(&mut stream);
+        match &result {
+            Ok(_) => {
+                stream.set_read_timeout(None).ok();
+                self.conns.checkin(addr, stream);
+            }
+            Err(_) => {
+                stream.shutdown(std::net::Shutdown::Both).ok();
+            }
+        }
+        result
+    }
+
+    /// Read one frame from a checked-out stream, pumping the event
+    /// loop between short read timeouts. The accumulator persists
+    /// across timeouts, so a reply split at any byte boundary is
+    /// reassembled correctly no matter how many pumps interleave.
+    fn pumped_read_frame(&mut self, stream: &mut TcpStream) -> io::Result<Frame> {
+        stream.set_read_timeout(Some(Duration::from_millis(1)))?;
+        let mut acc = FrameAccum::new();
+        let mut buf = [0u8; 8192];
+        let deadline = Instant::now() + RPC_DEADLINE;
+        loop {
+            if let Some(raw) = acc.next_frame()? {
+                if acc.pending_bytes() != 0 {
+                    // One request, one reply: trailing bytes mean the
+                    // stream desynced — poison it rather than guess.
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        "unexpected trailing bytes on rpc stream",
+                    ));
+                }
+                return Frame::decode(&raw)
+                    .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e));
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::ConnectionAborted,
+                        "peer closed before replying",
+                    ))
+                }
+                Ok(n) => acc.push(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if Instant::now() >= deadline {
+                        return Err(io::Error::new(io::ErrorKind::TimedOut, "rpc deadline"));
+                    }
+                    self.pump(Mode::Nested);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     // ------------------------------------------------------------------

@@ -185,6 +185,32 @@ impl Wal {
         Ok(lsn)
     }
 
+    /// Group-commit append: the `write(2)` happens before return, but
+    /// the `fsync` is *deferred* to the caller's next [`Wal::sync`]
+    /// even under [`FsyncMode::Always`] — the event loop accumulates
+    /// every record drained in one wakeup, syncs once, and only then
+    /// acks, so the ack-after-fsync contract holds while the fsync cost
+    /// amortizes over the batch. Under [`FsyncMode::Never`] the log is
+    /// never marked dirty (sync stays a no-op). Returns the LSN.
+    pub fn append_deferred(&mut self, payload: &[u8]) -> io::Result<u64> {
+        assert!(payload.len() <= MAX_RECORD_BYTES - 8, "record exceeds MAX_RECORD_BYTES");
+        let lsn = self.next_lsn;
+        let len = (8 + payload.len()) as u32;
+        let mut rec = Vec::with_capacity(16 + payload.len());
+        rec.extend_from_slice(&len.to_be_bytes());
+        rec.extend_from_slice(&[0; 4]); // crc placeholder
+        rec.extend_from_slice(&lsn.to_be_bytes());
+        rec.extend_from_slice(payload);
+        let crc = crc32(&rec[8..]);
+        rec[4..8].copy_from_slice(&crc.to_be_bytes());
+        self.file.write_all(&rec)?;
+        if self.mode != FsyncMode::Never {
+            self.dirty = true;
+        }
+        self.next_lsn += 1;
+        Ok(lsn)
+    }
+
     /// Flush batched appends to stable storage (no-op unless dirty).
     pub fn sync(&mut self) -> io::Result<()> {
         if self.dirty {

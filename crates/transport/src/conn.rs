@@ -163,6 +163,42 @@ impl ConnCache {
         }
     }
 
+    /// Take the cached stream for `addr` out of the cache, dialing if
+    /// needed. The caller owns it until [`ConnCache::checkin`] — used
+    /// by the daemon's event loop to read an RPC reply while the cache
+    /// itself stays borrowable for concurrent sends to other peers.
+    pub fn checkout(&mut self, addr: SocketAddr) -> io::Result<TcpStream> {
+        if let Some(stream) = self.conns.get_mut(&addr) {
+            if Self::is_stale(stream) {
+                self.conns.remove(&addr);
+            }
+        }
+        if let Some(stream) = self.conns.remove(&addr) {
+            return Ok(stream);
+        }
+        self.dial(addr)
+    }
+
+    /// Return a checked-out stream to the cache for reuse. If a send
+    /// during the checkout window already dialed a fresh stream to the
+    /// same peer, the fresh one is kept and the returned one closed —
+    /// every frame is self-contained, so either connection serves.
+    pub fn checkin(&mut self, addr: SocketAddr, stream: TcpStream) {
+        if self.conns.contains_key(&addr) {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        } else {
+            self.conns.insert(addr, stream);
+        }
+    }
+
+    /// Drop the cached stream for `addr` (after an error on a
+    /// checked-out stream, to force a redial next time).
+    pub fn invalidate(&mut self, addr: SocketAddr) {
+        if let Some(stream) = self.conns.remove(&addr) {
+            stream.shutdown(std::net::Shutdown::Both).ok();
+        }
+    }
+
     /// Drop every cached connection (half-close our side). Idempotent.
     pub fn close_all(&mut self) {
         for (_, stream) in self.conns.drain() {

@@ -20,11 +20,17 @@
 //! * [`server`] — [`server::Server`], a listener whose accepted
 //!   connections feed decoded frames into an `mpsc` channel, with
 //!   idempotent graceful shutdown that joins every thread it spawned.
+//! * [`nio`] — nonblocking building blocks ([`nio::NbListener`],
+//!   [`nio::NbConn`], [`nio::FrameAccum`]) for the daemon's
+//!   readiness-driven event loop: many frames in flight per
+//!   connection, explicit write buffering for backpressure.
 
 pub mod conn;
 pub mod frame;
+pub mod nio;
 pub mod server;
 
 pub use conn::{Backoff, ConnCache};
 pub use frame::{read_frame, write_frame, MAX_FRAME_BYTES};
+pub use nio::{FrameAccum, NbConn, NbListener};
 pub use server::{Incoming, Reply, Server};

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Repeatable daemon_load run: regenerates results/BENCH_daemon.json,
+# the committed before/after trajectory for the daemon's event-loop
+# core (serial = the request-at-a-time discipline the pre-event-loop
+# daemon forced on clients; pipelined = open-loop group-commit path).
+#
+# Usage: scripts/bench_daemon.sh [extra daemon_load flags]
+# The defaults (8 sites, --fsync batch, 2 s per mode) are the committed
+# configuration; pass e.g. --secs 5 or --fsync always to explore.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin daemon_load
+exec ./target/release/daemon_load --mode both "$@"

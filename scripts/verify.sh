@@ -111,6 +111,29 @@ if ./target/release/peertrackd --probe-bind; then
     wait "$repl_pid" || true
     rm -f "$repl_out"
     echo "OK: two permanent losses survived; --replicas daemon answers ctl."
+
+    echo "== event-loop pipelining & backpressure (real sockets) =="
+    # Pipelined bursts must answer byte-identical to request-at-a-time
+    # (and match the oracle), slow-loris/partial frames must not block
+    # or corrupt, a never-reading client must be parked (bounded
+    # outbox), and pipelined acks must survive Frame::Crash.
+    timeout 180 cargo test -q --offline -p integration-tests --test daemon_pipeline \
+        || { echo "pipelining/backpressure suite failed (or timed out)" >&2; exit 1; }
+    echo "OK: pipelining parity, slow-loris isolation, backpressure, group commit."
+
+    echo "== daemon_load smoke (group-commit throughput floor) =="
+    # A short open-loop run against a 4-node cluster at --fsync batch
+    # must clear a deliberately loose captures/sec floor — the gate
+    # catches a group-commit regression (per-request fsync would land
+    # orders of magnitude under it), not machine-speed variance. The
+    # committed trajectory (results/BENCH_daemon.json) is regenerated
+    # by scripts/bench_daemon.sh, not here.
+    timeout 180 ./target/release/daemon_load --mode pipelined --sites 4 \
+        --secs 0.5 --rate 100000 --locates-per-site 5 \
+        --min-captures-per-sec 1500 --json /tmp/verify_daemon_load.json > /dev/null \
+        || { echo "daemon_load smoke failed its throughput floor" >&2; exit 1; }
+    rm -f /tmp/verify_daemon_load.json
+    echo "OK: daemon_load sustains the pipelined throughput floor."
 else
     echo "WARNING: sandbox forbids binding loopback sockets; cluster and" >&2
     echo "         kill-and-recover smokes SKIPPED (socket-free recovery" >&2
