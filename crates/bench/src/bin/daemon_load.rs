@@ -35,8 +35,10 @@
 //! cargo run --release -p bench --bin daemon_load -- --mode both
 //! ```
 
-use bench::report::{print_table, results_path};
+use bench::report::{print_imbalance, print_table, results_path};
 use daemon::{Frame, LoopbackCluster};
+use detrand::zipf::Zipf;
+use detrand::{rngs::StdRng, Rng, SeedableRng};
 use durable::FsyncMode;
 use obs::Histogram;
 use peertrack::config::GroupConfig;
@@ -76,6 +78,16 @@ struct Opts {
     mode: RunMode,
     json: PathBuf,
     min_captures_per_sec: Option<f64>,
+    /// Zipf exponent for the locate phase's object choice: each query
+    /// samples a 0-based popularity rank instead of round-robining, so
+    /// a few hot objects draw most of the traffic (DESIGN.md §15).
+    zipf: Option<f64>,
+    /// Flash-crowd overlay: with this probability a locate targets the
+    /// hot prefix (the first ~1% of the target site's objects) instead
+    /// of the base (round-robin or Zipf) choice.
+    hot_prefix: Option<f64>,
+    /// Per-node locate-answer cache capacity (volatile, engine-side).
+    locate_cache: Option<usize>,
 }
 
 impl Default for Opts {
@@ -95,6 +107,9 @@ impl Default for Opts {
             mode: RunMode::Both,
             json: results_path("BENCH_daemon.json"),
             min_captures_per_sec: None,
+            zipf: None,
+            hot_prefix: None,
+            locate_cache: None,
         }
     }
 }
@@ -105,7 +120,13 @@ fn usage() -> ! {
          \x20                 [--rate FRAMES_PER_SEC] [--secs DURATION]\n\
          \x20                 [--objects-per-frame K] [--locates-per-site L] [--nmax N]\n\
          \x20                 [--mode serial|pipelined|both] [--json PATH]\n\
-         \x20                 [--min-captures-per-sec FLOOR]"
+         \x20                 [--min-captures-per-sec FLOOR]\n\
+         \x20                 [--zipf S] [--hot-prefix FRAC] [--locate-cache N]\n\
+         \n\
+         --zipf S         locate targets follow a Zipf(S) popularity rank\n\
+         --hot-prefix F   with probability F a locate hits the hot prefix\n\
+         \x20                (first ~1% of the target's objects)\n\
+         --locate-cache N each node caches up to N locate answers"
     );
     std::process::exit(2);
 }
@@ -147,10 +168,19 @@ fn parse_opts() -> Opts {
             "--min-captures-per-sec" => {
                 o.min_captures_per_sec = Some(val().parse().unwrap_or_else(|_| usage()))
             }
+            "--zipf" => o.zipf = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--hot-prefix" => o.hot_prefix = Some(val().parse().unwrap_or_else(|_| usage())),
+            "--locate-cache" => o.locate_cache = Some(val().parse().unwrap_or_else(|_| usage())),
             _ => usage(),
         }
     }
     if o.sites == 0 || o.objects_per_frame == 0 || o.rate <= 0.0 || o.duration <= 0.0 {
+        usage();
+    }
+    if o.zipf.is_some_and(|s| s < 0.0 || !s.is_finite())
+        || o.hot_prefix.is_some_and(|f| !(0.0..=1.0).contains(&f))
+        || o.locate_cache == Some(0)
+    {
         usage();
     }
     o
@@ -166,6 +196,11 @@ struct ModeResult {
     locate_wall: f64,
     locate_lat: Histogram,
     backpressure_parks: u64,
+    /// Locates served per site, merged across every node's per-origin
+    /// attribution slice (`Frame::QueryLoad`) — the hot-shard view.
+    served: Vec<u64>,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl ModeResult {
@@ -268,6 +303,17 @@ fn pipelined_capture_client(
     Ok((sent, hist))
 }
 
+/// How the locate phase picks objects: round-robin by default, a
+/// Zipf(s) popularity rank with `--zipf`, and a flash-crowd overlay
+/// with `--hot-prefix` (probability of hitting the hot prefix, the
+/// first ~1% of the target's objects).
+#[derive(Clone, Copy)]
+struct Skew {
+    zipf: Option<f64>,
+    hot_prefix: Option<f64>,
+    seed: u64,
+}
+
 /// Closed-loop locate client at `origin`, querying objects captured at
 /// `target` — every query crosses the cluster (nested-pump RPC path).
 fn locate_client(
@@ -275,13 +321,24 @@ fn locate_client(
     target: u32,
     target_objects: u64,
     count: u64,
+    skew: Skew,
 ) -> io::Result<(u64, u64, Histogram)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut hist = Histogram::new();
     let mut hits = 0u64;
+    let sampler = skew.zipf.map(|s| Zipf::new(target_objects as usize, s));
+    let mut rng = StdRng::seed_from_u64(skew.seed);
+    let hot_len = (target_objects / 100).max(1);
     for k in 0..count {
-        let object = epc_object(target, k % target_objects);
+        let idx = if skew.hot_prefix.is_some_and(|f| rng.gen_bool(f)) {
+            rng.gen_range(0..hot_len)
+        } else if let Some(z) = &sampler {
+            z.sample(&mut rng) as u64
+        } else {
+            k % target_objects
+        };
+        let object = epc_object(target, idx);
         let payload = Frame::Locate { object, t: secs(7_200) }.encode();
         let t0 = Instant::now();
         write_frame(&mut stream, &payload)?;
@@ -301,16 +358,18 @@ fn run_mode(pipelined: bool, o: &Opts) -> io::Result<ModeResult> {
     let root = std::env::temp_dir()
         .join(format!("daemon-load-{}-{tag}", std::process::id()));
     std::fs::remove_dir_all(&root).ok();
-    let mut cluster = LoopbackCluster::start_durable(
-        o.sites,
-        o.seed,
-        GroupConfig { n_max: o.n_max, ..GroupConfig::default() },
-        &root,
-        o.fsync,
-        // Snapshots off the hot path: this bench measures the WAL
-        // group-commit plane, not compaction cadence.
-        1_000_000,
-    )?;
+    let group = GroupConfig { n_max: o.n_max, ..GroupConfig::default() };
+    // Snapshots off the hot path: this bench measures the WAL
+    // group-commit plane, not compaction cadence.
+    let snapshot_every = 1_000_000;
+    let mut cluster = match o.locate_cache {
+        Some(cap) => LoopbackCluster::start_durable_cached(
+            o.sites, o.seed, group, &root, o.fsync, snapshot_every, cap,
+        )?,
+        None => LoopbackCluster::start_durable(
+            o.sites, o.seed, group, &root, o.fsync, snapshot_every,
+        )?,
+    };
 
     // -- capture phase ------------------------------------------------
     let per_site_rate = o.rate / o.sites as f64;
@@ -355,11 +414,16 @@ fn run_mode(pipelined: bool, o: &Opts) -> io::Result<ModeResult> {
             let target = (i + 1) % o.sites;
             let target_objects = sent_per_site[target] * o.objects_per_frame;
             let count = o.locates_per_site;
+            let skew = Skew {
+                zipf: o.zipf,
+                hot_prefix: o.hot_prefix,
+                seed: o.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
             thread::spawn(move || {
                 if target_objects == 0 {
                     return Ok((0, 0, Histogram::new()));
                 }
-                locate_client(addr, target as u32, target_objects, count)
+                locate_client(addr, target as u32, target_objects, count, skew)
             })
         })
         .collect();
@@ -374,6 +438,22 @@ fn run_mode(pipelined: bool, o: &Opts) -> io::Result<ModeResult> {
     }
     let locate_wall = phase_start.elapsed().as_secs_f64();
 
+    // Per-node served-locate attribution: each node reports who answered
+    // the locates *it* originated; the merged slices are the cluster-wide
+    // hot-shard tally (plus each node's cache counters).
+    let mut served = vec![0u64; o.sites];
+    let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+    for i in 0..o.sites {
+        let (loads, h, m) = cluster.query_load(i)?;
+        for (site, n) in loads {
+            if let Some(slot) = served.get_mut(site.0 as usize) {
+                *slot += n;
+            }
+        }
+        cache_hits += h;
+        cache_misses += m;
+    }
+
     let reports = cluster.shutdown()?;
     let backpressure_parks = reports.iter().map(|r| r.backpressure_parks).sum();
     std::fs::remove_dir_all(&root).ok();
@@ -387,6 +467,9 @@ fn run_mode(pipelined: bool, o: &Opts) -> io::Result<ModeResult> {
         locate_wall,
         locate_lat,
         backpressure_parks,
+        served,
+        cache_hits,
+        cache_misses,
     })
 }
 
@@ -406,8 +489,10 @@ fn hist_json(h: &Histogram) -> String {
 }
 
 fn mode_json(r: &ModeResult, objects_per_frame: u64) -> String {
+    let served: Vec<String> = r.served.iter().map(|n| n.to_string()).collect();
+    let im = qcache::imbalance(&r.served);
     format!(
-        r#"{{"captures":{},"capture_wall_secs":{:.3},"captures_per_sec":{:.1},"objects_per_sec":{:.1},"ack_latency_us":{},"locates":{},"locate_hits":{},"locates_per_sec":{:.1},"locate_latency_us":{},"backpressure_parks":{}}}"#,
+        r#"{{"captures":{},"capture_wall_secs":{:.3},"captures_per_sec":{:.1},"objects_per_sec":{:.1},"ack_latency_us":{},"locates":{},"locate_hits":{},"locates_per_sec":{:.1},"locate_latency_us":{},"backpressure_parks":{},"served_locates_per_site":[{}],"served_max_over_mean":{:.3},"cache_hits":{},"cache_misses":{}}}"#,
         r.captures,
         r.capture_wall,
         r.captures_per_sec(),
@@ -417,7 +502,11 @@ fn mode_json(r: &ModeResult, objects_per_frame: u64) -> String {
         r.locate_hits,
         r.locates_per_sec(),
         hist_json(&r.locate_lat),
-        r.backpressure_parks
+        r.backpressure_parks,
+        served.join(","),
+        im.ratio,
+        r.cache_hits,
+        r.cache_misses
     )
 }
 
@@ -476,6 +565,12 @@ fn main() -> io::Result<()> {
         rows.push(mode_row("pipelined", r));
     }
     print_table("daemon_load (latencies in µs)", &header, &rows);
+    if let Some(r) = &serial {
+        print_imbalance("served-locate imbalance (serial)", &r.served);
+    }
+    if let Some(r) = &pipelined {
+        print_imbalance("served-locate imbalance (pipelined)", &r.served);
+    }
 
     let speedup = match (&serial, &pipelined) {
         (Some(s), Some(p)) => Some(p.captures_per_sec() / s.captures_per_sec().max(1e-9)),
@@ -488,7 +583,7 @@ fn main() -> io::Result<()> {
     // Hand-rolled JSON (zero-dependency policy, like trace_demo.json).
     let mut json = String::from("{\n");
     json.push_str(&format!(
-        "  \"bench\": \"daemon_load\",\n  \"config\": {{\"sites\":{},\"seed\":{},\"fsync\":\"{}\",\"rate_frames_per_sec\":{:.0},\"duration_secs\":{:.1},\"objects_per_frame\":{},\"locates_per_site\":{},\"n_max\":{}}},\n",
+        "  \"bench\": \"daemon_load\",\n  \"config\": {{\"sites\":{},\"seed\":{},\"fsync\":\"{}\",\"rate_frames_per_sec\":{:.0},\"duration_secs\":{:.1},\"objects_per_frame\":{},\"locates_per_site\":{},\"n_max\":{},\"zipf\":{},\"hot_prefix\":{},\"locate_cache\":{}}},\n",
         o.sites,
         o.seed,
         fsync_str(o.fsync),
@@ -496,7 +591,10 @@ fn main() -> io::Result<()> {
         o.duration,
         o.objects_per_frame,
         o.locates_per_site,
-        o.n_max
+        o.n_max,
+        o.zipf.map_or("null".into(), |s| format!("{s}")),
+        o.hot_prefix.map_or("null".into(), |f| format!("{f}")),
+        o.locate_cache.map_or("null".into(), |n| n.to_string()),
     ));
     json.push_str(&format!(
         "  \"serial\": {},\n",

@@ -17,7 +17,10 @@
 //! Writes `results/fault_sweep.csv`. `PEERTRACK_SCALE=full` for the
 //! larger configuration.
 
-use bench::report::{fault_stats_row, print_table, results_path, write_csv, FAULT_STATS_HEADER};
+use bench::report::{
+    fault_stats_row, imbalance_row, print_table, results_path, write_csv, FAULT_STATS_HEADER,
+    IMBALANCE_HEADER,
+};
 use bench::Scale;
 use detrand::{rngs::StdRng, Rng, SeedableRng};
 use moods::{MovementLog, ObjectId, SiteId};
@@ -41,6 +44,7 @@ struct Cell {
     overhead: f64,
     exhausted: u64,
     refresh_failures: u64,
+    query_load: Vec<u64>,
 }
 
 fn build(sites: usize, drop: f64, retries: bool) -> TraceableNetwork {
@@ -137,6 +141,7 @@ fn run_cell(sites: usize, objects: usize, drop: f64, retries: bool) -> Cell {
         overhead: if total_bytes == 0 { 0.0 } else { overhead_bytes as f64 / total_bytes as f64 },
         exhausted: anomalies.retries_exhausted,
         refresh_failures: anomalies.refresh_failures,
+        query_load: net.query_load(),
     }
 }
 
@@ -212,6 +217,25 @@ fn main() {
     let fs_path = results_path("fault_stats.csv");
     write_csv(&fs_path, &fs_header, &fs_rows).expect("write fault_stats.csv");
     println!("\nwrote {}", fs_path.display());
+
+    // Hot-shard view of the verification locates (console only — the
+    // CSVs above are byte-stable regression artifacts): which sites
+    // served them, through the shared imbalance row `zipf_sweep` also
+    // uses.
+    let mut im_header = vec!["drop", "retries"];
+    im_header.extend(IMBALANCE_HEADER);
+    let im_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let mut row = vec![
+                format!("{:.2}", c.drop),
+                (if c.retries { "on" } else { "off" }).to_string(),
+            ];
+            row.extend(imbalance_row(&c.query_load));
+            row
+        })
+        .collect();
+    print_table("Served-locate load imbalance", &im_header, &im_rows);
 
     // The headline claims, enforced so `all_experiments`-style runs
     // catch regressions: retries recover locate accuracy at 10% loss,

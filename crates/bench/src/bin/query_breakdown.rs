@@ -59,6 +59,7 @@ fn main() {
                 AnswerSource::Intermediate(_) => intermediate += 1,
                 AnswerSource::Gateway(_) => gateway += 1,
                 AnswerSource::NotFound => unreachable!("all objects exist"),
+                AnswerSource::Cached => unreachable!("caching is off here"),
             }
         }
         let pct = |n: u64| 100.0 * n as f64 / QUERIES as f64;

@@ -1,0 +1,312 @@
+//! Skewed query workloads against the locate-answer cache (DESIGN.md
+//! §15): Zipf-popular locates at s ∈ {0, 0.8, 1.2} plus a flash-crowd
+//! spike, each run cache-off and cache-on at the same seed.
+//!
+//! Measured per cell:
+//!
+//! * modeled locate latency (p50/p99 of `QueryStats::time`) and the
+//!   mean message cost,
+//! * hot-shard pressure: the per-node served-locate distribution's
+//!   imbalance row (max / mean / p99 / max-over-mean), shared with
+//!   `fault_sweep`,
+//! * cache counters (hits / misses / insertions / evictions).
+//!
+//! Every answer — both modes, every query — is asserted against the
+//! ground-truth movement oracle, so the cache can only change *cost*,
+//! never answers. Writes `results/zipf_sweep_off.csv`,
+//! `results/zipf_sweep_on.csv` and `results/BENCH_qcache.json`; all
+//! three are deterministic at a given scale and the committed copies
+//! are regenerated (and byte-compared) by `scripts/verify.sh`.
+//! `PEERTRACK_SCALE=full` for the larger configuration.
+
+use bench::report::{imbalance_row, print_table, results_path, write_csv, IMBALANCE_HEADER};
+use bench::Scale;
+use detrand::{rngs::StdRng, Rng, SeedableRng};
+use moods::{MovementLog, ObjectId, SiteId};
+use peertrack::Builder;
+use qcache::{imbalance, percentile, CacheStats};
+use simnet::time::ms;
+use simnet::SimTime;
+use std::fmt::Write as _;
+use workload::streams::{flash_crowd_locates, zipf_locates, LocateEvent};
+
+const SEED: u64 = 0x21FF_CAFE;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Scenario {
+    /// Zipf(s)-popular targets over the whole population.
+    Zipf(f64),
+    /// Uniform background with a 90%-hot spike on a 4-object hot set
+    /// over the middle 80% of the stream.
+    Flash,
+}
+
+impl Scenario {
+    fn label(&self) -> String {
+        match self {
+            Scenario::Zipf(s) => format!("zipf_{s:.1}"),
+            Scenario::Flash => "flash_crowd".to_string(),
+        }
+    }
+
+    fn s_column(&self) -> String {
+        match self {
+            Scenario::Zipf(s) => format!("{s:.1}"),
+            Scenario::Flash => "-".to_string(),
+        }
+    }
+}
+
+struct Cell {
+    scenario: Scenario,
+    cached: bool,
+    queries: usize,
+    p50_us: u64,
+    p99_us: u64,
+    avg_msgs: f64,
+    query_load: Vec<u64>,
+    cache: CacheStats,
+}
+
+/// Identical capture/movement phase for every cell: each object is
+/// captured once, a third move on once more — enough history that a
+/// locate can need a backward walk, little enough that most queries ask
+/// about the current holder (the cacheable case).
+fn run_cell(
+    sites: usize,
+    objects: usize,
+    queries: usize,
+    cache_capacity: usize,
+    scenario: Scenario,
+    cached: bool,
+) -> Cell {
+    let mut b = Builder::new().sites(sites).seed(SEED).mode(bench::experiment_group_mode());
+    if cached {
+        b = b.locate_cache(cache_capacity);
+    }
+    let mut net = b.build();
+
+    let mut oracle = MovementLog::new();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut clock = SimTime::ZERO;
+    let mut population: Vec<ObjectId> = Vec::with_capacity(objects);
+    for n in 0..objects {
+        let o = ObjectId::from_raw(format!("zipf-{n}").as_bytes());
+        let site = SiteId(rng.gen_range(0..sites as u32));
+        clock = clock + ms(25);
+        net.schedule_capture(clock, site, vec![o]);
+        oracle.record(o, site, clock);
+        population.push(o);
+    }
+    clock = clock + ms(2_000);
+    for (n, &o) in population.iter().enumerate() {
+        if n % 3 != 0 {
+            continue;
+        }
+        let here = oracle.visits(o).last().expect("captured above").site;
+        let mut site = SiteId(rng.gen_range(0..sites as u32));
+        if site == here {
+            site = SiteId((site.0 + 1) % sites as u32);
+        }
+        clock = clock + ms(25);
+        net.schedule_capture(clock, site, vec![o]);
+        oracle.record(o, site, clock);
+    }
+    net.run_until_quiescent();
+
+    // The locate stream starts well past the last capture window, so
+    // every query asks about the present.
+    let start = net.now() + ms(1_000);
+    let gap = ms(10);
+    let events: Vec<LocateEvent> = match scenario {
+        Scenario::Zipf(s) => zipf_locates(&population, s, queries, start, gap, SEED ^ 0x51),
+        Scenario::Flash => {
+            let span = gap.as_micros() * queries as u64;
+            let from = start + SimTime::from_micros(span / 10);
+            let until = start + SimTime::from_micros(span * 9 / 10);
+            flash_crowd_locates(
+                &population,
+                &population[..4.min(population.len())],
+                0.9,
+                from,
+                until,
+                queries,
+                start,
+                gap,
+                SEED ^ 0x51,
+            )
+        }
+    };
+
+    let mut times_us: Vec<u64> = Vec::with_capacity(events.len());
+    let mut msgs = 0u64;
+    for (k, ev) in events.iter().enumerate() {
+        let origin = SiteId((k % sites) as u32);
+        let truth = oracle.visits(ev.object).last().expect("in population").site;
+        let (ans, stats) = net.locate(origin, ev.object, ev.at);
+        assert_eq!(
+            ans,
+            Some(truth),
+            "locate must stay oracle-exact (cache {}, scenario {})",
+            if cached { "on" } else { "off" },
+            scenario.label(),
+        );
+        times_us.push(stats.time.as_micros());
+        msgs += stats.messages;
+    }
+
+    Cell {
+        scenario,
+        cached,
+        queries,
+        p50_us: percentile(&times_us, 0.50),
+        p99_us: percentile(&times_us, 0.99),
+        avg_msgs: msgs as f64 / events.len() as f64,
+        query_load: net.query_load(),
+        cache: net.cache_stats(),
+    }
+}
+
+fn row(c: &Cell) -> Vec<String> {
+    let mut r = vec![
+        c.scenario.label(),
+        c.scenario.s_column(),
+        c.queries.to_string(),
+        c.p50_us.to_string(),
+        c.p99_us.to_string(),
+        format!("{:.3}", c.avg_msgs),
+    ];
+    r.extend(imbalance_row(&c.query_load));
+    r.extend([
+        c.cache.hits.to_string(),
+        c.cache.misses.to_string(),
+        c.cache.insertions.to_string(),
+        c.cache.evictions.to_string(),
+    ]);
+    r
+}
+
+fn json_side(out: &mut String, c: &Cell) {
+    let im = imbalance(&c.query_load);
+    let _ = write!(
+        out,
+        "{{\"p50_us\":{},\"p99_us\":{},\"avg_msgs\":{:.3},\"max_load\":{},\"max_over_mean\":{:.3},\"hits\":{},\"misses\":{}}}",
+        c.p50_us, c.p99_us, c.avg_msgs, im.max, im.ratio, c.cache.hits, c.cache.misses
+    );
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sites = scale.nodes(64);
+    let objects = scale.objects(2_000);
+    let queries = scale.objects(12_000);
+    let capacity = (objects / 8).max(16);
+
+    let scenarios =
+        [Scenario::Zipf(0.0), Scenario::Zipf(0.8), Scenario::Zipf(1.2), Scenario::Flash];
+    let inputs: Vec<(Scenario, bool)> =
+        scenarios.iter().flat_map(|&sc| [(sc, false), (sc, true)]).collect();
+    let cells = bench::parallel_sweep(inputs, |&(sc, cached)| {
+        run_cell(sites, objects, queries, capacity, sc, cached)
+    });
+
+    let mut header = vec!["scenario", "s", "queries", "p50_us", "p99_us", "avg_msgs"];
+    header.extend(IMBALANCE_HEADER);
+    header.extend(["cache_hits", "cache_misses", "cache_insertions", "cache_evictions"]);
+
+    let off_rows: Vec<Vec<String>> =
+        cells.iter().filter(|c| !c.cached).map(row).collect();
+    let on_rows: Vec<Vec<String>> = cells.iter().filter(|c| c.cached).map(row).collect();
+    print_table(
+        &format!("Zipf/flash-crowd sweep, cache OFF ({sites} sites, {objects} objects)"),
+        &header,
+        &off_rows,
+    );
+    print_table(
+        &format!("Zipf/flash-crowd sweep, cache ON (capacity {capacity}/node)"),
+        &header,
+        &on_rows,
+    );
+    let off_path = results_path("zipf_sweep_off.csv");
+    let on_path = results_path("zipf_sweep_on.csv");
+    write_csv(&off_path, &header, &off_rows).expect("write zipf_sweep_off.csv");
+    write_csv(&on_path, &header, &on_rows).expect("write zipf_sweep_on.csv");
+
+    // The headline artifact: per scenario, cache-off vs cache-on side
+    // by side with the reduction ratios. Hand-rolled JSON (hermetic
+    // policy), deterministic at a given scale.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"zipf_sweep\",\n");
+    let _ = write!(
+        json,
+        "  \"config\": {{\"sites\":{sites},\"objects\":{objects},\"queries\":{queries},\"cache_capacity\":{capacity},\"seed\":{SEED}}},\n"
+    );
+    json.push_str("  \"locate_accuracy_exact_both_modes\": true,\n");
+    json.push_str("  \"scenarios\": [\n");
+    for (i, pair) in cells.chunks(2).enumerate() {
+        let (off, on) = (&pair[0], &pair[1]);
+        assert!(!off.cached && on.cached, "cells alternate off/on per scenario");
+        let (roff, ron) = (imbalance(&off.query_load).ratio, imbalance(&on.query_load).ratio);
+        let _ = write!(json, "    {{\"scenario\":\"{}\",\"off\":", off.scenario.label());
+        json_side(&mut json, off);
+        json.push_str(",\"on\":");
+        json_side(&mut json, on);
+        let _ = write!(
+            json,
+            ",\"p99_latency_reduction\":{:.3},\"imbalance_reduction\":{:.3}}}",
+            1.0 - on.p99_us as f64 / off.p99_us.max(1) as f64,
+            1.0 - ron / roff.max(1e-9),
+        );
+        json.push_str(if i + 1 < cells.len() / 2 { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    let json_path = results_path("BENCH_qcache.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_qcache.json");
+
+    // The headline claims, enforced so regeneration catches regressions:
+    // under heavy skew the cache must cut both the latency tail and the
+    // hot-shard concentration, and under a uniform workload it must not
+    // make either materially worse.
+    for pair in cells.chunks(2) {
+        let (off, on) = (&pair[0], &pair[1]);
+        let (roff, ron) = (imbalance(&off.query_load).ratio, imbalance(&on.query_load).ratio);
+        match off.scenario {
+            Scenario::Flash => {
+                // The acceptance cell: a ~90% hit rate must collapse
+                // both the latency tail and the hot-shard ratio.
+                assert!(
+                    on.p99_us < off.p99_us,
+                    "flash_crowd: cache must cut p99 latency ({} vs {})",
+                    on.p99_us,
+                    off.p99_us
+                );
+                assert!(
+                    ron < roff,
+                    "flash_crowd: cache must cut max/mean imbalance ({ron:.3} vs {roff:.3})"
+                );
+                assert!(on.avg_msgs < off.avg_msgs, "flash_crowd: cache must cut message cost");
+            }
+            Scenario::Zipf(s) if s >= 1.0 => {
+                // Heavy skew: the hot shard must cool and the mean cost
+                // must drop. (p99 may sit on a flat tail of cold-object
+                // discoveries, so it is reported but not asserted here.)
+                assert!(
+                    ron < roff,
+                    "zipf s={s}: cache must cut max/mean imbalance ({ron:.3} vs {roff:.3})"
+                );
+                assert!(on.avg_msgs < off.avg_msgs, "zipf s={s}: cache must cut message cost");
+            }
+            _ => {
+                assert!(
+                    on.avg_msgs <= off.avg_msgs + 0.05,
+                    "{}: cache must not inflate message cost",
+                    off.scenario.label()
+                );
+            }
+        }
+    }
+
+    println!("\nwrote {}", off_path.display());
+    println!("wrote {}", on_path.display());
+    println!("wrote {}", json_path.display());
+}

@@ -86,6 +86,28 @@ pub fn print_fault_stats(title: &str, s: &FaultStats) {
     print_table(title, &FAULT_STATS_HEADER, &[fault_stats_row(s)]);
 }
 
+/// Column names matching [`imbalance_row`].
+pub const IMBALANCE_HEADER: [&str; 4] = ["max_load", "mean_load", "p99_load", "max_over_mean"];
+
+/// Render a per-node load distribution's imbalance statistic
+/// ([`qcache::imbalance`]) as one row of CSV/table cells — the single
+/// place the hot-shard arithmetic is formatted, so `zipf_sweep` and
+/// `fault_sweep` report it identically.
+pub fn imbalance_row(loads: &[u64]) -> Vec<String> {
+    let s = qcache::imbalance(loads);
+    vec![
+        format!("{:.0}", s.max),
+        format!("{:.2}", s.mean),
+        format!("{:.0}", s.p99),
+        format!("{:.3}", s.ratio),
+    ]
+}
+
+/// Print the imbalance statistic as a one-row console table.
+pub fn print_imbalance(title: &str, loads: &[u64]) {
+    print_table(title, &IMBALANCE_HEADER, &[imbalance_row(loads)]);
+}
+
 /// Column names matching [`class_traffic_rows`].
 pub const CLASS_TRAFFIC_HEADER: [&str; 4] = ["class", "messages", "model_bytes", "hops"];
 
@@ -231,6 +253,15 @@ mod tests {
         assert_eq!(row.len(), FAULT_STATS_HEADER.len());
         assert_eq!(row[0], "90");
         assert_eq!(row[5], "0.9000");
+    }
+
+    #[test]
+    fn imbalance_row_matches_header() {
+        let row = imbalance_row(&[10, 10, 40, 20]);
+        assert_eq!(row.len(), IMBALANCE_HEADER.len());
+        assert_eq!(row[0], "40");
+        assert_eq!(row[1], "20.00");
+        assert_eq!(row[3], "2.000");
     }
 
     #[test]

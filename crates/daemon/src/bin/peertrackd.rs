@@ -78,14 +78,17 @@ fn print_usage() {
     println!(
         "usage:\n  peertrackd --site N --seed S --listen ADDR [--bootstrap ADDR]\n           \
          [--data-dir DIR] [--fsync always|batch|never] [--snapshot-every N]\n           \
-         [--replicas K]\n  \
+         [--replicas K] [--locate-cache N]\n  \
          peertrackd ctl ADDR (status | capture AT_US OBJ... | flush NOW_US | \
-         locate OBJ T_US | trace OBJ T0_US T1_US | dead SITE | shutdown | crash)\n  \
+         locate OBJ T_US | trace OBJ T0_US T1_US | load | dead SITE | shutdown | crash)\n  \
          peertrackd --probe-bind\n\nOBJ is HOME:SERIAL; times are virtual µs.\n\
          Without --data-dir the node is in-memory only (crash loses state);\n\
          with it, every mutation is write-ahead logged and recovered on restart.\n\
          --replicas K copies every site's records onto its K-1 ring successors\n\
          (must match across the cluster; default 1 = no replication).\n\
+         --locate-cache N caches up to N locate answers per node (volatile,\n\
+         revalidated on every hit; default off). `ctl ... load` reads the\n\
+         per-site served-locate attribution and cache counters back.\n\
          SIGINT/SIGTERM trigger the same clean shutdown as `ctl ... shutdown`."
     );
 }
@@ -103,6 +106,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
     let mut fsync = FsyncMode::Batch;
     let mut snapshot_every = daemon::node::DEFAULT_SNAPSHOT_EVERY;
     let mut replicas: usize = 1;
+    let mut locate_cache: Option<usize> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut val = |name: &str| {
@@ -130,6 +134,13 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--replicas must be at least 1".into());
                 }
             }
+            "--locate-cache" => {
+                let cap: usize = parse(&val("--locate-cache")?, "locate-cache")?;
+                if cap == 0 {
+                    return Err("--locate-cache must be at least 1".into());
+                }
+                locate_cache = Some(cap);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -145,6 +156,7 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         fsync,
         snapshot_every,
         replicas,
+        locate_cache,
     };
     let node = Node::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
     println!("peertrackd site {} listening on {}", site.0, node.addr());
@@ -204,6 +216,7 @@ fn ctl(args: &[String]) -> Result<ExitCode, String> {
 
     let frame = match cmd.as_str() {
         "status" => Frame::Status,
+        "load" => Frame::QueryLoad,
         "shutdown" => Frame::Shutdown,
         "crash" => Frame::Crash,
         "capture" => {
@@ -247,6 +260,12 @@ fn ctl(args: &[String]) -> Result<ExitCode, String> {
         Frame::Ack => println!("ok"),
         Frame::StatusResp { site, members, sent, received } => {
             println!("site {} members {members} sent {sent} received {received}", site.0);
+        }
+        Frame::QueryLoadResp { loads, hits, misses } => {
+            for (site, count) in &loads {
+                println!("site {} served {count}", site.0);
+            }
+            println!("cache: {hits} hits {misses} misses");
         }
         Frame::LocateResp { answer, cost, complete } => {
             match answer {

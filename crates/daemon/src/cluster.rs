@@ -98,6 +98,7 @@ pub struct LoopbackCluster {
     group: GroupConfig,
     durable: Option<DurableSetup>,
     replicas: usize,
+    locate_cache: Option<usize>,
     /// Final sent/received counters of permanently killed nodes
     /// ([`LoopbackCluster::kill_forever`]): their frames stay in the
     /// cluster-wide balance [`LoopbackCluster::quiesce`] checks even
@@ -117,7 +118,21 @@ impl LoopbackCluster {
     /// once every node reports full membership (so every ring replica is
     /// identical before any traffic flows).
     pub fn start_with(n: usize, seed: u64, group: GroupConfig) -> io::Result<LoopbackCluster> {
-        LoopbackCluster::start_inner(n, seed, group, None, 1)
+        LoopbackCluster::start_inner(n, seed, group, None, 1, None)
+    }
+
+    /// Start `n` nodes with a locate-answer cache of `capacity` entries
+    /// on every node (DESIGN.md §15). Queries stay oracle-exact — every
+    /// cache hit is revalidated against the holder's records — so the
+    /// only observable differences are cost and the per-node cache
+    /// counters ([`LoopbackCluster::query_load`]).
+    pub fn start_cached(
+        n: usize,
+        seed: u64,
+        group: GroupConfig,
+        capacity: usize,
+    ) -> io::Result<LoopbackCluster> {
+        LoopbackCluster::start_inner(n, seed, group, None, 1, Some(capacity))
     }
 
     /// Start `n` nodes with replication factor `k`: every site's
@@ -131,7 +146,7 @@ impl LoopbackCluster {
         group: GroupConfig,
         k: usize,
     ) -> io::Result<LoopbackCluster> {
-        LoopbackCluster::start_inner(n, seed, group, None, k)
+        LoopbackCluster::start_inner(n, seed, group, None, k, None)
     }
 
     /// Start `n` *durable* nodes: site `i` logs to `root/site-i` under
@@ -148,7 +163,26 @@ impl LoopbackCluster {
     ) -> io::Result<LoopbackCluster> {
         let setup =
             DurableSetup { root: root.to_path_buf(), fsync, snapshot_every };
-        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1)
+        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1, None)
+    }
+
+    /// Durable nodes (as [`LoopbackCluster::start_durable`]) with a
+    /// locate-answer cache of `capacity` entries on every node. The
+    /// cache is engine-side and volatile: a crash/restart cycle rebuilds
+    /// it cold while the WAL replays everything else.
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_durable_cached(
+        n: usize,
+        seed: u64,
+        group: GroupConfig,
+        root: &std::path::Path,
+        fsync: FsyncMode,
+        snapshot_every: u64,
+        capacity: usize,
+    ) -> io::Result<LoopbackCluster> {
+        let setup =
+            DurableSetup { root: root.to_path_buf(), fsync, snapshot_every };
+        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1, Some(capacity))
     }
 
     fn start_inner(
@@ -157,6 +191,7 @@ impl LoopbackCluster {
         group: GroupConfig,
         durable: Option<DurableSetup>,
         replicas: usize,
+        locate_cache: Option<usize>,
     ) -> io::Result<LoopbackCluster> {
         assert!(n >= 1, "cluster needs at least one node");
         let mut cluster = LoopbackCluster {
@@ -171,6 +206,7 @@ impl LoopbackCluster {
             group,
             durable,
             replicas: replicas.max(1),
+            locate_cache,
             dead_sent: 0,
             dead_received: 0,
         };
@@ -193,7 +229,23 @@ impl LoopbackCluster {
             cfg.snapshot_every = setup.snapshot_every;
         }
         cfg.replicas = self.replicas;
+        cfg.locate_cache = self.locate_cache;
         cfg
+    }
+
+    /// Read site `i`'s query-load accounting: `(loads, hits, misses)`
+    /// where `loads` attributes each locate that node originated to the
+    /// site that answered it, and the counters are its locate-cache's.
+    /// Merging every node's `loads` reproduces the simulator's per-site
+    /// served-locate tally.
+    pub fn query_load(&mut self, i: usize) -> io::Result<(Vec<(SiteId, u64)>, u64, u64)> {
+        match self.ctl_request(site_id(i), &Frame::QueryLoad)? {
+            Frame::QueryLoadResp { loads, hits, misses } => Ok((loads, hits, misses)),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unexpected query-load reply: {other:?}"),
+            )),
+        }
     }
 
     /// Number of nodes.

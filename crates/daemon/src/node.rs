@@ -84,6 +84,7 @@ use peertrack::codec;
 use peertrack::store::{GatewayStore, IndexEntry, IopRecord, IopStore, Link, PrefixIndex};
 use peertrack::window::{WindowBatch, WindowBuffer, WindowEvent};
 use peertrack::world::Anomalies;
+use qcache::LocateCache;
 use simnet::metrics::{Metrics, MsgClass};
 use simnet::SimTime;
 use std::collections::{BTreeMap, HashSet, VecDeque};
@@ -146,6 +147,12 @@ pub struct NodeConfig {
     /// pre-replication behaviour, byte-identical state encodings
     /// included. Must match across the cluster, like `seed`.
     pub replicas: usize,
+    /// Locate-answer cache capacity (DESIGN.md §15). `None` (the
+    /// default) disables the cache entirely. The cache is engine-side
+    /// volatile state: excluded from the canonical state encoding and
+    /// from snapshots, rebuilt cold after a restart. Unlike `replicas`
+    /// it is per-node — nodes with different capacities interoperate.
+    pub locate_cache: Option<usize>,
 }
 
 impl NodeConfig {
@@ -161,6 +168,7 @@ impl NodeConfig {
             fsync: FsyncMode::Never,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             replicas: 1,
+            locate_cache: None,
         }
     }
 }
@@ -1040,6 +1048,17 @@ struct Engine {
     /// `Some(clean)` once Shutdown (`true`) or Crash (`false`) ran.
     stop: Option<bool>,
     parks: u64,
+    /// Locate-answer cache (DESIGN.md §15). Engine-side on purpose:
+    /// it is volatile read-path state, excluded — like the recorder —
+    /// from the canonical state encoding and from snapshots, so a
+    /// restarted node rebuilds it cold and `StateDump` comparisons
+    /// never see it. `None` = caching disabled (the default).
+    locate_cache: Option<LocateCache<Link>>,
+    /// Served-locate attribution for queries this node originated:
+    /// answering site → count. This is the simulator's per-site
+    /// `query_load` tally sliced by origin; harnesses merge every
+    /// node's slice ([`Frame::QueryLoad`]) to recover the global view.
+    query_load: BTreeMap<SiteId, u64>,
 }
 
 impl Engine {
@@ -1048,6 +1067,12 @@ impl Engine {
     /// bootstrap. Runs on the spawning thread so recovery errors fail
     /// `Node::spawn` instead of killing a detached thread.
     fn new(cfg: NodeConfig, addr: SocketAddr, listener: NbListener) -> io::Result<Engine> {
+        if cfg.locate_cache == Some(0) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "locate cache capacity must be at least 1",
+            ));
+        }
         let mut core = Core::new(cfg.site, cfg.seed, cfg.group, addr);
         core.replicas = cfg.replicas.max(1);
         let mut data = None;
@@ -1087,6 +1112,8 @@ impl Engine {
             busy_conn: None,
             stop: None,
             parks: 0,
+            locate_cache: cfg.locate_cache.map(LocateCache::new),
+            query_load: BTreeMap::new(),
         };
         // A recovered core remembers the listener address of its
         // previous life; this life bound a fresh port.
@@ -1406,6 +1433,17 @@ impl Engine {
             Frame::Protocol { sender, hops: _, sent_us, wire } => {
                 self.recorder
                     .record_latency(wire.msg.class(), wall_us().saturating_sub(sent_us));
+                // A GroupIndex we absorb rewrites our shard's latest
+                // links: drop our own cached answers for those objects
+                // up front (revalidation would also catch it — this
+                // saves the walk).
+                if let Msg::GroupIndex { members, .. } = &wire.msg {
+                    if let Some(cache) = self.locate_cache.as_mut() {
+                        for &(o, _) in members {
+                            cache.invalidate(o);
+                        }
+                    }
+                }
                 self.log_apply(WalRecord::Protocol { sender, wire });
             }
             Frame::JoinReq { site, addr } => {
@@ -1414,15 +1452,24 @@ impl Engine {
             }
             Frame::PeerJoined { site, addr } => {
                 if addr.parse::<SocketAddr>().is_ok() {
+                    self.clear_locate_cache();
                     self.log_apply(WalRecord::Member { site, addr });
                 }
             }
             Frame::PeerDead { site } => {
+                self.clear_locate_cache();
                 self.log_apply(WalRecord::Dead { site });
                 self.stage(idx, Frame::Ack);
             }
             Frame::JoinResp { .. } => self.core.unsupported += 1,
             Frame::Capture { at, objects } => {
+                // The object is here now: whatever link we cached for
+                // it elsewhere is stale the moment the record lands.
+                if let Some(cache) = self.locate_cache.as_mut() {
+                    for &o in &objects {
+                        cache.invalidate(o);
+                    }
+                }
                 self.log_apply(WalRecord::Capture { at, objects });
                 self.stage(idx, Frame::Ack);
             }
@@ -1455,6 +1502,14 @@ impl Engine {
                         sent: self.core.sent,
                         received: self.core.received,
                     },
+                );
+            }
+            Frame::QueryLoad => {
+                let loads = self.query_load.iter().map(|(&s, &n)| (s, n)).collect();
+                let stats = self.locate_cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+                self.stage(
+                    idx,
+                    Frame::QueryLoadResp { loads, hits: stats.hits, misses: stats.misses },
                 );
             }
             Frame::Shutdown => {
@@ -1524,6 +1579,7 @@ impl Engine {
             | Frame::LinkResp(_)
             | Frame::BoolResp(_)
             | Frame::RecResp(_)
+            | Frame::QueryLoadResp { .. }
             | Frame::StateResp(_)
             | Frame::AddrResp(_) => self.core.unsupported += 1,
         }
@@ -1535,6 +1591,7 @@ impl Engine {
             self.core.unsupported += 1;
             return Frame::JoinResp { peers: Vec::new() };
         }
+        self.clear_locate_cache();
         self.log_apply(WalRecord::Member { site, addr: addr.to_string() });
         // Tell everyone else about the newcomer (fire-and-forget,
         // daemon-plane: not charged, not counted as protocol traffic).
@@ -1848,15 +1905,119 @@ impl Engine {
         None
     }
 
-    /// `L(o, t)` with this node as origin (ported `query::locate_raw`).
+    /// Membership changed: drop the locate cache wholesale, mirroring
+    /// the simulator's conservative churn rule. (Entries would still
+    /// revalidate to exact answers — this just refuses to carry a
+    /// reshaped cluster's old read path forward.)
+    fn clear_locate_cache(&mut self) {
+        if let Some(cache) = self.locate_cache.as_mut() {
+            cache.clear();
+        }
+    }
+
+    /// Answer a locate from the cached link `link`. The daemon cannot
+    /// check a movement epoch the way the simulator does (no node sees
+    /// every gateway mutation), so a hit is *revalidated*: the cached
+    /// link's own IOP record proves whether it is still the latest,
+    /// and the forward `to` chain leads to the fresh holder when it is
+    /// not. Either way the answer equals what full rediscovery would
+    /// return — visit records are immutable history.
+    ///
+    /// Returns `None` only when the revalidating fetch of the cached
+    /// link itself found nothing (the entry refers to crash-lost
+    /// records): the caller drops the entry and rediscovers.
+    fn locate_from_cached(
+        &mut self,
+        link: Link,
+        object: ObjectId,
+        t: SimTime,
+        cost: &mut Cost,
+    ) -> Option<(Option<SiteId>, bool)> {
+        let mut current = self.core.site;
+        if t < link.time {
+            // The cached link is in the object's past: walk backward
+            // from it exactly as an `Anchor::Latest` walk would. Even
+            // a stale "latest" is a correct historical anchor.
+            let mut cur = link;
+            loop {
+                let Some(rec) = self.fetch_record(&mut current, cur, object, cost) else {
+                    return if cur == link { None } else { Some((None, false)) };
+                };
+                if cur.time <= t {
+                    return Some((Some(cur.site), true));
+                }
+                match rec.from {
+                    None => return Some((None, true)),
+                    Some(prev) => {
+                        if prev.time <= t {
+                            return Some((Some(prev.site), true));
+                        }
+                        cur = prev;
+                    }
+                }
+            }
+        }
+        // t >= link.time: the cached holder answers unless the object
+        // has moved on. One record fetch revalidates; a populated `to`
+        // chain means it did move — follow it forward and refresh the
+        // entry with the newest link reached.
+        let mut cur = link;
+        loop {
+            let Some(rec) = self.fetch_record(&mut current, cur, object, cost) else {
+                return if cur == link { None } else { Some((None, false)) };
+            };
+            let onward = match rec.to {
+                Some(next) if t >= next.time => Some(next),
+                _ => None,
+            };
+            match onward {
+                Some(next) => cur = next,
+                None => {
+                    if cur != link {
+                        if let Some(cache) = self.locate_cache.as_mut() {
+                            cache.insert(object, 0, cur);
+                        }
+                    }
+                    return Some((Some(cur.site), true));
+                }
+            }
+        }
+    }
+
+    /// `L(o, t)` with this node as origin (ported `query::locate_raw`,
+    /// plus the locate-answer cache of DESIGN.md §15 when configured).
     fn locate(&mut self, object: ObjectId, t: SimTime) -> (Option<SiteId>, Cost, bool) {
         let mut cost = Cost::default();
+        // Daemon cache entries carry no epoch (always 0): revalidation
+        // replaces the simulator's epoch check.
+        if let Some(link) = self.locate_cache.as_mut().and_then(|c| c.get(object, 0)) {
+            if let Some((answer, complete)) = self.locate_from_cached(link, object, t, &mut cost)
+            {
+                // Cache hits attribute the served locate to the origin
+                // itself, as the simulator does.
+                *self.query_load.entry(self.core.site).or_default() += 1;
+                return (answer, cost, complete);
+            }
+            if let Some(cache) = self.locate_cache.as_mut() {
+                cache.invalidate(object);
+            }
+        }
         let (anchor, mut current) = self.discover(object, &mut cost);
         let Some(anchor) = anchor else {
             return (None, cost, true);
         };
+        // `discover` rests the cursor on the answering site — local
+        // repository, intermediate record holder or gateway — which is
+        // exactly where the simulator attributes the served locate.
+        *self.query_load.entry(current).or_default() += 1;
         match anchor {
             Anchor::Latest(link) => {
+                // Fill only from gateway discoveries, like the
+                // simulator: the gateway's latest link is the one
+                // answer worth reusing.
+                if let Some(cache) = self.locate_cache.as_mut() {
+                    cache.insert(object, 0, link);
+                }
                 if t >= link.time {
                     return (Some(link.site), cost, true);
                 }

@@ -170,6 +170,12 @@ pub enum Frame {
     /// dumps compare equal across a restart onto a new port). Replied
     /// with [`Frame::StateResp`].
     StateDump,
+    /// Read the node's query-load accounting: per-site served-locate
+    /// attribution from queries this node originated, plus its
+    /// locate-cache counters (DESIGN.md §15). Engine-side volatile
+    /// state — a restarted node reports zeros. Replied with
+    /// [`Frame::QueryLoadResp`].
+    QueryLoad,
     /// "What listener address do you have for `site`?" — harnesses poll
     /// this to watch a restarted peer's new address propagate. Replied
     /// with [`Frame::AddrResp`].
@@ -272,6 +278,19 @@ pub enum Frame {
     BoolResp(bool),
     /// Reply to the `Rec*` fetches.
     RecResp(Option<IopRecord>),
+    /// Reply to [`Frame::QueryLoad`]. `loads` attributes each locate
+    /// this node originated to the site that answered it (gateway or
+    /// record holder; cache hits go to the origin itself) — merging
+    /// every node's slice reproduces the simulator's per-site
+    /// `query_load` tally.
+    QueryLoadResp {
+        /// `(answering site, locates attributed)` pairs, site-sorted.
+        loads: Vec<(SiteId, u64)>,
+        /// Locate-cache hits (0 when no cache is configured).
+        hits: u64,
+        /// Locate-cache misses (0 when no cache is configured).
+        misses: u64,
+    },
     /// Reply to [`Frame::StateDump`]: the opaque canonical encoding.
     StateResp(Vec<u8>),
     /// Reply to [`Frame::Resolve`]: the listener address on file.
@@ -300,6 +319,7 @@ const K_STATE_DUMP: u8 = 19;
 const K_RESOLVE: u8 = 20;
 const K_PEER_DEAD: u8 = 21;
 const K_REPL_REC_AT: u8 = 22;
+const K_QUERY_LOAD: u8 = 23;
 const K_ACK: u8 = 32;
 const K_LOCATE_RESP: u8 = 33;
 const K_TRACE_RESP: u8 = 34;
@@ -310,6 +330,7 @@ const K_BOOL_RESP: u8 = 38;
 const K_REC_RESP: u8 = 39;
 const K_STATE_RESP: u8 = 40;
 const K_ADDR_RESP: u8 = 41;
+const K_QUERY_LOAD_RESP: u8 = 42;
 
 fn put_id(buf: &mut ByteBuf, id: &Id) {
     buf.put_slice(&id.0);
@@ -405,6 +426,7 @@ impl Frame {
                 put_time(&mut buf, *t1);
             }
             Frame::Status => buf.put_u8(K_STATUS),
+            Frame::QueryLoad => buf.put_u8(K_QUERY_LOAD),
             Frame::Shutdown => buf.put_u8(K_SHUTDOWN),
             Frame::Crash => buf.put_u8(K_CRASH),
             Frame::StateDump => buf.put_u8(K_STATE_DUMP),
@@ -484,6 +506,16 @@ impl Frame {
                 buf.put_u32(*members);
                 buf.put_u64(*sent);
                 buf.put_u64(*received);
+            }
+            Frame::QueryLoadResp { loads, hits, misses } => {
+                buf.put_u8(K_QUERY_LOAD_RESP);
+                buf.put_u32(loads.len() as u32);
+                for (site, count) in loads {
+                    buf.put_u32(site.0);
+                    buf.put_u64(*count);
+                }
+                buf.put_u64(*hits);
+                buf.put_u64(*misses);
             }
             Frame::StepResp(answer) => {
                 buf.put_u8(K_STEP_RESP);
@@ -591,6 +623,7 @@ impl Frame {
                 t1: get_time(&mut buf)?,
             },
             K_STATUS => Frame::Status,
+            K_QUERY_LOAD => Frame::QueryLoad,
             K_SHUTDOWN => Frame::Shutdown,
             K_CRASH => Frame::Crash,
             K_STATE_DUMP => Frame::StateDump,
@@ -640,6 +673,18 @@ impl Frame {
                 sent: get_u64(&mut buf)?,
                 received: get_u64(&mut buf)?,
             },
+            K_QUERY_LOAD_RESP => {
+                let n = get_len(&mut buf, 12)?;
+                let mut loads = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let site = SiteId(get_u32(&mut buf)?);
+                    let count = get_u64(&mut buf)?;
+                    loads.push((site, count));
+                }
+                let hits = get_u64(&mut buf)?;
+                let misses = get_u64(&mut buf)?;
+                Frame::QueryLoadResp { loads, hits, misses }
+            }
             K_STEP_RESP => {
                 let owner = get_u8(&mut buf)? == 1;
                 let id = get_id(&mut buf)?;
@@ -790,6 +835,7 @@ mod tests {
             Frame::Locate { object: obj(9), t: t(55) },
             Frame::Trace { object: obj(9), t0: t(1), t1: t(1000) },
             Frame::Status,
+            Frame::QueryLoad,
             Frame::Shutdown,
             Frame::Crash,
             Frame::StateDump,
@@ -818,6 +864,12 @@ mod tests {
                 complete: true,
             },
             Frame::StatusResp { site: SiteId(1), members: 5, sent: 10, received: 9 },
+            Frame::QueryLoadResp {
+                loads: vec![(SiteId(0), 3), (SiteId(2), 17)],
+                hits: 11,
+                misses: 9,
+            },
+            Frame::QueryLoadResp { loads: Vec::new(), hits: 0, misses: 0 },
             Frame::StepResp(StepAnswer::Owner(Id::from_u64(7))),
             Frame::StepResp(StepAnswer::Forward(Id::from_u64(8))),
             Frame::LinkResp(Some(Link { site: SiteId(1), time: t(2) })),

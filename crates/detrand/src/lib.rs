@@ -28,6 +28,7 @@
 
 pub mod rngs;
 pub mod seq;
+pub mod zipf;
 
 /// The object-safe core of a random number generator.
 ///
@@ -124,7 +125,7 @@ impl Standard for f32 {
 }
 
 /// Uniform draw in `[0, 1)` with 53 random mantissa bits.
-fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
     (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

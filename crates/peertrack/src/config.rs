@@ -256,6 +256,13 @@ pub struct Config {
     /// broadcasts. Off by default (the paper's cost analysis §IV-C
     /// charges only the actual fetches).
     pub count_existence_checks: bool,
+    /// Per-node locate-answer cache capacity (DESIGN.md §15). `None`
+    /// (the default) disables caching entirely: no caches are
+    /// allocated, no epochs are tracked, and query dispatch is
+    /// byte-identical to a build without the cache layer. `Some(n)`
+    /// caches up to `n` answers per node, invalidated by movement-epoch
+    /// mismatch and cleared wholesale on membership change.
+    pub locate_cache: Option<usize>,
 }
 
 impl Default for Config {
@@ -266,6 +273,7 @@ impl Default for Config {
             retry: RetryConfig::disabled(),
             replication: ReplicationConfig::disabled(),
             count_existence_checks: false,
+            locate_cache: None,
         }
     }
 }

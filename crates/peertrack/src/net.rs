@@ -89,6 +89,20 @@ impl Builder {
         self
     }
 
+    /// Give every site a locate-answer cache bounded at `capacity`
+    /// entries (DESIGN.md §15). Off by default — and the off state is a
+    /// provable no-op: no caches are allocated, no epochs tracked, and
+    /// every query dispatches exactly as in builds without a caching
+    /// layer at all, so committed figure CSVs stay byte-identical.
+    /// Cached answers are guarded by per-object movement epochs (any
+    /// newer indexed visit kills the entry) and dropped wholesale on
+    /// membership change, so enabling the cache never changes a locate
+    /// answer — only its cost.
+    pub fn locate_cache(mut self, capacity: usize) -> Builder {
+        self.config.locate_cache = Some(capacity);
+        self
+    }
+
     /// Install a trace sink (e.g. `obs::SharedRecorder`) from the very
     /// first event — construction/warm-up traffic included. For traces
     /// that start clean at time zero, build without one and call
@@ -119,6 +133,9 @@ impl Builder {
         }
         if let Err(e) = self.config.replication.validate() {
             panic!("invalid replication configuration: {e}");
+        }
+        if self.config.locate_cache == Some(0) {
+            panic!("locate cache capacity must be at least 1");
         }
         let n_max = match self.config.mode {
             IndexingMode::Group(g) => g.n_max,
@@ -232,6 +249,19 @@ impl TraceableNetwork {
         self.world.load_distribution()
     }
 
+    /// Locates served per live site — the query-load hot-shard metric
+    /// (DESIGN.md §15). Cache hits count at the querying node; uncached
+    /// answers count at the node that answered discovery.
+    pub fn query_load(&self) -> Vec<u64> {
+        self.world.query_load()
+    }
+
+    /// Aggregated locate-cache counters (all zero when the network was
+    /// built without [`Builder::locate_cache`]).
+    pub fn cache_stats(&self) -> qcache::CacheStats {
+        self.world.cache_stats()
+    }
+
     /// Fault-plane statistics, if a plane was configured.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.sim.fault_stats()
@@ -292,14 +322,18 @@ impl TraceableNetwork {
 
     /// `L(o, t)` issued from `from`: where was `object` at `t`?
     /// Returns the answer plus full cost/latency statistics; the traffic
-    /// is recorded in the metrics under [`MsgClass::Query`].
+    /// is recorded in the metrics under [`MsgClass::Query`]. When the
+    /// network was built with [`Builder::locate_cache`], a live cached
+    /// answer short-circuits discovery (the answer itself is always the
+    /// one discovery would produce); per-node served-locate counts are
+    /// maintained either way — see [`TraceableNetwork::query_load`].
     pub fn locate(
         &mut self,
         from: SiteId,
         object: ObjectId,
         t: SimTime,
     ) -> (Option<SiteId>, QueryStats) {
-        let (ans, cost, source, complete) = query::locate_raw(&self.world, from, object, t);
+        let (ans, cost, source, complete) = query::locate(&mut self.world, from, object, t);
         let stats = self.account(spans::QUERY_LOCATE, from, cost, source, complete);
         (ans, stats)
     }

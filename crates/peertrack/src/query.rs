@@ -43,6 +43,10 @@ pub enum AnswerSource {
     Gateway(SiteId),
     /// No node knows the object.
     NotFound,
+    /// The querying node's locate-answer cache answered without a
+    /// discovery phase (DESIGN.md §15). Only produced when the network
+    /// was built with `Builder::locate_cache`.
+    Cached,
 }
 
 /// Message/hop accounting for one query.
@@ -245,6 +249,37 @@ fn fetch_record(
     state.iop.record_at(object, target.time).copied()
 }
 
+/// Walk the IOP list backward from `link` until the visit covering
+/// `t`, with the query currently held at `current`. Returns the answer
+/// and whether the traversal stayed complete.
+fn walk_back_from(
+    world: &NetWorld,
+    current: &mut SiteId,
+    link: Link,
+    object: ObjectId,
+    t: SimTime,
+    cost: &mut QueryCost,
+) -> (Option<SiteId>, bool) {
+    let mut cur = link;
+    loop {
+        let Some(rec) = fetch_record(world, current, cur, object, cost) else {
+            return (None, false);
+        };
+        if cur.time <= t {
+            return (Some(cur.site), true);
+        }
+        match rec.from {
+            None => return (None, true), // not yet in system at t
+            Some(prev) => {
+                if prev.time <= t {
+                    return (Some(prev.site), true);
+                }
+                cur = prev;
+            }
+        }
+    }
+}
+
 /// Pure `L(o, t)` (Eq. 1) with cost accounting.
 pub(crate) fn locate_raw(
     world: &NetWorld,
@@ -252,44 +287,103 @@ pub(crate) fn locate_raw(
     object: ObjectId,
     t: SimTime,
 ) -> (Option<SiteId>, QueryCost, AnswerSource, bool) {
+    let (ans, cost, source, complete, _) = locate_inner(world, from, object, t);
+    (ans, cost, source, complete)
+}
+
+/// `L(o, t)` through the read-scaling layer (DESIGN.md §15): consult
+/// the origin's locate-answer cache when one is configured, fall back
+/// to full discovery, fill the cache from gateway answers, and count
+/// per-node served-query load. With `Config.locate_cache == None` the
+/// query dispatch is exactly [`locate_raw`] — same lookups, same costs
+/// — plus pure counter updates that touch no RNG or metrics.
+pub(crate) fn locate(
+    world: &mut NetWorld,
+    from: SiteId,
+    object: ObjectId,
+    t: SimTime,
+) -> (Option<SiteId>, QueryCost, AnswerSource, bool) {
+    let enabled = world.config.locate_cache.is_some();
+    if enabled {
+        let epoch = world.epochs.of(object);
+        let idx = from.0 as usize;
+        let hit = world.sites[idx]
+            .locate_cache
+            .as_mut()
+            .expect("enabled implies allocated")
+            .get(object, epoch);
+        if let Some(link) = hit {
+            world.sites[idx].query_load += 1;
+            if t >= link.time {
+                // The cached link *is* the latest state: answer free.
+                return (Some(link.site), QueryCost::default(), AnswerSource::Cached, true);
+            }
+            // Historical query: the live cached link is a valid walk
+            // anchor — discovery is skipped, only the IOP walk is paid.
+            let mut cost = QueryCost::default();
+            let mut current = from;
+            let (ans, complete) =
+                walk_back_from(world, &mut current, link, object, t, &mut cost);
+            return (ans, cost, AnswerSource::Cached, complete);
+        }
+    }
+    let (ans, cost, source, complete, latest) = locate_inner(world, from, object, t);
+    match source {
+        AnswerSource::Local => world.sites[from.0 as usize].query_load += 1,
+        AnswerSource::Intermediate(s) | AnswerSource::Gateway(s) => {
+            world.sites[s.0 as usize].query_load += 1;
+        }
+        AnswerSource::NotFound => {}
+        AnswerSource::Cached => unreachable!("discovery never answers from cache"),
+    }
+    if enabled {
+        if let Some(link) = latest {
+            // Only gateway answers fill the cache: the latest link is
+            // the authoritative state the epoch guards.
+            let epoch = world.epochs.of(object);
+            world.sites[from.0 as usize]
+                .locate_cache
+                .as_mut()
+                .expect("enabled implies allocated")
+                .insert(object, epoch, link);
+        }
+    }
+    (ans, cost, source, complete)
+}
+
+/// [`locate_raw`] plus the gateway's latest link when discovery reached
+/// the index — the value the locate cache stores.
+fn locate_inner(
+    world: &NetWorld,
+    from: SiteId,
+    object: ObjectId,
+    t: SimTime,
+) -> (Option<SiteId>, QueryCost, AnswerSource, bool, Option<Link>) {
     let mut cost = QueryCost::default();
     let d = discover(world, from, object, &mut cost);
     let Some(anchor) = d.anchor else {
-        return (None, cost, d.source, true);
+        return (None, cost, d.source, true, None);
     };
 
     let mut current = match d.source {
         AnswerSource::Local => from,
         AnswerSource::Intermediate(s) => s,
         AnswerSource::Gateway(s) => s,
-        AnswerSource::NotFound => unreachable!("anchor implies found"),
+        AnswerSource::NotFound | AnswerSource::Cached => {
+            unreachable!("anchor implies a discovery answer")
+        }
     };
 
     match anchor {
         Anchor::Latest(link) => {
             if t >= link.time {
                 // The index *is* the latest state: answer immediately.
-                return (Some(link.site), cost, d.source, true);
+                return (Some(link.site), cost, d.source, true, Some(link));
             }
             // Walk backward through the IOP list.
-            let mut cur = link;
-            loop {
-                let Some(rec) = fetch_record(world, &mut current, cur, object, &mut cost) else {
-                    return (None, cost, d.source, false);
-                };
-                if cur.time <= t {
-                    return (Some(cur.site), cost, d.source, true);
-                }
-                match rec.from {
-                    None => return (None, cost, d.source, true), // not yet in system at t
-                    Some(prev) => {
-                        if prev.time <= t {
-                            return (Some(prev.site), cost, d.source, true);
-                        }
-                        cur = prev;
-                    }
-                }
-            }
+            let (ans, complete) =
+                walk_back_from(world, &mut current, link, object, t, &mut cost);
+            (ans, cost, d.source, complete, Some(link))
         }
         Anchor::Record(site) => {
             let store = &world.sites[site.0 as usize].iop;
@@ -297,9 +391,9 @@ pub(crate) fn locate_raw(
                 // The object was here at or before t; is it still the
                 // relevant visit, or did it move on before t?
                 match rec.to {
-                    None => return (Some(site), cost, d.source, true),
+                    None => return (Some(site), cost, d.source, true, None),
                     Some(next) if t < next.time => {
-                        return (Some(site), cost, d.source, true)
+                        return (Some(site), cost, d.source, true, None)
                     }
                     Some(next) => {
                         // Walk forward until the visit covering t.
@@ -308,12 +402,12 @@ pub(crate) fn locate_raw(
                             let Some(r) =
                                 fetch_record(world, &mut current, cur, object, &mut cost)
                             else {
-                                return (None, cost, d.source, false);
+                                return (None, cost, d.source, false, None);
                             };
                             match r.to {
-                                None => return (Some(cur.site), cost, d.source, true),
+                                None => return (Some(cur.site), cost, d.source, true, None),
                                 Some(nn) if t < nn.time => {
-                                    return (Some(cur.site), cost, d.source, true)
+                                    return (Some(cur.site), cost, d.source, true, None)
                                 }
                                 Some(nn) => cur = nn,
                             }
@@ -325,19 +419,19 @@ pub(crate) fn locate_raw(
             // earliest local record.
             let first = store.all(object).first().copied().expect("knows(object)");
             match first.from {
-                None => (None, cost, d.source, true),
+                None => (None, cost, d.source, true, None),
                 Some(prev) => {
                     let mut cur = prev;
                     loop {
                         if cur.time <= t {
-                            return (Some(cur.site), cost, d.source, true);
+                            return (Some(cur.site), cost, d.source, true, None);
                         }
                         let Some(rec) = fetch_record(world, &mut current, cur, object, &mut cost)
                         else {
-                            return (None, cost, d.source, false);
+                            return (None, cost, d.source, false, None);
                         };
                         match rec.from {
-                            None => return (None, cost, d.source, true),
+                            None => return (None, cost, d.source, true, None),
                             Some(p) => cur = p,
                         }
                     }
@@ -368,7 +462,9 @@ pub(crate) fn trace_raw(
         AnswerSource::Local => from,
         AnswerSource::Intermediate(s) => s,
         AnswerSource::Gateway(s) => s,
-        AnswerSource::NotFound => unreachable!("anchor implies found"),
+        AnswerSource::NotFound | AnswerSource::Cached => {
+            unreachable!("anchor implies a discovery answer")
+        }
     };
     let mut complete = true;
 

@@ -31,6 +31,7 @@ use crate::window::{WindowBatch, WindowBuffer, WindowEvent};
 use chord::Ring;
 use ids::{Id, Prefix};
 use moods::{ObjectId, SiteId};
+use qcache::{CacheStats, EpochTable, LocateCache};
 use simnet::{MsgClass, NodeIndex, Sim, SimTime, TimerId, World};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
@@ -86,6 +87,15 @@ pub struct SiteState {
     pub replica_gateway: HashMap<SiteId, GatewayStore>,
     /// Pending one-shot anti-entropy timer, if a write armed one.
     antientropy_timer: Option<TimerId>,
+    /// Locate-answer cache (DESIGN.md §15), allocated only when
+    /// `Config.locate_cache` is set. Derived state: never replicated,
+    /// never persisted, cleared wholesale on membership change.
+    pub(crate) locate_cache: Option<LocateCache<Link>>,
+    /// Locates this node answered (cache hits, local/intermediate
+    /// answers, gateway lookups) — the hot-shard load metric. Pure
+    /// bookkeeping: counting never touches RNG, metrics or dispatch,
+    /// so it is always on.
+    pub(crate) query_load: u64,
 }
 
 /// Counters for conditions that should not occur in well-formed runs.
@@ -138,6 +148,10 @@ pub struct NetWorld {
     /// makes the span cover retransmissions: it closes when the first
     /// copy is processed, whichever attempt delivered it.
     pending_spans: HashMap<u64, simnet::SpanId>,
+    /// Per-object movement epochs guarding cached locate answers
+    /// (DESIGN.md §15). Only maintained while `Config.locate_cache` is
+    /// set — the off path never touches it.
+    pub(crate) epochs: EpochTable,
 }
 
 /// A sequenced send the retry layer may have to retransmit.
@@ -171,6 +185,7 @@ impl NetWorld {
             next_seq: 1,
             pending_retries: HashMap::new(),
             pending_spans: HashMap::new(),
+            epochs: EpochTable::new(),
         }
     }
 
@@ -212,6 +227,8 @@ impl NetWorld {
             replica_iop: HashMap::new(),
             replica_gateway: HashMap::new(),
             antientropy_timer: None,
+            locate_cache: self.config.locate_cache.map(LocateCache::new),
+            query_load: 0,
         });
         site
     }
@@ -393,10 +410,29 @@ impl NetWorld {
     }
 
     /// Drop every site's gateway-address cache (membership or `Lp`
-    /// changed; stale addresses would misroute index updates).
+    /// changed; stale addresses would misroute index updates). Locate
+    /// caches drop too: a membership change can move index ownership
+    /// wholesale, and conservative correctness beats retained warmth —
+    /// re-indexing that lands *after* this clear re-enters the caches
+    /// through the epoch-bumped write path.
     pub(crate) fn invalidate_gateway_caches(&mut self) {
         for s in &mut self.sites {
             s.gateway_cache.clear();
+            if let Some(c) = s.locate_cache.as_mut() {
+                c.clear();
+            }
+        }
+    }
+
+    /// Advance `o`'s movement epoch, killing every cached locate answer
+    /// for it. Called exactly where a stored latest gateway link
+    /// *changes content* (a fresh visit is indexed); moves of unchanged
+    /// entries (delegation, refresh fetches, shard migration) leave the
+    /// answer intact and do not bump. No-op while caching is off — the
+    /// epoch table belongs to the opt-in subsystem.
+    fn bump_epoch(&mut self, o: ObjectId) {
+        if self.config.locate_cache.is_some() {
+            self.epochs.bump(o);
         }
     }
 
@@ -660,6 +696,7 @@ impl NetWorld {
         }
         let entry = IndexEntry { site, time, prev: prev.map(|p| p.link()) };
         self.sites[gw].gateway.objects.insert(object, entry);
+        self.bump_epoch(object);
         self.replicate_shard(sim, gw, None);
 
         let new_link = Link { site, time };
@@ -727,6 +764,13 @@ impl NetWorld {
             }
         }
         self.hosted.insert(prefix);
+        // `m3` holds exactly the accepted upserts: each changed the
+        // stored latest link for its object.
+        if self.config.locate_cache.is_some() {
+            for &(o, _, _) in &m3 {
+                self.epochs.bump(o);
+            }
+        }
 
         for (dest, updates) in m2 {
             let msg = Msg::SetTo { updates };
@@ -774,6 +818,12 @@ impl NetWorld {
         }
         let handoff_is_newer = ex.time < e.time;
         let (older, newer) = if handoff_is_newer { (ex, e) } else { (e, ex) };
+        // When the handoff carries the newer visit, the stored latest
+        // link changes content below — cached answers die with it. (The
+        // reverse direction only enriches threading; the answer stands.)
+        if handoff_is_newer {
+            self.bump_epoch(o);
+        }
         if newer.prev == Some(older.link()) {
             // Already threaded past the older visit — nothing to repair.
             if handoff_is_newer {
@@ -1224,6 +1274,35 @@ impl NetWorld {
             .filter(|s| s.alive)
             .map(|s| s.gateway.load() as u64)
             .collect()
+    }
+
+    /// Locates served per live site (cache hits and local answers at
+    /// the origin, intermediate/gateway answers at the answering node) —
+    /// the query-load hot-shard metric (DESIGN.md §15). Always counted,
+    /// caching on or off.
+    pub fn query_load(&self) -> Vec<u64> {
+        self.sites
+            .iter()
+            .filter(|s| s.alive)
+            .map(|s| s.query_load)
+            .collect()
+    }
+
+    /// Aggregated locate-cache counters over every site (all zero when
+    /// caching is disabled).
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for s in &self.sites {
+            if let Some(c) = &s.locate_cache {
+                let st = c.stats();
+                total.hits += st.hits;
+                total.misses += st.misses;
+                total.stale += st.stale;
+                total.insertions += st.insertions;
+                total.evictions += st.evictions;
+            }
+        }
+        total
     }
 
     /// Borrow a shard for inspection (tests, queries).

@@ -7,8 +7,9 @@
 //! message size).
 
 use crate::{epc_object, CaptureEvent};
-use moods::SiteId;
+use moods::{ObjectId, SiteId};
 use detrand::rngs::StdRng;
+use detrand::zipf::Zipf;
 use detrand::{Rng, SeedableRng};
 use simnet::SimTime;
 
@@ -74,6 +75,75 @@ impl ArrivalStream {
     }
 }
 
+// ----------------------------------------------------------------------
+// Skewed locate streams (query-path read scaling)
+// ----------------------------------------------------------------------
+
+/// One planned locate: ask for `object` at virtual instant `at`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LocateEvent {
+    /// Query instant.
+    pub at: SimTime,
+    /// Query target.
+    pub object: ObjectId,
+}
+
+/// `count` locates over `population` with Zipf(s)-distributed
+/// popularity: `population[0]` is the hottest object, and `s = 0` is
+/// uniform. Queries are evenly spaced `gap` apart starting at `start`.
+pub fn zipf_locates(
+    population: &[ObjectId],
+    s: f64,
+    count: usize,
+    start: SimTime,
+    gap: SimTime,
+    seed: u64,
+) -> Vec<LocateEvent> {
+    assert!(!population.is_empty(), "zipf_locates needs a population");
+    let z = Zipf::new(population.len(), s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|k| LocateEvent {
+            at: start + SimTime::from_micros(k as u64 * gap.as_micros()),
+            object: population[z.sample(&mut rng)],
+        })
+        .collect()
+}
+
+/// A flash crowd (product-recall spike): inside `[from, until)` a
+/// `hot_frac` share of locates aims at the `hot` set (objects sharing a
+/// prefix — one gateway shard absorbs the spike); everything else, and
+/// all traffic outside the window, is uniform over `population`.
+#[allow(clippy::too_many_arguments)]
+pub fn flash_crowd_locates(
+    population: &[ObjectId],
+    hot: &[ObjectId],
+    hot_frac: f64,
+    from: SimTime,
+    until: SimTime,
+    count: usize,
+    start: SimTime,
+    gap: SimTime,
+    seed: u64,
+) -> Vec<LocateEvent> {
+    assert!(!population.is_empty(), "flash_crowd_locates needs a population");
+    assert!(!hot.is_empty(), "flash_crowd_locates needs a hot set");
+    assert!((0.0..=1.0).contains(&hot_frac), "hot_frac must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|k| {
+            let at = start + SimTime::from_micros(k as u64 * gap.as_micros());
+            let in_window = at >= from && at < until;
+            let object = if in_window && rng.gen_bool(hot_frac) {
+                hot[rng.gen_range(0..hot.len())]
+            } else {
+                population[rng.gen_range(0..population.len())]
+            };
+            LocateEvent { at, object }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,6 +171,47 @@ mod tests {
         assert_eq!(evs[0].objects.len(), 64);
         assert_eq!(evs[3].objects.len(), 8);
         assert_eq!(crate::observation_count(&evs), 200);
+    }
+
+    #[test]
+    fn zipf_locates_skew_and_determinism() {
+        let pop: Vec<_> = (0..50).map(|k| epc_object(0, k)).collect();
+        let evs = zipf_locates(&pop, 1.2, 2_000, secs(1), ms(1), 7);
+        assert_eq!(evs.len(), 2_000);
+        assert!(evs.windows(2).all(|w| w[0].at < w[1].at));
+        let head = evs.iter().filter(|e| pop[..5].contains(&e.object)).count();
+        assert!(head > 1_000, "top-5 objects drew {head}/2000 at s=1.2");
+        assert_eq!(evs, zipf_locates(&pop, 1.2, 2_000, secs(1), ms(1), 7));
+        assert_ne!(evs, zipf_locates(&pop, 1.2, 2_000, secs(1), ms(1), 8));
+    }
+
+    #[test]
+    fn flash_crowd_concentrates_inside_the_window() {
+        let pop: Vec<_> = (0..100).map(|k| epc_object(0, k)).collect();
+        let hot: Vec<_> = pop[..4].to_vec();
+        // 4 000 locates 1 ms apart from t=0; window covers [1s, 3s).
+        let evs =
+            flash_crowd_locates(&pop, &hot, 0.8, secs(1), secs(3), 4_000, secs(0), ms(1), 13);
+        let (mut in_hot, mut in_n, mut out_hot, mut out_n) = (0usize, 0usize, 0usize, 0usize);
+        for e in &evs {
+            let is_hot = hot.contains(&e.object);
+            if e.at >= secs(1) && e.at < secs(3) {
+                in_n += 1;
+                in_hot += usize::from(is_hot);
+            } else {
+                out_n += 1;
+                out_hot += usize::from(is_hot);
+            }
+        }
+        assert!(in_n > 1_000 && out_n > 1_000, "window split {in_n}/{out_n}");
+        let in_frac = in_hot as f64 / in_n as f64;
+        let out_frac = out_hot as f64 / out_n as f64;
+        assert!(in_frac > 0.7, "hot share inside the spike: {in_frac:.2}");
+        assert!(out_frac < 0.15, "hot share outside the spike: {out_frac:.2}");
+        assert_eq!(
+            evs,
+            flash_crowd_locates(&pop, &hot, 0.8, secs(1), secs(3), 4_000, secs(0), ms(1), 13)
+        );
     }
 
     #[test]

@@ -31,21 +31,29 @@ echo "== replication placement + failover (simulator, fast budget) =="
 # K-successor placement property over random membership churn.
 AUDIT_CASES=8 cargo test -q --offline -p integration-tests --test replication
 
-echo "== tracing-off byte-identity: figure CSVs =="
-# The observability layer must be zero-cost when no sink is installed:
+echo "== tracing-off / cache-off byte-identity: figure CSVs =="
+# The observability layer must be zero-cost when no sink is installed,
+# and the locate cache must be zero-cost when not configured:
 # regenerating the figure and fault-sweep CSVs with the instrumented
 # binaries must reproduce the committed files byte for byte. (These
-# binaries run trace-free; any behavioral drift — an extra RNG draw, a
-# reordered dispatch — shows up here as a diff.)
+# binaries run trace-free and cache-off; any behavioral drift — an
+# extra RNG draw, a reordered dispatch, a query answered differently —
+# shows up here as a diff.) zipf_sweep doubles as the cache smoke: it
+# runs every scenario cache-off AND cache-on at quick scale, asserts
+# oracle-exact answers in both modes plus the headline reductions, and
+# its committed artifacts are deterministic, so they are byte-gated
+# like the figures.
 for bin in fig6a_indexing_volume fig6b_indexing_netsize fig7a_query_netsize \
-           fig7b_query_volume fig8a_load_balance fig8b_scheme_cost fault_sweep; do
+           fig7b_query_volume fig8a_load_balance fig8b_scheme_cost fault_sweep \
+           zipf_sweep; do
     ./target/release/"$bin" > /dev/null
 done
 git diff --exit-code -- \
     results/fig6a.csv results/fig6b.csv results/fig7a.csv results/fig7b.csv \
     results/fig8a.csv results/fig8b.csv results/fault_sweep.csv \
+    results/zipf_sweep_off.csv results/zipf_sweep_on.csv results/BENCH_qcache.json \
     || { echo "figure CSVs drifted from the committed baselines" >&2; exit 1; }
-echo "OK: fig6/7/8 + fault_sweep byte-identical to committed baselines."
+echo "OK: fig6/7/8 + fault_sweep + zipf_sweep byte-identical to committed baselines."
 
 echo "== trace exporter: deterministic exports =="
 # Two same-seed traced runs must write byte-identical artifacts.
@@ -179,3 +187,9 @@ for c in transport daemon durable; do
         || { echo "crates/$c missing from the workspace manifest" >&2; exit 1; }
 done
 echo "OK: crates/transport, crates/daemon and crates/durable are in the workspace."
+
+# And the query-path caching subsystem (DESIGN.md §15), which both the
+# simulator and the daemon link against.
+grep -q 'crates/qcache' Cargo.toml \
+    || { echo "crates/qcache missing from the workspace manifest" >&2; exit 1; }
+echo "OK: crates/qcache is in the workspace."

@@ -98,6 +98,16 @@ pub enum Op {
         /// Live-site selector (resolved over live sites except 0).
         sel: u16,
     },
+    /// Locate an existing object (selector modulo created objects) from
+    /// founder 0 mid-schedule. Queries are read-only, so this never
+    /// perturbs the protocol — but with a locate cache configured
+    /// ([`AuditConfig::locate_cache`]) it warms the cache, so later
+    /// movements must invalidate the cached answer for the
+    /// post-quiescence invariants to hold.
+    Locate {
+        /// Created-object selector.
+        obj: u16,
+    },
 }
 
 const TAG_CAPTURE: u64 = 0;
@@ -108,7 +118,8 @@ const TAG_JOIN: u64 = 4;
 const TAG_LEAVE: u64 = 5;
 const TAG_CRASH: u64 = 6;
 const TAG_KILL: u64 = 7;
-const NUM_TAGS: u64 = 8;
+const TAG_LOCATE: u64 = 8;
+const NUM_TAGS: u64 = 9;
 
 /// Encode an op as one schedule word: tag in the top byte, operands in
 /// the low 32 bits.
@@ -122,6 +133,7 @@ pub fn encode(op: Op) -> u64 {
         Op::Leave { sel } => (TAG_LEAVE, sel, 0),
         Op::Crash { sel } => (TAG_CRASH, sel, 0),
         Op::Kill { sel } => (TAG_KILL, sel, 0),
+        Op::Locate { obj } => (TAG_LOCATE, obj, 0),
     };
     (tag << 56) | ((a as u64) << 16) | b as u64
 }
@@ -139,7 +151,8 @@ pub fn decode(word: u64) -> Op {
         TAG_JOIN => Op::Join,
         TAG_LEAVE => Op::Leave { sel: a },
         TAG_CRASH => Op::Crash { sel: a },
-        _ => Op::Kill { sel: a },
+        TAG_KILL => Op::Kill { sel: a },
+        _ => Op::Locate { obj: a },
     }
 }
 
@@ -179,6 +192,11 @@ pub fn shrink_word(word: u64) -> Vec<u64> {
         Op::Kill { sel } => {
             let mut c = vec![Op::Crash { sel }, Op::Leave { sel }, Op::Capture { site: sel }];
             c.extend(halves(sel).into_iter().map(|sel| Op::Kill { sel }));
+            c
+        }
+        Op::Locate { obj } => {
+            let mut c = vec![Op::Quiesce];
+            c.extend(halves(obj).into_iter().map(|obj| Op::Locate { obj }));
             c
         }
     };
@@ -223,6 +241,10 @@ pub struct AuditConfig {
     /// Replication factor K (1 disables replication; then every
     /// [`Op::Kill`] degrades to a crash).
     pub replicas: usize,
+    /// Per-site locate-answer cache capacity (`None` = caching off).
+    /// Caching must be invisible to every invariant: the auditor holds
+    /// cached runs to the same oracle exactness as uncached ones.
+    pub locate_cache: Option<usize>,
 }
 
 impl AuditConfig {
@@ -236,7 +258,14 @@ impl AuditConfig {
             drop,
             retry: RetryConfig::disabled(),
             replicas: 1,
+            locate_cache: None,
         }
+    }
+
+    /// The same configuration with a locate-answer cache of `capacity`
+    /// entries per site.
+    pub fn with_locate_cache(self, capacity: usize) -> AuditConfig {
+        AuditConfig { locate_cache: Some(capacity), ..self }
     }
 
     /// A fault-free network with K-successor replication on — the
@@ -383,6 +412,9 @@ fn run_schedule_inner(
         .replicas(cfg.replicas.max(1))
         .faults(FaultConfig::uniform_drop(cfg.fault_seed, cfg.drop))
         .retry(cfg.retry);
+    if let Some(cap) = cfg.locate_cache {
+        builder = builder.locate_cache(cap);
+    }
     if let Some(rec) = trace {
         builder = builder.trace_sink(Box::new(rec));
     }
@@ -469,6 +501,16 @@ fn run_schedule_inner(
                     dead.insert(s);
                     net.crash_site(s);
                 }
+            }
+            Op::Locate { obj } => {
+                if created.is_empty() {
+                    continue;
+                }
+                // Read-only: warms the locate cache (when configured) so
+                // later movements exercise epoch invalidation; the
+                // answer itself is audited after quiescence.
+                let o = created[obj as usize % created.len()];
+                let _ = net.locate(SiteId(0), o, net.now());
             }
         }
         ops_applied += 1;
@@ -780,6 +822,7 @@ mod tests {
             Op::Leave { sel: 2 },
             Op::Crash { sel: 5 },
             Op::Kill { sel: 4 },
+            Op::Locate { obj: 9 },
         ];
         for op in ops {
             assert_eq!(decode(encode(op)), op);
@@ -812,6 +855,45 @@ mod tests {
         assert!(shrink_word(encode(Op::Quiesce)).is_empty());
         let kill = encode(Op::Kill { sel: 3 });
         assert!(shrink_word(kill).contains(&encode(Op::Crash { sel: 3 })), "kill demotes to crash");
+        let locate = encode(Op::Locate { obj: 6 });
+        assert!(shrink_word(locate).contains(&encode(Op::Quiesce)), "locate demotes to quiesce");
+    }
+
+    #[test]
+    fn cached_schedule_audits_clean_and_matches_uncached() {
+        // A schedule that locates mid-stream (warming the cache), then
+        // moves the located objects (forcing epoch invalidation), then
+        // churns (forcing the wholesale clear). With the cache on, every
+        // invariant must hold exactly as with it off — and since queries
+        // are read-only, the two runs' protocol traffic is identical.
+        let cfg = AuditConfig { drop: 0.0, ..AuditConfig::lossy_no_retries(0.0) };
+        let words: Vec<u64> = [
+            Op::Capture { site: 0 },
+            Op::Capture { site: 2 },
+            Op::Capture { site: 4 },
+            Op::Quiesce,
+            Op::Locate { obj: 0 },
+            Op::Locate { obj: 1 },
+            Op::MoveObj { site: 1, obj: 0 },
+            Op::MoveObj { site: 3, obj: 1 },
+            Op::Quiesce,
+            Op::Locate { obj: 0 },
+            Op::Join,
+            Op::MoveObj { site: 5, obj: 2 },
+            Op::Quiesce,
+            Op::Locate { obj: 2 },
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let plain = run_schedule(&cfg, &words);
+        let cached = run_schedule(&cfg.with_locate_cache(8), &words);
+        assert_eq!(cached.violations, Vec::<String>::new());
+        assert_eq!(plain.violations, cached.violations);
+        assert_eq!(plain.fault_stats, cached.fault_stats);
+        assert_eq!(plain.anomalies, cached.anomalies);
+        assert_eq!(plain.objects, cached.objects);
+        assert_eq!(plain.ops_applied, cached.ops_applied);
     }
 
     #[test]

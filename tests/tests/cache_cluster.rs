@@ -1,0 +1,140 @@
+//! The daemon's locate-answer cache over real sockets (DESIGN.md §15).
+//!
+//! The cache lives on each node's engine, keyed by object, and every
+//! hit is *revalidated* against the holder's immutable records before
+//! it is served — so three claims are testable end to end:
+//!
+//! 1. **Freshness across migration** — a node that cached an object's
+//!    location keeps answering exactly after the object moves: the
+//!    stale cached link revalidates by one record fetch and walks
+//!    forward to the new holder. Historical probes (`t` before the
+//!    move) answer from the same cached anchor by walking backward.
+//! 2. **Attribution** — `Frame::QueryLoad` exposes per-origin
+//!    served-locate slices plus hit/miss counters, and the counters
+//!    move the way the cache contract says they must.
+//! 3. **Volatility** — the cache is engine-side state, excluded from
+//!    the WAL/snapshot encoding: a crash + restart rebuilds the node
+//!    byte-identical *except* the cache, which comes back cold.
+
+use daemon::LoopbackCluster;
+use moods::SiteId;
+use peertrack::config::GroupConfig;
+use simnet::time::secs;
+use workload::{epc_object, CaptureEvent};
+
+fn can_bind() -> bool {
+    std::net::TcpListener::bind("127.0.0.1:0").is_ok()
+}
+
+macro_rules! require_sockets {
+    () => {
+        if !can_bind() {
+            eprintln!("SKIP: sandbox forbids binding loopback sockets");
+            return;
+        }
+    };
+}
+
+#[test]
+fn cached_answer_stays_fresh_after_migration() {
+    require_sockets!();
+    const SITES: usize = 4;
+    const SEED: u64 = 77;
+
+    let mut cluster =
+        LoopbackCluster::start_cached(SITES, SEED, GroupConfig::default(), 32).expect("start");
+    let o = epc_object(1, 0);
+
+    // Capture at site 1, then locate twice from site 0: the first
+    // answer fills site 0's cache, the second must be served from it.
+    cluster
+        .run_schedule(&[CaptureEvent { at: secs(10), site: SiteId(1), objects: vec![o] }])
+        .expect("first capture");
+    let (ans, _, complete) = cluster.locate(SiteId(0), o, secs(100)).expect("locate");
+    assert_eq!((ans, complete), (Some(SiteId(1)), true));
+    let (loads, hits, misses) = cluster.query_load(0).expect("query load");
+    assert_eq!((hits, misses), (0, 1), "first locate is a cache miss");
+    assert_eq!(loads.iter().map(|&(_, n)| n).sum::<u64>(), 1);
+
+    let (ans, _, complete) = cluster.locate(SiteId(0), o, secs(100)).expect("cached locate");
+    assert_eq!((ans, complete), (Some(SiteId(1)), true));
+    let (_, hits, misses) = cluster.query_load(0).expect("query load");
+    assert_eq!((hits, misses), (1, 1), "second locate hits the cache");
+
+    // The object migrates to site 2. Site 0 still holds the stale
+    // cached link — the next locate must revalidate it (one record
+    // fetch at site 1 discovers the onward hop) and answer site 2.
+    cluster
+        .run_schedule(&[CaptureEvent { at: secs(20), site: SiteId(2), objects: vec![o] }])
+        .expect("migration capture");
+    let (ans, _, complete) = cluster.locate(SiteId(0), o, secs(100)).expect("post-move locate");
+    assert_eq!(
+        (ans, complete),
+        (Some(SiteId(2)), true),
+        "a cached answer must never outlive a migration"
+    );
+
+    // Historical probe before the move: the same cached anchor walks
+    // the record chain backward to the old holder.
+    let (ans, _, complete) = cluster.locate(SiteId(0), o, secs(15)).expect("historical locate");
+    assert_eq!((ans, complete), (Some(SiteId(1)), true));
+
+    // An origin whose cache was never warmed agrees, of course.
+    let (ans, _, complete) = cluster.locate(SiteId(3), o, secs(100)).expect("cold locate");
+    assert_eq!((ans, complete), (Some(SiteId(2)), true));
+    let (loads, _, _) = cluster.query_load(3).expect("query load");
+    assert_eq!(loads.iter().map(|&(_, n)| n).sum::<u64>(), 1);
+
+    cluster.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cache_rebuilds_cold_after_crash_restart() {
+    require_sockets!();
+    const SITES: usize = 3;
+    const SEED: u64 = 91;
+
+    let root = std::env::temp_dir()
+        .join(format!("pt-cache-cold-{}", std::process::id()));
+    std::fs::remove_dir_all(&root).ok();
+    let mut cluster = LoopbackCluster::start_durable_cached(
+        SITES,
+        SEED,
+        GroupConfig::default(),
+        &root,
+        durable::FsyncMode::Never,
+        1_000_000,
+        16,
+    )
+    .expect("start");
+    let o = epc_object(1, 7);
+    cluster
+        .run_schedule(&[CaptureEvent { at: secs(5), site: SiteId(1), objects: vec![o] }])
+        .expect("capture");
+
+    // Warm node 0's cache and prove it serves hits.
+    for _ in 0..2 {
+        let (ans, _, _) = cluster.locate(SiteId(0), o, secs(50)).expect("locate");
+        assert_eq!(ans, Some(SiteId(1)));
+    }
+    let (_, hits, misses) = cluster.query_load(0).expect("query load");
+    assert_eq!((hits, misses), (1, 1));
+
+    // Crash + restart: the WAL replays everything durable; the cache
+    // and its counters are volatile and must come back empty.
+    cluster.crash(0).expect("crash");
+    cluster.restart(0).expect("restart");
+    let (loads, hits, misses) = cluster.query_load(0).expect("query load");
+    assert_eq!((hits, misses), (0, 0), "cache counters are not durable");
+    assert!(loads.is_empty(), "served-locate attribution is not durable");
+
+    // The node still answers exactly — the first post-restart locate is
+    // a miss that refills the cold cache.
+    let (ans, _, complete) = cluster.locate(SiteId(0), o, secs(50)).expect("post-restart locate");
+    assert_eq!((ans, complete), (Some(SiteId(1)), true));
+    let (_, hits, misses) = cluster.query_load(0).expect("query load");
+    assert_eq!((hits, misses), (0, 1));
+
+    cluster.shutdown().expect("shutdown");
+    std::fs::remove_dir_all(&root).ok();
+}

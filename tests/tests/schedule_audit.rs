@@ -51,6 +51,27 @@ fn schedule_words(max_len: usize) -> ScheduleStrategy<u64> {
         .with_op_shrink(|w| shrink_word(*w))
 }
 
+/// The same vocabulary with mid-schedule locates mixed in, for the
+/// locate-cache property: locates warm the per-site cache, subsequent
+/// movements and churn must invalidate it.
+fn schedule_words_with_locates(max_len: usize) -> ScheduleStrategy<u64> {
+    schedule(1..max_len)
+        .with_op(10, |rng| encode(Op::Capture { site: detrand::Rng::gen_range(rng, 0..32u16) }))
+        .with_op(8, |rng| {
+            encode(Op::MoveObj {
+                site: detrand::Rng::gen_range(rng, 0..32u16),
+                obj: detrand::Rng::gen_range(rng, 0..64u16),
+            })
+        })
+        .with_op(6, |rng| encode(Op::Locate { obj: detrand::Rng::gen_range(rng, 0..64u16) }))
+        .with_op(4, |rng| encode(Op::Advance { ms: detrand::Rng::gen_range(rng, 20..700u16) }))
+        .with_op(2, |_| encode(Op::Quiesce))
+        .with_op(2, |_| encode(Op::Join))
+        .with_op(1, |rng| encode(Op::Leave { sel: detrand::Rng::gen_range(rng, 0..16u16) }))
+        .with_op(1, |rng| encode(Op::Crash { sel: detrand::Rng::gen_range(rng, 0..16u16) }))
+        .with_op_shrink(|w| shrink_word(*w))
+}
+
 /// The same vocabulary with permanent kills mixed in, for the
 /// replicated-network property.
 fn schedule_words_with_kills(max_len: usize) -> ScheduleStrategy<u64> {
@@ -145,6 +166,48 @@ fn schedules_with_retries_preserve_all_invariants() {
                 report.violations,
                 format_schedule(&words),
                 describe(&words)
+            );
+            proptiny::CaseResult::Pass
+        },
+    );
+}
+
+/// The locate-cache invariant as a property over random schedules
+/// (DESIGN.md §15): with a per-site locate-answer cache enabled and
+/// mid-schedule locates warming it, the *same* lossy-with-retries
+/// network passes the full invariant audit — cached answers are
+/// invalidated by movement epochs and churn, never served stale. The
+/// cached run's protocol traffic is also byte-for-byte the uncached
+/// run's (queries are read-only), asserted via the fault-plane counters
+/// (`AUDIT_CASES` overrides the budget; `scripts/verify.sh` uses a
+/// reduced fast-mode budget).
+#[test]
+fn cached_schedules_stay_oracle_exact() {
+    let cases = std::env::var("AUDIT_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(24);
+    let cfg = AuditConfig::lossy_with_retries(DROP);
+    proptiny::run(
+        "cached_schedules_stay_oracle_exact",
+        &proptiny::Config::with_cases(cases),
+        &(2usize..=32, schedule_words_with_locates(36)),
+        |(capacity, words): (usize, Vec<u64>)| {
+            let cached = run_schedule(&cfg.with_locate_cache(capacity), &words);
+            prop_assert!(
+                cached.violations.is_empty(),
+                "locate cache (capacity {capacity}) violated the tracking invariants: \
+                 {:?}\nschedule: {}\n({})",
+                cached.violations,
+                format_schedule(&words),
+                describe(&words)
+            );
+            let plain = run_schedule(&cfg, &words);
+            prop_assert!(
+                plain.fault_stats == cached.fault_stats
+                    && plain.retrans_messages == cached.retrans_messages
+                    && plain.ack_messages == cached.ack_messages,
+                "caching must be invisible to the protocol plane: {:?} vs {:?}\nschedule: {}",
+                plain.fault_stats,
+                cached.fault_stats,
+                format_schedule(&words)
             );
             proptiny::CaseResult::Pass
         },
