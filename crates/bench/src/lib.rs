@@ -25,6 +25,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod harness;
 pub mod report;
+pub mod scale;
 
 use peertrack::{GroupConfig, IndexingMode};
 use std::str::FromStr;
@@ -104,8 +105,11 @@ where
     }
     let workers =
         std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n);
-    // Workers claim input indices from a shared counter and stream
-    // (index, output) pairs back; the scope owner reassembles in order.
+    // Workers claim contiguous *chunks* of input indices from a shared
+    // counter (4 chunks per worker keeps the tail balanced without
+    // hammering the counter once per point) and stream (index, output)
+    // pairs back; the scope owner reassembles in order.
+    let chunk = n.div_ceil(workers * 4).max(1);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, O)>();
     let inputs = &inputs;
@@ -115,11 +119,13 @@ where
             let next = &next;
             let f = &f;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
+                let start = next.fetch_add(chunk, std::sync::atomic::Ordering::Relaxed);
+                if start >= n {
                     break;
                 }
-                tx.send((i, f(&inputs[i]))).expect("collector alive");
+                for i in start..(start + chunk).min(n) {
+                    tx.send((i, f(&inputs[i]))).expect("collector alive");
+                }
             });
         }
         drop(tx);
@@ -163,5 +169,17 @@ mod tests {
     fn parallel_sweep_empty() {
         let out: Vec<u32> = parallel_sweep(Vec::<u32>::new(), |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_chunking_covers_awkward_sizes() {
+        // Sizes around the chunk boundaries: smaller than the worker
+        // count, prime, one-off from a chunk multiple.
+        for n in [1usize, 2, 3, 7, 31, 97, 103, 128] {
+            let inputs: Vec<usize> = (0..n).collect();
+            let out = parallel_sweep(inputs.clone(), |&x| x + 1);
+            let expect: Vec<usize> = inputs.iter().map(|x| x + 1).collect();
+            assert_eq!(out, expect, "n={n}");
+        }
     }
 }

@@ -1,0 +1,128 @@
+//! Million-scale throughput/memory measurement for the flat engine.
+//!
+//! Drives [`peertrack::flat::run_flat`] over ascending geometries,
+//! timing each point and sampling the process's peak RSS from
+//! `/proc/self/status` (`VmHWM`). Because the high-water mark only ever
+//! rises, the sweep **must** run smallest-first: each point's reading
+//! then approximates its own peak (dominated by the largest run so
+//! far, which is itself).
+//!
+//! The events/second column is the engine-health number the ROADMAP's
+//! 10⁶-node / 10⁷-object target is judged by; the determinism of the
+//! underlying run is gated separately (same seed, `T ∈ {1, 4}`
+//! byte-identical) by `verify.sh`.
+
+use peertrack::flat::{run_flat, FlatConfig, FlatReport};
+use simnet::time::SimTime;
+use std::time::Instant;
+
+/// One measured sweep point.
+#[derive(Clone, Debug)]
+pub struct ScalePoint {
+    /// Sites in the overlay.
+    pub nodes: u32,
+    /// Tracked objects.
+    pub objects: u32,
+    /// Shards the run was partitioned into.
+    pub shards: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Events the engine processed.
+    pub events: u64,
+    /// Barrier rounds executed.
+    pub windows: u64,
+    /// Visit records created.
+    pub records: u64,
+    /// Wall-clock milliseconds for the run (excludes table building? no
+    /// — includes everything `run_flat` does, tables included, since
+    /// that is what a user of the engine pays).
+    pub wall_ms: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: u64,
+    /// Process peak RSS (MiB) sampled after the run; `0` when
+    /// `/proc/self/status` is unavailable (non-Linux).
+    pub peak_rss_mib: u64,
+    /// Oracle violations of any kind (locates, ordering, IOP edges) —
+    /// must be zero, carried so reports can't hide a broken run.
+    pub violations: u64,
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`),
+/// or `None` off Linux.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Run one geometry and measure it.
+pub fn run_point(cfg: &FlatConfig) -> (ScalePoint, FlatReport) {
+    let start = Instant::now();
+    let report = run_flat(cfg);
+    let wall_ms = start.elapsed().as_millis().max(1) as u64;
+    let point = ScalePoint {
+        nodes: cfg.nodes,
+        objects: cfg.objects,
+        shards: cfg.shards,
+        threads: cfg.threads,
+        events: report.events,
+        windows: report.windows,
+        records: report.records,
+        wall_ms,
+        events_per_sec: report.events * 1_000 / wall_ms,
+        peak_rss_mib: peak_rss_kib().unwrap_or(0) / 1_024,
+        violations: report.locates_bad + report.out_of_order + report.iop_bad,
+    };
+    (point, report)
+}
+
+/// The standard geometry at a given size: shards scale with the node
+/// count (bounded), moves follow the paper's 10-step traces.
+pub fn flat_config(nodes: u32, objects: u32) -> FlatConfig {
+    FlatConfig {
+        nodes,
+        objects,
+        shards: (nodes as usize / 4_096).clamp(8, 64),
+        // Spread first captures over enough virtual time that per-µs
+        // event batches stay small at 10⁷ objects.
+        spread: SimTime::from_secs(120),
+        ..FlatConfig::default()
+    }
+}
+
+/// Ascending sweep geometries. `full` ends at the ROADMAP target of
+/// 10⁶ nodes / 10⁷ objects; quick stays under a second.
+pub fn sweep_sizes(full: bool) -> Vec<(u32, u32)> {
+    if full {
+        vec![
+            (10_000, 100_000),
+            (100_000, 1_000_000),
+            (500_000, 5_000_000),
+            (1_000_000, 10_000_000),
+        ]
+    } else {
+        vec![(1_000, 10_000), (10_000, 100_000)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rss_is_readable_on_linux() {
+        // The suite runs on Linux; a dead /proc parse would silently
+        // zero the benchmark's memory column.
+        let kib = peak_rss_kib().expect("VmHWM in /proc/self/status");
+        assert!(kib > 1_000, "peak RSS {kib} KiB is implausibly small");
+    }
+
+    #[test]
+    fn run_point_measures_a_clean_run() {
+        let (p, r) = run_point(&flat_config(1_000, 5_000));
+        assert_eq!(p.violations, 0);
+        assert_eq!(p.events, r.events);
+        assert!(p.events_per_sec > 0);
+        assert!(p.records == r.records && r.records > 0);
+    }
+}

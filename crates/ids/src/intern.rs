@@ -1,0 +1,178 @@
+//! Id interning: dense `u32` handles for 160-bit identifiers.
+//!
+//! At 10⁷ objects, keying hot per-site state by full 20-byte [`Id`]s
+//! through nested hash maps dominates both memory and lookup time. The
+//! [`Interner`] assigns each distinct id a dense `u32` handle — an
+//! index into an append-only table — so hot-path state can live in flat
+//! `Vec`s indexed by handle, and protocol messages can ship 4-byte
+//! handles where the full id is already pinned by an earlier exchange.
+//!
+//! The reverse index is a power-of-two open-addressed probe table
+//! (linear probing, ≤ 50% load), which keeps `intern` at one hash plus
+//! a short scan with no per-entry allocation. Handles are assigned in
+//! first-appearance order, so two runs that intern the same id sequence
+//! assign identical handles — interning is deterministic, as required
+//! by the simulator's byte-identity gates.
+
+use crate::Id;
+
+/// Sentinel for an empty probe-table slot.
+const EMPTY: u32 = u32::MAX;
+
+/// An append-only table assigning dense `u32` handles to [`Id`]s.
+#[derive(Clone, Debug, Default)]
+pub struct Interner {
+    /// Handle → id (handle = index; append-only).
+    table: Vec<Id>,
+    /// Open-addressed probe index over `table`, power-of-two sized.
+    index: Vec<u32>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// An empty interner with room for `cap` ids before rehashing.
+    pub fn with_capacity(cap: usize) -> Interner {
+        let slots = (cap * 2).next_power_of_two().max(16);
+        Interner { table: Vec::with_capacity(cap), index: vec![EMPTY; slots] }
+    }
+
+    /// Number of distinct ids interned.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The handle for `id`, assigning the next free one on first sight.
+    pub fn intern(&mut self, id: &Id) -> u32 {
+        if self.index.is_empty() || self.table.len() * 2 >= self.index.len() {
+            self.grow();
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = Self::probe_start(id, mask);
+        loop {
+            match self.index[slot] {
+                EMPTY => {
+                    let handle =
+                        u32::try_from(self.table.len()).expect("more than u32::MAX interned ids");
+                    self.table.push(*id);
+                    self.index[slot] = handle;
+                    return handle;
+                }
+                h if self.table[h as usize] == *id => return h,
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// The handle for `id` if it has been interned, without assigning.
+    pub fn get(&self, id: &Id) -> Option<u32> {
+        if self.index.is_empty() {
+            return None;
+        }
+        let mask = self.index.len() - 1;
+        let mut slot = Self::probe_start(id, mask);
+        loop {
+            match self.index[slot] {
+                EMPTY => return None,
+                h if self.table[h as usize] == *id => return Some(h),
+                _ => slot = (slot + 1) & mask,
+            }
+        }
+    }
+
+    /// The id behind `handle` (panics on a foreign handle).
+    pub fn resolve(&self, handle: u32) -> &Id {
+        &self.table[handle as usize]
+    }
+
+    /// Iterate `(handle, id)` pairs in handle (= first-appearance) order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &Id)> {
+        self.table.iter().enumerate().map(|(h, id)| (h as u32, id))
+    }
+
+    /// Fibonacci-hash the id's low 64 bits into a probe start slot. The
+    /// low bits of our ids are SHA-1 output (already uniform), but the
+    /// multiply keeps pathological inputs (e.g. `Id::from_u64` in
+    /// tests) spread too.
+    fn probe_start(id: &Id, mask: usize) -> usize {
+        (id.low_u64().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & mask
+    }
+
+    /// Double the probe table and reinsert every handle.
+    fn grow(&mut self) {
+        let slots = (self.index.len() * 2).max(16);
+        let mask = slots - 1;
+        let mut index = vec![EMPTY; slots];
+        for (h, id) in self.table.iter().enumerate() {
+            let mut slot = Self::probe_start(id, mask);
+            while index[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            index[slot] = h as u32;
+        }
+        self.index = index;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut it = Interner::new();
+        let a = Id::hash(b"a");
+        let b = Id::hash(b"b");
+        assert_eq!(it.intern(&a), 0);
+        assert_eq!(it.intern(&b), 1);
+        assert_eq!(it.intern(&a), 0, "re-interning returns the same handle");
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.resolve(0), &a);
+        assert_eq!(it.resolve(1), &b);
+    }
+
+    #[test]
+    fn get_does_not_assign() {
+        let mut it = Interner::new();
+        let a = Id::hash(b"a");
+        assert_eq!(it.get(&a), None);
+        it.intern(&a);
+        assert_eq!(it.get(&a), Some(0));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn survives_growth_with_many_ids() {
+        let mut it = Interner::with_capacity(4);
+        let ids: Vec<Id> = (0..10_000u64).map(Id::from_u64).collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(it.intern(id), i as u32);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(it.get(id), Some(i as u32), "id {i} lost after growth");
+            assert_eq!(it.resolve(i as u32), id);
+        }
+        let seen: Vec<u32> = it.iter().map(|(h, _)| h).collect();
+        assert_eq!(seen.len(), 10_000);
+        assert!(seen.windows(2).all(|w| w[0] + 1 == w[1]));
+    }
+
+    #[test]
+    fn handles_are_first_appearance_order() {
+        let mut a = Interner::new();
+        let mut b = Interner::new();
+        for v in [7u64, 3, 7, 9, 3, 1] {
+            let id = Id::from_u64(v);
+            assert_eq!(a.intern(&id), b.intern(&id), "interning must be deterministic");
+        }
+        assert_eq!(a.len(), 4);
+    }
+}

@@ -19,12 +19,14 @@
 
 pub mod epc;
 pub mod id;
+pub mod intern;
 pub mod prefix;
 pub mod sha1;
 pub mod sscc;
 
 pub use epc::EpcCode;
 pub use id::Id;
+pub use intern::Interner;
 pub use prefix::Prefix;
 pub use sha1::Sha1;
 pub use sscc::SsccCode;

@@ -478,12 +478,12 @@ pub fn decode(mut raw: Bytes) -> Result<(Msg, u64), DecodeError> {
 
 /// Append a canonical encoding of an IOP repository.
 pub fn put_state_iop(buf: &mut ByteBuf, iop: &IopStore) {
-    let mut objects: Vec<&ObjectId> = iop.iter().map(|(o, _)| o).collect();
+    let mut objects: Vec<ObjectId> = iop.iter().map(|(o, _)| o).collect();
     objects.sort();
     buf.put_u32(objects.len() as u32);
     for o in objects {
-        put_object(buf, o);
-        let records = iop.all(*o);
+        put_object(buf, &o);
+        let records = iop.all(o);
         buf.put_u32(records.len() as u32);
         for r in records {
             put_time(buf, r.arrived);

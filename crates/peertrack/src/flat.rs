@@ -1,0 +1,699 @@
+//! Million-scale flat-arena tracking world for the sharded executor.
+//!
+//! [`crate::world::NetWorld`] models every paper mechanism (grouping,
+//! triangles, replication, refresh) and is the fidelity reference — but
+//! its nested per-site maps and single global event queue cap it far
+//! below the ROADMAP's 10⁶-node / 10⁷-object target. This module is the
+//! scale path: the same *core* protocol — capture → M1 index report →
+//! M2/M3 IOP threading → locate — on data structures built for volume:
+//!
+//! * **no hash maps on the hot path** — object ids are dense `u32`s,
+//!   gateway placement and per-object slots are precomputed flat
+//!   tables, and visit records live in one append-only slab per shard;
+//! * **record handles instead of keyed lookups** — a capture ships the
+//!   slab index of its fresh record inside M1, the gateway remembers it
+//!   in the object's entry, and the M2 it emits on the next move
+//!   carries that handle back, so filling `o.to` is a direct
+//!   `records[rec]` write at the previous site — O(1), no search;
+//! * **deterministic workload by construction** — capture schedules,
+//!   movement traces and locate probes are all pure hash functions of
+//!   `(seed, object)`, so the expected final location of every object
+//!   is computable without any shared mutable state, and every locate
+//!   answer is checked against that oracle.
+//!
+//! Everything is a pure function of the seed and the geometry; combined
+//! with the sharded executor's guarantees, a run's [`FlatReport`] is
+//! byte-identical for every thread count.
+
+use simnet::metrics::MsgClass;
+use simnet::shard::{run_sharded, ShardConfig, ShardCtx, ShardWorld};
+use simnet::time::SimTime;
+use simnet::Metrics;
+use std::sync::Arc;
+
+/// Sentinel for "no site / no time / no record".
+const NONE: u32 = u32::MAX;
+
+/// Modeled wire sizes (bytes) per message, constants of the model.
+const ARRIVAL_BYTES: usize = 38;
+const SET_TO_BYTES: usize = 34;
+const SET_FROM_BYTES: usize = 34;
+const LOCATE_BYTES: usize = 28;
+const REPLY_BYTES: usize = 32;
+
+/// Per-hop latency in microseconds, the paper's 5 ms T1 figure — also
+/// the barrier window, so every ≥ 1-hop message satisfies the
+/// cross-shard contract.
+const HOP_US: u64 = 5_000;
+
+/// Delay for an `hops`-hop message.
+fn hop_delay(hops: u32) -> SimTime {
+    SimTime::from_micros(hops as u64 * HOP_US)
+}
+
+/// Geometry and workload of a flat-world run.
+#[derive(Clone, Copy, Debug)]
+pub struct FlatConfig {
+    /// Sites in the overlay.
+    pub nodes: u32,
+    /// Tracked objects.
+    pub objects: u32,
+    /// Fraction of objects that move after their first capture.
+    pub move_frac: f64,
+    /// Moves per moving object (10-step traces in the paper's sweeps).
+    pub moves: u32,
+    /// Oracle-checked locate probes issued after the workload quiesces.
+    pub locates: u32,
+    /// Shards (fixed per run — results depend on it, threads don't).
+    pub shards: usize,
+    /// Worker threads (wall-clock knob only).
+    pub threads: usize,
+    /// RNG seed for placement, traces and probe choice.
+    pub seed: u64,
+    /// First captures are spread uniformly over `[0, spread)`.
+    pub spread: SimTime,
+    /// Gap between one object's successive captures. Must exceed the
+    /// worst-case M1 latency so index updates arrive in order (checked
+    /// at build time).
+    pub move_gap: SimTime,
+}
+
+impl Default for FlatConfig {
+    fn default() -> Self {
+        FlatConfig {
+            nodes: 1_024,
+            objects: 8_192,
+            move_frac: 0.1,
+            moves: 10,
+            locates: 256,
+            shards: 8,
+            threads: 1,
+            seed: 0xC0FFEE,
+            spread: SimTime::from_secs(60),
+            move_gap: SimTime::from_secs(1),
+        }
+    }
+}
+
+/// SplitMix64 — the deterministic hash behind every workload choice.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Immutable run specification shared by all shards (read-only tables).
+struct Spec {
+    nodes: u32,
+    movers: u32,
+    moves: u32,
+    seed: u64,
+    spread_us: u64,
+    gap_us: u64,
+    /// Modeled DHT lookup length: `max(1, log₂(N)/2)` hops.
+    lookup_hops: u32,
+    /// Object → gateway site (successor of the object's ring key).
+    obj_gateway: Vec<u32>,
+    /// Object → dense slot within the gateway shard's entry arena.
+    obj_slot: Vec<u32>,
+}
+
+impl Spec {
+    /// How many captures object `o` generates (first + its moves).
+    fn steps(&self, o: u32) -> u32 {
+        if o < self.movers {
+            1 + self.moves
+        } else {
+            1
+        }
+    }
+
+    /// The site of object `o`'s `k`-th capture.
+    fn step_site(&self, o: u32, k: u32) -> u32 {
+        (mix(self.seed ^ 0x5174_E000 ^ ((o as u64) << 20) ^ k as u64) % self.nodes as u64) as u32
+    }
+
+    /// The object's final (expected) location — the locate oracle.
+    fn final_site(&self, o: u32) -> u32 {
+        self.step_site(o, self.steps(o) - 1)
+    }
+
+    /// Absolute time (µs) of object `o`'s `k`-th capture.
+    fn step_time(&self, o: u32, k: u32) -> u64 {
+        let t0 = mix(self.seed ^ 0x7133_0000 ^ o as u64) % self.spread_us;
+        t0 + k as u64 * self.gap_us
+    }
+}
+
+/// One pending capture at a shard (site recomputed from the spec).
+struct CapEv {
+    time: u32,
+    object: u32,
+    step: u32,
+}
+
+/// One pending locate probe issued from a shard-local origin site.
+struct LocEv {
+    time: u32,
+    object: u32,
+    origin: u32,
+}
+
+/// One visit record in a shard's slab. `u32` microsecond times keep the
+/// record at 24 bytes; the run horizon is asserted to fit.
+#[derive(Clone, Copy)]
+struct FlatRec {
+    object: u32,
+    arrived: u32,
+    from_site: u32,
+    from_time: u32,
+    to_site: u32,
+    to_time: u32,
+}
+
+/// A gateway's entry for one object: latest site/time plus the record
+/// handle M2 needs on the next move. 12 bytes.
+#[derive(Clone, Copy)]
+struct FlatEntry {
+    site: u32,
+    time: u32,
+    rec: u32,
+}
+
+/// Protocol messages. `rec` fields are slab handles local to the
+/// destination site's shard — the arena trick that makes M2/M3 O(1).
+pub enum FlatMsg {
+    /// M1: capture report to the gateway.
+    Arrival {
+        /// Dense object id.
+        object: u32,
+        /// Capturing site.
+        site: u32,
+        /// Arrival time (µs).
+        time: u32,
+        /// Slab handle of the fresh record at `site`.
+        rec: u32,
+    },
+    /// M2: fill `o.to` of the previous site's record.
+    SetTo {
+        /// Slab handle at the destination shard.
+        rec: u32,
+        /// Where the object went.
+        to_site: u32,
+        /// When it arrived there (µs).
+        to_time: u32,
+    },
+    /// M3: fill `o.from` of the new site's record (`NONE` = first visit).
+    SetFrom {
+        /// Slab handle at the destination shard.
+        rec: u32,
+        /// Where the object came from (`NONE` for a first appearance).
+        from_site: u32,
+        /// When it arrived there (µs, `NONE` with `from_site == NONE`).
+        from_time: u32,
+    },
+    /// Locate request to the gateway.
+    Locate {
+        /// Dense object id.
+        object: u32,
+        /// Site awaiting the answer.
+        origin: u32,
+    },
+    /// Locate answer back to the origin.
+    Reply {
+        /// Dense object id.
+        object: u32,
+        /// The gateway's latest known site (`NONE` if never indexed).
+        site: u32,
+    },
+}
+
+/// Timer tags.
+const TAG_CAP: u64 = 0;
+const TAG_LOC: u64 = 1;
+
+/// Cap on retained violation strings per shard (counters keep exact
+/// totals; the strings are for diagnostics).
+const MAX_VIOLATION_STRINGS: usize = 20;
+
+/// Per-shard world state: workload cursors, record slab, entry arena.
+pub struct FlatWorld {
+    spec: Arc<Spec>,
+    captures: Vec<CapEv>,
+    cap_cursor: usize,
+    locates: Vec<LocEv>,
+    loc_cursor: usize,
+    records: Vec<FlatRec>,
+    entries: Vec<FlatEntry>,
+    out_of_order: u64,
+    locates_ok: u64,
+    locates_bad: u64,
+    violations: Vec<String>,
+}
+
+impl FlatWorld {
+    fn violation(&mut self, s: String) {
+        if self.violations.len() < MAX_VIOLATION_STRINGS {
+            self.violations.push(s);
+        }
+    }
+
+    fn do_capture(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>, object: u32, step: u32) {
+        let site = self.spec.step_site(object, step);
+        let now = ctx.now().as_micros() as u32;
+        let rec = self.records.len() as u32;
+        self.records.push(FlatRec {
+            object,
+            arrived: now,
+            from_site: NONE,
+            from_time: NONE,
+            to_site: NONE,
+            to_time: NONE,
+        });
+        // M1 — the index report. Charged uniformly at the modeled DHT
+        // lookup length, including the (rare) self-gateway case.
+        let hops = self.spec.lookup_hops;
+        ctx.send(
+            site,
+            self.spec.obj_gateway[object as usize],
+            MsgClass::IndexReport,
+            ARRIVAL_BYTES,
+            hops,
+            hop_delay(hops),
+            FlatMsg::Arrival { object, site, time: now, rec },
+        );
+    }
+
+    fn issue_locate(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>, object: u32, origin: u32) {
+        let hops = self.spec.lookup_hops;
+        ctx.send(
+            origin,
+            self.spec.obj_gateway[object as usize],
+            MsgClass::Query,
+            LOCATE_BYTES,
+            hops,
+            hop_delay(hops),
+            FlatMsg::Locate { object, origin },
+        );
+    }
+
+    /// M1 at the gateway: update the entry, thread M2/M3.
+    fn on_arrival(
+        &mut self,
+        ctx: &mut ShardCtx<'_, FlatMsg>,
+        gw: u32,
+        object: u32,
+        site: u32,
+        time: u32,
+        rec: u32,
+    ) {
+        let slot = self.spec.obj_slot[object as usize] as usize;
+        let e = self.entries[slot];
+        if e.site != NONE && time <= e.time {
+            // The move gap is asserted to exceed the M1 latency, so an
+            // out-of-order index update is a real protocol violation.
+            self.out_of_order += 1;
+            let s = format!(
+                "out-of-order index update for object {object}: \
+                 have t={} got t={time} from site {site}",
+                e.time
+            );
+            self.violation(s);
+            return;
+        }
+        if e.site != NONE {
+            // M2 to the previous site: its record's `to` ← (site, time).
+            ctx.send(
+                gw,
+                e.site,
+                MsgClass::IopUpdate,
+                SET_TO_BYTES,
+                1,
+                hop_delay(1),
+                FlatMsg::SetTo { rec: e.rec, to_site: site, to_time: time },
+            );
+        }
+        // M3 to the new site: its record's `from` ← previous location.
+        ctx.send(
+            gw,
+            site,
+            MsgClass::IopUpdate,
+            SET_FROM_BYTES,
+            1,
+            hop_delay(1),
+            FlatMsg::SetFrom { rec, from_site: e.site, from_time: e.time },
+        );
+        self.entries[slot] = FlatEntry { site, time, rec };
+    }
+
+    fn on_reply(&mut self, object: u32, site: u32) {
+        let expected = self.spec.final_site(object);
+        if site == expected {
+            self.locates_ok += 1;
+        } else {
+            self.locates_bad += 1;
+            let s = format!(
+                "locate({object}) answered site {site}, oracle says {expected}"
+            );
+            self.violation(s);
+        }
+    }
+
+    /// Fire every due event on the `captures` list, then re-arm.
+    fn pump_captures(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>) {
+        let now = ctx.now().as_micros() as u32;
+        while self.cap_cursor < self.captures.len() {
+            let (t, o, k) = {
+                let ev = &self.captures[self.cap_cursor];
+                (ev.time, ev.object, ev.step)
+            };
+            if t != now {
+                break;
+            }
+            self.cap_cursor += 1;
+            self.do_capture(ctx, o, k);
+        }
+        if self.cap_cursor < self.captures.len() {
+            let ev = &self.captures[self.cap_cursor];
+            let site = self.spec.step_site(ev.object, ev.step);
+            ctx.schedule(SimTime::from_micros(ev.time as u64), site, TAG_CAP);
+        }
+    }
+
+    /// Fire every due probe on the `locates` list, then re-arm.
+    fn pump_locates(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>) {
+        let now = ctx.now().as_micros() as u32;
+        while self.loc_cursor < self.locates.len() {
+            let (t, o, origin) = {
+                let ev = &self.locates[self.loc_cursor];
+                (ev.time, ev.object, ev.origin)
+            };
+            if t != now {
+                break;
+            }
+            self.loc_cursor += 1;
+            self.issue_locate(ctx, o, origin);
+        }
+        if self.loc_cursor < self.locates.len() {
+            let ev = &self.locates[self.loc_cursor];
+            ctx.schedule(SimTime::from_micros(ev.time as u64), ev.origin, TAG_LOC);
+        }
+    }
+}
+
+impl ShardWorld for FlatWorld {
+    type Msg = FlatMsg;
+
+    fn on_start(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>) {
+        if let Some(ev) = self.captures.first() {
+            let site = self.spec.step_site(ev.object, ev.step);
+            ctx.schedule(SimTime::from_micros(ev.time as u64), site, TAG_CAP);
+        }
+        if let Some(ev) = self.locates.first() {
+            ctx.schedule(SimTime::from_micros(ev.time as u64), ev.origin, TAG_LOC);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>, to: u32, from: u32, msg: FlatMsg) {
+        match msg {
+            FlatMsg::Arrival { object, site, time, rec } => {
+                self.on_arrival(ctx, to, object, site, time, rec);
+            }
+            FlatMsg::SetTo { rec, to_site, to_time } => {
+                let r = &mut self.records[rec as usize];
+                r.to_site = to_site;
+                r.to_time = to_time;
+            }
+            FlatMsg::SetFrom { rec, from_site, from_time } => {
+                let r = &mut self.records[rec as usize];
+                r.from_site = from_site;
+                r.from_time = from_time;
+            }
+            FlatMsg::Locate { object, origin } => {
+                // Answer straight from the entry arena; `to` here is the
+                // gateway, `from` the probing origin.
+                let slot = self.spec.obj_slot[object as usize] as usize;
+                let e = self.entries[slot];
+                let _ = from;
+                ctx.send(
+                    to,
+                    origin,
+                    MsgClass::Ack,
+                    REPLY_BYTES,
+                    1,
+                    hop_delay(1),
+                    FlatMsg::Reply { object, site: e.site },
+                );
+            }
+            FlatMsg::Reply { object, site } => {
+                self.on_reply(object, site);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ShardCtx<'_, FlatMsg>, _node: u32, kind: u64) {
+        match kind {
+            TAG_CAP => self.pump_captures(ctx),
+            TAG_LOC => self.pump_locates(ctx),
+            _ => unreachable!("unknown timer tag {kind}"),
+        }
+    }
+}
+
+/// Aggregated result of a flat-world run — everything in here is
+/// byte-identical across thread counts at a fixed seed and geometry.
+#[derive(Debug)]
+pub struct FlatReport {
+    /// Merged message accounting (shard order).
+    pub metrics: Metrics,
+    /// Events processed across all shards.
+    pub events: u64,
+    /// Barrier rounds the executor ran.
+    pub windows: u64,
+    /// Visit records created across all shards.
+    pub records: u64,
+    /// Oracle-confirmed locate answers.
+    pub locates_ok: u64,
+    /// Locate answers contradicting the oracle (must be 0).
+    pub locates_bad: u64,
+    /// Out-of-order index updates observed at gateways (must be 0).
+    pub out_of_order: u64,
+    /// Records whose threaded `from`/`to` edges violate time order, per
+    /// the post-run IOP audit (must be 0).
+    pub iop_bad: u64,
+    /// Records with no `to` edge — the current tail of each object's
+    /// path. Equals the object count when every trace completed.
+    pub open_tails: u64,
+    /// Diagnostic strings for the first violations seen, shard order.
+    pub violations: Vec<String>,
+}
+
+/// Build the workload tables and run it on the sharded executor.
+pub fn run_flat(cfg: &FlatConfig) -> FlatReport {
+    assert!(cfg.nodes > 0 && cfg.objects > 0);
+    assert!(cfg.shards > 0 && (cfg.shards as u64) <= cfg.nodes as u64);
+    assert!((0.0..=1.0).contains(&cfg.move_frac));
+    let shard_cfg = ShardConfig {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        nodes: cfg.nodes,
+        window: SimTime::from_micros(HOP_US),
+        threads: cfg.threads,
+    };
+
+    // Ring placement: site → u64 position; gateway(o) = successor of
+    // the object's key. Built once, shared read-only by every shard.
+    let mut ring: Vec<(u64, u32)> =
+        (0..cfg.nodes).map(|s| (mix(cfg.seed ^ 0x0517_E000 ^ s as u64), s)).collect();
+    ring.sort_unstable();
+    let successor = |key: u64| -> u32 {
+        let i = ring.partition_point(|&(p, _)| p < key);
+        ring[if i == ring.len() { 0 } else { i }].1
+    };
+
+    let movers = (cfg.objects as f64 * cfg.move_frac) as u32;
+    let lookup_hops = ((32 - cfg.nodes.leading_zeros()) / 2).max(1);
+
+    // Horizon check: all times must fit the u32 microsecond fields.
+    let horizon =
+        cfg.spread.as_micros() + (cfg.moves as u64 + 1) * cfg.move_gap.as_micros() + 10_000_000;
+    assert!(horizon < u32::MAX as u64, "run horizon exceeds the u32 time domain");
+    // In-order index updates need the move gap to exceed M1 latency.
+    assert!(
+        cfg.move_gap.as_micros() > lookup_hops as u64 * HOP_US,
+        "move gap must exceed the M1 latency or index updates reorder"
+    );
+
+    let mut obj_gateway = vec![0u32; cfg.objects as usize];
+    let mut obj_slot = vec![0u32; cfg.objects as usize];
+    let mut shard_entries = vec![0u32; cfg.shards];
+    for o in 0..cfg.objects {
+        let gw = successor(mix(cfg.seed ^ 0x0B1E_C700 ^ o as u64));
+        obj_gateway[o as usize] = gw;
+        let shard = shard_cfg.shard_of(gw);
+        obj_slot[o as usize] = shard_entries[shard];
+        shard_entries[shard] += 1;
+    }
+
+    let spec = Arc::new(Spec {
+        nodes: cfg.nodes,
+        movers,
+        moves: cfg.moves,
+        seed: cfg.seed,
+        spread_us: cfg.spread.as_micros().max(1),
+        gap_us: cfg.move_gap.as_micros(),
+        lookup_hops,
+        obj_gateway,
+        obj_slot,
+    });
+
+    // Per-shard capture schedules, sorted by (time, object, step) — a
+    // canonical order, so list construction is deterministic.
+    let mut captures: Vec<Vec<CapEv>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+    for o in 0..cfg.objects {
+        for k in 0..spec.steps(o) {
+            let site = spec.step_site(o, k);
+            captures[shard_cfg.shard_of(site)].push(CapEv {
+                time: spec.step_time(o, k) as u32,
+                object: o,
+                step: k,
+            });
+        }
+    }
+    for list in captures.iter_mut() {
+        list.sort_unstable_by_key(|e| (e.time, e.object, e.step));
+    }
+
+    // Locate probes: issued once every capture's M1/M2/M3 has settled.
+    let quiesce = cfg.spread.as_micros()
+        + (cfg.moves as u64 + 1) * cfg.move_gap.as_micros()
+        + 2_000_000;
+    let mut locates: Vec<Vec<LocEv>> = (0..cfg.shards).map(|_| Vec::new()).collect();
+    for j in 0..cfg.locates {
+        let object = (mix(cfg.seed ^ 0x10CA_7E00 ^ j as u64) % cfg.objects as u64) as u32;
+        let origin = (mix(cfg.seed ^ 0x0816_1200 ^ j as u64) % cfg.nodes as u64) as u32;
+        let time = (quiesce + (j as u64 % 1_000) * 1_000) as u32;
+        locates[shard_cfg.shard_of(origin)].push(LocEv { time, object, origin });
+    }
+    for list in locates.iter_mut() {
+        list.sort_unstable_by_key(|e| (e.time, e.object, e.origin));
+    }
+
+    let worlds: Vec<FlatWorld> = captures
+        .into_iter()
+        .zip(locates)
+        .enumerate()
+        .map(|(shard, (caps, locs))| FlatWorld {
+            spec: Arc::clone(&spec),
+            records: Vec::with_capacity(caps.len()),
+            captures: caps,
+            cap_cursor: 0,
+            locates: locs,
+            loc_cursor: 0,
+            entries: vec![
+                FlatEntry { site: NONE, time: NONE, rec: NONE };
+                shard_entries[shard] as usize
+            ],
+            out_of_order: 0,
+            locates_ok: 0,
+            locates_bad: 0,
+            violations: Vec::new(),
+        })
+        .collect();
+
+    let run = run_sharded(&shard_cfg, worlds, SimTime::INFINITY);
+
+    let mut report = FlatReport {
+        metrics: run.metrics,
+        events: run.events,
+        windows: run.windows,
+        records: 0,
+        locates_ok: 0,
+        locates_bad: 0,
+        out_of_order: 0,
+        iop_bad: 0,
+        open_tails: 0,
+        violations: Vec::new(),
+    };
+    for w in &run.worlds {
+        report.records += w.records.len() as u64;
+        report.locates_ok += w.locates_ok;
+        report.locates_bad += w.locates_bad;
+        report.out_of_order += w.out_of_order;
+        report.violations.extend(w.violations.iter().cloned());
+        // Post-run IOP audit over the slab: the distributed double
+        // linked list must thread strictly forward in time.
+        for r in &w.records {
+            let to_ok = r.to_site == NONE || r.to_time > r.arrived;
+            let from_ok = r.from_site == NONE || r.from_time < r.arrived;
+            if to_ok && from_ok {
+                if r.to_site == NONE {
+                    report.open_tails += 1;
+                }
+            } else {
+                report.iop_bad += 1;
+                if report.violations.len() < MAX_VIOLATION_STRINGS {
+                    report.violations.push(format!(
+                        "IOP edge out of time order on object {}: \
+                         from=({},{}) arrived={} to=({},{})",
+                        r.object, r.from_site, r.from_time, r.arrived, r.to_site, r.to_time
+                    ));
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FlatConfig {
+        FlatConfig {
+            nodes: 64,
+            objects: 500,
+            locates: 100,
+            shards: 4,
+            spread: SimTime::from_secs(5),
+            ..FlatConfig::default()
+        }
+    }
+
+    #[test]
+    fn oracle_exact_and_quiet() {
+        let r = run_flat(&small());
+        assert_eq!(r.locates_bad, 0, "violations: {:?}", r.violations);
+        assert_eq!(r.out_of_order, 0);
+        assert_eq!(r.iop_bad, 0, "violations: {:?}", r.violations);
+        assert_eq!(r.locates_ok, 100);
+        // 500 objects, 10% movers with 10 extra captures each.
+        assert_eq!(r.records, 500 + 50 * 10);
+        // Exactly one unterminated (tail) record per object.
+        assert_eq!(r.open_tails, 500);
+        assert!(r.events > 0 && r.windows > 0);
+    }
+
+    #[test]
+    fn thread_count_never_changes_the_report() {
+        let base = format!("{:?}", run_flat(&small()));
+        for threads in [2, 4] {
+            let cfg = FlatConfig { threads, ..small() };
+            assert_eq!(base, format!("{:?}", run_flat(&cfg)), "threads={threads} diverged");
+        }
+    }
+
+    #[test]
+    fn message_accounting_matches_the_protocol() {
+        let cfg = FlatConfig { move_frac: 0.0, locates: 10, ..small() };
+        let r = run_flat(&cfg);
+        // No moves: one M1 + one M3 per object, no M2, 10 query round
+        // trips.
+        assert_eq!(r.metrics.messages_of(MsgClass::IndexReport), 500);
+        assert_eq!(r.metrics.messages_of(MsgClass::IopUpdate), 500);
+        assert_eq!(r.metrics.messages_of(MsgClass::Query), 10);
+        assert_eq!(r.metrics.messages_of(MsgClass::Ack), 10);
+        assert_eq!(r.locates_ok, 10);
+    }
+}

@@ -53,6 +53,7 @@ pub mod bytebuf;
 pub mod codec;
 pub mod config;
 pub mod estimator;
+pub mod flat;
 pub mod grouping;
 pub mod messages;
 pub mod net;
@@ -65,6 +66,7 @@ pub mod window;
 pub mod world;
 
 pub use config::{Config, GroupConfig, IndexingMode};
+pub use flat::{run_flat, FlatConfig, FlatReport};
 pub use net::{Builder, TraceableNetwork};
 pub use prefix::PrefixScheme;
 pub use query::QueryStats;

@@ -10,7 +10,7 @@
 //!   ([`PrefixIndex`], group mode, §IV), including Data-Triangle
 //!   bookkeeping.
 
-use ids::Prefix;
+use ids::{Interner, Prefix};
 use moods::{ObjectId, SiteId};
 use simnet::SimTime;
 use std::collections::{BTreeSet, HashMap};
@@ -58,9 +58,20 @@ pub struct IopRecord {
 
 /// A site's local repository: every visit it has observed, per object,
 /// in arrival order.
+///
+/// Storage is flat: object ids are interned to dense `u32` handles
+/// ([`ids::Interner`]) and each handle indexes a slab of per-object
+/// visit histories — no nested hash maps on the simulation path. Every
+/// history is kept **sorted by arrival time**, so the keyed lookups
+/// (`record_at`, `latest_at_or_before`, the M2/M3 write paths) are
+/// `partition_point` binary searches instead of linear backward walks —
+/// hot at 10⁷ objects.
 #[derive(Clone, Default, Debug)]
 pub struct IopStore {
-    records: HashMap<ObjectId, Vec<IopRecord>>,
+    /// Object id → dense handle, assigned in first-appearance order.
+    interner: Interner,
+    /// Handle → visit history, sorted ascending by `arrived`.
+    histories: Vec<Vec<IopRecord>>,
 }
 
 impl IopStore {
@@ -69,10 +80,32 @@ impl IopStore {
         IopStore::default()
     }
 
+    fn history(&self, object: ObjectId) -> Option<&Vec<IopRecord>> {
+        let h = self.interner.get(&object.0)?;
+        Some(&self.histories[h as usize])
+    }
+
+    /// The history slot for `object`, interning it on first sight.
+    fn history_mut(&mut self, object: ObjectId) -> &mut Vec<IopRecord> {
+        let h = self.interner.intern(&object.0) as usize;
+        if h == self.histories.len() {
+            self.histories.push(Vec::new());
+        }
+        &mut self.histories[h]
+    }
+
+    /// Index of the **last** record with `arrived == t`, if any (same-
+    /// time repeat visits resolve to the latest, matching the original
+    /// backward walk).
+    fn position_at(v: &[IopRecord], t: SimTime) -> Option<usize> {
+        let i = v.partition_point(|r| r.arrived <= t);
+        (i > 0 && v[i - 1].arrived == t).then(|| i - 1)
+    }
+
     /// Record a capture (creates an open visit). Arrival times per object
     /// must be non-decreasing at one site.
     pub fn capture(&mut self, object: ObjectId, arrived: SimTime) {
-        let v = self.records.entry(object).or_default();
+        let v = self.history_mut(object);
         if let Some(last) = v.last() {
             debug_assert!(arrived >= last.arrived, "out-of-order capture at one site");
         }
@@ -97,57 +130,51 @@ impl IopStore {
     }
 
     fn record_mut(&mut self, object: ObjectId, arrived: SimTime) -> Option<&mut IopRecord> {
-        self.records
-            .get_mut(&object)?
-            .iter_mut()
-            .rev()
-            .find(|r| r.arrived == arrived)
+        let h = self.interner.get(&object.0)?;
+        let v = &mut self.histories[h as usize];
+        let i = Self::position_at(v, arrived)?;
+        Some(&mut v[i])
     }
 
     /// The visit record keyed by arrival time.
     pub fn record_at(&self, object: ObjectId, arrived: SimTime) -> Option<&IopRecord> {
-        self.records
-            .get(&object)?
-            .iter()
-            .rev()
-            .find(|r| r.arrived == arrived)
+        let v = self.history(object)?;
+        Self::position_at(v, arrived).map(|i| &v[i])
     }
 
     /// The site's latest visit record for the object.
     pub fn latest(&self, object: ObjectId) -> Option<&IopRecord> {
-        self.records.get(&object)?.last()
+        self.history(object)?.last()
     }
 
     /// Latest visit record with `arrived ≤ t` (for intermediate-node
-    /// query answering).
+    /// query answering). Binary search — histories are sorted.
     pub fn latest_at_or_before(&self, object: ObjectId, t: SimTime) -> Option<&IopRecord> {
-        self.records
-            .get(&object)?
-            .iter()
-            .rev()
-            .find(|r| r.arrived <= t)
+        let v = self.history(object)?;
+        let i = v.partition_point(|r| r.arrived <= t);
+        (i > 0).then(|| &v[i - 1])
     }
 
     /// Does this repository know the object at all?
     pub fn knows(&self, object: ObjectId) -> bool {
-        self.records.contains_key(&object)
+        self.interner.get(&object.0).is_some()
     }
 
     /// All visit records for the object, in arrival order.
     pub fn all(&self, object: ObjectId) -> &[IopRecord] {
-        self.records.get(&object).map(Vec::as_slice).unwrap_or(&[])
+        self.history(object).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of (object, visit) records stored.
     pub fn len(&self) -> usize {
-        self.records.values().map(Vec::len).sum()
+        self.histories.iter().map(Vec::len).sum()
     }
 
-    /// Iterate every `(object, visit history)` pair, in hash order —
-    /// callers needing a canonical order (state snapshots) sort the
-    /// keys themselves.
-    pub fn iter(&self) -> impl Iterator<Item = (&ObjectId, &Vec<IopRecord>)> {
-        self.records.iter()
+    /// Iterate every `(object, visit history)` pair, in handle (=
+    /// first-appearance) order — callers needing a canonical order
+    /// (state snapshots) sort the keys themselves.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, &[IopRecord])> {
+        self.interner.iter().map(|(h, id)| (ObjectId(*id), self.histories[h as usize].as_slice()))
     }
 
     /// Install a full visit history for one object (state recovery —
@@ -158,7 +185,7 @@ impl IopStore {
             records.windows(2).all(|w| w[0].arrived <= w[1].arrived),
             "history must be in arrival order"
         );
-        self.records.insert(object, records);
+        *self.history_mut(object) = records;
     }
 
     /// Install or replace one visit record, keyed by `(object,
@@ -166,21 +193,22 @@ impl IopStore {
     /// tolerates out-of-order arrival of replica updates: a record with
     /// the same arrival time is replaced in place (link fields may have
     /// been filled in since), otherwise the record is inserted at its
-    /// sorted position.
+    /// sorted position (binary search — histories are sorted).
     ///
     /// [`capture`]: IopStore::capture
     pub fn upsert_record(&mut self, object: ObjectId, rec: IopRecord) {
-        let v = self.records.entry(object).or_default();
-        match v.iter().position(|r| r.arrived >= rec.arrived) {
-            Some(i) if v[i].arrived == rec.arrived => v[i] = rec,
-            Some(i) => v.insert(i, rec),
-            None => v.push(rec),
+        let v = self.history_mut(object);
+        let i = v.partition_point(|r| r.arrived < rec.arrived);
+        if i < v.len() && v[i].arrived == rec.arrived {
+            v[i] = rec;
+        } else {
+            v.insert(i, rec);
         }
     }
 
     /// Is the repository empty?
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.interner.is_empty()
     }
 }
 
@@ -335,6 +363,33 @@ mod tests {
         assert_eq!(iop.latest_at_or_before(obj(1), ms(40)).unwrap().arrived, ms(10));
         assert_eq!(iop.latest_at_or_before(obj(1), ms(5)), None);
         assert_eq!(iop.len(), 2);
+    }
+
+    #[test]
+    fn same_time_repeat_visits_resolve_to_latest() {
+        // Two captures at the same instant: the binary-search paths
+        // must resolve `(object, arrived)` to the *last* matching
+        // record, exactly like the original backward linear walk.
+        let mut iop = IopStore::new();
+        iop.capture(obj(1), ms(10));
+        iop.capture(obj(1), ms(10));
+        assert_eq!(iop.all(obj(1)).len(), 2);
+        assert!(iop.set_to(obj(1), ms(10), Link { site: SiteId(3), time: ms(20) }));
+        let v = iop.all(obj(1));
+        assert_eq!(v[1].to.map(|l| l.site), Some(SiteId(3)));
+        assert_eq!(v[0].to, None, "earlier same-time record untouched");
+        assert_eq!(iop.record_at(obj(1), ms(10)).unwrap().to.map(|l| l.site), Some(SiteId(3)));
+    }
+
+    #[test]
+    fn iter_is_first_appearance_order_and_roundtrips() {
+        let mut iop = IopStore::new();
+        iop.capture(obj(9), ms(1));
+        iop.capture(obj(2), ms(2));
+        iop.capture(obj(9), ms(3));
+        let pairs: Vec<(ObjectId, usize)> = iop.iter().map(|(o, v)| (o, v.len())).collect();
+        assert_eq!(pairs, vec![(obj(9), 2), (obj(2), 1)]);
+        assert_eq!(iop.len(), 3);
     }
 
     #[test]

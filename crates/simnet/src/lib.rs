@@ -26,16 +26,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod fault;
 pub mod latency;
 pub mod metrics;
+pub mod shard;
 pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use calendar::CalendarQueue;
 pub use fault::{FaultConfig, FaultPlane, FaultStats, LinkFaults};
 pub use latency::{ConstantPerHop, LatencyModel, UniformJitter};
 pub use metrics::{Metrics, MsgClass, SharedMetrics};
-pub use sim::{NodeIndex, Sim, SimConfig, TimerId, World};
+pub use shard::{ShardConfig, ShardCtx, ShardRun, ShardWorld};
+pub use sim::{NodeIndex, SchedulerKind, Sim, SimConfig, TimerId, World};
 pub use time::SimTime;
 pub use trace::{EventId, SpanId, TraceEvent, TraceKind, TraceSink};

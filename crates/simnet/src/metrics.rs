@@ -100,7 +100,7 @@ impl MsgClass {
 }
 
 /// Single-threaded tally of network activity.
-#[derive(Clone, Default)]
+#[derive(Clone, Default, PartialEq, Eq)]
 pub struct Metrics {
     messages: [u64; NUM_CLASSES],
     bytes: [u64; NUM_CLASSES],

@@ -1,0 +1,560 @@
+//! Deterministic space-partitioned parallel execution.
+//!
+//! The serial engine ([`crate::Sim`]) pops one global event at a time;
+//! at 10⁶ nodes that single queue is the scalability wall. This module
+//! shards the node space over a **fixed number of shards** `S`, each
+//! with its own calendar queue, RNG stream and [`Metrics`] tally, and
+//! executes shards on `T ≤ S` OS threads using conservative time
+//! windows:
+//!
+//! 1. virtual time is cut into windows of width `Δ` (the *barrier
+//!    window*); within a window each shard drains its own queue
+//!    independently — **no** cross-shard interaction;
+//! 2. a message for another shard must carry a delay `≥ Δ` (in the
+//!    paper's network model every hop costs 5 ms, so `Δ = 5 ms` is
+//!    safe); it is staged locally and exchanged at the window barrier;
+//! 3. at the barrier, each destination shard sorts its incoming batch
+//!    by `(deliver_time, source_shard, source_seq)` — a total order
+//!    that does not depend on thread scheduling — and enqueues the
+//!    messages with locally assigned sequence numbers.
+//!
+//! **Determinism argument.** A shard's execution is a pure function of
+//! its initial state (seed, shard index) and the sorted inbox batches
+//! it receives per window. The batches themselves are produced by
+//! per-shard pure executions and canonicalized by the sort, and the
+//! window schedule (including empty-window skips and termination) is
+//! derived from values agreed at each barrier. Nothing observable
+//! depends on `T` — a `T`-thread run is byte-identical to the
+//! single-thread run at the same seed. Thread count is a *throughput*
+//! knob, never a *semantics* knob. The determinism suite runs the same
+//! workload at `T ∈ {1, 2, 4}` and compares reports byte for byte.
+//!
+//! Mailboxes are double-buffered by barrier-round parity so one
+//! `Barrier` rendezvous per round suffices for message exchange: during
+//! round `i` every thread drains buffer `i % 2` and deposits into
+//! buffer `(i+1) % 2`, so drains and deposits never touch the same
+//! buffer concurrently.
+
+use crate::calendar::CalendarQueue;
+use crate::metrics::{Metrics, MsgClass};
+use crate::time::SimTime;
+use detrand::{rngs::StdRng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Geometry of a sharded run.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardConfig {
+    /// RNG seed; each shard derives its own stream from it.
+    pub seed: u64,
+    /// Number of shards. Fixed per run: results depend on this, never
+    /// on the thread count.
+    pub shards: usize,
+    /// Number of simulated nodes; nodes are block-partitioned over the
+    /// shards (node `n` lives on shard `n * shards / nodes`).
+    pub nodes: u32,
+    /// Barrier window width `Δ`. Cross-shard messages must carry a
+    /// delay `≥ Δ` (asserted); with the paper's 5 ms/hop latency model
+    /// `Δ = 5 ms` is the natural choice.
+    pub window: SimTime,
+    /// Worker threads to run on (clamped to `1..=shards`). Affects
+    /// wall-clock time only.
+    pub threads: usize,
+}
+
+impl ShardConfig {
+    /// The shard owning `node` (block partition).
+    pub fn shard_of(&self, node: u32) -> usize {
+        debug_assert!(node < self.nodes);
+        (node as u64 * self.shards as u64 / self.nodes as u64) as usize
+    }
+}
+
+/// Protocol logic driven by the sharded executor. One instance per
+/// shard; an instance only ever sees events for its own nodes.
+pub trait ShardWorld: Send {
+    /// Message payload exchanged between nodes.
+    type Msg: Send;
+
+    /// Called once per shard before the first window, to seed the
+    /// workload (schedule timers, send initial messages).
+    fn on_start(&mut self, _ctx: &mut ShardCtx<'_, Self::Msg>) {}
+
+    /// A message from `from` has arrived at `to` (a node of this shard).
+    fn on_message(&mut self, ctx: &mut ShardCtx<'_, Self::Msg>, to: u32, from: u32, msg: Self::Msg);
+
+    /// A timer armed via [`ShardCtx::set_timer`] / [`ShardCtx::schedule`]
+    /// has fired at `node`.
+    fn on_timer(&mut self, ctx: &mut ShardCtx<'_, Self::Msg>, node: u32, kind: u64);
+}
+
+/// Per-shard event payload.
+enum Ev<M> {
+    Msg { to: u32, from: u32, msg: M },
+    Timer { node: u32, kind: u64 },
+}
+
+/// A message staged for another shard, exchanged at the next barrier.
+struct OutMsg<M> {
+    /// Absolute delivery time in microseconds.
+    time: u64,
+    /// Source shard — part of the canonical inbox ordering.
+    src_shard: u32,
+    /// Source-shard sequence number — makes the ordering key unique.
+    src_seq: u64,
+    from: u32,
+    to: u32,
+    msg: M,
+}
+
+/// Per-shard execution engine: clock, calendar queue, RNG, metrics.
+struct Engine<M> {
+    shard: usize,
+    cfg: ShardConfig,
+    now: SimTime,
+    seq: u64,
+    queue: CalendarQueue<Ev<M>>,
+    rng: StdRng,
+    metrics: Metrics,
+    events: u64,
+    /// Cross-shard messages staged during the current window, one list
+    /// per destination shard; flushed to the mailboxes at the barrier.
+    stage: Vec<Vec<OutMsg<M>>>,
+}
+
+impl<M> Engine<M> {
+    fn new(shard: usize, cfg: &ShardConfig) -> Engine<M> {
+        Engine {
+            shard,
+            cfg: *cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: CalendarQueue::new(),
+            rng: StdRng::seed_from_u64(
+                cfg.seed ^ (shard as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+            metrics: Metrics::new(),
+            events: 0,
+            stage: (0..cfg.shards).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Drain events with `time < wend_us`, dispatching into `world`.
+    fn run_window<W: ShardWorld<Msg = M>>(&mut self, world: &mut W, wend_us: u64) {
+        while let Some((t, _seq, ev)) = self.queue.pop_before(wend_us) {
+            self.now = SimTime::from_micros(t);
+            self.events += 1;
+            let mut ctx = ShardCtx { eng: self };
+            match ev {
+                Ev::Msg { to, from, msg } => world.on_message(&mut ctx, to, from, msg),
+                Ev::Timer { node, kind } => world.on_timer(&mut ctx, node, kind),
+            }
+        }
+    }
+}
+
+/// The handle a [`ShardWorld`] drives its shard through: clock, RNG,
+/// metrics, sends and timers. The sharded analogue of `&mut Sim`.
+pub struct ShardCtx<'a, M> {
+    eng: &'a mut Engine<M>,
+}
+
+impl<M> ShardCtx<'_, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.eng.now
+    }
+
+    /// This shard's index.
+    pub fn shard(&self) -> usize {
+        self.eng.shard
+    }
+
+    /// The run geometry (shards, nodes, window).
+    pub fn config(&self) -> &ShardConfig {
+        &self.eng.cfg
+    }
+
+    /// The shard owning `node`.
+    pub fn shard_of(&self, node: u32) -> usize {
+        self.eng.cfg.shard_of(node)
+    }
+
+    /// This shard's deterministic RNG stream.
+    pub fn rng_mut(&mut self) -> &mut StdRng {
+        &mut self.eng.rng
+    }
+
+    /// This shard's metrics tally (merged across shards after the run).
+    pub fn metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.eng.metrics
+    }
+
+    /// Send `msg` from `from` to `to`, recording `class`/`bytes`/`hops`
+    /// and delivering after `delay`. Unlike `Sim::send`, the caller
+    /// supplies the modeled delay explicitly (the flat worlds compute
+    /// `hops × 5 ms` themselves). Cross-shard sends must satisfy
+    /// `delay ≥ window` — the conservative-synchronization contract —
+    /// and this is asserted.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send(
+        &mut self,
+        from: u32,
+        to: u32,
+        class: MsgClass,
+        bytes: usize,
+        hops: u32,
+        delay: SimTime,
+        msg: M,
+    ) {
+        self.eng.metrics.record(class, bytes, hops);
+        let at = self.eng.now + delay;
+        let dst = self.eng.cfg.shard_of(to);
+        let seq = self.eng.seq;
+        self.eng.seq += 1;
+        if dst == self.eng.shard {
+            self.eng.queue.push(at.as_micros(), seq, Ev::Msg { to, from, msg });
+        } else {
+            assert!(
+                delay >= self.eng.cfg.window,
+                "cross-shard delay {delay} is below the barrier window {} — \
+                 conservative synchronization would miss this delivery",
+                self.eng.cfg.window
+            );
+            self.eng.stage[dst].push(OutMsg {
+                time: at.as_micros(),
+                src_shard: self.eng.shard as u32,
+                src_seq: seq,
+                from,
+                to,
+                msg,
+            });
+        }
+    }
+
+    /// Arm a timer at a **local** node, firing after `delay`.
+    pub fn set_timer(&mut self, node: u32, delay: SimTime, kind: u64) {
+        self.schedule(self.eng.now + delay, node, kind);
+    }
+
+    /// Schedule an absolute-time event at a **local** node (workload
+    /// injection from `on_start`).
+    pub fn schedule(&mut self, at: SimTime, node: u32, kind: u64) {
+        assert!(at >= self.eng.now, "cannot schedule into the past");
+        assert_eq!(
+            self.eng.cfg.shard_of(node),
+            self.eng.shard,
+            "timers must target nodes owned by the scheduling shard"
+        );
+        let seq = self.eng.seq;
+        self.eng.seq += 1;
+        self.eng.queue.push(at.as_micros(), seq, Ev::Timer { node, kind });
+    }
+}
+
+/// Result of a sharded run: the final per-shard worlds plus the merged
+/// accounting, all independent of the thread count.
+pub struct ShardRun<W> {
+    /// The per-shard worlds in shard order, for result extraction.
+    pub worlds: Vec<W>,
+    /// All shard tallies merged in shard order.
+    pub metrics: Metrics,
+    /// Per-shard tallies, shard order.
+    pub shard_metrics: Vec<Metrics>,
+    /// Total events processed across all shards.
+    pub events: u64,
+    /// Barrier rounds executed.
+    pub windows: u64,
+}
+
+/// Shared per-round termination state, double-buffered by parity.
+struct RoundState {
+    /// Events still queued plus messages in flight, summed over shards.
+    pending: AtomicU64,
+    /// Minimum pending event time (µs) across shards; `u64::MAX` = none.
+    min_time: AtomicU64,
+}
+
+impl RoundState {
+    fn new() -> RoundState {
+        RoundState { pending: AtomicU64::new(0), min_time: AtomicU64::new(u64::MAX) }
+    }
+}
+
+/// Run `worlds` (one per shard) until no events remain or the next
+/// event would land at or past `until`. Returns worlds, merged metrics
+/// and counters; the result is byte-identical for every thread count.
+pub fn run_sharded<W: ShardWorld>(
+    cfg: &ShardConfig,
+    worlds: Vec<W>,
+    until: SimTime,
+) -> ShardRun<W> {
+    assert!(cfg.shards > 0, "need at least one shard");
+    assert!(cfg.nodes as u64 >= cfg.shards as u64, "more shards than nodes");
+    assert!(cfg.window > SimTime::ZERO, "barrier window must be positive");
+    assert_eq!(worlds.len(), cfg.shards, "one world per shard");
+    let threads = cfg.threads.clamp(1, cfg.shards);
+
+    // Static shard→thread assignment: thread t owns shards {s : s % T == t}.
+    let mut cells: Vec<Vec<(usize, W, Engine<W::Msg>)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (s, w) in worlds.into_iter().enumerate() {
+        cells[s % threads].push((s, w, Engine::new(s, cfg)));
+    }
+
+    // mail[parity][dst] — deposits during round i go to parity (i+1)%2.
+    let mail: Vec<Vec<Mutex<Vec<OutMsg<W::Msg>>>>> = (0..2)
+        .map(|_| (0..cfg.shards).map(|_| Mutex::new(Vec::new())).collect())
+        .collect();
+    let rounds = [RoundState::new(), RoundState::new()];
+    let barrier = Barrier::new(threads);
+
+    let finished: Vec<(Vec<(usize, W, Engine<W::Msg>)>, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .into_iter()
+            .map(|mine| {
+                let (mail, rounds, barrier) = (&mail, &rounds, &barrier);
+                scope.spawn(move || shard_worker(cfg, mine, mail, rounds, barrier, until))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<(W, Engine<W::Msg>)>> =
+        (0..cfg.shards).map(|_| None).collect();
+    let mut windows = 0u64;
+    for (mine, w) in finished {
+        windows = windows.max(w);
+        for (s, world, eng) in mine {
+            slots[s] = Some((world, eng));
+        }
+    }
+    let mut out_worlds = Vec::with_capacity(cfg.shards);
+    let mut shard_metrics = Vec::with_capacity(cfg.shards);
+    let mut metrics = Metrics::new();
+    let mut events = 0u64;
+    for slot in slots {
+        let (world, eng) = slot.expect("every shard returns from its worker");
+        metrics.merge(&eng.metrics);
+        events += eng.events;
+        shard_metrics.push(eng.metrics);
+        out_worlds.push(world);
+    }
+    ShardRun { worlds: out_worlds, metrics, shard_metrics, events, windows }
+}
+
+/// One worker thread: drives its statically assigned shards through
+/// barrier rounds until the run-wide termination condition holds.
+fn shard_worker<W: ShardWorld>(
+    cfg: &ShardConfig,
+    mut mine: Vec<(usize, W, Engine<W::Msg>)>,
+    mail: &[Vec<Mutex<Vec<OutMsg<W::Msg>>>>],
+    rounds: &[RoundState; 2],
+    barrier: &Barrier,
+    until: SimTime,
+) -> (Vec<(usize, W, Engine<W::Msg>)>, u64) {
+    let width = cfg.window.as_micros();
+    for (_s, world, eng) in mine.iter_mut() {
+        let mut ctx = ShardCtx { eng };
+        world.on_start(&mut ctx);
+    }
+    let mut round: u64 = 0; // barrier-round counter — mailbox parity
+    let mut k: u64 = 0; // window index — virtual-time position
+    loop {
+        let parity = (round % 2) as usize;
+        let wend_us = k.saturating_add(1).saturating_mul(width).min(until.as_micros());
+
+        // Drain this round's inbox batch into each owned shard in the
+        // canonical order, then run the shard's window.
+        for (s, world, eng) in mine.iter_mut() {
+            let mut inbox = std::mem::take(
+                &mut *mail[parity][*s].lock().expect("mailbox lock poisoned"),
+            );
+            inbox.sort_unstable_by_key(|m| (m.time, m.src_shard, m.src_seq));
+            for m in inbox {
+                let seq = eng.seq;
+                eng.seq += 1;
+                eng.queue.push(m.time, seq, Ev::Msg { to: m.to, from: m.from, msg: m.msg });
+            }
+            eng.run_window(world, wend_us);
+        }
+
+        // Flush staged cross-shard messages into next round's mailboxes
+        // and publish this thread's share of the termination state.
+        let next_parity = ((round + 1) % 2) as usize;
+        let mut my_pending = 0u64;
+        let mut my_min = u64::MAX;
+        for (_s, _world, eng) in mine.iter_mut() {
+            for dst in 0..cfg.shards {
+                if eng.stage[dst].is_empty() {
+                    continue;
+                }
+                let staged = std::mem::take(&mut eng.stage[dst]);
+                my_pending += staged.len() as u64;
+                for m in &staged {
+                    my_min = my_min.min(m.time);
+                }
+                mail[next_parity][dst]
+                    .lock()
+                    .expect("mailbox lock poisoned")
+                    .extend(staged);
+            }
+            my_pending += eng.queue.len() as u64;
+            if let Some((t, _)) = eng.queue.min_key() {
+                my_min = my_min.min(t);
+            }
+        }
+        rounds[parity].pending.fetch_add(my_pending, Ordering::SeqCst);
+        rounds[parity].min_time.fetch_min(my_min, Ordering::SeqCst);
+        barrier.wait();
+        let pending = rounds[parity].pending.load(Ordering::SeqCst);
+        let gmin = rounds[parity].min_time.load(Ordering::SeqCst);
+        // Second rendezvous: after it, every thread has read the agreed
+        // values, so the leader can safely re-zero this parity slot for
+        // its reuse two rounds from now.
+        if barrier.wait().is_leader() {
+            rounds[parity].pending.store(0, Ordering::SeqCst);
+            rounds[parity].min_time.store(u64::MAX, Ordering::SeqCst);
+        }
+        round += 1;
+        if pending == 0 || gmin >= until.as_micros() {
+            break;
+        }
+        // Jump straight to the window holding the earliest pending
+        // event — all threads compute the same `k` from `gmin`.
+        k = (gmin / width).max(k + 1);
+    }
+    (mine, round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::ms;
+
+    /// A token hops around the node ring; each shard logs its local
+    /// deliveries. The token crosses shard boundaries constantly, so
+    /// the test exercises mailbox exchange, window jumps and
+    /// termination.
+    struct TokenRing {
+        nodes: u32,
+        log: Vec<(u64, u32)>,
+    }
+
+    impl ShardWorld for TokenRing {
+        type Msg = u32;
+
+        fn on_start(&mut self, ctx: &mut ShardCtx<'_, u32>) {
+            if ctx.shard() == 0 {
+                ctx.schedule(ms(1), 0, 7);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut ShardCtx<'_, u32>, to: u32, _from: u32, hops: u32) {
+            self.log.push((ctx.now().as_micros(), to));
+            if hops > 0 {
+                let next = (to + 1) % self.nodes;
+                ctx.send(to, next, MsgClass::Query, 8, 1, ms(5), hops - 1);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut ShardCtx<'_, u32>, node: u32, kind: u64) {
+            assert_eq!(kind, 7);
+            let next = (node + 1) % self.nodes;
+            ctx.send(node, next, MsgClass::Query, 8, 1, ms(5), 24);
+        }
+    }
+
+    fn run_ring(threads: usize) -> (Vec<Vec<(u64, u32)>>, String, u64) {
+        let cfg = ShardConfig { seed: 42, shards: 4, nodes: 8, window: ms(5), threads };
+        let worlds = (0..cfg.shards).map(|_| TokenRing { nodes: cfg.nodes, log: Vec::new() }).collect();
+        let run = run_sharded(&cfg, worlds, SimTime::INFINITY);
+        let logs = run.worlds.into_iter().map(|w| w.log).collect();
+        (logs, format!("{:?}", run.metrics), run.events)
+    }
+
+    #[test]
+    fn token_visits_every_node_in_order() {
+        let (logs, _, events) = run_ring(1);
+        // 1 timer + 25 deliveries (the initial send plus 24 forwards).
+        assert_eq!(events, 26);
+        let mut all: Vec<(u64, u32)> = logs.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), 25);
+        // Consecutive deliveries 5 ms apart, walking the ring.
+        for (i, &(t, node)) in all.iter().enumerate() {
+            assert_eq!(t, 1_000 + 5_000 * (i as u64 + 1));
+            assert_eq!(node, ((1 + i) % 8) as u32);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let base = run_ring(1);
+        assert_eq!(base, run_ring(2));
+        assert_eq!(base, run_ring(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-shard delay")]
+    fn cross_shard_send_below_window_panics() {
+        struct Bad;
+        impl ShardWorld for Bad {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut ShardCtx<'_, ()>) {
+                if ctx.shard() == 0 {
+                    ctx.schedule(SimTime::ZERO, 0, 0);
+                }
+            }
+            fn on_message(&mut self, _: &mut ShardCtx<'_, ()>, _: u32, _: u32, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut ShardCtx<'_, ()>, node: u32, _: u64) {
+                // Node 3 lives on the other shard; 1 ms < the 5 ms window.
+                ctx.send(node, 3, MsgClass::Query, 1, 1, ms(1), ());
+            }
+        }
+        let cfg = ShardConfig { seed: 1, shards: 2, nodes: 4, window: ms(5), threads: 1 };
+        run_sharded(&cfg, vec![Bad, Bad], SimTime::INFINITY);
+    }
+
+    #[test]
+    fn until_bounds_the_run() {
+        let cfg = ShardConfig { seed: 42, shards: 4, nodes: 8, window: ms(5), threads: 2 };
+        let worlds: Vec<TokenRing> =
+            (0..cfg.shards).map(|_| TokenRing { nodes: cfg.nodes, log: Vec::new() }).collect();
+        let run = run_sharded(&cfg, worlds, ms(52));
+        let delivered: usize = run.worlds.iter().map(|w| w.log.len()).sum();
+        // Deliveries land at 6, 11, …, 51 ms: ten of them before 52 ms.
+        assert_eq!(delivered, 10);
+    }
+
+    #[test]
+    fn sparse_schedules_skip_empty_windows() {
+        struct Sparse {
+            fired: Vec<u64>,
+        }
+        impl ShardWorld for Sparse {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut ShardCtx<'_, ()>) {
+                if ctx.shard() == 0 {
+                    ctx.schedule(SimTime::from_secs(3600), 0, 0);
+                }
+            }
+            fn on_message(&mut self, _: &mut ShardCtx<'_, ()>, _: u32, _: u32, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut ShardCtx<'_, ()>, _: u32, _: u64) {
+                self.fired.push(ctx.now().as_micros());
+            }
+        }
+        let cfg = ShardConfig { seed: 1, shards: 2, nodes: 4, window: ms(5), threads: 2 };
+        let run = run_sharded(
+            &cfg,
+            vec![Sparse { fired: Vec::new() }, Sparse { fired: Vec::new() }],
+            SimTime::INFINITY,
+        );
+        assert_eq!(run.worlds[0].fired, vec![3_600_000_000]);
+        // An hour at 5 ms/window is 720k windows naively; the jump
+        // reaches the event in a couple of barrier rounds.
+        assert!(run.windows < 10, "expected window jumping, ran {} rounds", run.windows);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the calendar queue: pop-order equivalence with
+//! `BinaryHeap<Reverse<(time, seq)>>` — the reference implementation of
+//! the simulator's `(time, seq)` ordering contract — under interleaved
+//! pushes and pops, including same-time seq ties, plus agreement of the
+//! bounded `pop_before` with a filtered heap drain.
+//!
+//! Push times are generated as *deltas above the last popped time*, so
+//! every schedule respects the queue's monotonic-push contract (event
+//! schedules never travel backwards) while still exercising resizes,
+//! ring rotations and far-future jumps.
+
+use proptiny::prelude::*;
+use simnet::CalendarQueue;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptiny! {
+    #![proptiny_config(Config::with_cases(96))]
+
+    #[test]
+    fn prop_pop_order_matches_binary_heap(
+        ops in prop::collection::vec((0u64..50_000, 0u8..=2), 1..160),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let mut floor = 0u64; // last popped time — the push lower bound
+        for &(delta, kind) in &ops {
+            match kind {
+                // A push exactly at the floor: the same-time tie case,
+                // where only the seq number decides the order.
+                0 => {
+                    cal.push(floor, seq, seq);
+                    heap.push(Reverse((floor, seq)));
+                    seq += 1;
+                }
+                // A push above the floor (deltas up to 50 000 against a
+                // 1 024-wide ring also exercise the sparse-jump scan).
+                1 => {
+                    cal.push(floor + delta, seq, seq);
+                    heap.push(Reverse((floor + delta, seq)));
+                    seq += 1;
+                }
+                // An interleaved pop: both queues must agree exactly.
+                _ => {
+                    let c = cal.pop().map(|(t, s, _)| (t, s));
+                    let h = heap.pop().map(|Reverse(k)| k);
+                    prop_assert_eq!(c, h);
+                    if let Some((t, _)) = h {
+                        floor = t;
+                    }
+                }
+            }
+        }
+        // Drain both to the end — the full backlog must agree too.
+        loop {
+            let c = cal.pop().map(|(t, s, _)| (t, s));
+            let h = heap.pop().map(|Reverse(k)| k);
+            prop_assert_eq!(c, h);
+            if h.is_none() {
+                break;
+            }
+        }
+        prop_assert!(cal.is_empty());
+    }
+
+    #[test]
+    fn prop_pop_before_agrees_with_filtered_heap(
+        times in prop::collection::vec(0u64..100_000, 1..120),
+        limit in 0u64..100_000,
+    ) {
+        let mut cal = CalendarQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            cal.push(t, i as u64, i);
+        }
+        // Everything strictly below the limit comes out, in order.
+        let mut below = Vec::new();
+        while let Some((t, s, _)) = cal.pop_before(limit) {
+            below.push((t, s));
+        }
+        let mut expect: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t < limit)
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(below, expect);
+        // The rest still pops in order, all at or past the limit.
+        let mut rest = Vec::new();
+        while let Some((t, s, _)) = cal.pop() {
+            prop_assert!(t >= limit);
+            rest.push((t, s));
+        }
+        let mut expect_rest: Vec<(u64, u64)> = times
+            .iter()
+            .enumerate()
+            .filter(|&(_, &t)| t >= limit)
+            .map(|(i, &t)| (t, i as u64))
+            .collect();
+        expect_rest.sort_unstable();
+        prop_assert_eq!(rest, expect_rest);
+    }
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repeatable million-scale engine benchmark: regenerates
+# results/BENCH_simnet.json — the committed flat-engine scale sweep
+# (ascending to 10^6 nodes / 10^7 objects; events/sec + peak RSS per
+# point) plus T in {1, 8} wall-clock at the largest geometry and the
+# host parallelism the speedup is bounded by.
+#
+# Wall-clock fields vary host to host; the committed file documents one
+# run, it is NOT byte-compared by verify.sh (the determinism gates are).
+#
+# Usage: scripts/bench_simnet.sh [--quick]
+#   --quick  bounded sub-second sweep (no JSON thread timing rerun)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin complexity_check
+
+mode=--full
+if [[ "${1:-}" == "--quick" ]]; then
+    mode=--quick
+fi
+exec ./target/release/complexity_check "$mode" --json results/BENCH_simnet.json

@@ -66,6 +66,26 @@ cmp results/latency_histograms.csv /tmp/verify_latency_histograms.csv
 rm -f /tmp/verify_trace_demo.json /tmp/verify_latency_histograms.csv
 echo "OK: trace exports byte-identical across invocations."
 
+echo "== sharded determinism: T=1 vs T=4 byte-identical =="
+# The parallel executor's contract (DESIGN.md §16): thread count is a
+# throughput knob, never a semantics knob. The canonical flat-engine
+# geometry must produce byte-identical run summaries — events, windows,
+# records, oracle counters, per-class message accounting — at 1 and 4
+# worker threads.
+./target/release/complexity_check --shard-csv /tmp/verify_shard_t1.csv --threads 1 > /dev/null
+./target/release/complexity_check --shard-csv /tmp/verify_shard_t4.csv --threads 4 > /dev/null
+cmp /tmp/verify_shard_t1.csv /tmp/verify_shard_t4.csv \
+    || { echo "sharded executor results depend on the thread count" >&2; exit 1; }
+rm -f /tmp/verify_shard_t1.csv /tmp/verify_shard_t4.csv
+echo "OK: canonical sharded run byte-identical at T=1 and T=4."
+
+echo "== flat-engine scale smoke (bounded) =="
+# Sub-second ascending sweep with the locate oracle and the Θ(No)
+# slope assert baked into the binary; the full 10^6-node / 10^7-object
+# sweep is scripts/bench_simnet.sh, not tier-1.
+./target/release/complexity_check --quick > /dev/null
+echo "OK: complexity_check --quick clean (oracle-exact, Θ(No) slope)."
+
 echo "== loopback cluster smoke (real sockets) =="
 # Five daemon nodes on ephemeral loopback ports run a real movement and
 # answer queries over the wire, inside a hard timeout so a wedged
@@ -193,3 +213,13 @@ echo "OK: crates/transport, crates/daemon and crates/durable are in the workspac
 grep -q 'crates/qcache' Cargo.toml \
     || { echo "crates/qcache missing from the workspace manifest" >&2; exit 1; }
 echo "OK: crates/qcache is in the workspace."
+
+# Generalized membership check: every directory under crates/ must be a
+# workspace member, so a newly added crate can never dodge the build,
+# the tests, or the dependency-policy scan above.
+for dir in crates/*/; do
+    c=$(basename "$dir")
+    grep -q "crates/$c" Cargo.toml \
+        || { echo "crates/$c missing from the workspace manifest" >&2; exit 1; }
+done
+echo "OK: every crates/* directory is a workspace member."

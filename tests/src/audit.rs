@@ -356,7 +356,7 @@ fn crash_taints(
     // by definition loses data). Everything in them is suspect.
     for (primary, store) in &net.world.sites[vidx].replica_iop {
         if !net.world.sites[primary.0 as usize].alive {
-            taint.extend(store.iter().map(|(o, _)| *o));
+            taint.extend(store.iter().map(|(o, _)| o));
         }
     }
 

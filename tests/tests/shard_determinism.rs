@@ -1,0 +1,49 @@
+//! Thread-count invariance of the sharded executor, as a property over
+//! random flat-world geometries: for any (nodes, objects, shards, seed)
+//! the full [`peertrack::flat::FlatReport`] — merged metrics, event and
+//! window counts, violation strings — must be byte-identical at
+//! `T ∈ {1, 2, 4}` worker threads. The `Debug` rendering is the
+//! comparison key, so every public field participates.
+//!
+//! This is the same guarantee `verify.sh` gates at a fixed canonical
+//! geometry (`complexity_check --shard-csv` at `T = 1` vs `T = 4`);
+//! here the geometry itself is randomized and failures shrink.
+
+use peertrack::flat::{run_flat, FlatConfig};
+use proptiny::prelude::*;
+use simnet::time::SimTime;
+
+proptiny! {
+    #![proptiny_config(Config::with_cases(10))]
+
+    #[test]
+    fn prop_thread_count_never_changes_the_flat_report(
+        nodes in 32u32..256,
+        objects in 50u32..500,
+        shards in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let base = FlatConfig {
+            nodes,
+            objects,
+            shards,
+            seed,
+            locates: 32,
+            spread: SimTime::from_secs(3),
+            ..FlatConfig::default()
+        };
+        let runs: Vec<String> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| format!("{:?}", run_flat(&FlatConfig { threads, ..base })))
+            .collect();
+        prop_assert_eq!(&runs[0], &runs[1], "T=2 diverged from T=1");
+        prop_assert_eq!(&runs[0], &runs[2], "T=4 diverged from T=1");
+        // The runs must also be *clean* — byte-identical garbage would
+        // pass the comparison but indicates a broken workload.
+        prop_assert!(
+            runs[0].contains("locates_bad: 0") && runs[0].contains("out_of_order: 0"),
+            "violations in report: {}",
+            runs[0]
+        );
+    }
+}
