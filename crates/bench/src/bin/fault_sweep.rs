@@ -18,8 +18,8 @@
 //! larger configuration.
 
 use bench::report::{
-    fault_stats_row, imbalance_row, print_table, results_path, write_csv, FAULT_STATS_HEADER,
-    IMBALANCE_HEADER,
+    fault_stats_row, imbalance_row, print_region_pairs, print_table, results_path, write_csv,
+    FAULT_STATS_HEADER, IMBALANCE_HEADER,
 };
 use bench::Scale;
 use detrand::{rngs::StdRng, Rng, SeedableRng};
@@ -45,6 +45,7 @@ struct Cell {
     exhausted: u64,
     refresh_failures: u64,
     query_load: Vec<u64>,
+    locate_latency: obs::Histogram,
 }
 
 fn build(sites: usize, drop: f64, retries: bool) -> TraceableNetwork {
@@ -111,6 +112,7 @@ fn run_cell(sites: usize, objects: usize, drop: f64, retries: bool) -> Cell {
 
     let origin = SiteId(0);
     let (mut ok, mut complete) = (0usize, 0usize);
+    let mut locate_latency = obs::Histogram::new();
     for &o in &all {
         let truth = oracle.visits(o).last().expect("every object was captured").site;
         let (loc, stats) = net.locate(origin, o, net.now());
@@ -120,6 +122,7 @@ fn run_cell(sites: usize, objects: usize, drop: f64, retries: bool) -> Cell {
         if stats.complete {
             complete += 1;
         }
+        locate_latency.record(stats.time.as_micros());
     }
 
     let m = net.metrics();
@@ -142,6 +145,7 @@ fn run_cell(sites: usize, objects: usize, drop: f64, retries: bool) -> Cell {
         exhausted: anomalies.retries_exhausted,
         refresh_failures: anomalies.refresh_failures,
         query_load: net.query_load(),
+        locate_latency,
     }
 }
 
@@ -236,6 +240,20 @@ fn main() {
         })
         .collect();
     print_table("Served-locate load imbalance", &im_header, &im_rows);
+
+    // Verification-locate latency through the shared region-pair row
+    // (console only): this sweep has no geo topology, so every cell is
+    // the degenerate single `all->all` pair — the same formatting
+    // `wan_sweep` uses for real region pairs.
+    let lat_pairs: Vec<(String, obs::Histogram)> = cells
+        .iter()
+        .map(|c| {
+            let label =
+                format!("all->all d={:.2} r={}", c.drop, if c.retries { "on" } else { "off" });
+            (label, c.locate_latency.clone())
+        })
+        .collect();
+    print_region_pairs("Verification-locate latency", &lat_pairs);
 
     // The headline claims, enforced so `all_experiments`-style runs
     // catch regressions: retries recover locate accuracy at 10% loss,

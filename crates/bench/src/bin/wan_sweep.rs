@@ -1,0 +1,295 @@
+//! WAN federation sweep: flat ring vs proximity-aware placement over a
+//! three-region topology (DESIGN.md §17).
+//!
+//! The same cross-region supply chain (`workload::wan::WanChain` — every
+//! object handed off through eu → us → ap) runs twice at identical
+//! seeds: once on the flat hash ring (gateways and replicas anywhere)
+//! and once with region-clustered site ids (`geo::clustered_id`), which
+//! makes K-successor replica sets and ring-walk hops same-region
+//! without any protocol change. Reported per directed region pair:
+//!
+//! * protocol-plane traffic (messages/bytes) from the geo plane's
+//!   wire-cost accounting,
+//! * group-index flush latency (p50/p95/p99) from the per-region-pair
+//!   trace recorder,
+//! * verification-locate latency bucketed by (origin region, answer
+//!   region), every answer checked against the movement oracle.
+//!
+//! Headline (asserted): proximity placement reduces cross-region bytes
+//! AND cross-region locate p95 versus flat, with oracle-exact answers
+//! in both modes. Writes `results/wan_sweep_{flat,proximity}.csv` and
+//! `results/BENCH_wan.json`. `PEERTRACK_SCALE=full` for the larger
+//! configuration.
+
+use bench::report::{print_region_pairs, print_table, results_path, write_csv};
+use bench::Scale;
+use geo::Topology;
+use moods::{MovementLog, SiteId};
+use obs::{Histogram, SharedRegionRecorder};
+use peertrack::{Builder, GroupConfig, IndexingMode, Placement};
+use simnet::time::ms;
+use simnet::{GeoConfig, MsgClass, SimTime};
+
+const SEED: u64 = 0x5EED_3A17;
+
+struct ModeResult {
+    label: &'static str,
+    /// Directed pair names, `[from * r + to]`.
+    pair_names: Vec<String>,
+    plane_msgs: Vec<u64>,
+    plane_bytes: Vec<u64>,
+    cross_bytes: u64,
+    cross_plane_msgs: u64,
+    flush: Vec<Histogram>,
+    locate: Vec<Histogram>,
+    locate_cross: Histogram,
+    flush_cross: Histogram,
+    query_wan_us: u64,
+    query_cross_msgs: u64,
+    exact: usize,
+    locates: usize,
+}
+
+fn run_mode(topo: &Topology, objects: usize, placement: Placement) -> ModeResult {
+    let label = match placement {
+        Placement::Flat => "flat",
+        Placement::Proximity => "proximity",
+    };
+    let sites = topo.sites();
+    let r = topo.regions();
+
+    let mut net = Builder::new()
+        .sites(sites)
+        .seed(SEED)
+        .mode(IndexingMode::Group(GroupConfig {
+            t_max: ms(200),
+            n_max: 64,
+            ..GroupConfig::default()
+        }))
+        .geo(GeoConfig::new(SEED ^ 0x6E0, topo.clone()))
+        .placement(placement)
+        .replicas(3)
+        .build();
+
+    // Per-region-pair latency recorder over the engine trace; the
+    // focus class is the group-index flush traffic.
+    let site_regions: Vec<u16> = (0..sites).map(|s| topo.region_of(s)).collect();
+    let recorder = SharedRegionRecorder::new(site_regions, r, MsgClass::GroupIndex);
+    net.set_trace_sink(Box::new(recorder.clone()));
+
+    let chain = workload::wan::WanChain::generate(
+        topo,
+        objects,
+        2,
+        SimTime::from_secs(1),
+        ms(1_000),
+        ms(25),
+        SEED,
+    );
+    let mut oracle = MovementLog::new();
+    workload::replay(&mut net, &mut oracle, &chain.events);
+    net.run_until_quiescent();
+
+    // Verification locates: every object from one origin per region,
+    // bucketed by (origin region, answer region), checked exact.
+    let mut origins: Vec<SiteId> = Vec::with_capacity(r);
+    for reg in 0..r as u16 {
+        let s = (0..sites).find(|&s| topo.region_of(s) == reg).expect("region has sites");
+        origins.push(SiteId(s as u32));
+    }
+    let mut locate: Vec<Histogram> = (0..r * r).map(|_| Histogram::new()).collect();
+    let mut locate_cross = Histogram::new();
+    let (mut exact, mut locates) = (0usize, 0usize);
+    let (mut query_wan_us, mut query_cross_msgs) = (0u64, 0u64);
+    for (k, route) in chain.routes.iter().enumerate() {
+        let truth = *route.last().expect("route is non-empty");
+        let object = workload::epc_object((k % r) as u32, k as u64);
+        for &origin in &origins {
+            let (loc, stats) = net.locate(origin, object, net.now());
+            locates += 1;
+            if loc == Some(truth) {
+                exact += 1;
+            }
+            let from = topo.region_of(origin.0 as usize) as usize;
+            let to = topo.region_of(truth.0 as usize) as usize;
+            locate[from * r + to].record(stats.time.as_micros());
+            if from != to {
+                locate_cross.record(stats.time.as_micros());
+            }
+            query_wan_us += stats.wan.as_micros();
+            query_cross_msgs += stats.cross_msgs;
+        }
+    }
+
+    let stats = net.geo_stats().expect("geo plane configured");
+    let mut pair_names = Vec::with_capacity(r * r);
+    let mut plane_msgs = Vec::with_capacity(r * r);
+    let mut plane_bytes = Vec::with_capacity(r * r);
+    for a in 0..r as u16 {
+        for b in 0..r as u16 {
+            pair_names.push(topo.pair_name(a, b));
+            plane_msgs.push(stats.msgs(a, b));
+            plane_bytes.push(stats.bytes(a, b));
+        }
+    }
+    let (cross_bytes, cross_plane_msgs) = (stats.cross_bytes(), stats.cross_msgs());
+    let rec = recorder.borrow();
+    let flush: Vec<Histogram> = (0..r as u16)
+        .flat_map(|a| (0..r as u16).map(move |b| (a, b)))
+        .map(|(a, b)| rec.focus_pair(a, b).clone())
+        .collect();
+    let flush_cross = rec.focus_cross();
+
+    ModeResult {
+        label,
+        pair_names,
+        plane_msgs,
+        plane_bytes,
+        cross_bytes,
+        cross_plane_msgs,
+        flush,
+        locate,
+        locate_cross,
+        flush_cross,
+        query_wan_us,
+        query_cross_msgs,
+        exact,
+        locates,
+    }
+}
+
+fn mode_rows(m: &ModeResult) -> Vec<Vec<String>> {
+    m.pair_names
+        .iter()
+        .enumerate()
+        .map(|(i, pair)| {
+            vec![
+                pair.clone(),
+                m.plane_msgs[i].to_string(),
+                m.plane_bytes[i].to_string(),
+                m.flush[i].count().to_string(),
+                m.flush[i].p50().to_string(),
+                m.flush[i].p95().to_string(),
+                m.flush[i].p99().to_string(),
+                m.locate[i].count().to_string(),
+                m.locate[i].p50().to_string(),
+                m.locate[i].p95().to_string(),
+                m.locate[i].p99().to_string(),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let sites = scale.nodes(96);
+    let objects = scale.objects(2400);
+    let topo = Topology::wan3(sites);
+
+    let flat = run_mode(&topo, objects, Placement::Flat);
+    let prox = run_mode(&topo, objects, Placement::Proximity);
+
+    let header = [
+        "pair",
+        "plane_msgs",
+        "plane_bytes",
+        "flush_msgs",
+        "flush_p50_us",
+        "flush_p95_us",
+        "flush_p99_us",
+        "locate_msgs",
+        "locate_p50_us",
+        "locate_p95_us",
+        "locate_p99_us",
+    ];
+    for m in [&flat, &prox] {
+        let rows = mode_rows(m);
+        print_table(
+            &format!("WAN sweep [{}] ({sites} sites, {objects} objects, 3 regions)", m.label),
+            &header,
+            &rows,
+        );
+        let path = results_path(&format!("wan_sweep_{}.csv", m.label));
+        write_csv(&path, &header, &rows).expect("write wan_sweep csv");
+        println!("\nwrote {}", path.display());
+
+        let pairs: Vec<(String, Histogram)> = m
+            .pair_names
+            .iter()
+            .cloned()
+            .zip(m.locate.iter().cloned())
+            .collect();
+        print_region_pairs(&format!("Locate latency by region pair [{}]", m.label), &pairs);
+    }
+
+    let summary_header =
+        ["mode", "cross_bytes", "cross_msgs", "query_wan_us", "query_cross_msgs", "locate_cross_p95_us", "flush_cross_p95_us", "locate_exact"];
+    let summary_rows: Vec<Vec<String>> = [&flat, &prox]
+        .iter()
+        .map(|m| {
+            vec![
+                m.label.to_string(),
+                m.cross_bytes.to_string(),
+                m.cross_plane_msgs.to_string(),
+                m.query_wan_us.to_string(),
+                m.query_cross_msgs.to_string(),
+                m.locate_cross.p95().to_string(),
+                m.flush_cross.p95().to_string(),
+                format!("{}/{}", m.exact, m.locates),
+            ]
+        })
+        .collect();
+    print_table("WAN federation summary", &summary_header, &summary_rows);
+
+    // BENCH_wan.json — hand-rolled like zipf_sweep's BENCH_qcache.json.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"wan_sweep\",\n");
+    json.push_str(&format!("  \"sites\": {sites},\n  \"objects\": {objects},\n"));
+    json.push_str(&format!("  \"regions\": {},\n  \"seed\": {SEED},\n", topo.regions()));
+    json.push_str("  \"modes\": {\n");
+    for (i, m) in [&flat, &prox].iter().enumerate() {
+        json.push_str(&format!("    \"{}\": {{\n", m.label));
+        json.push_str(&format!("      \"cross_region_bytes\": {},\n", m.cross_bytes));
+        json.push_str(&format!("      \"cross_region_msgs\": {},\n", m.cross_plane_msgs));
+        json.push_str(&format!("      \"query_wan_us\": {},\n", m.query_wan_us));
+        json.push_str(&format!("      \"query_cross_msgs\": {},\n", m.query_cross_msgs));
+        json.push_str(&format!("      \"locate_cross_p50_us\": {},\n", m.locate_cross.p50()));
+        json.push_str(&format!("      \"locate_cross_p95_us\": {},\n", m.locate_cross.p95()));
+        json.push_str(&format!("      \"locate_cross_p99_us\": {},\n", m.locate_cross.p99()));
+        json.push_str(&format!("      \"flush_cross_p95_us\": {},\n", m.flush_cross.p95()));
+        json.push_str(&format!("      \"locate_exact\": {},\n", m.exact == m.locates));
+        json.push_str(&format!("      \"locates\": {}\n", m.locates));
+        json.push_str(if i == 0 { "    },\n" } else { "    }\n" });
+    }
+    json.push_str("  },\n");
+    let byte_reduction =
+        1.0 - prox.cross_bytes as f64 / flat.cross_bytes.max(1) as f64;
+    let p95_reduction =
+        1.0 - prox.locate_cross.p95() as f64 / flat.locate_cross.p95().max(1) as f64;
+    json.push_str(&format!(
+        "  \"proximity_cross_byte_reduction\": {byte_reduction:.4},\n"
+    ));
+    json.push_str(&format!(
+        "  \"proximity_locate_cross_p95_reduction\": {p95_reduction:.4}\n"
+    ));
+    json.push_str("}\n");
+    let json_path = results_path("BENCH_wan.json");
+    std::fs::write(&json_path, &json).expect("write BENCH_wan.json");
+    println!("\nwrote {}", json_path.display());
+
+    // The headline claims, enforced so regressions are loud.
+    assert_eq!(flat.exact, flat.locates, "flat mode must be oracle-exact");
+    assert_eq!(prox.exact, prox.locates, "proximity mode must be oracle-exact");
+    assert!(
+        prox.cross_bytes < flat.cross_bytes,
+        "proximity must reduce cross-region bytes ({} vs {})",
+        prox.cross_bytes,
+        flat.cross_bytes
+    );
+    assert!(
+        prox.locate_cross.p95() < flat.locate_cross.p95(),
+        "proximity must reduce cross-region locate p95 ({} vs {})",
+        prox.locate_cross.p95(),
+        flat.locate_cross.p95()
+    );
+}

@@ -143,6 +143,35 @@ pub fn print_class_traffic(title: &str, m: &Metrics) {
     print_table(title, &CLASS_TRAFFIC_HEADER, &rows);
 }
 
+/// Column names matching [`region_pair_row`].
+pub const REGION_PAIR_HEADER: [&str; 6] = ["pair", "msgs", "p50_us", "p95_us", "p99_us", "max_us"];
+
+/// Render one region pair's latency histogram as a row of CSV/table
+/// cells — the single place per-pair latency quantiles are formatted,
+/// so `wan_sweep` (real region pairs) and `fault_sweep` (the degenerate
+/// single `all->all` pair) report identically.
+pub fn region_pair_row(pair: &str, h: &obs::Histogram) -> Vec<String> {
+    vec![
+        pair.to_string(),
+        h.count().to_string(),
+        h.p50().to_string(),
+        h.p95().to_string(),
+        h.p99().to_string(),
+        h.max().to_string(),
+    ]
+}
+
+/// Print a set of region-pair latency histograms as an aligned console
+/// table, skipping empty pairs.
+pub fn print_region_pairs(title: &str, pairs: &[(String, obs::Histogram)]) {
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .filter(|(_, h)| !h.is_empty())
+        .map(|(p, h)| region_pair_row(p, h))
+        .collect();
+    print_table(title, &REGION_PAIR_HEADER, &rows);
+}
+
 /// Least-squares slope of `log(y)` against `log(x)` — the growth
 /// exponent used to classify linear vs sublinear vs superlinear series.
 pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
@@ -262,6 +291,18 @@ mod tests {
         assert_eq!(row[0], "40");
         assert_eq!(row[1], "20.00");
         assert_eq!(row[3], "2.000");
+    }
+
+    #[test]
+    fn region_pair_row_matches_header() {
+        let mut h = obs::Histogram::new();
+        h.record(10);
+        h.record(20);
+        let row = region_pair_row("eu->us", &h);
+        assert_eq!(row.len(), REGION_PAIR_HEADER.len());
+        assert_eq!(row[0], "eu->us");
+        assert_eq!(row[1], "2");
+        assert_eq!(row[5], "20");
     }
 
     #[test]

@@ -157,6 +157,9 @@ fn serve(args: &[String]) -> Result<ExitCode, String> {
         snapshot_every,
         replicas,
         locate_cache,
+        // The standalone binary runs flat; WAN topologies are a harness
+        // concern (`LoopbackCluster::start_geo`).
+        geo: None,
     };
     let node = Node::spawn(cfg).map_err(|e| format!("spawn: {e}"))?;
     println!("peertrackd site {} listening on {}", site.0, node.addr());

@@ -99,6 +99,9 @@ pub struct LoopbackCluster {
     durable: Option<DurableSetup>,
     replicas: usize,
     locate_cache: Option<usize>,
+    /// WAN region topology shared by every node (DESIGN.md §17);
+    /// `None` = flat cluster (the default everywhere).
+    geo: Option<geo::Topology>,
     /// Final sent/received counters of permanently killed nodes
     /// ([`LoopbackCluster::kill_forever`]): their frames stay in the
     /// cluster-wide balance [`LoopbackCluster::quiesce`] checks even
@@ -118,7 +121,7 @@ impl LoopbackCluster {
     /// once every node reports full membership (so every ring replica is
     /// identical before any traffic flows).
     pub fn start_with(n: usize, seed: u64, group: GroupConfig) -> io::Result<LoopbackCluster> {
-        LoopbackCluster::start_inner(n, seed, group, None, 1, None)
+        LoopbackCluster::start_inner(n, seed, group, None, 1, None, None)
     }
 
     /// Start `n` nodes with a locate-answer cache of `capacity` entries
@@ -132,7 +135,7 @@ impl LoopbackCluster {
         group: GroupConfig,
         capacity: usize,
     ) -> io::Result<LoopbackCluster> {
-        LoopbackCluster::start_inner(n, seed, group, None, 1, Some(capacity))
+        LoopbackCluster::start_inner(n, seed, group, None, 1, Some(capacity), None)
     }
 
     /// Start `n` nodes with replication factor `k`: every site's
@@ -146,7 +149,25 @@ impl LoopbackCluster {
         group: GroupConfig,
         k: usize,
     ) -> io::Result<LoopbackCluster> {
-        LoopbackCluster::start_inner(n, seed, group, None, k, None)
+        LoopbackCluster::start_inner(n, seed, group, None, k, None, None)
+    }
+
+    /// Start `n` nodes federated over a WAN region `topology`
+    /// (DESIGN.md §17): every node derives its region from its site id,
+    /// outbound dials pay the topology's base latency (test builds),
+    /// and the harness can sever/heal region pairs
+    /// ([`LoopbackCluster::region_cut`] /
+    /// [`LoopbackCluster::region_heal`]). `k` is the replication factor
+    /// (`1` = off), as [`LoopbackCluster::start_replicated`].
+    pub fn start_geo(
+        n: usize,
+        seed: u64,
+        group: GroupConfig,
+        k: usize,
+        topology: geo::Topology,
+    ) -> io::Result<LoopbackCluster> {
+        assert_eq!(topology.sites(), n, "topology must cover exactly the cluster's sites");
+        LoopbackCluster::start_inner(n, seed, group, None, k, None, Some(topology))
     }
 
     /// Start `n` *durable* nodes: site `i` logs to `root/site-i` under
@@ -163,7 +184,7 @@ impl LoopbackCluster {
     ) -> io::Result<LoopbackCluster> {
         let setup =
             DurableSetup { root: root.to_path_buf(), fsync, snapshot_every };
-        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1, None)
+        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1, None, None)
     }
 
     /// Durable nodes (as [`LoopbackCluster::start_durable`]) with a
@@ -182,7 +203,7 @@ impl LoopbackCluster {
     ) -> io::Result<LoopbackCluster> {
         let setup =
             DurableSetup { root: root.to_path_buf(), fsync, snapshot_every };
-        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1, Some(capacity))
+        LoopbackCluster::start_inner(n, seed, group, Some(setup), 1, Some(capacity), None)
     }
 
     fn start_inner(
@@ -192,6 +213,7 @@ impl LoopbackCluster {
         durable: Option<DurableSetup>,
         replicas: usize,
         locate_cache: Option<usize>,
+        geo: Option<geo::Topology>,
     ) -> io::Result<LoopbackCluster> {
         assert!(n >= 1, "cluster needs at least one node");
         let mut cluster = LoopbackCluster {
@@ -207,6 +229,7 @@ impl LoopbackCluster {
             durable,
             replicas: replicas.max(1),
             locate_cache,
+            geo,
             dead_sent: 0,
             dead_received: 0,
         };
@@ -230,7 +253,39 @@ impl LoopbackCluster {
         }
         cfg.replicas = self.replicas;
         cfg.locate_cache = self.locate_cache;
+        cfg.geo = self.geo.clone();
         cfg
+    }
+
+    /// Sever the region pair `(a, b)` cluster-wide: every live node
+    /// parks its protocol frames across the pair until
+    /// [`LoopbackCluster::region_heal`]. Geo clusters only. No quiesce
+    /// needed — parked frames are excluded from the sent/received
+    /// balance, so a cut cluster still quiesces between operations.
+    pub fn region_cut(&mut self, a: u16, b: u16) -> io::Result<()> {
+        assert!(self.geo.is_some(), "region_cut requires a geo cluster");
+        assert_ne!(a, b, "a region cannot be cut from itself");
+        self.broadcast_region(&Frame::RegionCut { a, b })
+    }
+
+    /// Heal the region pair `(a, b)`: every live node releases its
+    /// parked frames in original order, then the harness waits for the
+    /// released traffic to drain (quiesce).
+    pub fn region_heal(&mut self, a: u16, b: u16) -> io::Result<()> {
+        assert!(self.geo.is_some(), "region_heal requires a geo cluster");
+        self.broadcast_region(&Frame::RegionHeal { a, b })?;
+        self.quiesce()
+    }
+
+    fn broadcast_region(&mut self, frame: &Frame) -> io::Result<()> {
+        for i in 0..self.nodes.len() {
+            if self.nodes[i].is_none() {
+                continue;
+            }
+            let reply = self.ctl_request(site_id(i), frame)?;
+            expect_ack(reply)?;
+        }
+        Ok(())
     }
 
     /// Read site `i`'s query-load accounting: `(loads, hits, misses)`

@@ -153,6 +153,16 @@ pub struct NodeConfig {
     /// from snapshots, rebuilt cold after a restart. Unlike `replicas`
     /// it is per-node — nodes with different capacities interoperate.
     pub locate_cache: Option<usize>,
+    /// WAN region topology (DESIGN.md §17). `None` (the default) is the
+    /// flat pre-geo behaviour. With a topology, the node derives its
+    /// region from its site id, injects the topology's per-pair base
+    /// latency as a one-time dial delay on every outbound connection
+    /// (test builds; [`transport::ConnCache::set_dial_delay`]) and
+    /// honors [`Frame::RegionCut`]/[`Frame::RegionHeal`] by parking
+    /// protocol frames across severed pairs. Engine-side network-plane
+    /// state: never logged, never in the canonical state encoding.
+    /// Must agree across the cluster, like `seed`.
+    pub geo: Option<geo::Topology>,
 }
 
 impl NodeConfig {
@@ -169,6 +179,7 @@ impl NodeConfig {
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             replicas: 1,
             locate_cache: None,
+            geo: None,
         }
     }
 }
@@ -1059,6 +1070,16 @@ struct Engine {
     /// `query_load` tally sliced by origin; harnesses merge every
     /// node's slice ([`Frame::QueryLoad`]) to recover the global view.
     query_load: BTreeMap<SiteId, u64>,
+    /// WAN region topology (DESIGN.md §17); `None` = flat cluster.
+    geo: Option<geo::Topology>,
+    /// Severed region pairs, normalized `(min, max)`. Network-plane
+    /// state like the recorder: volatile, engine-side, never logged.
+    severed: HashSet<(u16, u16)>,
+    /// Protocol frames parked at this sender because their destination
+    /// lies across a severed pair, in park order. Their `sent` count
+    /// was undone at park time so the harness's sent/received balance
+    /// holds while a cut is open; release re-counts and re-sends.
+    parked_out: Vec<Outbound>,
 }
 
 impl Engine {
@@ -1114,6 +1135,9 @@ impl Engine {
             parks: 0,
             locate_cache: cfg.locate_cache.map(LocateCache::new),
             query_load: BTreeMap::new(),
+            geo: cfg.geo,
+            severed: HashSet::new(),
+            parked_out: Vec::new(),
         };
         // A recovered core remembers the listener address of its
         // previous life; this life bound a fresh port.
@@ -1147,23 +1171,84 @@ impl Engine {
     /// Deliver everything the core queued. On a send failure the core
     /// has already counted the message sent — undo that and count the
     /// drop, keeping cluster-wide sent/received sums balanced (which is
-    /// what the harness's quiesce watches).
+    /// what the harness's quiesce watches). With a topology, frames
+    /// whose destination lies across a severed region pair are parked
+    /// instead (sent-count undone the same way, so a cut cluster still
+    /// quiesces); [`Engine::release_parked`] re-sends them at heal.
     fn pump_outbox(&mut self) {
         for out in self.core.take_outbox() {
-            let Some(&peer) = self.core.members.get(&out.to) else {
+            if let Some(pair) = self.severed_pair_of(out.to) {
+                debug_assert!(self.severed.contains(&pair));
                 self.core.sent -= 1;
-                self.core.anomalies.dropped_to_dead += 1;
+                self.parked_out.push(out);
                 continue;
+            }
+            self.send_outbound(out);
+        }
+    }
+
+    /// The normalized region pair between this node and `to`, if (and
+    /// only if) that pair is currently severed.
+    fn severed_pair_of(&self, to: SiteId) -> Option<(u16, u16)> {
+        let topo = self.geo.as_ref()?;
+        let a = topo.region_of(self.core.site.0 as usize);
+        let b = topo.region_of(to.0 as usize);
+        let pair = (a.min(b), a.max(b));
+        self.severed.contains(&pair).then_some(pair)
+    }
+
+    /// Encode and socket-write one core-sequenced protocol message,
+    /// undoing its `sent` count on failure.
+    fn send_outbound(&mut self, out: Outbound) {
+        let Some(&peer) = self.core.members.get(&out.to) else {
+            self.core.sent -= 1;
+            self.core.anomalies.dropped_to_dead += 1;
+            return;
+        };
+        self.inject_dial_delay(out.to, peer);
+        let frame = Frame::Protocol {
+            sender: self.core.site,
+            hops: out.hops,
+            sent_us: wall_us(),
+            wire: out.wire,
+        };
+        if self.conns.send(peer, &frame.encode()).is_err() {
+            self.core.sent -= 1;
+            self.core.anomalies.dropped_to_dead += 1;
+        }
+    }
+
+    /// Re-send every frame parked on the region pair `(a, b)`, in the
+    /// order they were parked — per-destination sequence order is
+    /// preserved, so receivers see the frames as merely delayed.
+    fn release_parked(&mut self, a: u16, b: u16) {
+        let pair = (a.min(b), a.max(b));
+        let parked = std::mem::take(&mut self.parked_out);
+        for out in parked {
+            let out_pair = {
+                let topo = self.geo.as_ref().expect("parked frames require a topology");
+                let ra = topo.region_of(self.core.site.0 as usize);
+                let rb = topo.region_of(out.to.0 as usize);
+                (ra.min(rb), ra.max(rb))
             };
-            let frame = Frame::Protocol {
-                sender: self.core.site,
-                hops: out.hops,
-                sent_us: wall_us(),
-                wire: out.wire,
-            };
-            if self.conns.send(peer, &frame.encode()).is_err() {
-                self.core.sent -= 1;
-                self.core.anomalies.dropped_to_dead += 1;
+            if out_pair == pair {
+                self.core.sent += 1;
+                self.send_outbound(out);
+            } else {
+                self.parked_out.push(out);
+            }
+        }
+    }
+
+    /// Seed the connection cache with the topology's base latency for
+    /// `site` as a one-time dial delay (test builds honor it; release
+    /// builds carry the table but never sleep). Re-applied lazily on
+    /// every send so a peer's post-restart address inherits the delay.
+    fn inject_dial_delay(&mut self, site: SiteId, addr: SocketAddr) {
+        if let Some(topo) = &self.geo {
+            let us = topo.wire_us_sites(self.core.site.0 as usize, site.0 as usize, 0);
+            if us > 0 && self.conns.dial_delay(addr).is_zero() {
+                self.conns.set_dial_delay(addr, Duration::from_micros(us));
             }
         }
     }
@@ -1531,6 +1616,20 @@ impl Engine {
                 let addr = self.core.members.get(&site).map(|a| a.to_string());
                 self.stage(idx, Frame::AddrResp(addr));
             }
+            Frame::RegionCut { a, b } => {
+                // Network-plane fault, not replicated state: never
+                // logged, so state dumps and recovery are untouched.
+                if self.geo.is_some() {
+                    self.severed.insert((a.min(b), a.max(b)));
+                }
+                self.stage(idx, Frame::Ack);
+            }
+            Frame::RegionHeal { a, b } => {
+                if self.severed.remove(&(a.min(b), a.max(b))) {
+                    self.release_parked(a, b);
+                }
+                self.stage(idx, Frame::Ack);
+            }
             Frame::LookupStep { key } => {
                 let me = self.core.my_chord_id();
                 let node = self.core.ring.get(&me).expect("self in replica");
@@ -1656,6 +1755,7 @@ impl Engine {
             .members
             .get(&site)
             .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "unknown peer"))?;
+        self.inject_dial_delay(site, addr);
         let payload = req.encode();
         let mut stream = self.conns.checkout(addr)?;
         if write_frame(&mut stream, &payload).is_err() {

@@ -183,6 +183,31 @@ pub enum Frame {
         /// The site being resolved.
         site: SiteId,
     },
+    /// WAN fault injection: sever the region pair `(a, b)` of the
+    /// node's configured topology. Protocol frames whose destination
+    /// lies across the severed pair are **parked** at the sender (not
+    /// dropped, not counted sent) until the matching
+    /// [`Frame::RegionHeal`] releases them in original order — mirroring
+    /// the simulator's park-and-release `GeoPlane::sever`. Replied with
+    /// Ack; a no-op on nodes without a topology.
+    RegionCut {
+        /// One region of the severed pair.
+        a: u16,
+        /// The other region (order-insensitive; `a == b` is rejected by
+        /// the harness, not the wire).
+        b: u16,
+    },
+    /// Heal the region pair `(a, b)`: parked frames for the pair are
+    /// re-sent in the order they were parked (per-destination sequence
+    /// order preserved, so duplicate suppression and in-order gateway
+    /// updates behave as if the frames had merely been delayed).
+    /// Replied with Ack.
+    RegionHeal {
+        /// One region of the healed pair.
+        a: u16,
+        /// The other region.
+        b: u16,
+    },
 
     // -------------------------------------------------- rpc plane
     /// One iterative-lookup step: "where next for `key`, from your
@@ -320,6 +345,8 @@ const K_RESOLVE: u8 = 20;
 const K_PEER_DEAD: u8 = 21;
 const K_REPL_REC_AT: u8 = 22;
 const K_QUERY_LOAD: u8 = 23;
+const K_REGION_CUT: u8 = 24;
+const K_REGION_HEAL: u8 = 25;
 const K_ACK: u8 = 32;
 const K_LOCATE_RESP: u8 = 33;
 const K_TRACE_RESP: u8 = 34;
@@ -433,6 +460,16 @@ impl Frame {
             Frame::Resolve { site } => {
                 buf.put_u8(K_RESOLVE);
                 buf.put_u32(site.0);
+            }
+            Frame::RegionCut { a, b } => {
+                buf.put_u8(K_REGION_CUT);
+                buf.put_u32(*a as u32);
+                buf.put_u32(*b as u32);
+            }
+            Frame::RegionHeal { a, b } => {
+                buf.put_u8(K_REGION_HEAL);
+                buf.put_u32(*a as u32);
+                buf.put_u32(*b as u32);
             }
             Frame::LookupStep { key } => {
                 buf.put_u8(K_LOOKUP_STEP);
@@ -628,6 +665,14 @@ impl Frame {
             K_CRASH => Frame::Crash,
             K_STATE_DUMP => Frame::StateDump,
             K_RESOLVE => Frame::Resolve { site: SiteId(get_u32(&mut buf)?) },
+            K_REGION_CUT => Frame::RegionCut {
+                a: get_u32(&mut buf)? as u16,
+                b: get_u32(&mut buf)? as u16,
+            },
+            K_REGION_HEAL => Frame::RegionHeal {
+                a: get_u32(&mut buf)? as u16,
+                b: get_u32(&mut buf)? as u16,
+            },
             K_LOOKUP_STEP => Frame::LookupStep { key: get_id(&mut buf)? },
             K_GATEWAY_PROBE => Frame::GatewayProbe { object: get_object(&mut buf)? },
             K_IOP_KNOWS => Frame::IopKnows { object: get_object(&mut buf)? },
@@ -840,6 +885,8 @@ mod tests {
             Frame::Crash,
             Frame::StateDump,
             Frame::Resolve { site: SiteId(3) },
+            Frame::RegionCut { a: 0, b: 2 },
+            Frame::RegionHeal { a: 0, b: 2 },
             Frame::LookupStep { key: Id::hash_str("k") },
             Frame::GatewayProbe { object: obj(1) },
             Frame::IopKnows { object: obj(1) },

@@ -11,6 +11,9 @@
 //!   (power-of-two buckets, 32 linear sub-buckets, ≤ 3.2% relative
 //!   error) with `p50`/`p95`/`p99`/`max` accessors and an
 //!   order-independent `merge`;
+//! * [`RegionRecorder`] — a lighter sink for WAN runs: per-region-pair
+//!   delivery-latency histograms straight off `Send` records (no log
+//!   retention), with a focus class for group-index flush latency;
 //! * [`TraceView`] — queries over the log: filter by node / class /
 //!   context tag, time slices, and the ancestor-chain walk the
 //!   schedule auditor uses to print the causal slice behind an
@@ -30,10 +33,12 @@ pub mod chrome;
 pub mod export;
 pub mod hist;
 pub mod recorder;
+pub mod region;
 pub mod view;
 
 pub use chrome::chrome_trace_json;
 pub use export::{histogram_buckets_csv, latency_summary_csv, LATENCY_CSV_HEADER};
 pub use hist::Histogram;
 pub use recorder::{Recorder, SharedRecorder, Span};
+pub use region::{RegionRecorder, SharedRegionRecorder};
 pub use view::{format_event, TraceView};

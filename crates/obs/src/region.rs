@@ -1,0 +1,192 @@
+//! Per-region-pair delivery-latency histograms (DESIGN.md §17).
+//!
+//! [`RegionRecorder`] is a [`TraceSink`] that buckets every classed
+//! `Send` record by the *region pair* of its endpoints — the site →
+//! region mapping is passed in as a plain `Vec<u16>`, so this module
+//! needs no topology type — and records the engine-assigned delivery
+//! latency (`deliver_at − at`, which includes the geo plane's wire
+//! cost and jitter). One focus class (typically the group-index flush
+//! traffic) additionally gets its own per-pair histograms, so the wan
+//! sweep can report "flush latency per region pair" without replaying
+//! the trace.
+//!
+//! Like every sink, installing one never changes behaviour — traced
+//! runs are byte-identical to untraced runs.
+
+use crate::hist::Histogram;
+use simnet::{MsgClass, TraceEvent, TraceKind, TraceSink};
+use std::cell::{Ref, RefCell, RefMut};
+use std::rc::Rc;
+
+/// Per-region-pair latency/traffic recorder.
+pub struct RegionRecorder {
+    /// Region of each site index; later sites wrap (the same rule
+    /// `geo::Topology::region_of` applies).
+    regions: Vec<u16>,
+    r: usize,
+    /// All classed sends, bucketed `[from_region * r + to_region]`.
+    all: Vec<Histogram>,
+    /// Sends of the focus class only, same bucketing.
+    focus: Vec<Histogram>,
+    focus_class: MsgClass,
+}
+
+impl RegionRecorder {
+    /// A recorder over `region_count` regions with the given site →
+    /// region map, focusing on `focus_class` (e.g.
+    /// `MsgClass::GroupIndex` for flush latency).
+    pub fn new(regions: Vec<u16>, region_count: usize, focus_class: MsgClass) -> RegionRecorder {
+        assert!(!regions.is_empty(), "site->region map must be non-empty");
+        assert!(region_count > 0, "need at least one region");
+        RegionRecorder {
+            regions,
+            r: region_count,
+            all: (0..region_count * region_count).map(|_| Histogram::new()).collect(),
+            focus: (0..region_count * region_count).map(|_| Histogram::new()).collect(),
+            focus_class,
+        }
+    }
+
+    fn region_of(&self, site: usize) -> usize {
+        self.regions[site % self.regions.len()] as usize
+    }
+
+    /// Number of regions.
+    pub fn regions(&self) -> usize {
+        self.r
+    }
+
+    /// Latency histogram of every classed send from region `a` to
+    /// region `b`.
+    pub fn pair(&self, a: u16, b: u16) -> &Histogram {
+        &self.all[a as usize * self.r + b as usize]
+    }
+
+    /// Latency histogram of focus-class sends from region `a` to `b`.
+    pub fn focus_pair(&self, a: u16, b: u16) -> &Histogram {
+        &self.focus[a as usize * self.r + b as usize]
+    }
+
+    /// All cross-region focus-class latencies merged into one
+    /// histogram.
+    pub fn focus_cross(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for a in 0..self.r {
+            for b in 0..self.r {
+                if a != b {
+                    h.merge(&self.focus[a * self.r + b]);
+                }
+            }
+        }
+        h
+    }
+}
+
+impl TraceSink for RegionRecorder {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        // Send records carry the delivery time (`deliver_at`), so the
+        // latency is known at send time; node = receiver, peer =
+        // sender (see `Sim::trace_emit`).
+        if ev.kind != TraceKind::Send {
+            return;
+        }
+        let Some(class) = ev.class else { return };
+        let lat = ev.deliver_at.as_micros().saturating_sub(ev.at.as_micros());
+        let idx = self.region_of(ev.peer) * self.r + self.region_of(ev.node);
+        self.all[idx].record(lat);
+        if class == self.focus_class {
+            self.focus[idx].record(lat);
+        }
+    }
+}
+
+/// A cloneable handle to a [`RegionRecorder`] (same pattern as
+/// [`crate::SharedRecorder`]): the application keeps one clone while
+/// the `Sim` owns the installed sink.
+#[derive(Clone)]
+pub struct SharedRegionRecorder(Rc<RefCell<RegionRecorder>>);
+
+impl SharedRegionRecorder {
+    /// A fresh shared recorder (see [`RegionRecorder::new`]).
+    pub fn new(
+        regions: Vec<u16>,
+        region_count: usize,
+        focus_class: MsgClass,
+    ) -> SharedRegionRecorder {
+        SharedRegionRecorder(Rc::new(RefCell::new(RegionRecorder::new(
+            regions,
+            region_count,
+            focus_class,
+        ))))
+    }
+
+    /// Read access to the underlying recorder.
+    pub fn borrow(&self) -> Ref<'_, RegionRecorder> {
+        self.0.borrow()
+    }
+
+    /// Write access to the underlying recorder.
+    pub fn borrow_mut(&self) -> RefMut<'_, RegionRecorder> {
+        self.0.borrow_mut()
+    }
+}
+
+impl TraceSink for SharedRegionRecorder {
+    fn on_event(&mut self, ev: &TraceEvent) {
+        self.0.borrow_mut().on_event(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simnet::SimTime;
+
+    fn send(from: usize, to: usize, class: MsgClass, at_us: u64, deliver_us: u64) -> TraceEvent {
+        TraceEvent {
+            id: 1,
+            cause: 0,
+            kind: TraceKind::Send,
+            at: SimTime::from_micros(at_us),
+            deliver_at: SimTime::from_micros(deliver_us),
+            node: to,
+            peer: from,
+            class: Some(class),
+            bytes: 8,
+            hops: 1,
+            ctx: 0,
+        }
+    }
+
+    #[test]
+    fn buckets_by_region_pair_and_focus_class() {
+        // Sites 0,1 -> region 0; sites 2,3 -> region 1.
+        let mut r = RegionRecorder::new(vec![0, 0, 1, 1], 2, MsgClass::GroupIndex);
+        r.on_event(&send(0, 2, MsgClass::GroupIndex, 0, 45_000));
+        r.on_event(&send(0, 1, MsgClass::GroupIndex, 0, 5_000));
+        r.on_event(&send(2, 0, MsgClass::Query, 10, 60_010));
+        // Non-send and classless records are ignored.
+        let mut deliver = send(0, 2, MsgClass::Query, 0, 1);
+        deliver.kind = TraceKind::Deliver;
+        r.on_event(&deliver);
+        let mut unclassed = send(0, 2, MsgClass::Query, 0, 1);
+        unclassed.class = None;
+        r.on_event(&unclassed);
+
+        assert_eq!(r.pair(0, 1).count(), 1);
+        assert_eq!(r.pair(0, 0).count(), 1);
+        assert_eq!(r.pair(1, 0).count(), 1);
+        assert_eq!(r.focus_pair(0, 1).count(), 1);
+        assert_eq!(r.focus_pair(1, 0).count(), 0);
+        assert_eq!(r.focus_cross().count(), 1);
+        assert!(r.pair(0, 1).p50() >= 45_000);
+    }
+
+    #[test]
+    fn shared_handle_sees_sink_updates() {
+        let shared = SharedRegionRecorder::new(vec![0, 1], 2, MsgClass::Query);
+        let mut sink: Box<dyn TraceSink> = Box::new(shared.clone());
+        sink.on_event(&send(0, 1, MsgClass::Query, 0, 7));
+        assert_eq!(shared.borrow().focus_pair(0, 1).count(), 1);
+    }
+}

@@ -239,6 +239,23 @@ impl Default for ReplicationConfig {
     }
 }
 
+/// How chord identifiers are assigned to sites — the gateway placement
+/// policy (DESIGN.md §17).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Placement {
+    /// Uniform SHA-1 identifiers: the flat ring of the paper (and of
+    /// every pre-geo build). Always the default.
+    #[default]
+    Flat,
+    /// Proximity-aware placement: each site's identifier is forced into
+    /// its region's contiguous arc of the ring (`geo::clustered_id`),
+    /// so K-successor replica sets and group-index flush fan-out stay
+    /// same-region without any protocol change. Requires a topology
+    /// (`Builder::geo`); with one region it degenerates to `Flat`'s
+    /// distribution (one arc = the whole ring).
+    Proximity,
+}
+
 /// Full network configuration.
 #[derive(Clone, Debug)]
 pub struct Config {
@@ -263,6 +280,9 @@ pub struct Config {
     /// caches up to `n` answers per node, invalidated by movement-epoch
     /// mismatch and cleared wholesale on membership change.
     pub locate_cache: Option<usize>,
+    /// Gateway placement policy (`Flat` is the seed behaviour; see
+    /// [`Placement`]).
+    pub placement: Placement,
 }
 
 impl Default for Config {
@@ -274,6 +294,7 @@ impl Default for Config {
             replication: ReplicationConfig::disabled(),
             count_existence_checks: false,
             locate_cache: None,
+            placement: Placement::Flat,
         }
     }
 }

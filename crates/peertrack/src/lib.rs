@@ -65,7 +65,7 @@ pub mod triangle;
 pub mod window;
 pub mod world;
 
-pub use config::{Config, GroupConfig, IndexingMode};
+pub use config::{Config, GroupConfig, IndexingMode, Placement};
 pub use flat::{run_flat, FlatConfig, FlatReport};
 pub use net::{Builder, TraceableNetwork};
 pub use prefix::PrefixScheme;

@@ -5,16 +5,19 @@
 //! drain the indexing traffic, run MOODS queries with latency/message
 //! accounting, and churn nodes in and out.
 
-use crate::config::{Config, IndexingMode, ReplicationConfig, RetryConfig};
+use crate::config::{Config, IndexingMode, Placement, ReplicationConfig, RetryConfig};
 use crate::messages::Wire;
 use crate::query::{self, QueryStats};
 use crate::spans;
 use crate::world::{Anomalies, NetWorld};
 use chord::Ring;
+use geo::{RegionId, Topology};
 use ids::Id;
 use moods::{Locate, ObjectId, Path, SiteId, Trace};
 use simnet::trace::TraceSink;
-use simnet::{FaultConfig, FaultStats, LatencyModel, Metrics, MsgClass, Sim, SimConfig, SimTime};
+use simnet::{
+    FaultConfig, FaultStats, GeoConfig, LatencyModel, Metrics, MsgClass, Sim, SimConfig, SimTime,
+};
 
 /// Builder for a [`TraceableNetwork`].
 pub struct Builder {
@@ -22,13 +25,21 @@ pub struct Builder {
     config: Config,
     latency: Option<Box<dyn LatencyModel>>,
     faults: Option<FaultConfig>,
+    geo: Option<GeoConfig>,
     trace: Option<Box<dyn TraceSink>>,
 }
 
 impl Builder {
     /// Start building; configure and finish with [`Builder::build`].
     pub fn new() -> Builder {
-        Builder { sites: 0, config: Config::default(), latency: None, faults: None, trace: None }
+        Builder {
+            sites: 0,
+            config: Config::default(),
+            latency: None,
+            faults: None,
+            geo: None,
+            trace: None,
+        }
     }
 
     /// Number of initial sites (`Nn`). Must be at least 1.
@@ -75,6 +86,27 @@ impl Builder {
     /// sends with timeout/retry/backoff). Off by default.
     pub fn retry(mut self, retry: RetryConfig) -> Builder {
         self.config.retry = retry;
+        self
+    }
+
+    /// Install a WAN topology (DESIGN.md §17): the simulator charges
+    /// the topology's per-region-pair wire costs — plus seeded jitter
+    /// from the plane's own `detrand` RNG — on every protocol
+    /// delivery, and the synchronous query path charges the
+    /// deterministic base matrix (never jitter: queries stay RNG-free).
+    /// Also enables [`TraceableNetwork::region_cut`]. A zero topology
+    /// (e.g. `geo::Topology::single_region`) is a provable no-op: runs
+    /// stay byte-identical to builds without a geo plane at all.
+    pub fn geo(mut self, geo: GeoConfig) -> Builder {
+        self.geo = Some(geo);
+        self
+    }
+
+    /// Gateway placement policy: `Flat` (default, uniform SHA-1 ring)
+    /// or `Proximity` (region-clustered identifier arcs; requires
+    /// [`Builder::geo`]). See [`Placement`].
+    pub fn placement(mut self, placement: Placement) -> Builder {
+        self.config.placement = placement;
         self
     }
 
@@ -142,6 +174,13 @@ impl Builder {
             IndexingMode::Individual => 1024,
         };
 
+        if self.config.placement == Placement::Proximity {
+            assert!(
+                self.geo.is_some(),
+                "Placement::Proximity requires a topology (Builder::geo)"
+            );
+        }
+
         let mut sim_cfg = SimConfig::default().with_seed(self.config.seed);
         if let Some(l) = self.latency {
             sim_cfg = sim_cfg.with_latency(l);
@@ -149,16 +188,21 @@ impl Builder {
         if let Some(f) = self.faults {
             sim_cfg = sim_cfg.with_faults(f);
         }
+        let topology = self.geo.as_ref().map(|g| g.topology.clone());
+        if let Some(g) = self.geo {
+            sim_cfg = sim_cfg.with_geo(g);
+        }
         if let Some(t) = self.trace {
             sim_cfg = sim_cfg.with_trace(t);
         }
         let mut sim: Sim<Wire> = sim_cfg.build();
         let mut world = NetWorld::new(self.config);
+        world.geo = topology;
 
         let seed = world.config.seed;
         let mut bootstrap: Option<Id> = None;
         for i in 0..self.sites {
-            let chord_id = Id::hash_str(&format!("site-{seed}-{i}"));
+            let chord_id = site_chord_id(seed, i, world.config.placement, world.geo.as_ref());
             match bootstrap {
                 None => {
                     world.ring.bootstrap(chord_id, i);
@@ -192,6 +236,19 @@ impl Builder {
 impl Default for Builder {
     fn default() -> Self {
         Builder::new()
+    }
+}
+
+/// The one chord-identifier derivation, shared by [`Builder::build`]
+/// and [`TraceableNetwork::join_site`] (the daemon mirrors it): the
+/// seed's uniform SHA-1 id, optionally forced into the site's region
+/// arc under proximity placement. `Flat` — or no topology — reproduces
+/// the seed's ids bit for bit.
+fn site_chord_id(seed: u64, idx: usize, placement: Placement, topo: Option<&Topology>) -> Id {
+    let raw = Id::hash_str(&format!("site-{seed}-{idx}"));
+    match (placement, topo) {
+        (Placement::Proximity, Some(t)) => geo::clustered_id(raw, t.region_of(idx), t.regions()),
+        _ => raw,
     }
 }
 
@@ -265,6 +322,45 @@ impl TraceableNetwork {
     /// Fault-plane statistics, if a plane was configured.
     pub fn fault_stats(&self) -> Option<FaultStats> {
         self.sim.fault_stats()
+    }
+
+    /// Per-region-pair traffic the geo plane charged so far (protocol
+    /// plane only; query-path WAN costs are reported per query in
+    /// [`QueryStats`]). `None` without [`Builder::geo`].
+    pub fn geo_stats(&self) -> Option<&geo::GeoStats> {
+        self.sim.geo_stats()
+    }
+
+    /// The WAN topology, if one was installed.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.world.geo.as_ref()
+    }
+
+    /// Sever the (symmetric) WAN link between two regions: protocol
+    /// deliveries that straddle the cut are parked — not dropped — and
+    /// released in order by [`TraceableNetwork::region_heal`]. Messages
+    /// already in flight still deliver. The synchronous query path is
+    /// *not* blocked (a query issued mid-cut still resolves against the
+    /// global snapshot); partition-correctness invariants are asserted
+    /// after heal + quiesce, where the distinction vanishes. Requires
+    /// [`Builder::geo`].
+    pub fn region_cut(&mut self, a: RegionId, b: RegionId) {
+        self.sim.sever_regions(a, b);
+    }
+
+    /// Heal a severed region pair and release its parked traffic.
+    pub fn region_heal(&mut self, a: RegionId, b: RegionId) {
+        self.sim.heal_regions(a, b);
+    }
+
+    /// Heal every severed region pair.
+    pub fn region_heal_all(&mut self) {
+        self.sim.heal_all_regions();
+    }
+
+    /// Protocol deliveries currently parked behind region cuts.
+    pub fn parked_deliveries(&self) -> usize {
+        self.sim.parked_deliveries()
     }
 
     /// Install a trace sink now (e.g. `obs::SharedRecorder`), after
@@ -360,7 +456,10 @@ impl TraceableNetwork {
         source: query::AnswerSource,
         complete: bool,
     ) -> QueryStats {
-        let time = self.sim.latency_for(cost.hops as u32);
+        // Hop latency from the model, plus the deterministic WAN wire
+        // time the query accumulated (zero without a topology).
+        let time =
+            self.sim.latency_for(cost.hops as u32) + SimTime::from_micros(cost.wan_us);
         if self.sim.tracing() {
             // Queries resolve against a consistent snapshot rather than
             // by exchanging sim messages, so the span *is* the record:
@@ -377,6 +476,8 @@ impl TraceableNetwork {
             messages: cost.messages,
             hops: cost.hops,
             bytes: cost.bytes,
+            wan: SimTime::from_micros(cost.wan_us),
+            cross_msgs: cost.cross_msgs,
             source,
             complete,
         }
@@ -399,7 +500,8 @@ impl TraceableNetwork {
         let seed = self.world.config.seed;
         let idx = self.world.sites.len();
         let join_span = self.sim.span_open(spans::OP_JOIN, idx);
-        let chord_id = Id::hash_str(&format!("site-{seed}-{idx}"));
+        let chord_id =
+            site_chord_id(seed, idx, self.world.config.placement, self.world.geo.as_ref());
         let bootstrap = self
             .world
             .sites

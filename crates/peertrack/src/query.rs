@@ -59,6 +59,13 @@ pub struct QueryCost {
     pub hops: u64,
     /// Payload bytes.
     pub bytes: u64,
+    /// Deterministic WAN wire time (µs) the query spent crossing the
+    /// topology, **base matrix only** — queries never draw jitter, so
+    /// the query path stays RNG-free. Zero without a topology.
+    pub wan_us: u64,
+    /// Messages whose endpoints sat in different regions. Zero without
+    /// a topology.
+    pub cross_msgs: u64,
 }
 
 impl QueryCost {
@@ -66,6 +73,18 @@ impl QueryCost {
         self.messages += n;
         self.hops += n;
         self.bytes += n * QUERY_MSG_BYTES as u64;
+    }
+
+    /// Charge the topology's deterministic wire cost for one
+    /// query-sized message `from -> to`. No-op without a topology —
+    /// pre-geo builds stay byte-identical.
+    fn wire(&mut self, world: &NetWorld, from: SiteId, to: SiteId) {
+        let Some(t) = world.geo.as_ref() else { return };
+        let (a, b) = (t.region_of(from.0 as usize), t.region_of(to.0 as usize));
+        self.wan_us += t.wire_us(a, b, QUERY_MSG_BYTES);
+        if a != b {
+            self.cross_msgs += 1;
+        }
     }
 }
 
@@ -80,6 +99,11 @@ pub struct QueryStats {
     pub hops: u64,
     /// Payload bytes.
     pub bytes: u64,
+    /// WAN wire time included in `time` (zero without a topology).
+    pub wan: SimTime,
+    /// Messages that crossed a region boundary (zero without a
+    /// topology).
+    pub cross_msgs: u64,
     /// Who answered the discovery phase.
     pub source: AnswerSource,
     /// False when IOP traversal hit missing data (e.g. a departed site)
@@ -111,10 +135,13 @@ fn discover(world: &NetWorld, from: SiteId, object: ObjectId, cost: &mut QueryCo
     let key = world.gateway_key(object);
     let from_chord = world.sites[from.0 as usize].chord_id;
     let r = world.ring.lookup(from_chord, key).expect("overlay lookup failed");
+    let mut prev = from;
     for nid in r.path.iter().skip(1) {
         cost.step(1);
         let idx = world.ring.app_index_of(nid).expect("path nodes are members");
         let site = world.sites[idx].site;
+        cost.wire(world, prev, site);
+        prev = site;
         if *nid != r.owner && world.sites[idx].iop.knows(object) {
             return Discovery {
                 anchor: Some(Anchor::Record(site)),
@@ -184,6 +211,7 @@ fn gateway_lookup(
         cost.messages += 1;
         cost.hops += hops as u64;
         cost.bytes += QUERY_MSG_BYTES as u64;
+        cost.wire(world, gw_site, world.sites[owner].site);
         if let Some(e) =
             world.sites[owner].gateway.prefixes.get(&child).and_then(|s| s.get(&object))
         {
@@ -204,6 +232,7 @@ fn gateway_lookup(
         cost.messages += 1;
         cost.hops += hops as u64;
         cost.bytes += QUERY_MSG_BYTES as u64;
+        cost.wire(world, gw_site, world.sites[owner].site);
         if let Some(e) =
             world.sites[owner].gateway.prefixes.get(&anc).and_then(|s| s.get(&object))
         {
@@ -224,6 +253,7 @@ fn fetch_record(
 ) -> Option<crate::store::IopRecord> {
     if *current != target.site {
         cost.step(1);
+        cost.wire(world, *current, target.site);
         *current = target.site;
     }
     let state = &world.sites[target.site.0 as usize];
@@ -239,6 +269,7 @@ fn fetch_record(
                 continue;
             };
             cost.step(1);
+            cost.wire(world, *current, holder.site);
             if let Some(rec) = copy.record_at(object, target.time) {
                 *current = holder.site;
                 return Some(*rec);

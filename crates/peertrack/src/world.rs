@@ -152,6 +152,11 @@ pub struct NetWorld {
     /// (DESIGN.md §15). Only maintained while `Config.locate_cache` is
     /// set — the off path never touches it.
     pub(crate) epochs: EpochTable,
+    /// WAN topology, when the network was built with `Builder::geo`.
+    /// The query path charges its deterministic wire costs from it
+    /// (base matrix only, never jitter — queries stay RNG-free);
+    /// `None`, or a zero topology, adds nothing.
+    pub geo: Option<geo::Topology>,
 }
 
 /// A sequenced send the retry layer may have to retransmit.
@@ -186,6 +191,7 @@ impl NetWorld {
             pending_retries: HashMap::new(),
             pending_spans: HashMap::new(),
             epochs: EpochTable::new(),
+            geo: None,
         }
     }
 
@@ -1501,6 +1507,39 @@ impl NetWorld {
             })
             .map(|h| h.site)
             .collect()
+    }
+
+    /// Anti-entropy reconvergence check (the schedule auditor's
+    /// post-quiescence invariant): every live primary's current replica
+    /// holders hold a byte-identical copy of the primary's canonical
+    /// store state. Empty when replication is off or everything
+    /// matches. Meaningful only after quiescence on a loss-free plane —
+    /// in-flight or dropped `ReplState` deliveries legitimately leave
+    /// copies behind until the next write re-arms the digest exchange.
+    pub fn replica_divergence(&self) -> Vec<String> {
+        if !self.replication_on() {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for idx in 0..self.sites.len() {
+            if !self.sites[idx].alive {
+                continue;
+            }
+            let want = self.store_state_bytes(idx);
+            let primary = self.sites[idx].site;
+            for h in self.replica_peer_idxs(idx) {
+                if !self.sites[h].alive {
+                    continue;
+                }
+                if self.replica_state_bytes(h, primary) != want {
+                    out.push(format!(
+                        "replica: holder {} diverges from primary {primary} after quiescence",
+                        self.sites[h].site
+                    ));
+                }
+            }
+        }
+        out
     }
 
     /// Re-establish the replica placement invariant after a membership

@@ -18,7 +18,11 @@
 //!   for multi-threaded experiment sweeps;
 //! * an optional, separately-seeded fault plane ([`fault::FaultPlane`])
 //!   that can drop, duplicate and jitter-delay deliveries or crash nodes
-//!   mid-protocol, with byte-identical replay of every faulty execution.
+//!   mid-protocol, with byte-identical replay of every faulty execution;
+//! * an optional WAN latency plane ([`geoplane::GeoPlane`]) that charges
+//!   a `geo::Topology`'s per-region-pair wire costs on every delivery
+//!   and models region-cut partitions (park-and-release, never drop),
+//!   equally replayable from its own seed.
 //!
 //! The engine is deliberately protocol-agnostic: protocols implement
 //! [`World`] and own all node state; the simulator owns time.
@@ -28,6 +32,7 @@
 
 pub mod calendar;
 pub mod fault;
+pub mod geoplane;
 pub mod latency;
 pub mod metrics;
 pub mod shard;
@@ -37,6 +42,7 @@ pub mod trace;
 
 pub use calendar::CalendarQueue;
 pub use fault::{FaultConfig, FaultPlane, FaultStats, LinkFaults};
+pub use geoplane::{GeoConfig, GeoPlane};
 pub use latency::{ConstantPerHop, LatencyModel, UniformJitter};
 pub use metrics::{Metrics, MsgClass, SharedMetrics};
 pub use shard::{ShardConfig, ShardCtx, ShardRun, ShardWorld};

@@ -13,6 +13,7 @@
 
 use crate::calendar::CalendarQueue;
 use crate::fault::{FaultConfig, FaultPlane, FaultStats};
+use crate::geoplane::{GeoConfig, GeoPlane};
 use crate::latency::{ConstantPerHop, LatencyModel};
 use crate::metrics::{Metrics, MsgClass};
 use crate::time::SimTime;
@@ -165,6 +166,11 @@ pub struct SimConfig {
     /// default — keeps the clean delivery path bit-for-bit unchanged:
     /// no extra RNG draws, no extra branches with observable effects.
     pub faults: Option<FaultConfig>,
+    /// Optional WAN latency plane (region topology, seeded jitter,
+    /// region-cut partitions — see [`crate::geoplane`]). `None` — the
+    /// default — or a zero topology keeps runs byte-identical to
+    /// pre-geo builds.
+    pub geo: Option<GeoConfig>,
     /// Optional trace sink (see [`crate::trace`]). `None` — the default
     /// — keeps the run allocation-free and byte-identical to an
     /// untraced run.
@@ -181,6 +187,7 @@ impl Default for SimConfig {
             seed: 0xC0FFEE,
             latency: Box::new(ConstantPerHop::paper()),
             faults: None,
+            geo: None,
             trace: None,
             scheduler: SchedulerKind::default(),
         }
@@ -203,6 +210,12 @@ impl SimConfig {
     /// Enable fault injection.
     pub fn with_faults(mut self, faults: FaultConfig) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Install a WAN latency plane (region topology + seeded jitter).
+    pub fn with_geo(mut self, geo: GeoConfig) -> Self {
+        self.geo = Some(geo);
         self
     }
 
@@ -230,6 +243,8 @@ impl SimConfig {
             latency: self.latency,
             metrics: Metrics::new(),
             faults: self.faults.map(FaultPlane::new),
+            geo: self.geo.map(GeoPlane::new),
+            geo_parked: Vec::new(),
             trace: self.trace,
             next_event_id: 1,
             current_cause: 0,
@@ -249,6 +264,11 @@ pub struct Sim<M> {
     latency: Box<dyn LatencyModel>,
     metrics: Metrics,
     faults: Option<FaultPlane>,
+    geo: Option<GeoPlane>,
+    /// Deliveries parked mid-flight by a region cut (see
+    /// [`Sim::sever_regions`]): seq already assigned, released back
+    /// into the queue — in original order — when their pair heals.
+    geo_parked: Vec<Scheduled<M>>,
     trace: Option<Box<dyn TraceSink>>,
     /// Next trace-record id; advanced only while a sink is installed.
     next_event_id: EventId,
@@ -318,7 +338,16 @@ impl<M> Sim<M> {
     {
         self.metrics.record(class, bytes, hops);
         let delay = self.latency.delay(hops, &mut self.rng);
-        let time = self.now + delay;
+        let mut time = self.now + delay;
+        // The geo plane charges its wire cost (and jitter draw, from its
+        // own RNG) before the fault plane judges the delivery: distance
+        // and loss are independent planes with independent seeds. A
+        // severed region pair parks the copies instead of queueing them.
+        let mut severed = false;
+        if let Some(geo) = self.geo.as_mut() {
+            time = time + geo.extra_delay(from, to, bytes);
+            severed = geo.sites_severed(from, to);
+        }
         if let Some(plane) = self.faults.as_mut() {
             let verdict = plane.judge(from, to);
             if verdict.copies == 0 {
@@ -329,25 +358,31 @@ impl<M> Sim<M> {
                 let at = time + verdict.extra_delay[copy as usize];
                 let trace_id =
                     self.trace_emit(TraceKind::Send, to, from, Some(class), bytes as u32, hops, at);
-                self.push(Scheduled {
-                    time: at,
-                    seq: 0, // filled by push
-                    kind: EventKind::Deliver { to, from, msg: msg.clone() },
-                    trace_id,
-                    ctx: self.trace_ctx,
-                });
+                self.dispatch(
+                    Scheduled {
+                        time: at,
+                        seq: 0, // filled by dispatch
+                        kind: EventKind::Deliver { to, from, msg: msg.clone() },
+                        trace_id,
+                        ctx: self.trace_ctx,
+                    },
+                    severed,
+                );
             }
             return;
         }
         let trace_id =
             self.trace_emit(TraceKind::Send, to, from, Some(class), bytes as u32, hops, time);
-        self.push(Scheduled {
-            time,
-            seq: 0, // filled by push
-            kind: EventKind::Deliver { to, from, msg },
-            trace_id,
-            ctx: self.trace_ctx,
-        });
+        self.dispatch(
+            Scheduled {
+                time,
+                seq: 0, // filled by dispatch
+                kind: EventKind::Deliver { to, from, msg },
+                trace_id,
+                ctx: self.trace_ctx,
+            },
+            severed,
+        );
     }
 
     /// Deliver a message locally (same node): no metrics, no delay beyond
@@ -431,6 +466,96 @@ impl<M> Sim<M> {
         ev.seq = self.seq;
         self.seq += 1;
         self.queue.push(ev);
+    }
+
+    /// Queue a delivery, or park it if its region pair is severed. The
+    /// sequence number is assigned either way, so the release order
+    /// after a heal is exactly the original send order.
+    fn dispatch(&mut self, mut ev: Scheduled<M>, severed: bool) {
+        if severed {
+            ev.seq = self.seq;
+            self.seq += 1;
+            self.geo_parked.push(ev);
+        } else {
+            self.push(ev);
+        }
+    }
+
+    /// Is a geo (WAN latency) plane configured?
+    pub fn has_geo(&self) -> bool {
+        self.geo.is_some()
+    }
+
+    /// The geo plane, if configured.
+    pub fn geo(&self) -> Option<&GeoPlane> {
+        self.geo.as_ref()
+    }
+
+    /// Per-region-pair traffic counters, if a geo plane is configured.
+    pub fn geo_stats(&self) -> Option<&geo::GeoStats> {
+        self.geo.as_ref().map(|g| g.stats())
+    }
+
+    /// Deliveries currently parked behind a region cut (not counted in
+    /// [`Sim::pending`], so a partitioned run still quiesces).
+    pub fn parked_deliveries(&self) -> usize {
+        self.geo_parked.len()
+    }
+
+    /// Sever the (symmetric) link between two regions: from now on,
+    /// deliveries whose endpoints straddle the cut are parked — not
+    /// dropped — until [`Sim::heal_regions`]. Messages already in
+    /// flight when the cut lands still deliver (they left the NIC).
+    /// Requires a geo plane.
+    pub fn sever_regions(&mut self, a: geo::RegionId, b: geo::RegionId) {
+        self.geo
+            .as_mut()
+            .expect("sever_regions requires a geo plane (SimConfig::with_geo)")
+            .sever(a, b);
+    }
+
+    /// Heal the link between two regions and release the parked
+    /// deliveries for it, in original sequence order, no earlier than
+    /// the current clock.
+    pub fn heal_regions(&mut self, a: geo::RegionId, b: geo::RegionId) {
+        if let Some(g) = self.geo.as_mut() {
+            g.heal(a, b);
+        }
+        self.release_unsevered();
+    }
+
+    /// Heal every severed region pair and release everything parked.
+    pub fn heal_all_regions(&mut self) {
+        if let Some(g) = self.geo.as_mut() {
+            g.heal_all();
+        }
+        self.release_unsevered();
+    }
+
+    /// Re-queue parked deliveries whose region pair is no longer
+    /// severed. Original sequence numbers are kept, so ties at the
+    /// release time replay in send order; delivery times in the past
+    /// are clamped to `now` (the partition held the bytes, it did not
+    /// reorder them).
+    fn release_unsevered(&mut self) {
+        if self.geo_parked.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.geo_parked);
+        for mut ev in parked {
+            let still_severed = match (&ev.kind, self.geo.as_ref()) {
+                (EventKind::Deliver { to, from, .. }, Some(g)) => g.sites_severed(*from, *to),
+                _ => false,
+            };
+            if still_severed {
+                self.geo_parked.push(ev);
+            } else {
+                if ev.time < self.now {
+                    ev.time = self.now;
+                }
+                self.queue.push(ev);
+            }
+        }
     }
 
     /// Hand one record to the sink, if any. Returns the assigned id
@@ -791,6 +916,86 @@ mod tests {
             (w.log, format!("{:?}", sim.metrics()))
         }
         assert_eq!(run(SchedulerKind::Heap), run(SchedulerKind::Calendar));
+    }
+
+    #[test]
+    fn zero_geo_topology_is_byte_identical_to_no_geo() {
+        // The wan byte-identity contract at engine level: installing a
+        // single-region zero-latency plane changes nothing — same
+        // deliveries, same times, same metrics, no extra RNG draws.
+        fn run(with_geo: bool) -> (Vec<(u64, String)>, String) {
+            let mut cfg = SimConfig::default()
+                .with_latency(Box::new(crate::latency::UniformJitter::new(ms(5), ms(2))));
+            if with_geo {
+                cfg = cfg.with_geo(GeoConfig::new(9, geo::Topology::single_region(4)));
+            }
+            let mut sim: Sim<&'static str> = cfg.build();
+            let mut w = Recorder::default();
+            for i in 0..30 {
+                sim.send(i % 4, (i + 1) % 4, MsgClass::Lookup, 8, 1 + (i % 3) as u32, "ping");
+            }
+            sim.run_until_quiescent(&mut w);
+            (w.log, format!("{:?}", sim.metrics()))
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn wan_topology_charges_wire_cost_on_delivery() {
+        // Two regions, 10 ms one-way, no jitter: exact arithmetic.
+        let t = geo::Topology::new(
+            vec![0, 0, 1, 1],
+            vec!["a".into(), "b".into()],
+            vec![0, 10_000, 10_000, 0],
+            vec![0; 4],
+            vec![0; 4],
+        );
+        let mut sim: Sim<&'static str> = SimConfig::default().with_geo(GeoConfig::new(1, t)).build();
+        let mut w = Recorder::default();
+        sim.send(0, 2, MsgClass::Query, 4, 1, "hello"); // 5 ms hop + 10 ms wire
+        sim.send(0, 1, MsgClass::Query, 4, 1, "near"); // intra: 5 ms hop only
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(5_000, "msg 0->1: near".into()), (15_000, "msg 0->2: hello".into())]
+        );
+        let stats = sim.geo_stats().unwrap();
+        assert_eq!(stats.cross_msgs(), 1);
+        assert_eq!(stats.cross_bytes(), 4);
+    }
+
+    #[test]
+    fn region_cut_parks_and_heal_releases_in_send_order() {
+        let t = geo::Topology::new(
+            vec![0, 0, 1, 1],
+            vec!["a".into(), "b".into()],
+            vec![0; 4],
+            vec![0; 4],
+            vec![0; 4],
+        );
+        let mut sim: Sim<&'static str> = SimConfig::default().with_geo(GeoConfig::new(1, t)).build();
+        let mut w = Recorder::default();
+        // In flight before the cut: still delivers ("left the NIC").
+        sim.send(0, 2, MsgClass::Query, 4, 1, "in-flight");
+        sim.sever_regions(0, 1);
+        sim.send(0, 2, MsgClass::Query, 4, 1, "first");
+        sim.send(0, 3, MsgClass::Query, 4, 1, "second");
+        sim.send(0, 1, MsgClass::Query, 4, 1, "intra");
+        sim.run_until_quiescent(&mut w);
+        assert_eq!(sim.parked_deliveries(), 2);
+        let delivered: Vec<_> = w.log.iter().map(|(_, s)| s.clone()).collect();
+        assert_eq!(delivered, vec!["msg 0->2: in-flight", "msg 0->1: intra"]);
+        // Partitioned runs still quiesce; the heal releases in order.
+        sim.heal_regions(0, 1);
+        assert_eq!(sim.parked_deliveries(), 0);
+        sim.run_until_quiescent(&mut w);
+        let delivered: Vec<_> = w.log.iter().map(|(_, s)| s.clone()).collect();
+        assert_eq!(
+            delivered,
+            vec!["msg 0->2: in-flight", "msg 0->1: intra", "msg 0->2: first", "msg 0->3: second"]
+        );
+        // Released no earlier than the heal-time clock.
+        assert_eq!(w.log[2].0, w.log[1].0.max(5_000));
     }
 
     #[test]

@@ -63,18 +63,45 @@ pub struct ConnCache {
     /// that restarts — even on the same address — starts with a clean
     /// slate instead of inheriting its predecessor's failure history.
     failure_streaks: HashMap<SocketAddr, u32>,
+    /// Injected per-peer dial latency (WAN topology emulation for the
+    /// loopback harness). Applied once per successful-or-not dial, on
+    /// top of the backoff schedule; survives `invalidate`/`close_all`,
+    /// so a reconnect after a region heal pays the topology's delay
+    /// again rather than defaulting to zero. Only honored in test
+    /// builds — release daemons ignore it entirely.
+    dial_delays: HashMap<SocketAddr, Duration>,
 }
 
 impl ConnCache {
     /// An empty cache using the given reconnect schedule.
     pub fn new(backoff: Backoff) -> ConnCache {
-        ConnCache { conns: HashMap::new(), backoff, failure_streaks: HashMap::new() }
+        ConnCache {
+            conns: HashMap::new(),
+            backoff,
+            failure_streaks: HashMap::new(),
+            dial_delays: HashMap::new(),
+        }
     }
 
     /// How many consecutive dials to `addr` have exhausted their backoff
     /// schedule without connecting. Zero after any successful dial.
     pub fn failure_streak(&self, addr: SocketAddr) -> u32 {
         self.failure_streaks.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Inject `delay` before every future dial of `addr` (test builds
+    /// only — see the field docs). `Duration::ZERO` removes the entry.
+    pub fn set_dial_delay(&mut self, addr: SocketAddr, delay: Duration) {
+        if delay.is_zero() {
+            self.dial_delays.remove(&addr);
+        } else {
+            self.dial_delays.insert(addr, delay);
+        }
+    }
+
+    /// The injected dial delay for `addr` (zero when none).
+    pub fn dial_delay(&self, addr: SocketAddr) -> Duration {
+        self.dial_delays.get(&addr).copied().unwrap_or(Duration::ZERO)
     }
 
     /// The cached (or freshly dialed) stream for `addr`.
@@ -88,6 +115,10 @@ impl ConnCache {
 
     /// Dial `addr` under the backoff schedule, updating its streak.
     fn dial(&mut self, addr: SocketAddr) -> io::Result<TcpStream> {
+        #[cfg(any(test, debug_assertions))]
+        if let Some(&delay) = self.dial_delays.get(&addr) {
+            std::thread::sleep(delay);
+        }
         let mut last_err = None;
         for attempt in 1..=self.backoff.max_attempts {
             std::thread::sleep(self.backoff.delay_before(attempt));
@@ -242,6 +273,69 @@ mod tests {
     fn backoff_factor_one_is_constant() {
         let b = Backoff { base: Duration::from_millis(50), factor: 1, max_attempts: 8 };
         assert_eq!(b.delay_before(2), b.delay_before(7));
+    }
+
+    /// A dial delay set for a peer survives invalidation and close_all:
+    /// a reconnect after a region heal must pay the topology's delay
+    /// again, not default back to zero.
+    #[test]
+    fn dial_delay_survives_invalidation_and_applies_on_redial() {
+        use std::net::TcpListener;
+        use std::time::Instant;
+
+        let listener = match TcpListener::bind("127.0.0.1:0") {
+            Ok(l) => l,
+            Err(_) => {
+                eprintln!("skipping: loopback sockets unavailable here");
+                return;
+            }
+        };
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let mut got = Vec::new();
+            // First connection carries two frames (the second send rides
+            // the cached stream); the post-teardown redial is a second
+            // connection with one more.
+            let (mut s, _) = listener.accept().expect("accept");
+            got.push(crate::frame::read_frame(&mut s).expect("read frame"));
+            got.push(crate::frame::read_frame(&mut s).expect("read frame"));
+            let (mut s, _) = listener.accept().expect("accept redial");
+            got.push(crate::frame::read_frame(&mut s).expect("read frame"));
+            got
+        });
+
+        let delay = Duration::from_millis(60);
+        let mut cache = ConnCache::new(Backoff::fast());
+        cache.set_dial_delay(addr, delay);
+        assert_eq!(cache.dial_delay(addr), delay);
+
+        let t0 = Instant::now();
+        cache.send(addr, b"first").expect("send over delayed dial");
+        assert!(t0.elapsed() >= delay, "first dial pays the injected delay");
+
+        // A cached stream pays nothing: the delay models link setup.
+        let t1 = Instant::now();
+        cache.send(addr, b"second").expect("send over cached stream");
+        assert!(t1.elapsed() < delay, "cached sends skip the dial delay");
+
+        // Invalidate (region cut tearing connections down) — the delay
+        // table is untouched and the redial pays again.
+        cache.invalidate(addr);
+        cache.close_all();
+        assert_eq!(cache.dial_delay(addr), delay, "delay survives teardown");
+
+        let t2 = Instant::now();
+        cache.send(addr, b"third").expect("send over redial");
+        assert!(t2.elapsed() >= delay, "the redial pays the delay again");
+
+        cache.set_dial_delay(addr, Duration::ZERO);
+        assert_eq!(cache.dial_delay(addr), Duration::ZERO, "zero clears the entry");
+
+        drop(cache);
+        let frames = server.join().unwrap();
+        assert_eq!(frames[0].as_deref(), Some(&b"first"[..]));
+        assert_eq!(frames[1].as_deref(), Some(&b"second"[..]));
+        assert_eq!(frames[2].as_deref(), Some(&b"third"[..]));
     }
 
     /// A peer that comes back (same address, new process — the restart

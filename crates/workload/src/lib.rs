@@ -15,6 +15,9 @@
 //!   topology for the domain examples;
 //! * [`streams::ArrivalStream`] — steady/bursty arrival processes for
 //!   windowing ablations;
+//! * [`wan::WanChain`] — cross-region supply chains over a
+//!   `geo::Topology` (every object handed off through every region,
+//!   with region-tagged capture streams) for the WAN federation sweep;
 //! * [`CaptureEvent`] / [`replay`] — the common event form and a replay
 //!   helper that feeds a [`peertrack::TraceableNetwork`] and a
 //!   [`moods::MovementLog`] oracle in lockstep.
@@ -25,6 +28,7 @@
 pub mod paper;
 pub mod streams;
 pub mod topology;
+pub mod wan;
 
 use moods::{MovementLog, ObjectId, SiteId};
 use peertrack::TraceableNetwork;

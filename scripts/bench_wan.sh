@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Repeatable WAN federation benchmark: regenerates the committed
+# flat-vs-proximity sweep over the three-region wan3 topology
+# (DESIGN.md §17) — per-region-pair protocol traffic, group-index
+# flush latency and oracle-checked locate latency, flat ring vs
+# region-clustered placement at identical seeds.
+#
+# Artifacts: results/wan_sweep_flat.csv, results/wan_sweep_proximity.csv,
+# results/BENCH_wan.json. All three are deterministic (modeled virtual
+# time, no wall-clock fields) and byte-compared by scripts/verify.sh.
+#
+# Usage: scripts/bench_wan.sh [--full]
+#   --full  the larger configuration (PEERTRACK_SCALE=full)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p bench --bin wan_sweep
+
+if [[ "${1:-}" == "--full" ]]; then
+    export PEERTRACK_SCALE=full
+fi
+exec ./target/release/wan_sweep

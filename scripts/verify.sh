@@ -55,6 +55,19 @@ git diff --exit-code -- \
     || { echo "figure CSVs drifted from the committed baselines" >&2; exit 1; }
 echo "OK: fig6/7/8 + fault_sweep + zipf_sweep byte-identical to committed baselines."
 
+echo "== WAN federation sweep byte-identity (DESIGN.md §17) =="
+# Flat ring vs proximity placement over the three-region wan3 topology
+# at identical seeds. The binary hard-asserts the headline (proximity
+# reduces cross-region bytes AND cross-region locate p95, oracle-exact
+# in both modes); the byte gate pins the full per-region-pair tables.
+# Purely modeled time — deterministic on any host.
+./target/release/wan_sweep > /dev/null
+git diff --exit-code -- \
+    results/wan_sweep_flat.csv results/wan_sweep_proximity.csv \
+    results/BENCH_wan.json \
+    || { echo "wan_sweep artifacts drifted from the committed baselines" >&2; exit 1; }
+echo "OK: wan_sweep flat/proximity artifacts byte-identical to committed baselines."
+
 echo "== trace exporter: deterministic exports =="
 # Two same-seed traced runs must write byte-identical artifacts.
 ./target/release/trace_run > /dev/null
@@ -140,6 +153,17 @@ if ./target/release/peertrackd --probe-bind; then
     rm -f "$repl_out"
     echo "OK: two permanent losses survived; --replicas daemon answers ctl."
 
+    echo "== region-cut partition smoke (wan3 over real sockets) =="
+    # A six-node cluster over geo::Topology::wan3 is partitioned into
+    # three isolated regions (Frame::RegionCut), keeps answering about
+    # fully-propagated history, parks cross-region frames at the
+    # senders, then heals and must be oracle-exact on everything —
+    # including a handoff made during the partition — with zero
+    # protocol anomalies on every node (DESIGN.md §17).
+    timeout 180 cargo test -q --offline -p integration-tests --test wan_cluster \
+        || { echo "region-cut partition smoke failed (or timed out)" >&2; exit 1; }
+    echo "OK: three-way region partition parked, healed, reconverged oracle-exact."
+
     echo "== event-loop pipelining & backpressure (real sockets) =="
     # Pipelined bursts must answer byte-identical to request-at-a-time
     # (and match the oracle), slow-loris/partial frames must not block
@@ -213,6 +237,12 @@ echo "OK: crates/transport, crates/daemon and crates/durable are in the workspac
 grep -q 'crates/qcache' Cargo.toml \
     || { echo "crates/qcache missing from the workspace manifest" >&2; exit 1; }
 echo "OK: crates/qcache is in the workspace."
+
+# And the WAN topology subsystem (DESIGN.md §17), consumed by the
+# simulator's latency plane and the loopback cluster harness alike.
+grep -q 'crates/geo' Cargo.toml \
+    || { echo "crates/geo missing from the workspace manifest" >&2; exit 1; }
+echo "OK: crates/geo is in the workspace."
 
 # Generalized membership check: every directory under crates/ must be a
 # workspace member, so a newly added crate can never dodge the build,

@@ -28,6 +28,13 @@
 //! "degrade detectably, never silently lie" standard. Graceful leaves
 //! migrate their index shards, so they taint traces (repository gone)
 //! but not locates.
+//!
+//! WAN runs ([`AuditConfig::regions`] = 3) add region-cut partition
+//! faults ([`Op::RegionCut`]/[`Op::RegionHeal`]): cross-pair traffic
+//! parks in the geo plane and releases in send order at the heal, any
+//! cut still open is healed before the final quiescence, and the
+//! post-heal state is held to full oracle exactness plus replica
+//! reconvergence (every holder's copy byte-identical to its primary).
 
 use moods::{MovementLog, ObjectId, Path, SiteId, Visit};
 use peertrack::config::RetryConfig;
@@ -108,6 +115,29 @@ pub enum Op {
         /// Created-object selector.
         obj: u16,
     },
+    /// Sever the WAN links between two regions (selectors modulo the
+    /// region count; equal selections resolve to adjacent regions).
+    /// Cross-pair messages park in the geo plane — never drop — and
+    /// release in send order at the heal. No-op without a geo plane
+    /// ([`AuditConfig::regions`] = 0) or when the pair is already cut.
+    /// While any cut is active, churn ops (`Join`/`Leave`/`Crash`/
+    /// `Kill`) degrade to no-ops: ring stabilization across an active
+    /// partition is out of scope for the audited protocol.
+    RegionCut {
+        /// First region selector.
+        a: u16,
+        /// Second region selector.
+        b: u16,
+    },
+    /// Heal one active region cut (selector modulo the active cuts, in
+    /// cut order). No-op when no cut is active. Whatever the schedule
+    /// does, the harness heals **all** remaining cuts before the final
+    /// quiescence — the post-heal invariants (oracle-exact answers,
+    /// reconverged replicas) are always checked on a connected network.
+    RegionHeal {
+        /// Active-cut selector.
+        sel: u16,
+    },
 }
 
 const TAG_CAPTURE: u64 = 0;
@@ -119,7 +149,9 @@ const TAG_LEAVE: u64 = 5;
 const TAG_CRASH: u64 = 6;
 const TAG_KILL: u64 = 7;
 const TAG_LOCATE: u64 = 8;
-const NUM_TAGS: u64 = 9;
+const TAG_REGION_CUT: u64 = 9;
+const TAG_REGION_HEAL: u64 = 10;
+const NUM_TAGS: u64 = 11;
 
 /// Encode an op as one schedule word: tag in the top byte, operands in
 /// the low 32 bits.
@@ -134,6 +166,8 @@ pub fn encode(op: Op) -> u64 {
         Op::Crash { sel } => (TAG_CRASH, sel, 0),
         Op::Kill { sel } => (TAG_KILL, sel, 0),
         Op::Locate { obj } => (TAG_LOCATE, obj, 0),
+        Op::RegionCut { a, b } => (TAG_REGION_CUT, a, b),
+        Op::RegionHeal { sel } => (TAG_REGION_HEAL, sel, 0),
     };
     (tag << 56) | ((a as u64) << 16) | b as u64
 }
@@ -152,7 +186,9 @@ pub fn decode(word: u64) -> Op {
         TAG_LEAVE => Op::Leave { sel: a },
         TAG_CRASH => Op::Crash { sel: a },
         TAG_KILL => Op::Kill { sel: a },
-        _ => Op::Locate { obj: a },
+        TAG_LOCATE => Op::Locate { obj: a },
+        TAG_REGION_CUT => Op::RegionCut { a, b },
+        _ => Op::RegionHeal { sel: a },
     }
 }
 
@@ -197,6 +233,17 @@ pub fn shrink_word(word: u64) -> Vec<u64> {
         Op::Locate { obj } => {
             let mut c = vec![Op::Quiesce];
             c.extend(halves(obj).into_iter().map(|obj| Op::Locate { obj }));
+            c
+        }
+        Op::RegionCut { a, b } => {
+            let mut c = vec![Op::Quiesce];
+            c.extend(halves(a).into_iter().map(|a| Op::RegionCut { a, b }));
+            c.extend(halves(b).into_iter().map(|b| Op::RegionCut { a, b }));
+            c
+        }
+        Op::RegionHeal { sel } => {
+            let mut c = vec![Op::Quiesce];
+            c.extend(halves(sel).into_iter().map(|sel| Op::RegionHeal { sel }));
             c
         }
     };
@@ -245,6 +292,13 @@ pub struct AuditConfig {
     /// Caching must be invisible to every invariant: the auditor holds
     /// cached runs to the same oracle exactness as uncached ones.
     pub locate_cache: Option<usize>,
+    /// WAN regions: `0` runs without a geo plane (the seed's uniform
+    /// network — every pre-existing configuration); `3` installs the
+    /// `geo::Topology::wan3` latency plane over the founders and
+    /// enables [`Op::RegionCut`]/[`Op::RegionHeal`]. Other values are
+    /// rejected at run time (the audit topology is the canonical
+    /// three-region WAN).
+    pub regions: usize,
 }
 
 impl AuditConfig {
@@ -259,6 +313,7 @@ impl AuditConfig {
             retry: RetryConfig::disabled(),
             replicas: 1,
             locate_cache: None,
+            regions: 0,
         }
     }
 
@@ -272,6 +327,14 @@ impl AuditConfig {
     /// configuration the kill-forever invariant is asserted against.
     pub fn replicated(k: usize) -> AuditConfig {
         AuditConfig { replicas: k, ..AuditConfig::lossy_no_retries(0.0) }
+    }
+
+    /// A fault-free, K-replicated network over the three-region WAN
+    /// topology — the configuration the region-cut/heal recovery
+    /// invariants (oracle-exact answers, reconverged replicas after
+    /// heal + quiescence) are asserted against.
+    pub fn wan(k: usize) -> AuditConfig {
+        AuditConfig { regions: 3, ..AuditConfig::replicated(k) }
     }
 
     /// The same lossy network with the retry layer on (longer attempt
@@ -415,6 +478,17 @@ fn run_schedule_inner(
     if let Some(cap) = cfg.locate_cache {
         builder = builder.locate_cache(cap);
     }
+    let regions: u16 = match cfg.regions {
+        0 => 0,
+        3 => {
+            builder = builder.geo(simnet::GeoConfig::new(
+                cfg.seed ^ 0x6E0_0C07,
+                geo::Topology::wan3(cfg.founders),
+            ));
+            3
+        }
+        r => panic!("audit topology is the three-region WAN (regions = 0 or 3, got {r})"),
+    };
     if let Some(rec) = trace {
         builder = builder.trace_sink(Box::new(rec));
     }
@@ -425,6 +499,7 @@ fn run_schedule_inner(
     let mut joined: Vec<SiteId> = Vec::new();
     let mut dead: BTreeSet<SiteId> = BTreeSet::new();
     let mut killed: BTreeSet<SiteId> = BTreeSet::new();
+    let mut cuts: Vec<(u16, u16)> = Vec::new();
     let mut locate_taint: HashSet<ObjectId> = HashSet::new();
     let mut clock = SimTime::ZERO;
     let mut next_obj = 0u64;
@@ -432,6 +507,14 @@ fn run_schedule_inner(
 
     for &word in words {
         let op = decode(word);
+        if !cuts.is_empty()
+            && matches!(op, Op::Join | Op::Leave { .. } | Op::Crash { .. } | Op::Kill { .. })
+        {
+            // Churn no-ops while a region cut is active (see
+            // `Op::RegionCut`) — stabilization across a partition is
+            // out of scope.
+            continue;
+        }
         match op {
             Op::Capture { site } | Op::MoveObj { site, .. } => {
                 let targets = live_sites_of(&net);
@@ -512,8 +595,36 @@ fn run_schedule_inner(
                 let o = created[obj as usize % created.len()];
                 let _ = net.locate(SiteId(0), o, net.now());
             }
+            Op::RegionCut { a, b } => {
+                if regions == 0 {
+                    continue;
+                }
+                let (ra, rb) = (a % regions, b % regions);
+                let (ra, rb) = if ra == rb { (ra, (ra + 1) % regions) } else { (ra, rb) };
+                let key = (ra.min(rb), ra.max(rb));
+                if cuts.contains(&key) {
+                    continue;
+                }
+                net.region_cut(key.0, key.1);
+                cuts.push(key);
+            }
+            Op::RegionHeal { sel } => {
+                if cuts.is_empty() {
+                    continue;
+                }
+                let key = cuts.remove(sel as usize % cuts.len());
+                net.region_heal(key.0, key.1);
+            }
         }
         ops_applied += 1;
+    }
+    // Whatever the schedule left severed, the post-run invariants are
+    // checked on a healed, quiesced network — that is the recovery
+    // contract: after heal + quiescence, answers are oracle-exact and
+    // replicas reconverge.
+    if !cuts.is_empty() {
+        net.region_heal_all();
+        cuts.clear();
     }
     net.run_until_quiescent();
 
@@ -603,6 +714,13 @@ fn check_invariants(
     if let Err(e) = net.ring().check_converged() {
         v.push(format!("chord: overlay not converged after quiescence: {e}"));
     }
+
+    // I7 — anti-entropy reconvergence: after quiescence (and, in WAN
+    // runs, after every region cut healed) each live primary's replica
+    // holders carry byte-identical copies. Vacuous with replication
+    // off; every replicated audit configuration is loss-free, so
+    // divergence here is a real protocol failure, not dropped sync.
+    v.extend(net.world.replica_divergence());
 
     // I2/I3 — scan every live gateway: uniqueness, prefix match,
     // DHT placement, Data-Triangle reachability.
@@ -823,6 +941,8 @@ mod tests {
             Op::Crash { sel: 5 },
             Op::Kill { sel: 4 },
             Op::Locate { obj: 9 },
+            Op::RegionCut { a: 0, b: 2 },
+            Op::RegionHeal { sel: 1 },
         ];
         for op in ops {
             assert_eq!(decode(encode(op)), op);
@@ -831,7 +951,7 @@ mod tests {
 
     #[test]
     fn every_word_decodes_to_something_runnable() {
-        for w in [0u64, u64::MAX, 0x0700_0000_0000_0000, 12345, 1 << 57] {
+        for w in [0u64, u64::MAX, 0x0700_0000_0000_0000, 12345, 1 << 57, 9 << 56, 10 << 56] {
             let _ = decode(w); // total function: must not panic
         }
     }
@@ -857,6 +977,10 @@ mod tests {
         assert!(shrink_word(kill).contains(&encode(Op::Crash { sel: 3 })), "kill demotes to crash");
         let locate = encode(Op::Locate { obj: 6 });
         assert!(shrink_word(locate).contains(&encode(Op::Quiesce)), "locate demotes to quiesce");
+        let cut = encode(Op::RegionCut { a: 2, b: 1 });
+        assert!(shrink_word(cut).contains(&encode(Op::Quiesce)), "cut demotes to quiesce");
+        let heal = encode(Op::RegionHeal { sel: 2 });
+        assert!(shrink_word(heal).contains(&encode(Op::Quiesce)), "heal demotes to quiesce");
     }
 
     #[test]
@@ -929,6 +1053,91 @@ mod tests {
         assert_eq!(report.objects, 3);
         assert_eq!(report.anomalies, peertrack::world::Anomalies::default());
         assert_eq!(report.fault_stats.dropped, 0);
+    }
+
+    #[test]
+    fn region_cut_then_heal_schedule_audits_clean() {
+        // The WAN recovery invariant: writes land before, during, and
+        // after a region cut (updates crossing the severed pair park
+        // and release in order at the heal); after heal + quiescence
+        // every answer is oracle-exact and the replica sets have
+        // reconverged (I7). No object moves twice inside one cut, and
+        // movement batches are separated by quiescence, so no
+        // reordering anomaly relaxes the exactness checks.
+        let cfg = AuditConfig::wan(3);
+        let words: Vec<u64> = [
+            Op::Capture { site: 0 },
+            Op::Capture { site: 2 },
+            Op::Capture { site: 4 },
+            Op::Quiesce,
+            Op::RegionCut { a: 0, b: 1 },
+            Op::MoveObj { site: 1, obj: 0 },
+            Op::MoveObj { site: 3, obj: 1 },
+            Op::Advance { ms: 500 },
+            Op::Locate { obj: 0 },
+            Op::RegionHeal { sel: 0 },
+            Op::Quiesce,
+            Op::MoveObj { site: 5, obj: 2 },
+            Op::Quiesce,
+            // A second cut left open: the harness heals it before the
+            // final quiescence and the invariants must still hold.
+            Op::RegionCut { a: 1, b: 2 },
+            Op::MoveObj { site: 0, obj: 1 },
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let report = run_schedule(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.objects, 3);
+        assert_eq!(report.anomalies, peertrack::world::Anomalies::default());
+        assert_eq!(report.fault_stats.dropped, 0, "cuts park, never drop");
+    }
+
+    #[test]
+    fn churn_is_inert_during_an_active_cut() {
+        // Join/Leave/Crash/Kill words inside a cut window no-op: the
+        // run must stay clean and end with exactly the founders alive.
+        let cfg = AuditConfig::wan(3);
+        let words: Vec<u64> = [
+            Op::Capture { site: 1 },
+            Op::Quiesce,
+            Op::RegionCut { a: 0, b: 2 },
+            Op::Join,
+            Op::Kill { sel: 0 },
+            Op::Crash { sel: 0 },
+            Op::MoveObj { site: 4, obj: 0 },
+            Op::RegionHeal { sel: 0 },
+            Op::Quiesce,
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let report = run_schedule(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
+        // The three churn words did not execute.
+        assert_eq!(report.ops_applied, words.len() - 3);
+    }
+
+    #[test]
+    fn region_ops_are_inert_without_a_geo_plane() {
+        // The same words with regions = 0 must run (cut/heal decode
+        // and no-op) and stay clean — arbitrary fuzz words containing
+        // region tags remain runnable against every configuration.
+        let cfg = AuditConfig { drop: 0.0, ..AuditConfig::lossy_no_retries(0.0) };
+        let words: Vec<u64> = [
+            Op::Capture { site: 1 },
+            Op::RegionCut { a: 0, b: 1 },
+            Op::MoveObj { site: 3, obj: 0 },
+            Op::RegionHeal { sel: 0 },
+            Op::Quiesce,
+        ]
+        .into_iter()
+        .map(encode)
+        .collect();
+        let report = run_schedule(&cfg, &words);
+        assert_eq!(report.violations, Vec::<String>::new());
+        assert_eq!(report.ops_applied, words.len() - 2, "cut and heal no-opped");
     }
 
     #[test]

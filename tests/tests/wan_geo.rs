@@ -1,0 +1,141 @@
+//! WAN topology properties in the simulator (DESIGN.md §17).
+//!
+//! Two contracts pin the geo plane down:
+//!
+//! * **Zero-cost when off.** A zero-latency single-region topology is
+//!   *invisible*: the same seeded workload run with and without the
+//!   plane produces identical virtual time, metrics, query answers and
+//!   query costs. This is what keeps every pre-geo committed CSV
+//!   byte-identical (`verify.sh` regenerates them with no topology
+//!   configured; this test proves configuring a degenerate one would
+//!   not have mattered either).
+//!
+//! * **Proximity pays.** Over `wan3`, region-clustered placement
+//!   (`Placement::Proximity`) strictly reduces cross-region protocol
+//!   bytes versus the flat ring at identical seeds, while both modes
+//!   stay oracle-exact — the wan_sweep headline, held as a test at
+//!   small scale so regressions fail fast without running the bench.
+
+use geo::Topology;
+use moods::{MovementLog, SiteId};
+use peertrack::{Builder, GroupConfig, IndexingMode, Placement, TraceableNetwork};
+use simnet::time::ms;
+use simnet::{GeoConfig, SimTime};
+use workload::paper::PaperWorkload;
+use workload::wan::WanChain;
+
+const SEED: u64 = 0x0E0_CAFE;
+
+fn group_builder(sites: usize) -> Builder {
+    Builder::new().sites(sites).seed(SEED).mode(IndexingMode::Group(GroupConfig {
+        t_max: ms(200),
+        n_max: 32,
+        ..GroupConfig::default()
+    }))
+}
+
+fn small_workload(sites: usize) -> PaperWorkload {
+    PaperWorkload {
+        sites,
+        objects_per_site: 6,
+        move_fraction: 0.5,
+        trace_len: 4,
+        grouped_movement: true,
+        seed: SEED ^ 0x77,
+        start: SimTime::from_secs(5),
+        step: SimTime::from_secs(30),
+    }
+}
+
+fn run(net: &mut TraceableNetwork, events: &[workload::CaptureEvent]) -> MovementLog {
+    let mut log = MovementLog::new();
+    workload::replay(net, &mut log, events);
+    net.run_until_quiescent();
+    log
+}
+
+#[test]
+fn zero_latency_single_region_topology_is_invisible() {
+    const SITES: usize = 16;
+    let events = small_workload(SITES).generate();
+
+    let mut plain = group_builder(SITES).build();
+    let mut geoed = group_builder(SITES)
+        .geo(GeoConfig::new(SEED ^ 0x6E0, Topology::single_region(SITES)))
+        .build();
+
+    let log = run(&mut plain, &events);
+    let _ = run(&mut geoed, &events);
+
+    assert_eq!(plain.now(), geoed.now(), "virtual clocks diverged");
+    assert_eq!(plain.metrics(), geoed.metrics(), "metrics diverged");
+    assert_eq!(plain.anomalies(), geoed.anomalies(), "anomalies diverged");
+    assert_eq!(
+        plain.load_distribution(),
+        geoed.load_distribution(),
+        "per-site load diverged"
+    );
+
+    // Same answers at the same cost, object by object — including the
+    // geo-only accounting, which must stay zero on a degenerate plane.
+    let now = plain.now();
+    for o in log.objects() {
+        let (a, sa) = plain.locate(SiteId(0), o, now);
+        let (b, sb) = geoed.locate(SiteId(0), o, now);
+        assert_eq!(a, b, "answers diverged for {o:?}");
+        assert_eq!(sa, sb, "query stats diverged for {o:?}");
+        assert_eq!(sb.wan, SimTime::ZERO, "degenerate plane charged WAN time");
+    }
+
+    // The plane exists but recorded no cross-region traffic.
+    let stats = geoed.geo_stats().expect("geo plane configured");
+    assert_eq!(stats.cross_bytes(), 0);
+    assert_eq!(stats.cross_msgs(), 0);
+    assert_eq!(geoed.parked_deliveries(), 0);
+}
+
+#[test]
+fn proximity_placement_reduces_cross_region_bytes_oracle_exact() {
+    const SITES: usize = 12;
+    const OBJECTS: usize = 24;
+    let topo = Topology::wan3(SITES);
+    let chain = WanChain::generate(
+        &topo,
+        OBJECTS,
+        2,
+        SimTime::from_secs(1),
+        ms(1_000),
+        ms(25),
+        SEED,
+    );
+
+    let mut cross = Vec::new();
+    for placement in [Placement::Flat, Placement::Proximity] {
+        let mut net = group_builder(SITES)
+            .geo(GeoConfig::new(SEED ^ 0x6E0, topo.clone()))
+            .placement(placement)
+            .replicas(3)
+            .build();
+        let _ = run(&mut net, &chain.events);
+
+        // Every route's final stop answers exactly, from every region.
+        let now = net.now();
+        for (k, route) in chain.routes.iter().enumerate() {
+            let truth = *route.last().expect("route non-empty");
+            let object = workload::epc_object((k % topo.regions()) as u32, k as u64);
+            for origin in [0u32, 4, 8] {
+                let (ans, stats) = net.locate(SiteId(origin), object, now);
+                assert_eq!(ans, Some(truth), "{placement:?} locate of object {k} wrong");
+                assert!(stats.complete, "{placement:?} locate of object {k} incomplete");
+            }
+        }
+        cross.push(net.geo_stats().expect("geo plane").cross_bytes());
+    }
+
+    assert!(
+        cross[1] < cross[0],
+        "proximity placement must reduce cross-region bytes ({} vs {})",
+        cross[1],
+        cross[0]
+    );
+}
